@@ -1,0 +1,1 @@
+bench/ablations.ml: Fmt List Option Stardust_capstan Stardust_core Stardust_ir Stardust_schedule Stardust_tensor String Suite

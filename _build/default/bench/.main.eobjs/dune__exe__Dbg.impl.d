@@ -1,0 +1,1 @@
+bench/dbg.ml: Array Fmt List Stardust_capstan Stardust_core Stardust_spatial Suite Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Fmt Hashtbl List Measure Option Printf Staged Stardust_core Stardust_ir Stardust_spatial Stardust_tensor Stardust_workloads String Test Time Toolkit

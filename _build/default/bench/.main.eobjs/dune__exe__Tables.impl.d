@@ -1,0 +1,1 @@
+bench/tables.ml: Array Fmt List Option Printf Stardust_capstan Stardust_core Stardust_tensor Stardust_workloads String Suite

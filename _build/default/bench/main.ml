@@ -1,0 +1,45 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation:
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table6     # one artifact
+     dune exec bench/main.exe -- list    # available artifacts
+
+   Capstan numbers come from the analytic simulator (exact work tallies
+   derived from the real generated datasets); CPU/GPU numbers from the
+   calibrated analytic baseline models.  See EXPERIMENTS.md for
+   paper-vs-measured discussion. *)
+
+let artifacts =
+  [
+    ("table3", ("Table 3: input vs generated lines of code", Tables.table3));
+    ("table4", ("Table 4: datasets", Tables.table4));
+    ("table5", ("Table 5: Capstan resource usage", Tables.table5));
+    ("table6", ("Table 6: normalized runtimes", fun () -> Tables.table6 ()));
+    ("fig12", ("Figure 12: memory bandwidth sweep", Tables.fig12));
+    ("fig13", ("Figure 13: per-kernel speedups", Tables.fig13));
+    ("case_spmv", ("Section 8.3: SpMV case study", Tables.case_spmv));
+    ("longtail", ("Long-tail kernels beyond the paper's suite", Tables.longtail));
+    ("ablations", ("Ablations: sparse lanes, bit-vector stream, gather staging, scheduling", Ablations.run));
+    ("micro", ("Compiler-phase microbenchmarks (Bechamel)", Micro.run));
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "list" ] ->
+      List.iter (fun (k, (d, _)) -> Fmt.pr "%-10s %s@." k d) artifacts
+  | [ "code"; kernel ] -> Tables.listing kernel
+  | [] ->
+      (* default: every paper artifact (micro last; it is the slowest) *)
+      List.iter (fun (_, (_, f)) -> f ()) artifacts
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n artifacts with
+          | Some (_, f) -> f ()
+          | None ->
+              Fmt.epr "unknown artifact %s (try: list)@." n;
+              exit 1)
+        names

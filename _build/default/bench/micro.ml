@@ -1,0 +1,98 @@
+(** Bechamel microbenchmarks of the compiler phases (parse, schedule,
+    plan/memory-analysis, lower, codegen) plus one end-to-end compile per
+    paper kernel — one [Test.make] per measured quantity. *)
+
+open Bechamel
+module K = Stardust_core.Kernels
+module C = Stardust_core.Compile
+module Plan = Stardust_core.Plan
+module Lower = Stardust_core.Lower
+module Codegen = Stardust_spatial.Codegen
+module Parser = Stardust_ir.Parser
+module F = Stardust_tensor.Format
+module D = Stardust_workloads.Datasets
+
+let small_sddmm_inputs () =
+  [
+    ("B",
+     D.small_random ~name:"B" ~format:(F.csr ()) ~dims:[ 32; 32 ] ~density:0.1 ());
+    ("C", D.dense_matrix ~name:"C" ~format:(F.rm ()) ~rows:32 ~cols:16 ());
+    ("D", D.dense_matrix ~seed:5 ~name:"D" ~format:(F.rm ()) ~rows:32 ~cols:16 ());
+  ]
+
+let phase_tests () =
+  let spec = K.sddmm in
+  let st = List.hd spec.K.stages in
+  let inputs = small_sddmm_inputs () in
+  let sched = K.schedule_stage spec st in
+  let plan = Plan.build sched ~inputs in
+  let compiled = K.compile_stage spec st ~inputs in
+  [
+    Test.make ~name:"parse-sddmm"
+      (Staged.stage (fun () -> Parser.parse_assign st.K.expr));
+    Test.make ~name:"schedule-sddmm"
+      (Staged.stage (fun () -> K.schedule_stage spec st));
+    Test.make ~name:"plan-sddmm"
+      (Staged.stage (fun () -> Plan.build sched ~inputs));
+    Test.make ~name:"lower-sddmm" (Staged.stage (fun () -> Lower.lower plan));
+    Test.make ~name:"codegen-sddmm"
+      (Staged.stage (fun () -> Codegen.to_string compiled.C.program));
+  ]
+
+let compile_tests () =
+  List.filter_map
+    (fun (spec : K.spec) ->
+      let st = List.hd spec.K.stages in
+      (* small stand-in inputs with the right formats *)
+      match spec.K.kname with
+      | "SDDMM" ->
+          let inputs = small_sddmm_inputs () in
+          Some
+            (Test.make
+               ~name:("compile-" ^ String.lowercase_ascii spec.K.kname)
+               (Staged.stage (fun () -> K.compile_stage spec st ~inputs)))
+      | "SpMV" ->
+          let inputs =
+            [
+              ("A",
+               D.small_random ~name:"A" ~format:(F.csr ()) ~dims:[ 32; 32 ]
+                 ~density:0.1 ());
+              ("x", D.dense_vector ~name:"x" ~dim:32 ());
+            ]
+          in
+          Some
+            (Test.make ~name:"compile-spmv"
+               (Staged.stage (fun () -> K.compile_stage spec st ~inputs)))
+      | _ -> None)
+    K.all
+
+let run () =
+  let tests =
+    Test.make_grouped ~name:"stardust" (phase_tests () @ compile_tests ())
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Fmt.pr "@.Compiler-phase microbenchmarks (Bechamel, monotonic clock):@.";
+  Fmt.pr "%-28s %16s %10s@." "benchmark" "time/run" "r^2";
+  Fmt.pr "%s@." (String.make 58 '-');
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let t =
+        match Analyze.OLS.estimates ols with
+        | Some [ t ] -> t
+        | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+      let pretty =
+        if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+        else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+        else Printf.sprintf "%.0f ns" t
+      in
+      Fmt.pr "%-28s %16s %10.3f@." name pretty r2)
+    (List.sort compare rows)

@@ -1,0 +1,1 @@
+bin/smoke.ml: Float Fmt List Option Printexc Printf Stardust_capstan Stardust_core Stardust_ir Stardust_schedule Stardust_tensor Stardust_vonneumann Stardust_workloads

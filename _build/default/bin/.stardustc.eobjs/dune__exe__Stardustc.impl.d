@@ -1,0 +1,1 @@
+bin/stardustc.ml: Arg Cmd Cmdliner Fmt Hashtbl List Stardust_capstan Stardust_core Stardust_ir Stardust_schedule Stardust_spatial Stardust_tensor Stardust_vonneumann Stardust_workloads String Term

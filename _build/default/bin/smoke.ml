@@ -1,0 +1,140 @@
+(* Development smoke test: every paper kernel end-to-end on small data.
+   For each kernel stage: compile, functionally simulate on Capstan,
+   compare against the dense reference evaluator and the CIN interpreter,
+   and check that the analytic estimate matches the executed tallies. *)
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module Ast = Stardust_ir.Ast
+module Parser = Stardust_ir.Parser
+module S = Stardust_schedule.Schedule
+module C = Stardust_core.Compile
+module K = Stardust_core.Kernels
+module Sim = Stardust_capstan.Sim
+module Ref = Stardust_vonneumann.Reference
+module Interp = Stardust_vonneumann.Cin_interp
+module D = Stardust_workloads.Datasets
+module Imp = Stardust_vonneumann.Imp_interp
+
+let sp ?(seed = 42) name format dims density =
+  D.small_random ~seed ~name ~format ~dims ~density ()
+
+let small_inputs : (string * (string * T.t) list) list =
+  [
+    ("SpMV", [ ("A", sp "A" (F.csr ()) [ 8; 10 ] 0.3);
+               ("x", D.dense_vector ~name:"x" ~dim:10 ()) ]);
+    ("Plus3",
+      [ ("B", sp ~seed:1 "B" (F.csr ()) [ 8; 10 ] 0.3);
+        ("C", sp ~seed:2 "C" (F.csr ()) [ 8; 10 ] 0.3);
+        ("D", sp ~seed:3 "D" (F.csr ()) [ 8; 10 ] 0.3) ]);
+    ("SDDMM",
+      [ ("B", sp "B" (F.csr ()) [ 6; 7 ] 0.35);
+        ("C", D.dense_matrix ~name:"C" ~format:(F.rm ()) ~rows:6 ~cols:5 ());
+        ("D", D.dense_matrix ~seed:5 ~name:"D" ~format:(F.rm ()) ~rows:7 ~cols:5 ()) ]);
+    ("MatTransMul",
+      [ ("A", sp "A" (F.csc ()) [ 9; 8 ] 0.3);
+        ("x", D.dense_vector ~name:"x" ~dim:9 ());
+        ("z", D.dense_vector ~seed:6 ~name:"z" ~dim:8 ()) ]);
+    ("Residual",
+      [ ("A", sp "A" (F.csr ()) [ 8; 10 ] 0.3);
+        ("x", D.dense_vector ~name:"x" ~dim:10 ());
+        ("b", D.dense_vector ~seed:8 ~name:"b" ~dim:8 ()) ]);
+    ("TTV",
+      [ ("B", sp "B" (F.csf 3) [ 4; 5; 6 ] 0.3);
+        ("c", D.dense_vector ~name:"c" ~dim:6 ()) ]);
+    ("TTM",
+      [ ("B", sp "B" (F.csf 3) [ 4; 5; 6 ] 0.3);
+        ("C", D.dense_matrix ~name:"C" ~format:(F.cm ()) ~rows:7 ~cols:6 ()) ]);
+    ("MTTKRP",
+      [ ("B", sp "B" (F.csf 3) [ 4; 5; 6 ] 0.3);
+        ("C", D.dense_matrix ~name:"C" ~format:(F.rm ()) ~rows:5 ~cols:8 ());
+        ("D", D.dense_matrix ~seed:9 ~name:"D" ~format:(F.rm ()) ~rows:6 ~cols:8 ()) ]);
+    ("InnerProd",
+      [ ("B", sp ~seed:10 "B" (F.ucc ()) [ 4; 5; 6 ] 0.4);
+        ("C", sp ~seed:11 "C" (F.ucc ()) [ 4; 5; 6 ] 0.4) ]);
+    ("Plus2",
+      [ ("B", sp ~seed:12 "B" (F.ucc ()) [ 4; 5; 6 ] 0.4);
+        ("C", sp ~seed:13 "C" (F.ucc ()) [ 4; 5; 6 ] 0.4) ]);
+  ]
+
+let close a b = T.max_abs_diff a b < 1e-6
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (spec : K.spec) ->
+      let pool = ref (List.assoc spec.K.kname small_inputs) in
+      List.iter
+        (fun (st : K.stage) ->
+          let inputs =
+            List.filter_map
+              (fun (n, _) ->
+                if n = st.K.result then None
+                else Option.map (fun t -> (n, t)) (List.assoc_opt n !pool))
+              st.K.formats
+          in
+          let tag = Printf.sprintf "%s[%s]" spec.K.kname st.K.result in
+          (try
+             let compiled = K.compile_stage spec st ~inputs in
+             let assign = Parser.parse_assign st.K.expr in
+             let expected =
+               Ref.eval assign ~inputs ~result_format:st.K.result_format
+             in
+             let sched = K.schedule_stage spec st in
+             let interp =
+               Interp.run sched ~inputs ~result:st.K.result
+                 ~result_format:st.K.result_format
+             in
+             let ok_interp = close interp expected in
+             let results, report = Sim.execute compiled in
+             let simmed = List.assoc st.K.result results in
+             let ok_sim = close simmed expected in
+             let est = Sim.estimate compiled in
+             let rel a b = Float.abs (a -. b) /. Float.max 1.0 (Float.abs b) in
+             (* iteration counts are exact; transfer bytes may overcount
+                slightly (pos slices of parents an intersection skips) *)
+             let ok_est =
+               rel est.Sim.compute_cycles report.Sim.compute_cycles < 0.05
+               && rel est.Sim.streamed_bytes report.Sim.streamed_bytes < 0.05
+               && rel est.Sim.iterations report.Sim.iterations < 0.001
+             in
+             (* CPU (imperative) path. *)
+             let cpu_results, _tally, _func = Imp.run compiled.C.plan ~inputs in
+             let ok_cpu = close (List.assoc st.K.result cpu_results) expected in
+             if not ok_cpu then begin
+               incr failures;
+               Fmt.pr "FAIL %-22s cpu path diverges@." tag;
+               Fmt.pr "  expected: %a@." T.pp expected;
+               Fmt.pr "  cpu:      %a@." T.pp (List.assoc st.K.result cpu_results)
+             end;
+             if ok_interp && ok_sim && ok_est then
+               Fmt.pr "PASS %-22s cycles=%8.1f bytes=%7.0f iters=%6.0f loc=%d@."
+                 tag report.Sim.cycles report.Sim.streamed_bytes
+                 report.Sim.iterations (C.spatial_loc compiled)
+             else begin
+               incr failures;
+               Fmt.pr "FAIL %-22s interp=%b sim=%b est=%b@." tag ok_interp
+                 ok_sim ok_est;
+               if not ok_sim then begin
+                 Fmt.pr "  expected: %a@." T.pp expected;
+                 Fmt.pr "  simmed:   %a@." T.pp simmed
+               end;
+               if not ok_est then
+                 Fmt.pr
+                   "  est compute=%.1f/%.1f bytes=%.0f/%.0f iters=%.0f/%.0f@."
+                   est.Sim.compute_cycles report.Sim.compute_cycles
+                   est.Sim.streamed_bytes report.Sim.streamed_bytes
+                   est.Sim.iterations report.Sim.iterations
+             end;
+             pool :=
+               (st.K.result,
+                match List.assoc_opt st.K.result results with
+                | Some t -> t
+                | None -> expected)
+               :: !pool
+           with e ->
+             incr failures;
+             Fmt.pr "ERROR %-21s %s@." tag (Printexc.to_string e)))
+        spec.K.stages)
+    K.all;
+  if !failures = 0 then Fmt.pr "@.all kernels pass@."
+  else Fmt.pr "@.%d failures@." !failures

@@ -1,0 +1,241 @@
+(* stardustc — the Stardust compiler driver.
+
+   Compile sparse tensor algebra to Capstan from the command line:
+
+     stardustc list
+     stardustc kernel sddmm --code --resources --simulate
+     stardustc compile -e "y(i) = A(i,j) * x(j)" \
+         -f A=csr -f x=dv -f y=dv  -d A=64x64@0.05 -d x=64 \
+         --code --simulate --cpu
+
+   Random input data is generated deterministically from the -d specs;
+   named kernels ship with paper-shaped defaults. *)
+
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module Cin = Stardust_ir.Cin
+module S = Stardust_schedule.Schedule
+module C = Stardust_core.Compile
+module K = Stardust_core.Kernels
+module Sim = Stardust_capstan.Sim
+module Arch = Stardust_capstan.Arch
+module Dram = Stardust_capstan.Dram
+module Resources = Stardust_capstan.Resources
+module Imp = Stardust_vonneumann.Imp_interp
+module D = Stardust_workloads.Datasets
+open Cmdliner
+
+let format_of_string = function
+  | "csr" -> F.csr ()
+  | "csc" -> F.csc ()
+  | "dv" -> F.dv ()
+  | "sv" -> F.sv ()
+  | "rm" | "dense" -> F.rm ()
+  | "cm" -> F.cm ()
+  | "csf2" -> F.csf 2
+  | "csf3" | "csf" -> F.csf 3
+  | "ucc" -> F.ucc ()
+  | "scalar" -> F.make []
+  | s -> Fmt.failwith "unknown format %S (try csr csc dv sv rm cm csf ucc scalar)" s
+
+(* "A=8x8@0.3" or "x=8" (dense when no density given) *)
+let parse_data_spec s =
+  match String.split_on_char '=' s with
+  | [ name; rest ] ->
+      let dims_s, density =
+        match String.split_on_char '@' rest with
+        | [ d ] -> (d, None)
+        | [ d; dens ] -> (d, Some (float_of_string dens))
+        | _ -> Fmt.failwith "bad data spec %S" s
+      in
+      let dims = List.map int_of_string (String.split_on_char 'x' dims_s) in
+      (name, dims, density)
+  | _ -> Fmt.failwith "bad data spec %S (want NAME=DIMSxDIMS[@DENSITY])" s
+
+let gen_tensor name fmt dims density seed =
+  match density with
+  | Some d -> D.small_random ~seed ~name ~format:fmt ~dims ~density:d ()
+  | None -> (
+      match dims with
+      | [ n ] -> D.dense_vector ~seed ~name ~dim:n ()
+      | [ r; c ] when F.is_fully_dense fmt ->
+          D.dense_matrix ~seed ~name ~format:fmt ~rows:r ~cols:c ()
+      | _ -> D.small_random ~seed ~name ~format:fmt ~dims ~density:1.0 ())
+
+(* ------------------------------------------------------------------ *)
+(* Output sections                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let report_compiled ?(dot = false) ~cin ~code ~resources ~simulate ~estimate
+    ~cpu (compiled : C.compiled) =
+  if dot then
+    Fmt.pr "%s@." (Stardust_spatial.Dotgraph.of_program compiled.C.program);
+  if cin then
+    Fmt.pr "=== Concrete index notation ===@.%a@.@." Cin.pp
+      (S.stmt compiled.C.schedule);
+  if code then Fmt.pr "=== Spatial ===@.%s@.@." (C.spatial_code compiled);
+  if resources then
+    Fmt.pr "=== Capstan resources ===@.%a@.@." Resources.pp
+      (Resources.count Arch.default compiled);
+  if cpu then begin
+    let _, _, func = Imp.run compiled.C.plan ~inputs:compiled.C.inputs in
+    Fmt.pr "=== TACO-style C (CPU baseline) ===@.%s@.@."
+      (Stardust_vonneumann.Imperative_ir.to_string func)
+  end;
+  if simulate then begin
+    let results, report = Sim.execute compiled in
+    List.iter (fun (name, t) -> Fmt.pr "=== Result %s ===@.%a@." name T.pp t) results;
+    Fmt.pr "simulated: %.0f cycles (%.3f us), %.0f B DRAM traffic@.@."
+      report.Sim.cycles (report.Sim.seconds *. 1e6) report.Sim.streamed_bytes
+  end;
+  if estimate then
+    List.iter
+      (fun (name, config) ->
+        let r = Sim.estimate ~config compiled in
+        Fmt.pr "%-18s %12.0f cycles  %10.3f us@." name r.Sim.cycles
+          (r.Sim.seconds *. 1e6))
+      [ ("Capstan (HBM2E)", Sim.default_config);
+        ("Capstan (DDR4)", { Sim.arch = Arch.default; dram = Dram.ddr4 });
+        ("Capstan (ideal)", Sim.ideal_config) ]
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let flag_cin = Arg.(value & flag & info [ "cin" ] ~doc:"Print the scheduled CIN.")
+let flag_code = Arg.(value & flag & info [ "code" ] ~doc:"Print the generated Spatial code.")
+let flag_res = Arg.(value & flag & info [ "resources" ] ~doc:"Print Capstan resource usage.")
+let flag_sim = Arg.(value & flag & info [ "simulate" ] ~doc:"Functionally simulate and print results.")
+let flag_est = Arg.(value & flag & info [ "estimate" ] ~doc:"Print analytic cycle estimates per memory system.")
+let flag_cpu = Arg.(value & flag & info [ "cpu" ] ~doc:"Print the TACO-style C the CPU baseline path generates.")
+let flag_dot = Arg.(value & flag & info [ "dot" ] ~doc:"Print the dataflow graph in Graphviz DOT form.")
+
+let list_cmd =
+  let run () =
+    Fmt.pr "Paper kernels (stardustc kernel NAME):@.";
+    List.iter
+      (fun (spec : K.spec) ->
+        Fmt.pr "  %-12s %s@." (String.lowercase_ascii spec.K.kname)
+          spec.K.paper_expr)
+      K.all;
+    Fmt.pr "@.Formats (for -f NAME=FMT): csr csc dv sv rm cm csf2 csf3 ucc scalar@."
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in paper kernels and formats.")
+    Term.(const run $ const ())
+
+let kernel_cmd =
+  let kname_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL") in
+  let scale =
+    Arg.(value & opt int 32 & info [ "n" ] ~doc:"Scale of the random inputs.")
+  in
+  let run name scale cin code res sim est cpu dot =
+    match K.find name with
+    | None ->
+        Fmt.epr "unknown kernel %s (try: stardustc list)@." name;
+        exit 1
+    | Some spec ->
+        let n = scale in
+        let inputs_for (st : K.stage) =
+          List.filter_map
+            (fun (tname, fmt) ->
+              if tname = st.K.result || (String.length tname > 0 && tname.[0] = '_')
+              then None
+              else
+                let order = F.order fmt in
+                let dims = List.init order (fun _ -> n) in
+                let t =
+                  if F.is_fully_dense fmt then
+                    if order = 1 then D.dense_vector ~name:tname ~dim:n ()
+                    else if order = 2 then
+                      D.dense_matrix ~name:tname ~format:fmt ~rows:n ~cols:n ()
+                    else
+                      D.small_random ~name:tname ~format:fmt ~dims ~density:1.0 ()
+                  else
+                    D.small_random
+                      ~seed:(Hashtbl.hash tname)
+                      ~name:tname ~format:fmt ~dims ~density:0.1 ()
+                in
+                Some (tname, t))
+            st.K.formats
+        in
+        let pool = ref [] in
+        List.iter
+          (fun (st : K.stage) ->
+            let inputs =
+              List.map
+                (fun (tname, t) ->
+                  match List.assoc_opt tname !pool with
+                  | Some prev -> (tname, T.rename tname prev)
+                  | None -> (tname, t))
+                (inputs_for st)
+            in
+            Fmt.pr "--- stage: %s ---@." st.K.expr;
+            let compiled = K.compile_stage spec st ~inputs in
+            report_compiled ~dot ~cin ~code ~resources:res ~simulate:sim
+              ~estimate:est ~cpu compiled;
+            if sim then begin
+              let results, _ = Sim.execute compiled in
+              pool := results @ !pool
+            end)
+          spec.K.stages
+  in
+  Cmd.v
+    (Cmd.info "kernel"
+       ~doc:"Compile one of the paper's kernels on synthetic data.")
+    Term.(const run $ kname_arg $ scale $ flag_cin $ flag_code $ flag_res
+          $ flag_sim $ flag_est $ flag_cpu $ flag_dot)
+
+let compile_cmd =
+  let expr =
+    Arg.(required & opt (some string) None
+         & info [ "e"; "expr" ] ~docv:"EXPR"
+             ~doc:"Index-notation assignment, e.g. \"y(i) = A(i,j) * x(j)\".")
+  in
+  let formats =
+    Arg.(value & opt_all string []
+         & info [ "f"; "format" ] ~docv:"NAME=FMT" ~doc:"Tensor format binding.")
+  in
+  let data =
+    Arg.(value & opt_all string []
+         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
+             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+  in
+  let run expr formats data cin code res sim est cpu dot =
+    let formats =
+      List.map
+        (fun s ->
+          match String.split_on_char '=' s with
+          | [ n; f ] -> (n, format_of_string f)
+          | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
+        formats
+    in
+    let sched = C.schedule_of_string ~formats expr in
+    let inputs =
+      List.mapi
+        (fun i s ->
+          let name, dims, density = parse_data_spec s in
+          let fmt =
+            match List.assoc_opt name formats with
+            | Some f -> f
+            | None -> Fmt.failwith "no format for tensor %s" name
+          in
+          (name, gen_tensor name fmt dims density (i + 1)))
+        data
+    in
+    let compiled = C.compile sched ~inputs in
+    let any = cin || code || res || sim || est || cpu || dot in
+    report_compiled ~dot ~cin ~code:(code || not any) ~resources:res
+      ~simulate:sim ~estimate:est ~cpu compiled
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile an arbitrary index-notation expression to Spatial.")
+    Term.(const run $ expr $ formats $ data $ flag_cin $ flag_code $ flag_res
+          $ flag_sim $ flag_est $ flag_cpu $ flag_dot)
+
+let () =
+  let doc = "the Stardust sparse-tensor-algebra-to-RDA compiler" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "stardustc" ~version:"1.0.0" ~doc)
+          [ list_cmd; kernel_cmd; compile_cmd ]))

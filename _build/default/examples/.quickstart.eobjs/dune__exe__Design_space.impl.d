@@ -1,0 +1,1 @@
+examples/design_space.ml: Fmt List Stardust_capstan Stardust_core Stardust_tensor Stardust_workloads String

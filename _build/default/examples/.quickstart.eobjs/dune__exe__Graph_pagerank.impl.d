@@ -1,0 +1,1 @@
+examples/graph_pagerank.ml: Array Float Fmt Hashtbl List Stardust_capstan Stardust_core Stardust_tensor Stardust_workloads

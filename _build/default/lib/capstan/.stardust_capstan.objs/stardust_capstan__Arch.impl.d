@@ -1,0 +1,1 @@
+lib/capstan/arch.pp.ml:

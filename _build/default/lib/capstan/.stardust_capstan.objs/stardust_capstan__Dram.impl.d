@@ -1,0 +1,1 @@
+lib/capstan/dram.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/capstan/resources.pp.ml: Arch Fmt List Option Stardust_core Stardust_schedule Stardust_spatial Stardust_tensor

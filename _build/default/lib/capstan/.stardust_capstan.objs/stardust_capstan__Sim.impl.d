@@ -1,0 +1,1 @@
+lib/capstan/sim.pp.ml: Arch Array Dram Float Fmt Hashtbl List Option Printf Queue Stardust_core Stardust_spatial Stardust_tensor String Sys

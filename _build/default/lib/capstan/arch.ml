@@ -1,0 +1,72 @@
+(** Capstan architecture description (paper section 8.2, Figure 3).
+
+    Capstan is a grid of 200 vectorized pattern compute units (PCUs) and 200
+    pattern memory units (PMUs) ringed by 80 memory controllers (MCs); 16
+    shuffle networks provide cross-lane sparse access.  Each PCU has six
+    pipeline stages and 16 vector lanes; each PMU has 16 banks of 4096
+    32-bit words. *)
+
+type t = {
+  num_pcu : int;
+  num_pmu : int;
+  num_mc : int;
+  num_shuffle : int;
+  lanes : int;  (** vector lanes per PCU *)
+  sparse_lanes : int;
+      (** lanes usable by {e sparse} iteration patterns.  Capstan's sparse
+          scanners vectorize compressed iteration across all 16 lanes; on
+          Plasticine (its non-sparse ancestor) compressed iteration is
+          scalar, which is the architectural gap the paper's Table 6
+          Plasticine row exposes. *)
+  pcu_stages : int;  (** pipeline stages per PCU *)
+  pmu_banks : int;
+  pmu_words_per_bank : int;
+  clock_hz : float;
+  (* Network model (Zhang et al. [ISCA'19]): a throughput de-rating applied
+     to compute pipelines plus per-pattern-launch issue overhead, both
+     removed in the "ideal network" configuration. *)
+  net_overhead : float;  (** multiplier >= 1.0 on pipeline occupancy *)
+  launch_ii : float;
+      (** initiation bubble between successive launches of an inner
+          pattern (outer metapipelining hides the full pipeline depth) *)
+  latency_exposure : float;
+      (** fraction of DRAM first-word latency a burst exposes despite the
+          decoupled access-execute prefetching (0 with ideal memory) *)
+  bv_words_per_cycle : float;
+      (** packed bit-vector words streamed to the scanner per cycle: the
+          real network serializes the stream to one 32-bit word per cycle,
+          the ideal network delivers a full vector per cycle *)
+}
+
+let default =
+  {
+    num_pcu = 200;
+    num_pmu = 200;
+    num_mc = 80;
+    num_shuffle = 16;
+    lanes = 16;
+    sparse_lanes = 16;
+    pcu_stages = 6;
+    pmu_banks = 16;
+    pmu_words_per_bank = 4096;
+    clock_hz = 1.6e9;
+    net_overhead = 1.25;
+    launch_ii = 1.0;
+    latency_exposure = 0.01;
+    bv_words_per_cycle = 1.0;
+  }
+
+let ideal_network a =
+  { a with net_overhead = 1.0; launch_ii = 0.5; bv_words_per_cycle = 16.0 }
+
+(** Plasticine (Prabhakar et al. [ISCA'17]): the same fabric without
+    Capstan's sparse extensions — compressed iteration runs scalar. *)
+let plasticine = { default with sparse_lanes = 1 }
+
+(** Words one PMU holds. *)
+let pmu_words a = a.pmu_banks * a.pmu_words_per_bank
+
+(** PMUs needed to hold [words] 32-bit words (at least one per memory). *)
+let pmus_for a words = max 1 ((words + pmu_words a - 1) / pmu_words a)
+
+let seconds_of_cycles a c = c /. a.clock_hz

@@ -1,0 +1,69 @@
+(** Off-chip memory models.
+
+    The original evaluation drives Ramulator with either four channels of
+    DDR4-2133 or HBM-2E at 1800 GB/s, plus an "ideal" memory that ignores
+    latency and bandwidth.  We reproduce the same three configurations as
+    bandwidth/latency envelopes: total runtime takes the maximum of compute
+    time and [bytes / bandwidth] (the streaming roofline), and random
+    (non-burst) accesses are charged a full DRAM transaction line each. *)
+
+type kind = Ddr4 | Hbm2e | Ideal_mem [@@deriving show { with_path = false }, eq]
+
+type t = {
+  kind : kind;
+  bandwidth_bytes_per_s : float;
+  latency_cycles : float;  (** first-word latency of one burst *)
+  line_bytes : int;  (** minimum transaction granularity *)
+  random_penalty : float;
+      (** de-rating of effective bandwidth for non-streaming access *)
+}
+
+(** Four channels of DDR4-2133: 4 x 17.06 GB/s. *)
+let ddr4 =
+  {
+    kind = Ddr4;
+    bandwidth_bytes_per_s = 4.0 *. 17.06e9;
+    latency_cycles = 96.0;
+    line_bytes = 64;
+    random_penalty = 4.0;
+  }
+
+(** HBM-2E at the paper's 1800 GB/s. *)
+let hbm2e =
+  {
+    kind = Hbm2e;
+    bandwidth_bytes_per_s = 1800.0e9;
+    latency_cycles = 64.0;
+    line_bytes = 32;
+    random_penalty = 2.0;
+  }
+
+(** Ideal memory: no bandwidth or latency constraints. *)
+let ideal =
+  {
+    kind = Ideal_mem;
+    bandwidth_bytes_per_s = infinity;
+    latency_cycles = 0.0;
+    line_bytes = 4;
+    random_penalty = 1.0;
+  }
+
+let of_kind = function Ddr4 -> ddr4 | Hbm2e -> hbm2e | Ideal_mem -> ideal
+
+(** Bytes transferable per accelerator cycle. *)
+let bytes_per_cycle d ~clock_hz = d.bandwidth_bytes_per_s /. clock_hz
+
+(** Cycles to move [streamed] burst bytes plus [random] individual accesses
+    (each touching a full line at de-rated bandwidth). *)
+let transfer_cycles d ~clock_hz ~streamed_bytes ~random_accesses =
+  if d.kind = Ideal_mem then 0.0
+  else
+    let bpc = bytes_per_cycle d ~clock_hz in
+    let stream = streamed_bytes /. bpc in
+    let rand =
+      random_accesses *. float_of_int d.line_bytes *. d.random_penalty /. bpc
+    in
+    stream +. rand
+
+(** A scaled variant for bandwidth-sweep experiments (Figure 12). *)
+let with_bandwidth d bytes_per_s = { d with bandwidth_bytes_per_s = bytes_per_s }

@@ -1,0 +1,156 @@
+(** Capstan resource accounting (paper Table 5).
+
+    Maps a compiled kernel onto the chip's physical budget: 200 PCUs, 200
+    PMUs, 80 memory controllers, 16 shuffle networks.  The model mirrors
+    how SARA places Spatial programs:
+
+    - every parallel pattern occupies PCUs in each of its replicas (the
+      product of enclosing parallelization factors), one PCU per six
+      pipeline stages of arithmetic;
+    - every on-chip memory occupies PMUs in each replica of its allocation
+      site, one PMU per 16 x 4096 words (FIFOs and bit-vectors occupy one);
+    - every DRAM transfer occupies one memory controller stream per
+      replica, as does every sparse-DRAM (random access) array;
+    - gathers/scatters that cross vector lanes occupy one shuffle-network
+      port per outer-parallel replica (which is why shuffle-using kernels
+      cannot outer-parallelize beyond 16 — section 8.3). *)
+
+module Memory = Stardust_core.Memory
+module Plan = Stardust_core.Plan
+module Compile = Stardust_core.Compile
+open Stardust_spatial.Spatial_ir
+
+type usage = {
+  pcu : int;
+  pmu : int;
+  mc : int;
+  shuffle : int;
+  outer_par : int;
+  (* fractions of the chip *)
+  pcu_frac : float;
+  pmu_frac : float;
+  mc_frac : float;
+  shuffle_frac : float;
+  limiting : string;  (** the resource closest to its budget *)
+}
+
+let rec exp_ops = function
+  | Int _ | Flt _ | Var _ -> 0
+  | Read (_, idx) -> 1 + List.fold_left (fun a e -> a + exp_ops e) 0 idx
+  | Bin (_, a, b) -> 1 + exp_ops a + exp_ops b
+  | Neg e -> 1 + exp_ops e
+  | Mux (p, a, b) -> 1 + exp_ops p + exp_ops a + exp_ops b
+
+let stmt_ops = function
+  | Let (_, e) -> exp_ops e
+  | Write { idx; value; _ } ->
+      exp_ops value + Option.fold ~none:0 ~some:exp_ops idx
+  | Enq (_, e) -> exp_ops e
+  | Deq _ -> 1
+  | _ -> 0
+
+(** Arithmetic ops resident in a pattern body (excluding nested patterns,
+    which get their own PCUs). *)
+let body_ops body extra =
+  List.fold_left (fun acc s -> acc + stmt_ops s) extra body
+
+let count (arch : Arch.t) (c : Compile.compiled) =
+  let plan = c.Compile.plan in
+  let pcu = ref 0 and pmu = ref 0 and mc = ref 0 in
+  let pcus_for ops = max 1 ((ops + arch.Arch.pcu_stages - 1) / arch.Arch.pcu_stages) in
+  let rec go repl (s : stmt) =
+    match s with
+    | Alloc { kind = Sram_dense | Sram_sparse; size; _ } ->
+        let words = match size with Int n -> n | _ -> 1 in
+        pmu := !pmu + (repl * Arch.pmus_for arch words)
+    | Alloc { kind = Fifo _ | Bit_vector | Reg; _ } ->
+        (* FIFOs and bit-vectors occupy one PMU stream each; registers are
+           within PCU pipelines. *)
+        (match s with
+        | Alloc { kind = Reg; _ } -> ()
+        | _ -> pmu := !pmu + repl)
+    | Alloc _ -> ()
+    | Load_burst _ | Store_burst _ -> mc := !mc + repl
+    | Foreach { par; body; _ } ->
+        pcu := !pcu + (repl * pcus_for (body_ops body 0));
+        List.iter (go (repl * par)) body
+    | Reduce { par; body; expr; _ } ->
+        (* the reduction tree occupies the pattern's PCU vector stages *)
+        pcu := !pcu + (repl * pcus_for (body_ops body (exp_ops expr + 1)));
+        List.iter (go (repl * par)) body
+    | Foreach_scan { scan; body; _ } ->
+        (* scanner + pattern body *)
+        pcu := !pcu + (repl * (1 + pcus_for (body_ops body 0)));
+        List.iter (go (repl * scan.scan_par)) body
+    | Reduce_scan { scan; body; expr; _ } ->
+        pcu := !pcu + (repl * (1 + pcus_for (body_ops body (exp_ops expr + 1))));
+        List.iter (go (repl * scan.scan_par)) body
+    | Gen_bitvector _ -> pcu := !pcu + repl
+    | Let _ | Deq _ | Write _ | Enq _ | Comment _ -> ()
+  in
+  List.iter (go 1) c.Compile.program.accel;
+  (* sparse DRAM arrays hold a random-access stream per replica *)
+  List.iter
+    (fun (a : alloc) ->
+      if a.kind = Dram_sparse then mc := !mc + plan.Plan.outer_par)
+    c.Compile.program.dram;
+  (* Shuffle-network ports: gathers plus scan-result scatters, one port per
+     outer replica each. *)
+  let shuffle = ref 0 in
+  List.iter
+    (fun (_, bs) ->
+      List.iter
+        (fun (b : Memory.binding) ->
+          if b.Memory.uses_shuffle then shuffle := !shuffle + plan.Plan.outer_par)
+        bs)
+    plan.Plan.bindings;
+  List.iter
+    (fun r ->
+      let fmt = Stardust_schedule.Schedule.format_of plan.Plan.sched r in
+      let module F = Stardust_tensor.Format in
+      if not (List.mem r (plan.Plan.sched : Stardust_schedule.Schedule.t).Stardust_schedule.Schedule.temporaries)
+      then
+        List.iteri
+          (fun l k ->
+            if k = F.Compressed then
+              match
+                List.assoc_opt (Plan.level_var plan r l) plan.Plan.loops
+              with
+              | Some { Plan.plan = Stardust_core.Coiter.Scan_plan _; _ } ->
+                  shuffle := !shuffle + plan.Plan.outer_par
+              | _ -> ())
+          fmt.F.levels)
+    plan.Plan.results;
+  let mc = min !mc arch.Arch.num_mc in
+  let shuffle = min !shuffle arch.Arch.num_shuffle in
+  let pcu = min !pcu arch.Arch.num_pcu in
+  let pmu = min !pmu arch.Arch.num_pmu in
+  let frac a b = float_of_int a /. float_of_int b in
+  let pcu_frac = frac pcu arch.Arch.num_pcu in
+  let pmu_frac = frac pmu arch.Arch.num_pmu in
+  let mc_frac = frac mc arch.Arch.num_mc in
+  let shuffle_frac = frac shuffle arch.Arch.num_shuffle in
+  let limiting =
+    List.fold_left
+      (fun (ln, lf) (n, f) -> if f > lf then (n, f) else (ln, lf))
+      ("PCU", pcu_frac)
+      [ ("PMU", pmu_frac); ("MC", mc_frac); ("Shuf", shuffle_frac) ]
+    |> fst
+  in
+  {
+    pcu;
+    pmu;
+    mc;
+    shuffle;
+    outer_par = plan.Plan.outer_par;
+    pcu_frac;
+    pmu_frac;
+    mc_frac;
+    shuffle_frac;
+    limiting;
+  }
+
+let pp ppf u =
+  Fmt.pf ppf "par=%d PCU=%d (%.0f%%) PMU=%d (%.0f%%) MC=%d (%.0f%%) Shuf=%d (%.0f%%) limit=%s"
+    u.outer_par u.pcu (100. *. u.pcu_frac) u.pmu (100. *. u.pmu_frac) u.mc
+    (100. *. u.mc_frac) u.shuffle (100. *. u.shuffle_frac) u.limiting

@@ -1,0 +1,1 @@
+lib/core/coiter.pp.ml: Fmt List Ppx_deriving_runtime Stardust_ir Stardust_tensor String

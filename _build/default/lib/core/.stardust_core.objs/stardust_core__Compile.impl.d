@@ -1,0 +1,1 @@
+lib/core/compile.pp.ml: Coiter Fmt List Lower Plan Printf Stardust_ir Stardust_schedule Stardust_spatial Stardust_tensor

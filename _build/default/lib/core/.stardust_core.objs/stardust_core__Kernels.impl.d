@@ -1,0 +1,1 @@
+lib/core/kernels.pp.ml: Compile Fun List Stardust_ir Stardust_schedule Stardust_tensor String

@@ -1,0 +1,1 @@
+lib/core/kernels_extra.pp.ml: Fun Kernels List Stardust_ir Stardust_schedule Stardust_tensor String

@@ -1,0 +1,1 @@
+lib/core/lower.pp.ml: Array Coiter Fmt Fun List Memory Option Plan Printf Stardust_ir Stardust_schedule Stardust_spatial Stardust_tensor

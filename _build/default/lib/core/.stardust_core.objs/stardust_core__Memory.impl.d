@@ -1,0 +1,1 @@
+lib/core/memory.pp.ml: List Ppx_deriving_runtime Printf Stardust_spatial Stardust_tensor

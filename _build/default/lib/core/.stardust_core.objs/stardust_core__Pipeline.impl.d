@@ -1,0 +1,1 @@
+lib/core/pipeline.pp.ml: Compile Kernels List Printf Stardust_tensor String

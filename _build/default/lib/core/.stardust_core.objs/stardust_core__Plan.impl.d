@@ -1,0 +1,1 @@
+lib/core/plan.pp.ml: Array Coiter Fmt Hashtbl List Memory Stardust_ir Stardust_schedule Stardust_tensor

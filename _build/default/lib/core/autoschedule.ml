@@ -1,0 +1,186 @@
+(** A first-cut auto-scheduler.
+
+    The paper argues (sections 1 and 8.3) that the clean separation of
+    algorithm, format, and schedule enables auto-scheduling, and estimates
+    that an auto-scheduler would cut SpMV's input from 10 lines to 6 by
+    deriving the schedule.  This module implements the deterministic part
+    of that derivation — the recipes a performance engineer applies
+    mechanically:
+
+    - every reduction whose result is scalar-per-output-point gets a
+      scalar-workspace [precompute] and an accelerated [Reduce] over its
+      innermost reduction loop (the Figure 5 recipe);
+    - mixed additive expressions already receive their workspace from
+      {!Stardust_schedule.Schedule.of_assign}; the reduction part is then
+      accelerated the same way;
+    - dense dimensions are moved innermost ([reorder]) so they vectorize
+      affinely instead of forcing gathers (the TTM/MTTKRP recipe);
+    - parallelization factors are chosen from the co-iteration structure:
+      full vector width inside, and an outer factor that respects the
+      16-port shuffle limit when the kernel gathers.
+
+    [schedule] is a heuristic, not a search: combined with
+    {!Stardust_capstan.Sim.estimate} it is the starting point a
+    design-space explorer (see [examples/design_space.ml]) refines. *)
+
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+
+let on_scalar = Format.make ~region:Format.On_chip []
+
+(** Reduction variables ordered so that dense (vectorizable) dimensions
+    come last: a variable is dense if {e every} tensor accessing it stores
+    the corresponding dimension in a dense level. *)
+let dense_last ~formats (a : Ast.assign) vars =
+  let is_dense v =
+    List.for_all
+      (fun (acc : Ast.access) ->
+        match List.find_index (String.equal v) acc.indices with
+        | None -> true
+        | Some d -> (
+            match List.assoc_opt acc.tensor formats with
+            | None -> true
+            | Some fmt ->
+                Format.level_kind fmt (Format.level_of_dim fmt d) = Format.Dense))
+      (a.Ast.lhs :: Ast.accesses_of_expr a.Ast.rhs)
+  in
+  let sparse, dense = List.partition (fun v -> not (is_dense v)) vars in
+  (sparse @ dense, dense <> [])
+
+(** A loop order is usable only if every tensor's storage levels bind
+    outside-in: the variable of level [l] must come before the variable of
+    level [l+1] (compressed fibers are reachable only through their
+    parents). *)
+let respects_levels ~formats (a : Ast.assign) order =
+  let pos v = List.find_index (String.equal v) order in
+  List.for_all
+    (fun (acc : Ast.access) ->
+      match List.assoc_opt acc.tensor formats with
+      | None -> true
+      | Some fmt ->
+          let n = Format.order fmt in
+          let var_of_level l =
+            List.nth acc.indices (Format.dim_of_level fmt l)
+          in
+          List.for_all
+            (fun l ->
+              match (pos (var_of_level l), pos (var_of_level (l + 1))) with
+              | Some p1, Some p2 -> p1 < p2
+              | _ -> true)
+            (if n < 2 then [] else List.init (n - 1) Fun.id))
+    (a.Ast.lhs :: Ast.accesses_of_expr a.Ast.rhs)
+
+(** Does any access gather a dense tensor at sparse coordinates?  (Then
+    outer parallelization is capped by the shuffle network.) *)
+let uses_gather ~formats (a : Ast.assign) =
+  let var_sparse v =
+    List.exists
+      (fun (acc : Ast.access) ->
+        match List.find_index (String.equal v) acc.indices with
+        | None -> false
+        | Some d -> (
+            match List.assoc_opt acc.tensor formats with
+            | None -> false
+            | Some fmt ->
+                Format.level_kind fmt (Format.level_of_dim fmt d)
+                = Format.Compressed))
+      (Ast.accesses_of_expr a.Ast.rhs)
+  in
+  List.exists
+    (fun (acc : Ast.access) ->
+      match List.assoc_opt acc.tensor formats with
+      | None -> false
+      | Some fmt ->
+          Format.is_fully_dense fmt
+          && List.exists var_sparse acc.indices)
+    (Ast.accesses_of_expr a.Ast.rhs)
+
+(** Derive a complete schedule for an index-notation assignment: loop
+    order, parallelization factors, workspace insertion, and Reduce
+    acceleration.  This is the 6-line input mode of section 8.3 — the user
+    supplies only formats and the algorithm. *)
+let schedule ?(inner_par = 16) ?outer_par ~formats (a : Ast.assign) =
+  let sched = Schedule.of_assign ~formats a in
+  let rvars = Ast.reduction_vars a in
+  (* 1. dense-innermost loop order *)
+  let out_vars = a.Ast.lhs.Ast.indices in
+  let all = Cin.bound_vars (Schedule.stmt sched) in
+  let reordered, moved = dense_last ~formats a (out_vars @ rvars) in
+  let sched =
+    (* only reorder plain nests (auto-workspace kernels keep their shape),
+       and only when the new order keeps every tensor's levels outside-in *)
+    if
+      moved
+      && all = out_vars @ rvars
+      && reordered <> all
+      && respects_levels ~formats a reordered
+    then Schedule.reorder sched reordered
+    else sched
+  in
+  (* 2. parallelization: shuffle-limited when the kernel gathers *)
+  let op =
+    match outer_par with
+    | Some p -> p
+    | None -> if uses_gather ~formats a then 16 else 8
+  in
+  let sched = Schedule.set_environment sched "innerPar" inner_par in
+  let sched = Schedule.set_environment sched "outerPar" op in
+  (* 3. accelerate the reduction as a Reduce pattern *)
+  if rvars = [] then sched
+  else if Schedule.has_tensor sched "_rs" then begin
+    (* mixed additive expression: of_assign already made the workspace *)
+    let red =
+      List.filter
+        (fun (_, t) ->
+          List.exists (fun v -> List.mem v rvars) (Ast.indices_of_expr t))
+        (Ast.linear_terms a.Ast.rhs)
+    in
+    let target =
+      Cin.forall (List.hd (List.rev rvars))
+        (Cin.Assign
+           { lhs = { tensor = "_rs"; indices = [] }; accum = true;
+             rhs = Ast.of_linear_terms red })
+    in
+    try
+      Schedule.accelerate sched target Cin.Spatial Cin.Reduction
+        (Some (Cin.Cvar "innerPar"))
+    with Schedule.Schedule_error _ -> sched
+  end
+  else begin
+    (* plain contraction: workspace + accelerate the innermost loop *)
+    let nest = Cin.bound_vars (Schedule.stmt sched) in
+    let innermost_rvar =
+      List.fold_left (fun acc v -> if List.mem v rvars then Some v else acc)
+        None nest
+    in
+    match innermost_rvar with
+    | None -> sched
+    | Some v -> (
+        (* Dense-result accumulations (e.g. TTM's k-innermost row) do not
+           need a scalar workspace; only reduce when v is truly innermost
+           after reordering. *)
+        match List.rev nest with
+        | last :: _ when last = v -> (
+            let sched' =
+              Schedule.precompute sched a.Ast.rhs [] [] ("ws", on_scalar)
+            in
+            let target =
+              Cin.forall v
+                (Cin.Assign
+                   { lhs = { tensor = "ws"; indices = [] }; accum = true;
+                     rhs = a.Ast.rhs })
+            in
+            try
+              Schedule.accelerate sched' target Cin.Spatial Cin.Reduction
+                (Some (Cin.Cvar "innerPar"))
+            with Schedule.Schedule_error _ -> sched)
+        | _ -> sched)
+  end
+
+(** Auto-schedule and compile in one step. *)
+let compile ?name ?inner_par ?outer_par ~formats ~inputs expr =
+  let a = Stardust_ir.Parser.parse_assign expr in
+  let sched = schedule ?inner_par ?outer_par ~formats a in
+  Compile.compile ?name sched ~inputs

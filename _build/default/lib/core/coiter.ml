@@ -1,0 +1,187 @@
+(** Co-iteration analysis and the lowering rewrite system of section 7.
+
+    For every [forall] node the lowerer forms the {e tensor iterator
+    contraction set} I = T1 ∘ T2 ∘ ... ∘ Tn (∘ ∈ {∪, ∩}): the per-level
+    iterators of every access that uses the forall's index variable,
+    combined by the expression structure (multiplication intersects
+    coordinates, addition/subtraction unions them).  The rewrite rules of
+    Figure 10 then map the contraction set to a declarative iteration
+    strategy: a dense counter loop, a single compressed position loop, or a
+    bit-vector scan. *)
+
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+
+exception Lower_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+
+(** One tensor's iterator over one loop variable. *)
+type iterator = {
+  tensor : string;
+  level : int;  (** storage level bound to the loop variable *)
+  kind : [ `U | `C ];  (** universe (dense) or compressed *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Contraction-set tree mirroring the expression structure. *)
+type tree =
+  | Empty  (** no access in this sub-expression uses the variable *)
+  | Leaf of iterator
+  | Node of [ `And | `Or ] * tree * tree
+[@@deriving show { with_path = false }, eq]
+
+(** The iterator of access [a] over variable [v] (if [v] indexes [a]). *)
+let iterator_of_access formats v (a : Ast.access) =
+  match List.find_index (String.equal v) a.indices with
+  | None -> None
+  | Some dim ->
+      let fmt =
+        match List.assoc_opt a.tensor formats with
+        | Some f -> f
+        | None -> err "no format for tensor %s" a.tensor
+      in
+      let level = Format.level_of_dim fmt dim in
+      let kind =
+        match Format.level_kind fmt level with
+        | Format.Dense -> `U
+        | Format.Compressed -> `C
+      in
+      Some { tensor = a.tensor; level; kind }
+
+(** Build the contraction-set tree of expression [e] over variable [v]. *)
+let rec tree_of_expr formats v (e : Ast.expr) =
+  match e with
+  | Ast.Access a -> (
+      match iterator_of_access formats v a with
+      | Some it -> Leaf it
+      | None -> Empty)
+  | Ast.Const _ -> Empty
+  | Ast.Neg e -> tree_of_expr formats v e
+  | Ast.Bin (op, a, b) -> (
+      let ta = tree_of_expr formats v a and tb = tree_of_expr formats v b in
+      match (ta, tb) with
+      | Empty, t | t, Empty -> t
+      | ta, tb ->
+          let o = match op with Ast.Mul -> `And | Ast.Add | Ast.Sub -> `Or in
+          Node (o, ta, tb))
+
+(** Contraction set of a whole CIN statement body over [v]: the union of
+    all its assignments' right-hand sides (assignments in a body execute for
+    every coordinate any of them touches). *)
+let tree_of_stmt formats v (s : Cin.stmt) =
+  List.fold_left
+    (fun acc (a : Ast.assign) ->
+      let t = tree_of_expr formats v a.Ast.rhs in
+      match (acc, t) with
+      | Empty, t | t, Empty -> t
+      | acc, t -> Node (`Or, acc, t))
+    Empty
+    (Cin.assignments s)
+
+let rec leaves = function
+  | Empty -> []
+  | Leaf it -> [ it ]
+  | Node (_, a, b) -> leaves a @ leaves b
+
+(* -------------------------------------------------------------------- *)
+(* The rewrite system (Figure 10)                                        *)
+(* -------------------------------------------------------------------- *)
+
+(** The declarative iteration strategy chosen for one forall (the
+    right-hand sides of Figure 10's rules). *)
+type plan =
+  | Dense_plan of { dense : iterator list }
+      (** counter loop over the full dimension; all-universe, or a union
+          that contains the universe *)
+  | Pos_plan of { lead : iterator; dense : iterator list }
+      (** position loop over the single compressed iterator [lead]; dense
+          iterators are accessed at its coordinates *)
+  | Scan_plan of {
+      op : [ `And | `Or ];
+      a : iterator;
+      b : iterator;
+      dense : iterator list;
+    }
+      (** bit-vector scan co-iterating two compressed iterators *)
+[@@deriving show { with_path = false }, eq]
+
+let plan_dense = function
+  | Dense_plan { dense } -> dense
+  | Pos_plan { dense; _ } -> dense
+  | Scan_plan { dense; _ } -> dense
+
+let plan_compressed = function
+  | Dense_plan _ -> []
+  | Pos_plan { lead; _ } -> [ lead ]
+  | Scan_plan { a; b; _ } -> [ a; b ]
+
+(** [rewrite tree] implements lowerIter: collapse universes by the identity
+    rules ([U ∩ x = x], [U ∪ x = U]), keep at most two compressed iterators
+    for a scan, and fall back per Figure 10's fold rule.
+
+    Dense (universe) iterators eliminated by [∩] are still returned in
+    [dense] — their tensors are accessed at the loop's coordinates even
+    though they do not constrain iteration.
+
+    @raise Lower_error on contraction sets the backend cannot iterate
+    (e.g. mixed [(C ∪ C) ∩ C] nests, or three-way compressed unions —
+    Capstan's scanner takes at most two bit-vectors; the paper maps such
+    leftovers to the host, which we reject instead). *)
+let rewrite tree =
+  (* Flatten a same-operator spine; mixed operators are unsupported. *)
+  let rec flatten op = function
+    | Empty -> []
+    | Leaf it -> [ it ]
+    | Node (o, a, b) when o = op -> flatten op a @ flatten op b
+    | Node (o, _, _) ->
+        err "unsupported mixed contraction (%s under %s)"
+          (match o with `And -> "intersection" | `Or -> "union")
+          (match op with `And -> "union" | `Or -> "intersection")
+  in
+  match tree with
+  | Empty ->
+      err
+        "rewrite: no tensor iterates this variable — loop transformations \
+         that introduce derived variables (split_up/split_down/fuse) are \
+         supported by the CIN interpreter but not yet by the compiled \
+         backends"
+  | Leaf it -> (
+      match it.kind with
+      | `U -> Dense_plan { dense = [ it ] }
+      | `C -> Pos_plan { lead = it; dense = [] })
+  | Node (op, _, _) -> (
+      let its = flatten op tree in
+      let dense = List.filter (fun i -> i.kind = `U) its in
+      let comp = List.filter (fun i -> i.kind = `C) its in
+      match (op, comp) with
+      | `And, [] -> Dense_plan { dense }
+      | `And, [ c ] -> Pos_plan { lead = c; dense }
+      | `And, [ a; b ] -> Scan_plan { op = `And; a; b; dense }
+      | `And, _ ->
+          err "intersection of %d compressed iterators exceeds scanner arity"
+            (List.length comp)
+      | `Or, _ when dense <> [] ->
+          (* U ∪ _ => U: dense iteration covers every coordinate; the
+             compressed operands are looked up at each coordinate. *)
+          Dense_plan { dense }
+      | `Or, [ a; b ] -> Scan_plan { op = `Or; a; b; dense = [] }
+      | `Or, [ c ] -> Pos_plan { lead = c; dense = [] }
+      | `Or, [] -> err "rewrite: union with no iterators"
+      | `Or, _ ->
+          err "union of %d compressed iterators exceeds scanner arity"
+            (List.length comp))
+
+(** Analyse variable [v] for the loop body [s]: contraction tree, rewrite
+    plan, and the result iterator (the left-hand side's iterator over [v],
+    if the result tensor has a level bound to [v]). *)
+let analyze formats v (s : Cin.stmt) =
+  let tree = tree_of_stmt formats v s in
+  let plan = rewrite tree in
+  let result =
+    match Cin.assignments s with
+    | [] -> None
+    | a :: _ -> iterator_of_access formats v a.Ast.lhs
+  in
+  (plan, result)

@@ -1,0 +1,79 @@
+(** The Stardust compiler driver — the public entry point.
+
+    [compile] takes the three Stardust inputs — a tensor-algebra expression
+    (already scheduled: a {!Stardust_schedule.Schedule.t}) and the concrete
+    input tensors — and produces a {!Stardust_spatial.Spatial_ir.program}
+    together with the compilation plan that sized it.  Convenience helpers
+    parse expressions from strings and build default schedules. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Parser = Stardust_ir.Parser
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+
+type compiled = {
+  name : string;
+  schedule : Schedule.t;
+  plan : Plan.t;
+  program : Stardust_spatial.Spatial_ir.program;
+  inputs : (string * Tensor.t) list;
+}
+
+exception Compile_error of string
+
+(** [compile ~name sched ~inputs] runs planning (co-iteration analysis and
+    memory binding) and lowering.  The compiled program is validated
+    structurally before being returned.
+
+    @raise Compile_error when planning, lowering, or validation fails. *)
+let compile ?(name = "kernel") ?sram_budget (sched : Schedule.t)
+    ~(inputs : (string * Tensor.t) list) : compiled =
+  let fail fmt = Fmt.kstr (fun s -> raise (Compile_error s)) fmt in
+  match
+    let plan = Plan.build ?sram_budget sched ~inputs in
+    let program = Lower.lower ~name plan in
+    (plan, program)
+  with
+  | exception Plan.Plan_error m -> fail "planning %s: %s" name m
+  | exception Coiter.Lower_error m -> fail "lowering %s: %s" name m
+  | exception Schedule.Schedule_error m -> fail "scheduling %s: %s" name m
+  | plan, program ->
+      (match Stardust_spatial.Spatial_ir.validate program with
+      | [] -> ()
+      | errs ->
+          fail "%s: generated Spatial program is invalid:@ %a" name
+            Fmt.(list ~sep:(any ";@ ") string)
+            errs);
+      { name; schedule = sched; plan; program; inputs }
+
+(** Parse an index-notation string and build its canonical schedule.
+    [formats] must cover every tensor named in the expression. *)
+let schedule_of_string ~formats s =
+  match Parser.parse_assign s with
+  | a -> Schedule.of_assign ~formats a
+  | exception Parser.Parse_error (m, off) ->
+      raise (Compile_error (Printf.sprintf "parse error at %d: %s" off m))
+
+(** One-call convenience: parse, schedule canonically, and compile. *)
+let compile_string ?name ?sram_budget ~formats ~inputs s =
+  compile ?name ?sram_budget (schedule_of_string ~formats s) ~inputs
+
+(** The generated Spatial source text. *)
+let spatial_code c = Stardust_spatial.Codegen.to_string c.program
+
+(** Generated lines of code (Table 3's "Spatial" column). *)
+let spatial_loc c = Stardust_spatial.Codegen.lines_of_code c.program
+
+(** Input lines of code (Table 3's "Input" column): format declarations +
+    algorithm + scheduling commands + one output statement, matching the
+    paper's accounting in section 8.3. *)
+let input_loc c =
+  let formats =
+    List.length c.schedule.Stardust_schedule.Schedule.formats
+    - List.length c.schedule.Stardust_schedule.Schedule.temporaries
+  in
+  let commands = List.length (Schedule.trace c.schedule) in
+  (* trace includes the algorithm line; +1 for compile/output *)
+  formats + commands + 1

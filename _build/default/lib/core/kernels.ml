@@ -1,0 +1,346 @@
+(** The ten benchmark kernels of the paper (Table 3), with the formats and
+    schedules Stardust compiles them under.
+
+    Each kernel is a list of {e stages}; all but Plus3 are single-stage.
+    Plus3 is mapped as an iterated two-input addition (section 8.1): a
+    native three-way union would use only half of Capstan at a time, so the
+    compiler runs [T = B + C] then [A = T + D].
+
+    The [outer_par] values are the paper's Table 5 "Par" column; schedules
+    follow section 5's recipes — scalar-workspace [precompute] plus
+    [accelerate(..., Reduction, innerPar)] for every contraction kernel,
+    and loop [reorder]s that move dense vectorizable dimensions innermost
+    for TTM and MTTKRP. *)
+
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Parser = Stardust_ir.Parser
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+
+type stage = {
+  expr : string;  (** index notation *)
+  formats : (string * Format.t) list;
+  result : string;
+  result_format : Format.t;
+  schedule : Schedule.t -> Schedule.t;  (** kernel-specific transformations *)
+  baseline_reorder : string list option;
+      (** loop order the TACO CPU/GPU baselines use (the
+          architecture-independent part of the schedule; the paper's
+          baselines come from the CPU-scheduled TACO kernels) *)
+}
+
+type spec = {
+  kname : string;
+  paper_expr : string;  (** as printed in Table 3 *)
+  stages : stage list;
+  inner_par : int;
+  outer_par : int;  (** Table 5's Par column *)
+}
+
+let on_scalar = Format.make ~region:Format.On_chip []
+
+(** Schedule helper: precompute the whole right-hand side product into a
+    scalar workspace and accelerate the reduction loop over [red_var] as a
+    Spatial [Reduce] (Figure 5's recipe). *)
+let reduce_schedule ~expr_str ~red_vars sched =
+  let a = Parser.parse_assign expr_str in
+  let e = a.Ast.rhs in
+  let sched = Schedule.precompute sched e [] [] ("ws", on_scalar) in
+  let target =
+    Cin.foralls red_vars
+      (Cin.Assign { lhs = { tensor = "ws"; indices = [] }; accum = true; rhs = e })
+  in
+  (* Accelerate the innermost forall of the workspace accumulation. *)
+  let rec innermost = function
+    | Cin.Forall { index; body = Cin.Forall _ as b } ->
+        let t, inner = innermost b in
+        (t, index :: inner)
+    | Cin.Forall { index; body } -> (Cin.forall index body, [ index ])
+    | s -> (s, [])
+  in
+  let inner_target, _ = innermost target in
+  Schedule.accelerate sched inner_target Cin.Spatial Cin.Reduction
+    (Some (Cin.Cvar "innerPar"))
+
+(** Accelerate the auto-introduced [_rs] workspace reduction of a mixed
+    additive expression (MatTransMul, Residual). *)
+let accelerate_rs ~red_var ~red_expr sched =
+  let target =
+    Cin.forall red_var
+      (Cin.Assign
+         { lhs = { tensor = "_rs"; indices = [] }; accum = true; rhs = red_expr })
+  in
+  Schedule.accelerate sched target Cin.Spatial Cin.Reduction
+    (Some (Cin.Cvar "innerPar"))
+
+let spmv =
+  let expr = "y(i) = A(i,j) * x(j)" in
+  {
+    kname = "SpMV";
+    paper_expr = "y_i = sum_j A_ij x_j";
+    inner_par = 16;
+    outer_par = 16;
+    stages =
+      [
+        {
+          expr;
+          formats = [ ("y", Format.dv ()); ("A", Format.csr ()); ("x", Format.dv ()) ];
+          result = "y";
+          result_format = Format.dv ();
+          schedule = reduce_schedule ~expr_str:expr ~red_vars:[ "j" ];
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let plus3 =
+  let csr = Format.csr () in
+  {
+    kname = "Plus3";
+    paper_expr = "A_ij = B_ij + C_ij + D_ij";
+    inner_par = 16;
+    outer_par = 8;
+    stages =
+      [
+        {
+          expr = "T(i,j) = B(i,j) + C(i,j)";
+          formats = [ ("T", csr); ("B", csr); ("C", csr) ];
+          result = "T";
+          result_format = csr;
+          schedule = Fun.id;
+          baseline_reorder = None;
+        };
+        {
+          expr = "A(i,j) = T(i,j) + D(i,j)";
+          formats = [ ("A", csr); ("T", csr); ("D", csr) ];
+          result = "A";
+          result_format = csr;
+          schedule = Fun.id;
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let sddmm =
+  let expr = "A(i,j) = B(i,j) * C(i,k) * D(j,k)" in
+  {
+    kname = "SDDMM";
+    paper_expr = "A_ij = sum_k B_ij C_ik D_jk";
+    inner_par = 16;
+    outer_par = 12;
+    stages =
+      [
+        {
+          expr;
+          formats =
+            [
+              ("A", Format.csr ()); ("B", Format.csr ());
+              ("C", Format.rm ()); ("D", Format.rm ());
+            ];
+          result = "A";
+          result_format = Format.csr ();
+          schedule = reduce_schedule ~expr_str:expr ~red_vars:[ "k" ];
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let mattransmul =
+  (* y = alpha * A^T x + beta * z, with A stored CSC so the transposed rows
+     are its compressed columns; alpha/beta are scalar constants. *)
+  let expr = "y(i) = 0.5 * A(j,i) * x(j) + 0.25 * z(i)" in
+  {
+    kname = "MatTransMul";
+    paper_expr = "y_i = sum_j alpha A^T_ij x_j + beta z_i";
+    inner_par = 16;
+    outer_par = 16;
+    stages =
+      [
+        {
+          expr;
+          formats =
+            [
+              ("y", Format.dv ()); ("A", Format.csc ());
+              ("x", Format.dv ()); ("z", Format.dv ());
+            ];
+          result = "y";
+          result_format = Format.dv ();
+          schedule =
+            accelerate_rs ~red_var:"j"
+              ~red_expr:
+                Ast.(const 0.5 * access "A" [ "j"; "i" ] * access "x" [ "j" ]);
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let residual =
+  let expr = "y(i) = b(i) - A(i,j) * x(j)" in
+  {
+    kname = "Residual";
+    paper_expr = "y_i = b_i - sum_j A_ij x_j";
+    inner_par = 16;
+    outer_par = 16;
+    stages =
+      [
+        {
+          expr;
+          formats =
+            [
+              ("y", Format.dv ()); ("b", Format.dv ());
+              ("A", Format.csr ()); ("x", Format.dv ());
+            ];
+          result = "y";
+          result_format = Format.dv ();
+          schedule =
+            accelerate_rs ~red_var:"j"
+              ~red_expr:Ast.(neg (access "A" [ "i"; "j" ] * access "x" [ "j" ]));
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let ttv =
+  let expr = "A(i,j) = B(i,j,k) * c(k)" in
+  {
+    kname = "TTV";
+    paper_expr = "A_ij = sum_k B_ijk c_k";
+    inner_par = 16;
+    outer_par = 16;
+    stages =
+      [
+        {
+          expr;
+          formats =
+            [
+              ("A", Format.csf 2); ("B", Format.csf 3); ("c", Format.dv ());
+            ];
+          result = "A";
+          result_format = Format.csf 2;
+          schedule = reduce_schedule ~expr_str:expr ~red_vars:[ "k" ];
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let ttm =
+  (* Dense output dimension k is vectorized innermost; the contraction
+     dimension l streams B's fibers.  C is column-major so C(k,l) is
+     contiguous in k. *)
+  let expr = "A(i,j,k) = B(i,j,l) * C(k,l)" in
+  {
+    kname = "TTM";
+    paper_expr = "A_ijk = sum_l B_ijl C_kl";
+    inner_par = 16;
+    outer_par = 12;
+    stages =
+      [
+        {
+          expr;
+          formats =
+            [
+              ("A", Format.make [ Format.Compressed; Format.Compressed; Format.Dense ]);
+              ("B", Format.csf 3); ("C", Format.cm ());
+            ];
+          result = "A";
+          result_format =
+            Format.make [ Format.Compressed; Format.Compressed; Format.Dense ];
+          schedule = (fun s -> Schedule.reorder s [ "i"; "j"; "l"; "k" ]);
+          baseline_reorder = Some [ "i"; "j"; "l"; "k" ];
+        };
+      ];
+  }
+
+let mttkrp =
+  (* Factor-matrix dimension j is vectorized innermost; C and D are
+     row-major so C(k,j) / D(l,j) rows are contiguous in j. *)
+  let expr = "A(i,j) = B(i,k,l) * C(k,j) * D(l,j)" in
+  {
+    kname = "MTTKRP";
+    paper_expr = "A_ij = sum_kl B_ikl C_kj D_lj";
+    inner_par = 16;
+    outer_par = 8;
+    stages =
+      [
+        {
+          expr;
+          formats =
+            [
+              ("A", Format.rm ()); ("B", Format.csf 3);
+              ("C", Format.rm ()); ("D", Format.rm ());
+            ];
+          result = "A";
+          result_format = Format.rm ();
+          schedule = (fun s -> Schedule.reorder s [ "i"; "k"; "l"; "j" ]);
+          baseline_reorder = Some [ "i"; "k"; "l"; "j" ];
+        };
+      ];
+  }
+
+let innerprod =
+  let expr = "alpha = B(i,j,k) * C(i,j,k)" in
+  {
+    kname = "InnerProd";
+    paper_expr = "alpha = sum_ijk B_ijk C_ijk";
+    inner_par = 16;
+    outer_par = 8;
+    stages =
+      [
+        {
+          expr;
+          formats =
+            [
+              ("alpha", Format.make []); ("B", Format.ucc ()); ("C", Format.ucc ());
+            ];
+          result = "alpha";
+          result_format = Format.make [];
+          schedule = reduce_schedule ~expr_str:expr ~red_vars:[ "i"; "j"; "k" ];
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let plus2 =
+  {
+    kname = "Plus2";
+    paper_expr = "A_ijk = B_ijk + C_ijk";
+    inner_par = 16;
+    outer_par = 1;
+    stages =
+      [
+        {
+          expr = "A(i,j,k) = B(i,j,k) + C(i,j,k)";
+          formats =
+            [ ("A", Format.ucc ()); ("B", Format.ucc ()); ("C", Format.ucc ()) ];
+          result = "A";
+          result_format = Format.ucc ();
+          schedule = Fun.id;
+          baseline_reorder = None;
+        };
+      ];
+  }
+
+let all =
+  [ spmv; plus3; sddmm; mattransmul; residual; ttv; ttm; mttkrp; innerprod; plus2 ]
+
+let find name =
+  List.find_opt
+    (fun k -> String.lowercase_ascii k.kname = String.lowercase_ascii name)
+    all
+
+(** Build the scheduled program of one stage, applying environment
+    parallelization factors then the stage's transformations. *)
+let schedule_stage spec (st : stage) =
+  let a = Parser.parse_assign st.expr in
+  let sched = Schedule.of_assign ~formats:st.formats a in
+  let sched = Schedule.set_environment sched "innerPar" spec.inner_par in
+  let sched = Schedule.set_environment sched "outerPar" spec.outer_par in
+  st.schedule sched
+
+(** Compile one stage against concrete inputs. *)
+let compile_stage ?sram_budget spec (st : stage) ~inputs =
+  let sched = schedule_stage spec st in
+  Compile.compile ?sram_budget
+    ~name:(String.lowercase_ascii spec.kname)
+    sched ~inputs

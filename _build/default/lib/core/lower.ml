@@ -1,0 +1,1085 @@
+(** Lowering scheduled CIN to the Spatial parallel-pattern IR
+    (paper sections 6.2 and 7.2).
+
+    The lowerer traverses the CIN top-down.  At every [forall] it consults
+    the loop plan chosen by the co-iteration rewrite system and emits the
+    matching declarative pattern: a dense [Foreach]/[Reduce], a position
+    loop over one compressed fiber, or a bit-vector [Scan] co-iterating two
+    fibers.  At every site it emits the allocations and DRAM transfers the
+    memory analysis scheduled there, so data always arrives in the pattern
+    body where it is consumed — the push model the paper contrasts with von
+    Neumann pull-based code generation. *)
+
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+open Stardust_spatial.Spatial_ir
+open Coiter
+
+exception Lower_error = Coiter.Lower_error
+
+let err fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+
+(* -------------------------------------------------------------------- *)
+(* Naming                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let n_start x l = Printf.sprintf "%s%d_start" x (l + 1)
+let n_end x l = Printf.sprintf "%s%d_end" x (l + 1)
+let n_len x l = Printf.sprintf "%s%d_len" x (l + 1)
+let n_bv x l = Printf.sprintf "%s%d_bv" x (l + 1)
+let n_cnt x l = Printf.sprintf "%s%d_cnt" x (l + 1)
+let n_base x l = Printf.sprintf "%s%d_base" x (l + 1)
+let n_val x = x ^ "_hoisted"
+let n_bind v = v ^ "_pos"
+
+(* -------------------------------------------------------------------- *)
+(* Environment threaded through the traversal                            *)
+(* -------------------------------------------------------------------- *)
+
+(** Positions are tracked per (tensor, level) as a {e local} expression —
+    an index into the currently staged fiber — together with the fiber's
+    global [base].  Dense levels always carry [base = 0] and a global
+    expression.  [predicated] marks positions that may be [-1] (absent
+    union lanes). *)
+type posinfo = { local : exp; base : exp; predicated : bool }
+
+type env = {
+  coord : (string * exp) list;  (** var -> coordinate value *)
+  pos : ((string * int) * posinfo) list;
+  hoisted : (string * exp) list;  (** tensor -> FIFO-popped value *)
+}
+
+let empty_env = { coord = []; pos = []; hoisted = [] }
+
+let coord_of env v =
+  match List.assoc_opt v env.coord with
+  | Some e -> e
+  | None -> err "coordinate of %s is not available here" v
+
+let posinfo_of env x l =
+  if l < 0 then { local = Int 0; base = Int 0; predicated = false }
+  else
+    match List.assoc_opt (x, l) env.pos with
+    | Some p -> p
+    | None -> err "position of %s level %d is not available here" x l
+
+let global_pos env x l =
+  let p = posinfo_of env x l in
+  match p.base with Int 0 -> p.local | b -> b +: p.local
+
+let set_pos env x l pi = { env with pos = ((x, l), pi) :: env.pos }
+
+(* -------------------------------------------------------------------- *)
+(* Lowering state                                                        *)
+(* -------------------------------------------------------------------- *)
+
+type state = {
+  plan : Plan.t;
+  mutable bulk_staged : string list;
+      (** tensors staged whole on-chip by a bulk-transfer producer *)
+  mutable result_sites : (string * Memory.site) list;
+      (** adjusted allocation site for result values (hoisted above
+          reduction loops) *)
+}
+
+let sched st = st.plan.Plan.sched
+let fmt_of st x = Schedule.format_of (sched st) x
+let meta st x = Plan.meta st.plan x
+let is_result st x = List.mem x st.plan.Plan.results
+let is_temp st x = List.mem x (sched st).Stardust_schedule.Schedule.temporaries
+
+let binding st x arr =
+  let b = Plan.binding st.plan x arr in
+  if Memory.equal_sub_array arr Memory.Vals && is_result st x then
+    match List.assoc_opt x st.result_sites with
+    | Some site -> { b with Memory.site }
+    | None -> b
+  else b
+
+let dim_of_level st x l =
+  let m = meta st x in
+  m.Plan.dims.(Format.dim_of_level m.Plan.fmt l)
+
+let last_level st x = Format.order (meta st x).Plan.fmt - 1
+
+(** The loop variable bound to level [l] of tensor [x]. *)
+let var_of_level st x l = Plan.level_var st.plan x l
+
+(** Loops whose header sits at the given site. *)
+let loops_at st site =
+  List.filter
+    (fun (_, (i : Plan.loop_info)) -> Memory.equal_site i.above site)
+    st.plan.Plan.loops
+  |> List.map snd
+
+(* -------------------------------------------------------------------- *)
+(* Result-site adjustment                                                *)
+(* -------------------------------------------------------------------- *)
+
+(** Hoist a result's values allocation above the outermost reduction loop
+    feeding it, so accumulation survives across reduction iterations
+    (e.g. TTM's output row lives above the [l] loop). *)
+let adjust_result_sites st =
+  let stmt = Schedule.stmt (sched st) in
+  List.iter
+    (fun (a : Ast.assign) ->
+      if a.Ast.accum then begin
+        let r = a.Ast.lhs.Ast.tensor in
+        if
+          (not (is_temp st r))
+          && Format.order (fmt_of st r) > 0
+          && (Plan.binding st.plan r Memory.Vals).Memory.transfer
+             = Memory.Per_fiber
+        then begin
+          let rvars = Ast.reduction_vars a in
+          (* Outermost (lowest-depth) reduction-variable loop. *)
+          let outermost =
+            List.filter_map
+              (fun v ->
+                Option.map (fun i -> (i.Plan.depth, i)) (List.assoc_opt v st.plan.Plan.loops))
+              rvars
+            |> List.sort compare
+          in
+          match outermost with
+          | (_, info) :: _ ->
+              st.result_sites <- (r, info.Plan.above) :: st.result_sites
+          | [] -> ()
+        end
+      end)
+    (Cin.assignments stmt)
+
+(* -------------------------------------------------------------------- *)
+(* Reading tensor values                                                 *)
+(* -------------------------------------------------------------------- *)
+
+let read_vals st env x =
+  let fmt = fmt_of st x in
+  if Format.order fmt = 0 then
+    (* Scalar: register. *)
+    reg_read (Memory.onchip_name x Memory.Vals)
+  else if List.mem x st.bulk_staged then
+    Read (Memory.onchip_name x Memory.Vals, [ global_pos env x (last_level st x) ])
+  else
+    let b = binding st x Memory.Vals in
+    let last = last_level st x in
+    match b.Memory.kind with
+    | Reg -> reg_read (Memory.onchip_name x Memory.Vals)
+    | Fifo _ -> (
+        match List.assoc_opt x env.hoisted with
+        | Some e -> e
+        | None -> err "FIFO value of %s was not hoisted at its level" x)
+    | Sram_dense | Sram_sparse ->
+        let name = Memory.onchip_name x Memory.Vals in
+        let idx =
+          match b.Memory.transfer with
+          | Memory.Per_fiber ->
+              (* Staged per parent iteration: index locally. *)
+              if Format.level_kind fmt last = Format.Dense then
+                coord_of env (var_of_level st x last)
+              else (posinfo_of env x last).local
+          | _ -> global_pos env x last
+        in
+        Read (name, [ idx ])
+    | Dram_sparse -> Read (Memory.dram_name x Memory.Vals, [ global_pos env x last ])
+    | Dram_dense | Bit_vector -> err "values of %s bound to a non-readable memory" x
+
+let rec lower_expr st env (e : Ast.expr) : exp =
+  match e with
+  | Ast.Access { tensor; _ } -> read_vals st env tensor
+  | Ast.Const f -> Flt f
+  | Ast.Neg e -> Neg (lower_expr st env e)
+  | Ast.Bin (op, a, b) ->
+      let o = match op with Ast.Add -> Add | Ast.Sub -> Sub | Ast.Mul -> Mul in
+      Bin (o, lower_expr st env a, lower_expr st env b)
+
+(* -------------------------------------------------------------------- *)
+(* Sizing                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let dram_size st x = function
+  | Memory.Pos l -> (meta st x).Plan.level_counts |> fun c ->
+      (if l = 0 then 1 else c.(l - 1)) + 1
+  | Memory.Crd l -> max 1 (meta st x).Plan.level_counts.(l)
+  | Memory.Vals -> max 1 (meta st x).Plan.num_vals
+
+(** On-chip capacity for a binding (in words). *)
+let onchip_size st x (b : Memory.binding) =
+  let m = meta st x in
+  match (b.Memory.array, b.Memory.transfer) with
+  | Memory.Pos l, (Memory.Whole_array | Memory.No_transfer) ->
+      dram_size st x (Memory.Pos l)
+  | Memory.Pos l, _ ->
+      (* slice covering one parent fiber *)
+      (if l = 0 then 1 else m.Plan.max_fiber.(l - 1)) + 1
+  | Memory.Crd _, _ -> 16 (* FIFO depth *)
+  | Memory.Vals, Memory.Whole_array -> max 1 m.Plan.num_vals
+  | Memory.Vals, _ -> (
+      match b.Memory.kind with
+      | Fifo d -> d
+      | Reg -> 1
+      | _ ->
+          let n = Format.order m.Plan.fmt in
+          if n = 0 then 1 else max 1 m.Plan.max_fiber.(n - 1))
+
+(* -------------------------------------------------------------------- *)
+(* Fiber lets and site emission                                          *)
+(* -------------------------------------------------------------------- *)
+
+(** Read a position array entry at parent position [p] (local or global per
+    the pos binding's staging), with [Mux] predication when the parent lane
+    may be absent. *)
+let pos_read st env x l ~offset =
+  let b = binding st x (Memory.Pos l) in
+  let parent = posinfo_of env x (l - 1) in
+  let idx =
+    match b.Memory.transfer with
+    | Memory.Whole_array | Memory.No_transfer ->
+        (* Whole array on-chip: index by global parent position. *)
+        (match parent.base with Int 0 -> parent.local | b -> b +: parent.local)
+    | _ -> parent.local
+  in
+  let idx = if offset = 0 then idx else idx +: Int offset in
+  let read = Read (Memory.onchip_name x (Memory.Pos l), [ idx ]) in
+  if parent.predicated then Mux (parent.local, read, Int 0) else read
+
+(** Emit [val X{l}_start / _end / _len] for the fiber of compressed level
+    [l] of tensor [x] under the current parent position. *)
+let fiber_lets st env x l =
+  [
+    Let (n_start x l, pos_read st env x l ~offset:0);
+    Let (n_end x l, pos_read st env x l ~offset:1);
+    Let (n_len x l, var (n_end x l) -: var (n_start x l));
+  ]
+
+(** Fiber-slice bounds for a transfer of sub-array [arr] of [x] (the DRAM
+    range to burst in at the current loop position). *)
+let slice_bounds st env x (arr : Memory.sub_array) =
+  let fmt = fmt_of st x in
+  match arr with
+  | Memory.Pos l ->
+      (* Slice covering the parent fiber's positions, plus one. *)
+      if l = 0 then (Int 0, Int 2)
+      else (var (n_start x (l - 1)), var (n_end x (l - 1)) +: Int 1)
+  | Memory.Crd l -> (var (n_start x l), var (n_end x l))
+  | Memory.Vals ->
+      let last = Format.order fmt - 1 in
+      if Format.level_kind fmt last = Format.Compressed then
+        (var (n_start x last), var (n_end x last))
+      else
+        (* Dense row under the last compressed/dense parent. *)
+        let parent = if last = 0 then Int 0 else global_pos env x (last - 1) in
+        let d = dim_of_level st x last in
+        (parent *: Int d, (parent +: Int 1) *: Int d)
+
+(** Allocation + inbound transfer statements for one binding of tensor [x],
+    to be emitted at the binding's site. *)
+let emit_binding st env x (b : Memory.binding) =
+  let name = Memory.onchip_name x b.Memory.array in
+  match b.Memory.kind with
+  | Dram_sparse | Dram_dense -> []  (* accessed directly, no staging *)
+  | Reg -> [ Alloc { mem = name; kind = Reg; size = Int 1 } ]
+  | kind -> (
+      let alloc = Alloc { mem = name; kind; size = Int (onchip_size st x b) } in
+      if is_result st x then
+        (* Results are produced on-chip and drained outward; never load
+           their DRAM images in. *)
+        [ alloc ]
+      else
+      match b.Memory.transfer with
+      | Memory.No_transfer | Memory.Direct -> [ alloc ]
+      | Memory.Whole_array ->
+          let size = dram_size st x b.Memory.array in
+          [
+            alloc;
+            Load_burst
+              {
+                dst = name;
+                src = Memory.dram_name x b.Memory.array;
+                lo = Int 0;
+                hi = Int size;
+                par = st.plan.Plan.inner_par;
+              };
+          ]
+      | Memory.Per_fiber ->
+          let lo, hi = slice_bounds st env x b.Memory.array in
+          [
+            alloc;
+            Load_burst
+              {
+                dst = name;
+                src = Memory.dram_name x b.Memory.array;
+                lo;
+                hi;
+                par = (match b.Memory.kind with Fifo _ -> 1 | _ -> st.plan.Plan.inner_par);
+              };
+          ])
+
+(** Every statement scheduled at [site], in dependency order: whole-array
+    allocations/loads first (position arrays and gather arrays, which the
+    fiber lets read), then the fiber lets of loops headed here, then the
+    per-fiber transfers (which use those lets), then result counters. *)
+let emit_site st env site =
+  let bindings_here =
+    List.concat_map
+      (fun (x, bs) ->
+        if List.mem x st.bulk_staged then []
+        else
+          List.filter_map
+            (fun (b : Memory.binding) ->
+              (* Scalar temporaries are allocated at their where-node. *)
+              if b.Memory.kind = Reg && is_temp st x then None
+              else if
+                Memory.equal_site (binding st x b.Memory.array).Memory.site site
+              then Some (x, b)
+              else None)
+            bs)
+      st.plan.Plan.bindings
+  in
+  let is_per_fiber (_, (b : Memory.binding)) =
+    b.Memory.transfer = Memory.Per_fiber
+  in
+  let whole, per_fiber = List.partition (Fun.negate is_per_fiber) bindings_here in
+  let emit = List.concat_map (fun (x, b) -> emit_binding st env x b) in
+  (* fiber lets for each compressed iterator of loops headed at this site *)
+  let lets =
+    List.concat_map
+      (fun (info : Plan.loop_info) ->
+        List.concat_map
+          (fun (it : Coiter.iterator) -> fiber_lets st env it.tensor it.level)
+          (Coiter.plan_compressed info.Plan.plan))
+      (loops_at st site)
+  in
+  let allocs = emit whole @ lets @ emit per_fiber in
+  (* 3. counter registers for scan-style results at kernel start *)
+  let counters =
+    if site <> Memory.Kernel_start then []
+    else
+      List.concat_map
+        (fun r ->
+          let fmt = fmt_of st r in
+          List.concat
+            (List.init (Format.order fmt) (fun l ->
+                 if Format.level_kind fmt l = Format.Compressed then
+                   let v = var_of_level st r l in
+                   match (List.assoc_opt v st.plan.Plan.loops : Plan.loop_info option) with
+                   | Some { plan = Scan_plan _; _ } ->
+                       [ Alloc { mem = n_cnt r l; kind = Reg; size = Int 1 } ]
+                   | _ -> []
+                 else [])))
+        st.plan.Plan.results
+  in
+  (allocs @ counters, env)
+
+(* -------------------------------------------------------------------- *)
+(* Parallelization factors                                               *)
+(* -------------------------------------------------------------------- *)
+
+let par_of st (info : Plan.loop_info) =
+  if info.Plan.depth = 0 then st.plan.Plan.outer_par
+  else if info.Plan.is_innermost then st.plan.Plan.inner_par
+  else 1
+
+(* -------------------------------------------------------------------- *)
+(* Result assembly                                                       *)
+(* -------------------------------------------------------------------- *)
+
+(** Statements draining a per-fiber result staged at [site]: stream stores
+    of value/coordinate fibers, position-array updates. *)
+let drain_results st env site =
+  List.concat_map
+    (fun r ->
+      if is_temp st r then []
+      else begin
+        let fmt = fmt_of st r in
+        let n = Format.order fmt in
+        if n = 0 then []
+        else begin
+          let vb = binding st r Memory.Vals in
+          if not (Memory.equal_site vb.Memory.site site) then []
+          else begin
+            let last = n - 1 in
+            let v_last = var_of_level st r last in
+            let info : Plan.loop_info = Plan.loop_info st.plan v_last in
+            match Format.level_kind fmt last with
+            | Format.Dense when vb.Memory.transfer = Memory.Per_fiber ->
+                (* One dense row per parent position (e.g. TTM). *)
+                let d = dim_of_level st r last in
+                let parent =
+                  if last = 0 then Int 0 else global_pos env r (last - 1)
+                in
+                [
+                  Store_burst
+                    {
+                      dst = Memory.dram_name r Memory.Vals;
+                      src = Memory.onchip_name r Memory.Vals;
+                      lo = parent *: Int d;
+                      len = Int d;
+                      par = st.plan.Plan.inner_par;
+                    };
+                ]
+            | Format.Dense -> []  (* whole-array: stored at kernel end *)
+            | Format.Compressed ->
+                let base, len =
+                  match info.Plan.plan with
+                  | Pos_plan { lead; _ } ->
+                      ( var (n_start lead.tensor lead.level),
+                        var (n_len lead.tensor lead.level) )
+                  | Scan_plan _ ->
+                      ( var (n_base r last),
+                        reg_read (n_cnt r last) -: var (n_base r last) )
+                  | Dense_plan _ ->
+                      err "compressed result level under dense loop"
+                in
+                [
+                  Store_burst
+                    {
+                      dst = Memory.dram_name r Memory.Vals;
+                      src = Memory.onchip_name r Memory.Vals;
+                      lo = base;
+                      len;
+                      par = 1;
+                    };
+                  Store_burst
+                    {
+                      dst = Memory.dram_name r (Memory.Crd last);
+                      src = Memory.onchip_name r (Memory.Crd last);
+                      lo = base;
+                      len;
+                      par = 1;
+                    };
+                ]
+                @
+                (* position update: R{last}_pos[parent + 1] = end count *)
+                let parent_pos =
+                  if last = 0 then Int 0 else global_pos env r (last - 1)
+                in
+                let end_count =
+                  match info.Plan.plan with
+                  | Pos_plan { lead; _ } -> var (n_end lead.tensor lead.level)
+                  | Scan_plan _ -> reg_read (n_cnt r last)
+                  | Dense_plan _ -> assert false
+                in
+                [
+                  Write
+                    {
+                      mem = Memory.onchip_name r (Memory.Pos last);
+                      idx = Some (parent_pos +: Int 1);
+                      value = end_count;
+                      accum = false;
+                    };
+                ]
+          end
+        end
+      end)
+    st.plan.Plan.results
+
+(** Mid-level compressed result positions (levels other than the last, e.g.
+    Plus2's level 1): write their position arrays and store their
+    coordinate fibers when leaving the level's loop.  Emitted at [site] —
+    the body enclosing that loop — after the loop itself. *)
+let drain_mid_level_pos st env site =
+  List.concat_map
+    (fun r ->
+      if is_temp st r then []
+      else
+        let fmt = fmt_of st r in
+        let n = Format.order fmt in
+        List.concat
+          (List.init n (fun l ->
+               let at_site v =
+                 match List.assoc_opt v st.plan.Plan.loops with
+                 | Some (i : Plan.loop_info) -> Memory.equal_site i.above site
+                 | None -> false
+               in
+               if
+                 l < n - 1
+                 && Format.level_kind fmt l = Format.Compressed
+                 && at_site (var_of_level st r l)
+               then begin
+                 let v = var_of_level st r l in
+                 let parent_pos =
+                   if l = 0 then Int 0 else global_pos env r (l - 1)
+                 in
+                 let info = Plan.loop_info st.plan v in
+                 let end_count, crd_store =
+                   match info.Plan.plan with
+                   | Scan_plan _ ->
+                       ( reg_read (n_cnt r l),
+                         [
+                           Store_burst
+                             {
+                               dst = Memory.dram_name r (Memory.Crd l);
+                               src = Memory.onchip_name r (Memory.Crd l);
+                               lo = var (n_base r l);
+                               len = reg_read (n_cnt r l) -: var (n_base r l);
+                               par = 1;
+                             };
+                         ] )
+                   | Pos_plan { lead; _ } ->
+                       ( var (n_end lead.tensor lead.level),
+                         [
+                           Store_burst
+                             {
+                               dst = Memory.dram_name r (Memory.Crd l);
+                               src = Memory.onchip_name r (Memory.Crd l);
+                               lo = var (n_start lead.tensor lead.level);
+                               len = var (n_len lead.tensor lead.level);
+                               par = 1;
+                             };
+                         ] )
+                   | Dense_plan _ -> err "compressed mid level under dense loop"
+                 in
+                 crd_store
+                 @ [
+                     Write
+                       {
+                         mem = Memory.onchip_name r (Memory.Pos l);
+                         idx = Some (parent_pos +: Int 1);
+                         value = end_count;
+                         accum = false;
+                       };
+                   ]
+               end
+               else [])))
+    st.plan.Plan.results
+
+(** Coordinate enqueues (and counter bumps) for compressed result levels
+    other than the last, once per iteration of their loop over [v]. *)
+let mid_level_enqs st env v (info : Plan.loop_info) =
+  List.concat_map
+    (fun r ->
+      if is_temp st r then []
+      else
+        let fmt = fmt_of st r in
+        let n = Format.order fmt in
+        List.concat
+          (List.init n (fun l ->
+               if
+                 l < n - 1
+                 && Format.level_kind fmt l = Format.Compressed
+                 && var_of_level st r l = v
+               then
+                 Enq (Memory.onchip_name r (Memory.Crd l), coord_of env v)
+                 ::
+                 (match info.Plan.plan with
+                 | Scan_plan _ ->
+                     [ Write { mem = n_cnt r l; idx = None; value = Int 1;
+                               accum = true } ]
+                 | _ -> [])
+               else [])))
+    st.plan.Plan.results
+
+(* -------------------------------------------------------------------- *)
+(* Position-environment updates at a loop                                *)
+(* -------------------------------------------------------------------- *)
+
+(** Extend [env] for the body of the loop over [v], given the loop plan and
+    the expressions for the loop ordinal(s) and coordinate. *)
+let extend_env st env v (info : Plan.loop_info) ~coord ~ordinals =
+  let env = { env with coord = (v, coord) :: env.coord } in
+  (* Iterator tensors (leads / scan operands). *)
+  let env =
+    List.fold_left2
+      (fun env (it : Coiter.iterator) (ord, predicated) ->
+        set_pos env it.tensor it.level
+          { local = ord; base = var (n_start it.tensor it.level); predicated })
+      env
+      (Coiter.plan_compressed info.Plan.plan)
+      ordinals
+  in
+  (* Dense levels of every accessed tensor bound to v (includes plan.dense
+     and dense result levels). *)
+  let env =
+    List.fold_left
+      (fun env (x, _) ->
+        let fmt = fmt_of st x in
+        let rec levels env l =
+          if l >= Format.order fmt then env
+          else
+            let d = Format.dim_of_level fmt l in
+            let idx = Plan.access_indices st.plan x in
+            if List.nth idx d = v && Format.level_kind fmt l = Format.Dense
+            then
+              let parent =
+                if l = 0 then Int 0
+                else
+                  let p = posinfo_of env x (l - 1) in
+                  match p.base with Int 0 -> p.local | b -> b +: p.local
+              in
+              let dim = dim_of_level st x l in
+              let global =
+                match parent with
+                | Int 0 -> coord
+                | p -> (p *: Int dim) +: coord
+              in
+              levels
+                (set_pos env x l { local = global; base = Int 0; predicated = false })
+                (l + 1)
+            else levels env (l + 1)
+        in
+        levels env 0)
+      env st.plan.Plan.metas
+  in
+  (* Compressed result levels bound to v (mirror or counter-based). *)
+  let env =
+    List.fold_left
+      (fun env r ->
+        if is_temp st r then env
+        else
+          let fmt = fmt_of st r in
+          let rec levels env l =
+            if l >= Format.order fmt then env
+            else if
+              Format.level_kind fmt l = Format.Compressed
+              && var_of_level st r l = v
+              && not (List.exists
+                        (fun (it : Coiter.iterator) -> it.tensor = r && it.level = l)
+                        (Coiter.plan_compressed info.Plan.plan))
+            then
+              let pi =
+                match (info.Plan.plan, ordinals) with
+                | Pos_plan { lead; _ }, (ord, _) :: _ ->
+                    (* mirror the lead's structure *)
+                    { local = ord;
+                      base = var (n_start lead.tensor lead.level);
+                      predicated = false }
+                | Scan_plan _, _ -> (
+                    (* counter-based: base let + scan output ordinal *)
+                    match info.Plan.plan with
+                    | Scan_plan _ ->
+                        { local = Var (v ^ "_out");
+                          base = var (n_base r l);
+                          predicated = false }
+                    | _ -> assert false)
+                | Dense_plan _, _ ->
+                    err "result %s: compressed level under dense loop" r
+                | _, [] -> err "no ordinals for loop %s" v
+              in
+              levels (set_pos env r l pi) (l + 1)
+            else levels env (l + 1)
+          in
+          levels env 0)
+      env st.plan.Plan.results
+  in
+  env
+
+(** Hoist FIFO-bound values of tensors whose innermost level is [v]'s loop:
+    emit one [Deq] and record the popped value. *)
+let hoist_fifo_vals st env v =
+  List.fold_left
+    (fun (stmts, env) (x, _) ->
+      if is_result st x || List.mem x st.bulk_staged then (stmts, env)
+      else
+        let fmt = fmt_of st x in
+        let n = Format.order fmt in
+        if n = 0 then (stmts, env)
+        else
+          let last = n - 1 in
+          if var_of_level st x last <> v then (stmts, env)
+          else
+            match (binding st x Memory.Vals).Memory.kind with
+            | Fifo _ ->
+                let name = n_val x in
+                ( stmts @ [ Deq (name, Memory.onchip_name x Memory.Vals) ],
+                  { env with hoisted = (x, Var name) :: env.hoisted } )
+            | _ -> (stmts, env))
+    ([], env) st.plan.Plan.metas
+
+(* -------------------------------------------------------------------- *)
+(* Scan construction                                                     *)
+(* -------------------------------------------------------------------- *)
+
+let scan_of st v (info : Plan.loop_info) ~need_out =
+  match info.Plan.plan with
+  | Scan_plan { op; a; b; _ } ->
+      let bv_stmts =
+        List.concat_map
+          (fun (it : Coiter.iterator) ->
+            [
+              Alloc { mem = n_bv it.tensor it.level; kind = Bit_vector;
+                      size = Int info.Plan.extent };
+              Gen_bitvector
+                {
+                  bv = n_bv it.tensor it.level;
+                  crd_mem = Memory.onchip_name it.tensor (Memory.Crd it.level);
+                  count = var (n_len it.tensor it.level);
+                  trip = Trip_fiber { tensor = it.tensor; level = it.level };
+                };
+            ])
+          [ a; b ]
+      in
+      let scan =
+        {
+          op = (match op with `And -> Scan_and | `Or -> Scan_or);
+          bvs = [ n_bv a.tensor a.level; n_bv b.tensor b.level ];
+          scan_par = st.plan.Plan.inner_par;
+          scan_len = Int info.Plan.extent;
+          bind_pos = [ v ^ "_" ^ a.tensor; v ^ "_" ^ b.tensor ];
+          bind_out = (if need_out then Some (v ^ "_out") else None);
+          bind_coord = v;
+        }
+      in
+      (bv_stmts, scan, [ (Var (v ^ "_" ^ a.tensor), op = `Or);
+                         (Var (v ^ "_" ^ b.tensor), op = `Or) ])
+  | _ -> err "scan_of: loop %s is not a scan" v
+
+(** Does any result have a scan-counted compressed level at [v]? *)
+let result_needs_out st v =
+  List.exists
+    (fun r ->
+      (not (is_temp st r))
+      && (let fmt = fmt_of st r in
+          List.exists
+            (fun l ->
+              Format.level_kind fmt l = Format.Compressed
+              && var_of_level st r l = v)
+            (List.init (Format.order fmt) Fun.id)))
+    st.plan.Plan.results
+
+(** Base lets for counter-tracked result levels at loop [v] (read the
+    counters before the loop starts). *)
+let counter_bases st env v (info : Plan.loop_info) =
+  match info.Plan.plan with
+  | Scan_plan _ ->
+      List.concat_map
+        (fun r ->
+          if is_temp st r then []
+          else
+            let fmt = fmt_of st r in
+            List.concat
+              (List.init (Format.order fmt) (fun l ->
+                   if
+                     Format.level_kind fmt l = Format.Compressed
+                     && var_of_level st r l = v
+                   then [ Let (n_base r l, reg_read (n_cnt r l)) ]
+                   else [])))
+        st.plan.Plan.results
+  | _ -> ignore env; []
+
+(* -------------------------------------------------------------------- *)
+(* Statement lowering                                                    *)
+(* -------------------------------------------------------------------- *)
+
+let rec lower_stmt st env (s : Cin.stmt) : stmt list =
+  match s with
+  | Cin.Sequence l -> List.concat_map (lower_stmt st env) l
+  | Cin.Where { consumer; producer } ->
+      (* Allocate scalar temporaries written by the producer here, so each
+         enclosing iteration gets a fresh (zeroed) register. *)
+      let temp_allocs =
+        List.concat_map
+          (fun x ->
+            if is_temp st x && Format.order (fmt_of st x) = 0 then
+              [ Alloc { mem = Memory.onchip_name x Memory.Vals; kind = Reg;
+                        size = Int 1 } ]
+            else [])
+          (Cin.tensors_written producer)
+      in
+      temp_allocs @ lower_stmt st env producer @ lower_stmt st env consumer
+  | Cin.Mapped { func = Cin.Reduction; body; _ } ->
+      (* The contained forall lowers to a Reduce (its loop_info carries the
+         accumulation target). *)
+      lower_stmt st env body
+  | Cin.Mapped { func = Cin.Bulk_load; body; _ } -> lower_bulk st env body ~load:true
+  | Cin.Mapped { func = Cin.Bulk_store; body; _ } -> lower_bulk st env body ~load:false
+  | Cin.Mapped { func = Cin.Custom_func f; _ } ->
+      err "no lowering for custom backend function %s" f
+  | Cin.Assign a -> lower_assign st env a
+  | Cin.Forall { index; body } -> lower_forall st env index body
+
+and lower_bulk st _env body ~load =
+  match body with
+  | Cin.Forall
+      { body = Cin.Assign { lhs = { tensor = dst; _ };
+                            rhs = Ast.Access { tensor = src; _ }; _ }; _ } ->
+      let onchip, offchip = if load then (dst, src) else (src, dst) in
+      let m = meta st onchip in
+      let size = max 1 m.Plan.num_vals in
+      let name = Memory.onchip_name onchip Memory.Vals in
+      let stmts =
+        if List.mem onchip st.bulk_staged then []
+        else begin
+          st.bulk_staged <- onchip :: st.bulk_staged;
+          [ Alloc { mem = name; kind = Sram_dense; size = Int size } ]
+        end
+      in
+      stmts
+      @
+      if load then
+        [ Load_burst
+            { dst = name; src = Memory.dram_name offchip Memory.Vals;
+              lo = Int 0; hi = Int size; par = st.plan.Plan.inner_par } ]
+      else
+        [ Store_burst
+            { dst = Memory.dram_name offchip Memory.Vals; src = name;
+              lo = Int 0; len = Int size; par = st.plan.Plan.inner_par } ]
+  | _ -> err "bulk transfer body must be a single copy loop"
+
+and lower_assign st env (a : Ast.assign) : stmt list =
+  let r = a.Ast.lhs.Ast.tensor in
+  let value = lower_expr st env a.Ast.rhs in
+  let fmt = fmt_of st r in
+  if Format.order fmt = 0 then
+    [ Write { mem = Memory.onchip_name r Memory.Vals; idx = None; value;
+              accum = a.Ast.accum } ]
+  else begin
+    let last = Format.order fmt - 1 in
+    match Format.level_kind fmt last with
+    | Format.Dense ->
+        let b = binding st r Memory.Vals in
+        let idx =
+          match b.Memory.transfer with
+          | Memory.Per_fiber -> coord_of env (var_of_level st r last)
+          | _ -> global_pos env r last
+        in
+        [ Write { mem = Memory.onchip_name r Memory.Vals; idx = Some idx;
+                  value; accum = a.Ast.accum } ]
+    | Format.Compressed ->
+        if a.Ast.accum then
+          err "cannot accumulate into streaming sparse output %s: \
+               precompute a workspace first" r;
+        let v_last = var_of_level st r last in
+        let info = Plan.loop_info st.plan v_last in
+        let counter =
+          match info.Plan.plan with
+          | Scan_plan _ ->
+              [ Write { mem = n_cnt r last; idx = None; value = Int 1;
+                        accum = true } ]
+          | _ -> []
+        in
+        [
+          Enq (Memory.onchip_name r Memory.Vals, value);
+          Enq (Memory.onchip_name r (Memory.Crd last), coord_of env v_last);
+        ]
+        @ counter
+  end
+
+and lower_forall st env v body : stmt list =
+  let info = Plan.loop_info st.plan v in
+  let par = par_of st info in
+  (* statements at this loop's body-entry site *)
+  let site = Memory.Above_loop v in
+  match info.Plan.reduce_target with
+  | Some target -> lower_reduce st env v body info ~target
+  | None -> (
+      let need_out = result_needs_out st v in
+      match info.Plan.plan with
+      | Dense_plan _ ->
+          let coord = Var v in
+          let env' = extend_env st env v info ~coord ~ordinals:[] in
+          let pre, env' = emit_site st env' site in
+          let bases = counter_bases st env v info in
+          let hoists, env' = hoist_fifo_vals st env' v in
+          let enqs = mid_level_enqs st env' v info in
+          let inner = lower_body st env' body in
+          let after = drain_results st env' site @ drain_mid_level_pos st env' site in
+          bases
+          @ [ Foreach { len = Int info.Plan.extent; par; bind = v;
+                        body = pre @ hoists @ enqs @ inner @ after;
+                        trip = Trip_const info.Plan.extent } ]
+      | Pos_plan { lead; _ } ->
+          let bind = n_bind v in
+          let deq_coord =
+            Deq (v, Memory.onchip_name lead.tensor (Memory.Crd lead.level))
+          in
+          let coord = Var v in
+          let env' =
+            extend_env st env v info ~coord ~ordinals:[ (Var bind, false) ]
+          in
+          let pre, env' = emit_site st env' site in
+          let bases = counter_bases st env v info in
+          let hoists, env' = hoist_fifo_vals st env' v in
+          let enqs = mid_level_enqs st env' v info in
+          let inner = lower_body st env' body in
+          let after = drain_results st env' site @ drain_mid_level_pos st env' site in
+          bases
+          @ [ Foreach
+                { len = var (n_len lead.tensor lead.level); par; bind;
+                  body = (deq_coord :: pre) @ hoists @ enqs @ inner @ after;
+                  trip = Trip_fiber { tensor = lead.tensor; level = lead.level } } ]
+      | Scan_plan { op; a; b; _ } ->
+          let bv_stmts, scan, ordinals = scan_of st v info ~need_out in
+          let coord = Var v in
+          let env' = extend_env st env v info ~coord ~ordinals in
+          let pre, env' = emit_site st env' site in
+          let bases = counter_bases st env v info in
+          let hoists, env' = hoist_fifo_vals st env' v in
+          let enqs = mid_level_enqs st env' v info in
+          let inner = lower_body st env' body in
+          let after = drain_results st env' site @ drain_mid_level_pos st env' site in
+          let trip =
+            Trip_coiter
+              { union = op = `Or;
+                tensors = [ (a.tensor, a.level); (b.tensor, b.level) ] }
+          in
+          bases @ bv_stmts
+          @ [ Foreach_scan { scan; body = pre @ hoists @ enqs @ inner @ after; trip } ])
+
+(** Lower a loop body: emit site statements for nested loops come from the
+    nested [lower_forall] calls; here we only need to lower the CIN. *)
+and lower_body st env (body : Cin.stmt) : stmt list = lower_stmt st env body
+
+and lower_reduce st env v body (info : Plan.loop_info) ~target : stmt list =
+  (* The mapped accumulation: extract its expression. *)
+  let expr_of body =
+    match body with
+    | Cin.Assign { lhs = { tensor; indices = [] }; accum = true; rhs }
+      when tensor = target -> rhs
+    | _ -> err "Reduce-mapped loop body must be `%s += e`" target
+  in
+  let e = expr_of body in
+  let site = Memory.Above_loop v in
+  let reg = Memory.onchip_name target Memory.Vals in
+  match info.Plan.plan with
+  | Dense_plan _ ->
+      let coord = Var v in
+      let env' = extend_env st env v info ~coord ~ordinals:[] in
+      let pre, env' = emit_site st env' site in
+      let hoists, env' = hoist_fifo_vals st env' v in
+      [ Reduce
+          { target = reg; init = Flt 0.; len = Int info.Plan.extent;
+            par = st.plan.Plan.inner_par; bind = v; body = pre @ hoists;
+            expr = lower_expr st env' e;
+            trip = Trip_const info.Plan.extent } ]
+  | Pos_plan { lead; _ } ->
+      let bind = n_bind v in
+      let deq_coord =
+        Deq (v, Memory.onchip_name lead.tensor (Memory.Crd lead.level))
+      in
+      let env' = extend_env st env v info ~coord:(Var v)
+          ~ordinals:[ (Var bind, false) ] in
+      let pre, env' = emit_site st env' site in
+      let hoists, env' = hoist_fifo_vals st env' v in
+      [ Reduce
+          { target = reg; init = Flt 0.;
+            len = var (n_len lead.tensor lead.level);
+            par = st.plan.Plan.inner_par; bind;
+            body = (deq_coord :: pre) @ hoists;
+            expr = lower_expr st env' e;
+            trip = Trip_fiber { tensor = lead.tensor; level = lead.level } } ]
+  | Scan_plan { op; a; b; _ } ->
+      let bv_stmts, scan, ordinals = scan_of st v info ~need_out:false in
+      let env' = extend_env st env v info ~coord:(Var v) ~ordinals in
+      let pre, env' = emit_site st env' site in
+      let hoists, env' = hoist_fifo_vals st env' v in
+      let trip =
+        Trip_coiter
+          { union = op = `Or;
+            tensors = [ (a.tensor, a.level); (b.tensor, b.level) ] }
+      in
+      bv_stmts
+      @ [ Reduce_scan
+            { target = reg; init = Flt 0.; scan; body = pre @ hoists;
+              expr = lower_expr st env' e; trip } ]
+
+(* -------------------------------------------------------------------- *)
+(* Program assembly                                                      *)
+(* -------------------------------------------------------------------- *)
+
+(** DRAM declarations for every off-chip tensor's sub-arrays. *)
+let dram_decls st =
+  List.concat_map
+    (fun (x, (m : Plan.meta)) ->
+      let fmt = m.Plan.fmt in
+      if Format.is_on_chip fmt then []
+      else begin
+        let n = Format.order fmt in
+        let vals_kind =
+          if n > 0 && not (is_result st x) then
+            match (Plan.binding st.plan x Memory.Vals).Memory.kind with
+            | Dram_sparse -> Dram_sparse
+            | _ -> Dram_dense
+          else Dram_dense
+        in
+        List.concat
+          (List.init n (fun l ->
+               if Format.level_kind fmt l = Format.Compressed then
+                 [
+                   { mem = Memory.dram_name x (Memory.Pos l); kind = Dram_dense;
+                     size = Int (dram_size st x (Memory.Pos l)) };
+                   { mem = Memory.dram_name x (Memory.Crd l); kind = Dram_dense;
+                     size = Int (dram_size st x (Memory.Crd l)) };
+                 ]
+               else []))
+        @ [ { mem = Memory.dram_name x Memory.Vals; kind = vals_kind;
+              size = Int (dram_size st x Memory.Vals) } ]
+      end)
+    st.plan.Plan.metas
+
+(** Final whole-array stores: fully dense results, result position arrays,
+    and scalar results. *)
+let final_stores st =
+  List.concat_map
+    (fun r ->
+      if is_temp st r then []
+      else begin
+        let fmt = fmt_of st r in
+        let n = Format.order fmt in
+        let pos_stores =
+          List.concat
+            (List.init n (fun l ->
+                 if Format.level_kind fmt l = Format.Compressed then begin
+                   (* The array holds one entry per parent position plus
+                      one; scan-counted parents know their exact count in
+                      the counter register, others are exact statically. *)
+                   let parent_count =
+                     if l = 0 then Int 1
+                     else
+                       let vp = var_of_level st r (l - 1) in
+                       match (Plan.loop_info st.plan vp).Plan.plan with
+                       | Scan_plan _ -> reg_read (n_cnt r (l - 1))
+                       | _ -> Int ((meta st r).Plan.level_counts.(l - 1))
+                   in
+                   [ Store_burst
+                       { dst = Memory.dram_name r (Memory.Pos l);
+                         src = Memory.onchip_name r (Memory.Pos l);
+                         lo = Int 0;
+                         len = parent_count +: Int 1;
+                         par = st.plan.Plan.inner_par } ]
+                 end
+                 else []))
+        in
+        let val_store =
+          if n = 0 then
+            [ Store_burst
+                { dst = Memory.dram_name r Memory.Vals;
+                  src = Memory.onchip_name r Memory.Vals;
+                  lo = Int 0; len = Int 1; par = 1 } ]
+          else
+            let b = binding st r Memory.Vals in
+            match (b.Memory.kind, b.Memory.transfer) with
+            | Sram_dense, Memory.Whole_array ->
+                [ Store_burst
+                    { dst = Memory.dram_name r Memory.Vals;
+                      src = Memory.onchip_name r Memory.Vals;
+                      lo = Int 0; len = Int (dram_size st r Memory.Vals);
+                      par = st.plan.Plan.inner_par } ]
+            | _ -> []
+        in
+        pos_stores @ val_store
+      end)
+    st.plan.Plan.results
+
+(** Lower a full compilation plan to a Spatial program. *)
+let lower ?(name = "kernel") (plan : Plan.t) : program =
+  let st = { plan; bulk_staged = []; result_sites = [] } in
+  adjust_result_sites st;
+  let top, env = emit_site st empty_env Memory.Kernel_start in
+  let body = lower_stmt st env (Schedule.stmt (sched st)) in
+  (* results whose loops sit at kernel depth drain at the end *)
+  let body =
+    body
+    @ drain_results st env Memory.Kernel_start
+    @ drain_mid_level_pos st env Memory.Kernel_start
+  in
+  {
+    name;
+    env =
+      [ ("ip", plan.Plan.inner_par); ("op", plan.Plan.outer_par) ]
+      @ Schedule.environment (sched st);
+    host_params = [];
+    dram = dram_decls st;
+    accel = top @ body @ final_stores st;
+  }

@@ -1,0 +1,223 @@
+(** Fine-grained array memory inference (paper section 6).
+
+    The format language pins a whole tensor coarsely (on-chip / off-chip);
+    this analysis binds each of its {e sub-arrays} — positions and
+    coordinates per compressed level, plus the values array — to a physical
+    Spatial memory kind, decides the loop level at which to allocate it, and
+    the transfer that fills (or drains) it.
+
+    The rules implemented are those of section 6.1/6.2:
+
+    - off-chip tensor sub-arrays always also exist as dense DRAMs
+      (host-initialised); random-access fallbacks use sparse DRAMs;
+    - position arrays have affine access ([p], [p+1]) and bind to dense
+      SRAM, allocated one loop above their level's loop (or at kernel
+      start) and loaded whole;
+    - coordinate arrays stream in fiber order and bind to FIFOs, loaded one
+      fiber at a time in the parent loop body — except when the level
+      participates in a bit-vector scan, where the fiber is staged in
+      sparse SRAM (scan lanes revisit positions out of order);
+    - value arrays bind by access pattern: in-order single-use streams bind
+      to FIFOs; dense slices accessed affinely bind to dense SRAM; gathers
+      (indexed by a coordinate produced by sparse iteration) bind to sparse
+      SRAM when the array fits on chip and to sparse DRAM otherwise;
+    - on-chip scalars bind to registers. *)
+
+module Format = Stardust_tensor.Format
+open Stardust_spatial.Spatial_ir
+
+type sub_array = Pos of int | Crd of int | Vals
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Where an on-chip allocation is placed: before the loop header of the
+    named variable's loop (i.e. in the enclosing body), or at the start of
+    the kernel. *)
+type site = Kernel_start | Above_loop of string
+[@@deriving show { with_path = false }, eq, ord]
+
+type transfer =
+  | Whole_array  (** one burst of the entire array *)
+  | Per_fiber  (** a burst of the current fiber in the parent loop body *)
+  | Direct  (** no staging: random accesses go straight to DRAM *)
+  | No_transfer  (** produced and consumed on-chip *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type binding = {
+  array : sub_array;
+  kind : mem_kind;
+  site : site;
+  transfer : transfer;
+  uses_shuffle : bool;
+      (** the access gathers/scatters across vector lanes through the
+          shuffle network (section 8.2) *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+(** How the loop over a given variable iterates, as decided by the
+    co-iteration rewrite system; this drives the values-array binding. *)
+type loop_style =
+  | Affine_loop  (** dense counter: coordinates are affine *)
+  | Stream_loop  (** single compressed iterator: positions advance in order *)
+  | Scan_loop  (** bit-vector scan: positions are revisited per lane *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Per-tensor access context assembled by the lowerer. *)
+type access_ctx = {
+  fmt : Format.t;
+  is_result : bool;
+  (* Per storage level of this tensor: *)
+  level_var : int -> string option;  (** loop variable bound to the level *)
+  level_style : int -> loop_style;  (** how that variable's loop iterates *)
+  leads_level : int -> bool;
+      (** this tensor is the iterator driving that loop (vs. being accessed
+          at coordinates produced by another tensor's iteration) *)
+  var_loop_above : string -> site;  (** site just above a variable's loop *)
+  total_words : int;  (** whole values array size, for the SRAM budget *)
+  sram_budget : int;  (** words one gatherable on-chip array may occupy *)
+}
+
+let innermost_level (c : access_ctx) = Format.order c.fmt - 1
+
+(** Binding of compressed level [l]'s position array. *)
+let bind_pos (c : access_ctx) l =
+  (* Accessed one loop higher than the level's loop; allocated one loop
+     above that access point.  Result position arrays persist across the
+     whole kernel (they are assembled incrementally and stored at the
+     end), so they always live at kernel scope. *)
+  let site =
+    if l = 0 || c.is_result then Kernel_start
+    else
+      match c.level_var (l - 1) with
+      | Some v -> c.var_loop_above v
+      | None -> Kernel_start
+  in
+  {
+    array = Pos l;
+    kind = Sram_dense;
+    site;
+    transfer =
+      (if c.is_result then No_transfer
+       else if site = Kernel_start then Whole_array
+       else Per_fiber (* one slice covering the parent fiber per iteration *));
+    uses_shuffle = false;
+  }
+
+(** Binding of compressed level [l]'s coordinate array. *)
+let bind_crd (c : access_ctx) l =
+  let site =
+    match c.level_var l with
+    | Some v -> c.var_loop_above v
+    | None -> Kernel_start
+  in
+  let style =
+    match c.level_var l with Some _ -> c.level_style l | None -> Stream_loop
+  in
+  if c.is_result then
+    { array = Crd l; kind = Fifo 16; site; transfer = No_transfer;
+      uses_shuffle = false }
+  else
+    match style with
+    | Scan_loop ->
+        (* Coordinates feed a bit-vector generator; the fiber streams once
+           through a FIFO into the generator. *)
+        { array = Crd l; kind = Fifo 16; site; transfer = Per_fiber;
+          uses_shuffle = false }
+    | Affine_loop | Stream_loop ->
+        { array = Crd l; kind = Fifo 16; site; transfer = Per_fiber;
+          uses_shuffle = false }
+
+(** Binding of the values array. *)
+let bind_vals (c : access_ctx) =
+  let n = Format.order c.fmt in
+  if n = 0 then
+    (* On-chip scalar: a register. *)
+    { array = Vals; kind = Reg; site = Kernel_start; transfer = No_transfer;
+      uses_shuffle = false }
+  else begin
+    let last = innermost_level c in
+    let site =
+      match c.level_var last with
+      | Some v -> c.var_loop_above v
+      | None -> Kernel_start
+    in
+    if c.is_result then
+      match Format.level_kind c.fmt last with
+      | Format.Compressed ->
+          (* Sparse output values stream out through a FIFO. *)
+          { array = Vals; kind = Fifo 16; site; transfer = Per_fiber;
+            uses_shuffle = false }
+      | Format.Dense ->
+          if Format.is_fully_dense c.fmt then
+            (* Whole dense result accumulated on-chip, stored once. *)
+            { array = Vals; kind = Sram_dense; site = Kernel_start;
+              transfer = Whole_array; uses_shuffle = false }
+          else
+            (* Sparse-then-dense result (e.g. TTM): one dense row per
+               parent position, stored per fiber. *)
+            { array = Vals; kind = Sram_dense; site; transfer = Per_fiber;
+              uses_shuffle = false }
+    else begin
+      let leads = c.leads_level last in
+      let style =
+        match c.level_var last with
+        | Some _ -> c.level_style last
+        | None -> Affine_loop
+      in
+      match (Format.level_kind c.fmt last, leads, style) with
+      | Format.Compressed, true, (Stream_loop | Affine_loop) ->
+          (* In-order single pass over the fiber's values. *)
+          { array = Vals; kind = Fifo 16; site; transfer = Per_fiber;
+            uses_shuffle = false }
+      | Format.Compressed, true, Scan_loop ->
+          (* Scan lanes read values by position ordinal within the staged
+             fiber: sparse SRAM, bank-aligned (no shuffle). *)
+          { array = Vals; kind = Sram_sparse; site; transfer = Per_fiber;
+            uses_shuffle = false }
+      | Format.Dense, _, Affine_loop ->
+          (* Affine slice: dense SRAM loaded per parent iteration. *)
+          { array = Vals; kind = Sram_dense; site; transfer = Per_fiber;
+            uses_shuffle = false }
+      | Format.Dense, _, (Stream_loop | Scan_loop) ->
+          (* Gather at sparse coordinates.  On-chip if it fits, else direct
+             random access to sparse DRAM.  Either way the vectorized
+             gather crosses lanes: it needs the shuffle network. *)
+          if c.total_words <= c.sram_budget then
+            { array = Vals; kind = Sram_sparse; site = Kernel_start;
+              transfer = Whole_array; uses_shuffle = true }
+          else
+            { array = Vals; kind = Dram_sparse; site = Kernel_start;
+              transfer = Direct; uses_shuffle = true }
+      | Format.Compressed, false, _ ->
+          (* Accessed (not led) compressed values: random within fiber. *)
+          { array = Vals; kind = Sram_sparse; site; transfer = Per_fiber;
+            uses_shuffle = true }
+    end
+  end
+
+(** All sub-array bindings of one tensor access. *)
+let analyze (c : access_ctx) =
+  let n = Format.order c.fmt in
+  let level_bindings =
+    List.concat
+      (List.init n (fun l ->
+           match Format.level_kind c.fmt l with
+           | Format.Dense -> []
+           | Format.Compressed -> [ bind_pos c l; bind_crd c l ]))
+  in
+  level_bindings @ [ bind_vals c ]
+
+let find_binding bindings array =
+  List.find_opt (fun b -> equal_sub_array b.array array) bindings
+
+(** DRAM array names for a tensor's sub-arrays (TACO naming: levels are
+    1-based in array names, e.g. [B2_pos] for level index 1). *)
+let dram_name tensor = function
+  | Pos l -> Printf.sprintf "%s%d_pos_dram" tensor (l + 1)
+  | Crd l -> Printf.sprintf "%s%d_crd_dram" tensor (l + 1)
+  | Vals -> Printf.sprintf "%s_vals_dram" tensor
+
+(** On-chip memory names. *)
+let onchip_name tensor = function
+  | Pos l -> Printf.sprintf "%s%d_pos" tensor (l + 1)
+  | Crd l -> Printf.sprintf "%s%d_crd" tensor (l + 1)
+  | Vals -> Printf.sprintf "%s_vals" tensor

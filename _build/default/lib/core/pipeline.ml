@@ -1,0 +1,74 @@
+(** Host orchestration of multi-stage kernels.
+
+    A Stardust program may span several accelerator invocations — Plus3 is
+    mapped as two two-input additions (section 8.1), and applications chain
+    kernels (each PageRank step is an SpMV; each ALS sweep is several
+    MTTKRPs).  This module runs a kernel's stages in order, materialising
+    each stage's result (the host round-trip the paper's off-chip formats
+    denote) and accumulating the per-stage reports. *)
+
+module Tensor = Stardust_tensor.Tensor
+
+type stage_result = {
+  stage_expr : string;
+  compiled : Compile.compiled;
+  outputs : (string * Tensor.t) list;
+}
+
+type t = {
+  stages : stage_result list;
+  results : (string * Tensor.t) list;  (** final tensor pool *)
+}
+
+exception Pipeline_error of string
+
+(** [run spec ~inputs ~execute] compiles and executes every stage of
+    [spec], feeding each stage's outputs into later stages' inputs.
+    [execute] maps a compiled stage to its result tensors — pass
+    [Stardust_capstan.Sim] execution from the application (this library
+    does not depend on the simulator), e.g.:
+
+    {[
+      Pipeline.run spec ~inputs ~execute:(fun c -> fst (Sim.execute c))
+    ]} *)
+let run (spec : Kernels.spec) ~(inputs : (string * Tensor.t) list)
+    ~(execute : Compile.compiled -> (string * Tensor.t) list) : t =
+  let pool = ref inputs in
+  let stages =
+    List.map
+      (fun (st : Kernels.stage) ->
+        let stage_inputs =
+          List.filter_map
+            (fun (n, _) ->
+              if n = st.Kernels.result then None
+              else
+                match List.assoc_opt n !pool with
+                | Some t -> Some (n, Tensor.rename n t)
+                | None ->
+                    if String.length n > 0 && n.[0] = '_' then None
+                    else
+                      raise
+                        (Pipeline_error
+                           (Printf.sprintf "stage %s: missing input %s"
+                              st.Kernels.expr n)))
+            st.Kernels.formats
+        in
+        let compiled = Kernels.compile_stage spec st ~inputs:stage_inputs in
+        let outputs = execute compiled in
+        List.iter (fun (n, t) -> pool := (n, t) :: List.remove_assoc n !pool) outputs;
+        { stage_expr = st.Kernels.expr; compiled; outputs })
+      spec.Kernels.stages
+  in
+  { stages; results = !pool }
+
+(** The final result tensor of the last stage. *)
+let final t =
+  match List.rev t.stages with
+  | [] -> raise (Pipeline_error "empty pipeline")
+  | last :: _ -> (
+      match last.outputs with
+      | (_, r) :: _ -> r
+      | [] -> raise (Pipeline_error "last stage produced no output"))
+
+(** Sum a per-stage metric (e.g. simulated seconds) over the pipeline. *)
+let total t f = List.fold_left (fun acc s -> acc +. f s.compiled) 0.0 t.stages

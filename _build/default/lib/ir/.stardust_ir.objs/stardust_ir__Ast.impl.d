@@ -1,0 +1,1 @@
+lib/ir/ast.pp.ml: Fmt Hashtbl List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/cin.pp.ml: Ast Fmt List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/parser.pp.ml: Array Ast Fmt List Printf String

@@ -1,0 +1,159 @@
+(** Tensor index notation — the algorithm language of Stardust.
+
+    An assignment such as [A(i,j) = B(i,j) * C(i,k) * D(k,j)] names the
+    computation only; how it is stored (formats) and executed (schedules) is
+    specified separately.  Index variables appearing on the right-hand side
+    but not on the left are reduction (summation) variables. *)
+
+type index_var = string [@@deriving show { with_path = false }, eq, ord]
+
+type access = {
+  tensor : string;
+  indices : index_var list;  (** logical-dimension order *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type binop = Add | Sub | Mul [@@deriving show { with_path = false }, eq, ord]
+
+type expr =
+  | Access of access
+  | Const of float
+  | Neg of expr
+  | Bin of binop * expr * expr
+[@@deriving show { with_path = false }, eq, ord]
+
+type assign = {
+  lhs : access;
+  accum : bool;  (** [true] for [+=] *)
+  rhs : expr;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+(* -------------------------------------------------------------------- *)
+(* Constructors (an OCaml-embedded eDSL mirroring the C++ API of Fig. 5) *)
+(* -------------------------------------------------------------------- *)
+
+let access tensor indices = Access { tensor; indices }
+let const f = Const f
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let neg a = Neg a
+let assign lhs rhs = { lhs; accum = false; rhs }
+let accum lhs rhs = { lhs; accum = true; rhs }
+
+(* -------------------------------------------------------------------- *)
+(* Queries                                                               *)
+(* -------------------------------------------------------------------- *)
+
+let rec accesses_of_expr = function
+  | Access a -> [ a ]
+  | Const _ -> []
+  | Neg e -> accesses_of_expr e
+  | Bin (_, a, b) -> accesses_of_expr a @ accesses_of_expr b
+
+(** Tensor names read by an expression, in order of first appearance,
+    without duplicates. *)
+let tensors_of_expr e =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (a : access) ->
+      if Hashtbl.mem seen a.tensor then None
+      else (
+        Hashtbl.add seen a.tensor ();
+        Some a.tensor))
+    (accesses_of_expr e)
+
+(** Index variables of an expression, in order of first appearance. *)
+let indices_of_expr e =
+  let seen = Hashtbl.create 8 in
+  List.concat_map (fun (a : access) -> a.indices) (accesses_of_expr e)
+  |> List.filter (fun i ->
+         if Hashtbl.mem seen i then false
+         else (
+           Hashtbl.add seen i ();
+           true))
+
+(** Reduction variables: on the right-hand side but not the left. *)
+let reduction_vars (a : assign) =
+  List.filter (fun i -> not (List.mem i a.lhs.indices)) (indices_of_expr a.rhs)
+
+(** Flatten the top-level additive structure of an expression into signed
+    terms: [a - b + c] becomes [[(false, a); (true, b); (false, c)]]. *)
+let rec linear_terms ?(negated = false) = function
+  | Bin (Add, a, b) -> linear_terms ~negated a @ linear_terms ~negated b
+  | Bin (Sub, a, b) -> linear_terms ~negated a @ linear_terms ~negated:(not negated) b
+  | Neg e -> linear_terms ~negated:(not negated) e
+  | e -> [ (negated, e) ]
+
+(** Rebuild an expression from signed terms. *)
+let of_linear_terms = function
+  | [] -> Const 0.0
+  | (s0, t0) :: rest ->
+      List.fold_left
+        (fun acc (s, t) -> if s then Bin (Sub, acc, t) else Bin (Add, acc, t))
+        (if s0 then Neg t0 else t0)
+        rest
+
+(** All index variables of an assignment: result variables in left-hand-side
+    order followed by reduction variables in appearance order. *)
+let all_vars (a : assign) = a.lhs.indices @ reduction_vars a
+
+(** Substitute index variables in an expression: [subst_indices e s] renames
+    every occurrence of [i] to [List.assoc i s] (when bound). *)
+let rec subst_indices e s =
+  match e with
+  | Access a ->
+      Access
+        {
+          a with
+          indices =
+            List.map
+              (fun i -> match List.assoc_opt i s with Some j -> j | None -> i)
+              a.indices;
+        }
+  | Const _ -> e
+  | Neg e' -> Neg (subst_indices e' s)
+  | Bin (op, a, b) -> Bin (op, subst_indices a s, subst_indices b s)
+
+(** Substitute tensor names: rename every access to [t] as [List.assoc t s]. *)
+let rec subst_tensors e s =
+  match e with
+  | Access a -> (
+      match List.assoc_opt a.tensor s with
+      | Some t' -> Access { a with tensor = t' }
+      | None -> e)
+  | Const _ -> e
+  | Neg e' -> Neg (subst_tensors e' s)
+  | Bin (op, a, b) -> Bin (op, subst_tensors a s, subst_tensors b s)
+
+(* -------------------------------------------------------------------- *)
+(* Pretty printing                                                       *)
+(* -------------------------------------------------------------------- *)
+
+let pp_access ppf (a : access) =
+  if a.indices = [] then Fmt.string ppf a.tensor
+  else
+    Fmt.pf ppf "%s(%a)" a.tensor
+      Fmt.(list ~sep:(any ", ") string)
+      a.indices
+
+let rec pp_expr ppf = function
+  | Access a -> pp_access ppf a
+  | Const f -> Fmt.float ppf f
+  | Neg e -> Fmt.pf ppf "-%a" pp_factor e
+  | Bin (Add, a, b) -> Fmt.pf ppf "%a + %a" pp_expr a pp_expr b
+  | Bin (Sub, a, b) -> Fmt.pf ppf "%a - %a" pp_expr a pp_factor b
+  | Bin (Mul, a, b) -> Fmt.pf ppf "%a * %a" pp_factor a pp_factor b
+
+and pp_factor ppf = function
+  | Bin ((Add | Sub), _, _) as e -> Fmt.pf ppf "(%a)" pp_expr e
+  | e -> pp_expr ppf e
+
+let pp_assign ppf (a : assign) =
+  Fmt.pf ppf "%a %s %a" pp_access a.lhs
+    (if a.accum then "+=" else "=")
+    pp_expr a.rhs
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let assign_to_string a = Fmt.str "%a" pp_assign a

@@ -1,0 +1,234 @@
+(** Concrete index notation (CIN) — the scheduling IR of Stardust
+    (Kjolstad et al. [CGO'19], Figure 2 of the paper).
+
+    CIN makes the iteration structure of an index-notation assignment
+    explicit: [forall] nodes give loop order, [where] nodes introduce
+    temporaries (producer on the right, consumer on the left), and
+    [sequence] nodes order statements.  Stardust extends CIN with [mapped]
+    nodes, which replace a sub-statement with a backend-specific function
+    (section 5.2). *)
+
+type backend = Spatial | Cpu | Custom_backend of string
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Backend functions a statement may be mapped to via [map]/[accelerate].
+    [Reduction] is Spatial's [Reduce] pattern (Capstan's PCU reduction
+    tree); [Bulk_load]/[Bulk_store] are DRAM<->SRAM burst transfers. *)
+type mapped_func =
+  | Reduction
+  | Bulk_load
+  | Bulk_store
+  | Custom_func of string
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Configuration constants may be literal or refer to an [environment]
+    variable (e.g. [innerPar] in Figure 5). *)
+type config = Cint of int | Cvar of string
+[@@deriving show { with_path = false }, eq, ord]
+
+type stmt =
+  | Assign of Ast.assign
+  | Forall of { index : Ast.index_var; body : stmt }
+  | Where of { consumer : stmt; producer : stmt }
+  | Sequence of stmt list
+  | Mapped of {
+      backend : backend;
+      func : mapped_func;
+      config : config option;
+      body : stmt;  (** the statement whose semantics the function realises *)
+    }
+[@@deriving show { with_path = false }, eq, ord]
+
+(* -------------------------------------------------------------------- *)
+(* Construction                                                          *)
+(* -------------------------------------------------------------------- *)
+
+let forall index body = Forall { index; body }
+let foralls indices body = List.fold_right forall indices body
+let where consumer producer = Where { consumer; producer }
+
+(** [concretize a] is the canonical CIN of an index-notation assignment:
+    foralls over the result variables (in left-hand-side order) then the
+    reduction variables (in appearance order), wrapping the assignment with
+    [+=] when reductions are present. *)
+let concretize (a : Ast.assign) =
+  let rvars = Ast.reduction_vars a in
+  let body = Assign { a with accum = a.accum || rvars <> [] } in
+  foralls (a.lhs.indices @ rvars) body
+
+(* -------------------------------------------------------------------- *)
+(* Traversal                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let rec fold f acc s =
+  let acc = f acc s in
+  match s with
+  | Assign _ -> acc
+  | Forall { body; _ } -> fold f acc body
+  | Where { consumer; producer } -> fold f (fold f acc consumer) producer
+  | Sequence l -> List.fold_left (fold f) acc l
+  | Mapped { body; _ } -> fold f acc body
+
+(** [map_stmt f s] rebuilds [s] bottom-up, applying [f] to every node. *)
+let rec map_stmt f s =
+  let s' =
+    match s with
+    | Assign _ -> s
+    | Forall r -> Forall { r with body = map_stmt f r.body }
+    | Where { consumer; producer } ->
+        Where { consumer = map_stmt f consumer; producer = map_stmt f producer }
+    | Sequence l -> Sequence (List.map (map_stmt f) l)
+    | Mapped r -> Mapped { r with body = map_stmt f r.body }
+  in
+  f s'
+
+(** Replace the first sub-statement structurally equal to [target] with
+    [replacement].  Returns [None] when no match exists. *)
+let replace_first ~target ~replacement s =
+  let found = ref false in
+  let rec go s =
+    if (not !found) && equal_stmt s target then (
+      found := true;
+      replacement)
+    else
+      match s with
+      | Assign _ -> s
+      | Forall r -> Forall { r with body = go r.body }
+      | Where { consumer; producer } ->
+          let consumer = go consumer in
+          let producer = go producer in
+          Where { consumer; producer }
+      | Sequence l -> Sequence (List.map go l)
+      | Mapped r -> Mapped { r with body = go r.body }
+  in
+  let s' = go s in
+  if !found then Some s' else None
+
+let contains ~target s = fold (fun acc n -> acc || equal_stmt n target) false s
+
+(* -------------------------------------------------------------------- *)
+(* Queries                                                               *)
+(* -------------------------------------------------------------------- *)
+
+(** Index variables bound by foralls, outermost first (duplicates removed). *)
+let bound_vars s =
+  let l =
+    fold (fun acc n -> match n with Forall { index; _ } -> index :: acc | _ -> acc) [] s
+  in
+  List.rev l |> List.fold_left (fun acc i -> if List.mem i acc then acc else acc @ [ i ]) []
+
+(** All assignments in the statement, left-to-right. *)
+let assignments s =
+  List.rev (fold (fun acc n -> match n with Assign a -> a :: acc | _ -> acc) [] s)
+
+(** Tensors read anywhere in the statement (no duplicates). *)
+let tensors_read s =
+  List.concat_map (fun (a : Ast.assign) -> Ast.tensors_of_expr a.rhs) (assignments s)
+  |> List.fold_left (fun acc t -> if List.mem t acc then acc else acc @ [ t ]) []
+
+(** Tensors written anywhere in the statement (no duplicates). *)
+let tensors_written s =
+  List.map (fun (a : Ast.assign) -> a.lhs.tensor) (assignments s)
+  |> List.fold_left (fun acc t -> if List.mem t acc then acc else acc @ [ t ]) []
+
+let all_tensors s =
+  tensors_written s @ tensors_read s
+  |> List.fold_left (fun acc t -> if List.mem t acc then acc else acc @ [ t ]) []
+
+(** Rename tensors throughout (used by [accelerate] to swap in on-chip
+    temporaries). *)
+let rec subst_tensors s sub =
+  match s with
+  | Assign a ->
+      let lhs =
+        match List.assoc_opt a.lhs.tensor sub with
+        | Some t' -> { a.lhs with tensor = t' }
+        | None -> a.lhs
+      in
+      Assign { a with lhs; rhs = Ast.subst_tensors a.rhs sub }
+  | Forall r -> Forall { r with body = subst_tensors r.body sub }
+  | Where { consumer; producer } ->
+      Where { consumer = subst_tensors consumer sub; producer = subst_tensors producer sub }
+  | Sequence l -> Sequence (List.map (fun s -> subst_tensors s sub) l)
+  | Mapped r -> Mapped { r with body = subst_tensors r.body sub }
+
+(** Rename index variables throughout. *)
+let rec subst_indices s sub =
+  match s with
+  | Assign a ->
+      let ren i = match List.assoc_opt i sub with Some j -> j | None -> i in
+      Assign
+        {
+          a with
+          lhs = { a.lhs with indices = List.map ren a.lhs.indices };
+          rhs = Ast.subst_indices a.rhs sub;
+        }
+  | Forall r ->
+      let index =
+        match List.assoc_opt r.index sub with Some j -> j | None -> r.index
+      in
+      Forall { index; body = subst_indices r.body sub }
+  | Where { consumer; producer } ->
+      Where { consumer = subst_indices consumer sub; producer = subst_indices producer sub }
+  | Sequence l -> Sequence (List.map (fun s -> subst_indices s sub) l)
+  | Mapped r -> Mapped { r with body = subst_indices r.body sub }
+
+(* -------------------------------------------------------------------- *)
+(* Well-formedness                                                       *)
+(* -------------------------------------------------------------------- *)
+
+(** Check that every index variable used in an access is bound by an
+    enclosing forall.  Returns the list of violations (empty = valid). *)
+let unbound_indices s =
+  let errs = ref [] in
+  let rec go bound s =
+    match s with
+    | Assign a ->
+        let check (acc : Ast.access) =
+          List.iter
+            (fun i -> if not (List.mem i bound) then errs := (acc.tensor, i) :: !errs)
+            acc.indices
+        in
+        check a.lhs;
+        List.iter check (Ast.accesses_of_expr a.rhs)
+    | Forall { index; body } -> go (index :: bound) body
+    | Where { consumer; producer } -> go bound consumer; go bound producer
+    | Sequence l -> List.iter (go bound) l
+    | Mapped { body; _ } -> go bound body
+  in
+  go [] s;
+  List.rev !errs
+
+let is_well_formed s = unbound_indices s = []
+
+(* -------------------------------------------------------------------- *)
+(* Pretty printing (paper-style notation)                                *)
+(* -------------------------------------------------------------------- *)
+
+let pp_backend ppf = function
+  | Spatial -> Fmt.string ppf "Spatial"
+  | Cpu -> Fmt.string ppf "CPU"
+  | Custom_backend s -> Fmt.string ppf s
+
+let pp_func ppf = function
+  | Reduction -> Fmt.string ppf "Reduce"
+  | Bulk_load -> Fmt.string ppf "BulkLoad"
+  | Bulk_store -> Fmt.string ppf "BulkStore"
+  | Custom_func s -> Fmt.string ppf s
+
+let rec pp ppf s =
+  match s with
+  | Assign a -> Ast.pp_assign ppf a
+  | Forall { index; body } -> Fmt.pf ppf "forall(%s) %a" index pp body
+  | Where { consumer; producer } ->
+      Fmt.pf ppf "@[<v>(%a@, where %a)@]" pp consumer pp producer
+  | Sequence l -> Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any ";@,") pp) l
+  | Mapped { backend; func; config; body } ->
+      Fmt.pf ppf "map[%a.%a%a](%a)" pp_backend backend pp_func func
+        Fmt.(
+          option (fun ppf -> function
+            | Cint c -> Fmt.pf ppf ", %d" c
+            | Cvar v -> Fmt.pf ppf ", %s" v))
+        config pp body
+
+let to_string s = Fmt.str "%a" pp s

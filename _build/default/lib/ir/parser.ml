@@ -1,0 +1,183 @@
+(** A recursive-descent parser for tensor index notation.
+
+    Grammar (whitespace-insensitive):
+    {v
+      assign  ::= access ("=" | "+=") expr
+      expr    ::= term (("+" | "-") term)*
+      term    ::= factor ("*" factor)*
+      factor  ::= number | access | "(" expr ")" | "-" factor
+      access  ::= ident [ "(" ident ("," ident)* ")" ]
+    v}
+
+    Example: [parse_assign "A(i,j) = B(i,j) * C(i,k) * D(k,j)"]. *)
+
+exception Parse_error of string * int  (** message, character offset *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PLUS
+  | MINUS
+  | STAR
+  | EQ
+  | PLUSEQ
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | NUMBER f -> Fmt.pf ppf "number %g" f
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | COMMA -> Fmt.string ppf "','"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | EQ -> Fmt.string ppf "'='"
+  | PLUSEQ -> Fmt.string ppf "'+='"
+  | EOF -> Fmt.string ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenise the whole input; each token carries its start offset. *)
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t off = toks := (t, off) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      emit (IDENT (String.sub s start (!i - start))) start
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit s.[!i] || s.[!i] = '.' || s.[!i] = 'e' || s.[!i] = 'E'
+           || ((s.[!i] = '+' || s.[!i] = '-')
+              && !i > start
+              && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> emit (NUMBER f) start
+      | None -> raise (Parse_error (Printf.sprintf "bad number %S" text, start))
+    end
+    else begin
+      let start = !i in
+      (match c with
+      | '(' -> emit LPAREN start; incr i
+      | ')' -> emit RPAREN start; incr i
+      | ',' -> emit COMMA start; incr i
+      | '+' ->
+          if !i + 1 < n && s.[!i + 1] = '=' then (emit PLUSEQ start; i := !i + 2)
+          else (emit PLUS start; incr i)
+      | '-' -> emit MINUS start; incr i
+      | '*' -> emit STAR start; incr i
+      | '=' -> emit EQ start; incr i
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c, start)))
+    end
+  done;
+  emit EOF n;
+  Array.of_list (List.rev !toks)
+
+type state = { toks : (token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let offset st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    raise
+      (Parse_error
+         (Fmt.str "expected %a but found %a" pp_token t pp_token (peek st),
+          offset st))
+
+let parse_ident st =
+  match peek st with
+  | IDENT s -> advance st; s
+  | t -> raise (Parse_error (Fmt.str "expected identifier, found %a" pp_token t, offset st))
+
+let parse_access st : Ast.access =
+  let tensor = parse_ident st in
+  if peek st = LPAREN then begin
+    advance st;
+    let rec indices acc =
+      let i = parse_ident st in
+      match peek st with
+      | COMMA -> advance st; indices (i :: acc)
+      | RPAREN -> advance st; List.rev (i :: acc)
+      | t ->
+          raise
+            (Parse_error (Fmt.str "expected ',' or ')', found %a" pp_token t, offset st))
+    in
+    { tensor; indices = indices [] }
+  end
+  else { tensor; indices = [] }
+
+let rec parse_expr st : Ast.expr =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek st with
+    | PLUS -> advance st; loop (Ast.Bin (Ast.Add, lhs, parse_term st))
+    | MINUS -> advance st; loop (Ast.Bin (Ast.Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match peek st with
+    | STAR -> advance st; loop (Ast.Bin (Ast.Mul, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st =
+  match peek st with
+  | NUMBER f -> advance st; Ast.Const f
+  | MINUS -> advance st; Ast.Neg (parse_factor st)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | IDENT _ -> Ast.Access (parse_access st)
+  | t -> raise (Parse_error (Fmt.str "expected expression, found %a" pp_token t, offset st))
+
+(** Parse a full assignment statement, e.g. ["y(i) += A(i,j) * x(j)"]. *)
+let parse_assign s : Ast.assign =
+  let st = { toks = tokenize s; pos = 0 } in
+  let lhs = parse_access st in
+  let accum =
+    match peek st with
+    | EQ -> advance st; false
+    | PLUSEQ -> advance st; true
+    | t ->
+        raise (Parse_error (Fmt.str "expected '=' or '+=', found %a" pp_token t, offset st))
+  in
+  let rhs = parse_expr st in
+  expect st EOF;
+  { Ast.lhs; accum; rhs }
+
+(** Parse just an expression (no assignment). *)
+let parse_expr_string s : Ast.expr =
+  let st = { toks = tokenize s; pos = 0 } in
+  let e = parse_expr st in
+  expect st EOF;
+  e
+
+let parse_assign_opt s = try Some (parse_assign s) with Parse_error _ -> None

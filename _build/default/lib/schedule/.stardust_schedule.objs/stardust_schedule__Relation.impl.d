@@ -1,0 +1,1 @@
+lib/schedule/relation.pp.ml: List Option Ppx_deriving_runtime

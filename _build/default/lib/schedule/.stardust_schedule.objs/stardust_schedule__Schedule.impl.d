@@ -1,0 +1,1 @@
+lib/schedule/schedule.pp.ml: Fmt Fun List Option Relation Stardust_ir Stardust_tensor

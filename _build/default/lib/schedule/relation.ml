@@ -1,0 +1,89 @@
+(** Index-variable provenance relations introduced by loop transformations.
+
+    [split_up]/[split_down] and [fuse] replace one index variable with
+    derived ones; tensor accesses keep referring to the original variable,
+    and lowering reconstructs it from the derived variables using these
+    relations (TACO records the same facts in [suchthat] nodes). *)
+
+type t =
+  | Split_up of {
+      parent : string;
+      outer : string;
+      inner : string;
+      factor : int;  (** inner extent; [parent = outer * factor + inner] *)
+    }
+  | Split_down of {
+      parent : string;
+      outer : string;
+      inner : string;
+      factor : int;  (** outer extent; inner extent is [ceil(N / factor)] *)
+    }
+  | Fused of { outer : string; inner : string; fused : string }
+[@@deriving show { with_path = false }, eq]
+
+(** Variables defined (introduced) by a relation. *)
+let defined = function
+  | Split_up { outer; inner; _ } | Split_down { outer; inner; _ } ->
+      [ outer; inner ]
+  | Fused { fused; _ } -> [ fused ]
+
+(** Variables consumed (removed from the loop nest) by a relation. *)
+let consumed = function
+  | Split_up { parent; _ } | Split_down { parent; _ } -> [ parent ]
+  | Fused { outer; inner; _ } -> [ outer; inner ]
+
+(** [recoverable rels bound] is the set of variables whose value can be
+    computed given that all variables in [bound] are bound: the fixpoint of
+    applying relations backwards (split: parent from outer+inner; fuse:
+    outer and inner from fused). *)
+let recoverable rels bound =
+  let known = ref bound in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        let need = defined r and get = consumed r in
+        if
+          List.for_all (fun v -> List.mem v !known) need
+          && List.exists (fun v -> not (List.mem v !known)) get
+        then begin
+          known := get @ !known;
+          changed := true
+        end)
+      rels
+  done;
+  !known
+
+(** [extent_of rels extents v] computes the iteration extent of a derived
+    variable [v] given base extents [extents : string -> int option]. *)
+let rec extent_of rels extents v =
+  match extents v with
+  | Some n -> Some n
+  | None ->
+      List.find_map
+        (fun r ->
+          match r with
+          | Split_up { parent; outer; inner; factor } ->
+              if v = inner then Some factor
+              else if v = outer then
+                Option.map
+                  (fun n -> (n + factor - 1) / factor)
+                  (extent_of rels extents parent)
+              else None
+          | Split_down { parent; outer; inner; factor } ->
+              if v = outer then Some factor
+              else if v = inner then
+                Option.map
+                  (fun n -> (n + factor - 1) / factor)
+                  (extent_of rels extents parent)
+              else None
+          | Fused { outer; inner; fused } ->
+              if v = fused then
+                match
+                  (extent_of rels extents outer, extent_of rels extents inner)
+                with
+                | Some a, Some b -> Some (a * b)
+                | _ -> None
+              else None)
+        rels

@@ -1,0 +1,1 @@
+lib/spatial/codegen.pp.ml: Float Fmt List Option Spatial_ir String

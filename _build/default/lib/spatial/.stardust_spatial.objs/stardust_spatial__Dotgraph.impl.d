@@ -1,0 +1,1 @@
+lib/spatial/dotgraph.pp.ml: Buffer Hashtbl List Option Printf Spatial_ir String

@@ -1,0 +1,1 @@
+lib/spatial/spatial_ir.pp.ml: Fmt List Option Ppx_deriving_runtime

@@ -1,0 +1,133 @@
+(** Dataflow-graph export (Graphviz DOT).
+
+    Renders a Spatial program as the spatial configuration the paper's
+    Figure 4b draws: memories (grey boxes — DRAM, scratchpads, FIFOs,
+    registers, bit-vectors) and compute patterns (yellow boxes — Foreach /
+    Reduce / Scan), with edges for the data streams between them.  Useful
+    for inspecting how a kernel was mapped:
+
+    {[ Out_channel.with_open_text "spmv.dot" (fun oc ->
+         output_string oc (Dotgraph.of_program compiled.program)) ]} *)
+
+open Spatial_ir
+
+let esc s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let mem_style = function
+  | Dram_dense -> "fillcolor=\"#d9d9d9\", shape=box3d"
+  | Dram_sparse -> "fillcolor=\"#bdbdbd\", shape=box3d"
+  | Sram_dense -> "fillcolor=\"#e8e8e8\", shape=box"
+  | Sram_sparse -> "fillcolor=\"#dddddd\", shape=box"
+  | Fifo _ -> "fillcolor=\"#e8f0fe\", shape=cds"
+  | Reg -> "fillcolor=\"#f3e8fe\", shape=circle"
+  | Bit_vector -> "fillcolor=\"#e8fee8\", shape=note"
+
+let mem_label name = function
+  | Dram_dense -> name ^ "\\n(DRAM)"
+  | Dram_sparse -> name ^ "\\n(sparse DRAM)"
+  | Sram_dense -> name ^ "\\n(SRAM)"
+  | Sram_sparse -> name ^ "\\n(sparse SRAM)"
+  | Fifo d -> Printf.sprintf "%s\\n(FIFO %d)" name d
+  | Reg -> name
+  | Bit_vector -> name ^ "\\n(bit-vector)"
+
+(** Memories an expression reads. *)
+let rec exp_mems = function
+  | Int _ | Flt _ | Var _ -> []
+  | Read (m, idx) -> m :: List.concat_map exp_mems idx
+  | Bin (_, a, b) -> exp_mems a @ exp_mems b
+  | Neg e -> exp_mems e
+  | Mux (p, a, b) -> exp_mems p @ exp_mems a @ exp_mems b
+
+let of_program (p : program) =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph %S {\n" p.name;
+  pr "  rankdir=LR;\n  node [style=filled, fontname=\"Helvetica\"];\n";
+  let fresh =
+    let n = ref 0 in
+    fun () -> incr n; Printf.sprintf "pat%d" !n
+  in
+  let kinds = Hashtbl.create 32 in
+  List.iter (fun (a : alloc) -> Hashtbl.replace kinds a.mem a.kind) p.dram;
+  let declare_mem (a : alloc) =
+    Hashtbl.replace kinds a.mem a.kind;
+    pr "  %S [label=\"%s\", %s];\n" a.mem (mem_label (esc a.mem) a.kind)
+      (mem_style a.kind)
+  in
+  List.iter declare_mem p.dram;
+  let edge a b = pr "  %S -> %S;\n" a b in
+  (* one pattern node per compute pattern; edges from read memories and to
+     written memories *)
+  let rec go parent body =
+    List.iter
+      (fun s ->
+        match s with
+        | Alloc a -> declare_mem a
+        | Load_burst { dst; src; _ } -> edge src dst
+        | Store_burst { dst; src; _ } -> edge src dst
+        | Foreach { par; body; bind; _ } ->
+            let n = fresh () in
+            pr "  %S [label=\"Foreach %s\\npar %d\", fillcolor=\"#fff2cc\", shape=component];\n"
+              n (esc bind) par;
+            Option.iter (fun pn -> edge pn n) parent;
+            go (Some n) body
+        | Reduce { target; par; body; expr; bind; _ } ->
+            let n = fresh () in
+            pr "  %S [label=\"Reduce %s\\npar %d\", fillcolor=\"#ffe599\", shape=component];\n"
+              n (esc bind) par;
+            Option.iter (fun pn -> edge pn n) parent;
+            List.iter (fun m -> edge m n) (exp_mems expr);
+            edge n target;
+            go (Some n) body
+        | Foreach_scan { scan; body; _ } ->
+            let n = fresh () in
+            pr "  %S [label=\"Scan (%s)\\npar %d\", fillcolor=\"#fce5cd\", shape=component];\n"
+              n
+              (match scan.op with
+              | Scan_single -> "single" | Scan_and -> "and" | Scan_or -> "or")
+              scan.scan_par;
+            List.iter (fun bv -> edge bv n) scan.bvs;
+            Option.iter (fun pn -> edge pn n) parent;
+            go (Some n) body
+        | Reduce_scan { target; scan; body; expr; _ } ->
+            let n = fresh () in
+            pr "  %S [label=\"Reduce+Scan (%s)\\npar %d\", fillcolor=\"#f9cb9c\", shape=component];\n"
+              n
+              (match scan.op with
+              | Scan_single -> "single" | Scan_and -> "and" | Scan_or -> "or")
+              scan.scan_par;
+            List.iter (fun bv -> edge bv n) scan.bvs;
+            List.iter (fun m -> edge m n) (exp_mems expr);
+            edge n target;
+            Option.iter (fun pn -> edge pn n) parent;
+            go (Some n) body
+        | Write { mem; value; idx; _ } ->
+            Option.iter
+              (fun pn ->
+                List.iter (fun m -> edge m pn)
+                  (exp_mems value @ Option.fold ~none:[] ~some:exp_mems idx);
+                edge pn mem)
+              parent
+        | Enq (f, e) ->
+            Option.iter
+              (fun pn ->
+                List.iter (fun m -> edge m pn) (exp_mems e);
+                edge pn f)
+              parent
+        | Gen_bitvector { bv; crd_mem; _ } -> edge crd_mem bv
+        | Deq (_, f) -> Option.iter (fun pn -> edge f pn) parent
+        | Let (_, e) ->
+            Option.iter
+              (fun pn -> List.iter (fun m -> edge m pn) (exp_mems e))
+              parent
+        | Comment _ -> ())
+      body
+  in
+  go None p.accel;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/tensor/coo.pp.ml: Array Fun List Printf

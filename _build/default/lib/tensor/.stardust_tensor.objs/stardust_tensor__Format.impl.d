@@ -1,0 +1,1 @@
+lib/tensor/format.pp.ml: Fmt Fun Int List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/tensor/stats.pp.ml: Array Fmt Format Fun Hashtbl List Tensor

@@ -1,0 +1,1 @@
+lib/tensor/tensor.pp.ml: Array Coo Float Fmt Format List Option

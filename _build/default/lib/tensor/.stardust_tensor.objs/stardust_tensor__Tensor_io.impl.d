@@ -1,0 +1,1 @@
+lib/tensor/tensor_io.pp.ml: Array Coo Fmt Fun List Printf String Tensor

@@ -1,0 +1,106 @@
+(** Coordinate-list (COO) tensor builder.
+
+    A COO buffer accumulates [(coordinates, value)] pairs in arbitrary order
+    and possibly with duplicates, in an amortised-growth array (paper-scale
+    datasets reach millions of entries).  {!finalize} canonicalises the
+    buffer — sorting entries lexicographically in a given mode order,
+    summing duplicates, and dropping explicit zeros — which is the form
+    consumed by the level-format packer in {!Tensor}. *)
+
+type t = {
+  dims : int array;
+  mutable entries : (int array * float) array;  (** first [count] are live *)
+  mutable count : int;
+}
+
+let create dims =
+  if Array.length dims = 0 then invalid_arg "Coo.create: order-0 tensor";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Coo.create: dim <= 0") dims;
+  { dims = Array.copy dims; entries = [||]; count = 0 }
+
+let order t = Array.length t.dims
+let dims t = Array.copy t.dims
+let length t = t.count
+
+let grow t =
+  let cap = Array.length t.entries in
+  if t.count >= cap then begin
+    let cap' = max 16 (2 * cap) in
+    let fresh = Array.make cap' ([||], 0.0) in
+    Array.blit t.entries 0 fresh 0 t.count;
+    t.entries <- fresh
+  end
+
+(** [add t coords v] appends one entry.
+
+    @raise Invalid_argument if [coords] has the wrong arity or is out of
+    bounds. *)
+let add t coords v =
+  if Array.length coords <> Array.length t.dims then
+    invalid_arg "Coo.add: wrong coordinate arity";
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= t.dims.(i) then
+        invalid_arg
+          (Printf.sprintf "Coo.add: coordinate %d out of bounds (%d not in [0,%d))"
+             i c t.dims.(i)))
+    coords;
+  grow t;
+  t.entries.(t.count) <- (Array.copy coords, v);
+  t.count <- t.count + 1
+
+let add_list t l = List.iter (fun (c, v) -> add t (Array.of_list c) v) l
+
+(** Lexicographic comparison of coordinates permuted by [mode_order]. *)
+let compare_permuted mode_order a b =
+  let rec go = function
+    | [] -> 0
+    | d :: rest ->
+        let c = compare a.(d) b.(d) in
+        if c <> 0 then c else go rest
+  in
+  go mode_order
+
+(** [finalize ?mode_order t] returns the canonical entries: sorted
+    lexicographically in storage order, duplicate coordinates summed, and
+    entries whose summed value is exactly [0.0] removed. *)
+let finalize_array ?mode_order t =
+  let mode_order =
+    match mode_order with
+    | None -> List.init (order t) Fun.id
+    | Some mo -> mo
+  in
+  let sorted = Array.sub t.entries 0 t.count in
+  Array.sort (fun (a, _) (b, _) -> compare_permuted mode_order a b) sorted;
+  (* Merge runs of equal coordinates in place, accumulating values. *)
+  let out = ref 0 in
+  let i = ref 0 in
+  let n = Array.length sorted in
+  while !i < n do
+    let c, v = sorted.(!i) in
+    let acc = ref v in
+    incr i;
+    while
+      !i < n
+      && compare_permuted mode_order c (fst sorted.(!i)) = 0
+    do
+      acc := !acc +. snd sorted.(!i);
+      incr i
+    done;
+    if !acc <> 0.0 then begin
+      sorted.(!out) <- (c, !acc);
+      incr out
+    end
+  done;
+  Array.sub sorted 0 !out
+
+(** List view of {!finalize_array} (kept for small-scale callers). *)
+let finalize ?mode_order t = Array.to_list (finalize_array ?mode_order t)
+
+(** Number of distinct nonzero coordinates after canonicalisation. *)
+let nnz t = Array.length (finalize_array t)
+
+let of_list dims l =
+  let t = create (Array.of_list dims) in
+  add_list t l;
+  t

@@ -1,0 +1,140 @@
+(** Tensor format language (Chou et al. [OOPSLA'18]) extended with the
+    Stardust memory-region property (paper section 5.1).
+
+    A format decomposes an order-[n] tensor into [n] per-dimension {e level
+    formats}.  Each level stores the coordinates of one tensor dimension,
+    either densely (an implicit [0 .. dim) range) or compressed (explicit
+    position/coordinate arrays, as in CSR).  A {e mode ordering} permutes the
+    logical dimensions into storage order, which is how the same level kinds
+    express both CSR and CSC.
+
+    Stardust adds a {e memory region} to every format: tensors either live
+    off-chip (host-visible DRAM) or on-chip (accelerator-local memory).  The
+    region is a coarse-grained placement; binding individual sub-arrays to
+    specific physical memories is done later by {!Stardust_core.Memory}. *)
+
+(** How one tensor dimension's coordinates are stored. *)
+type level_kind =
+  | Dense  (** Implicit [0, dim) coordinate range; no index arrays. *)
+  | Compressed
+      (** Explicit sparse coordinates: a positions array segmenting a
+          coordinates array, as in the row pointers / column ids of CSR. *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Coarse-grained memory placement of a whole tensor (section 5.1).  The
+    fine-grained physical memory of each sub-array is inferred later. *)
+type memory_region =
+  | Off_chip  (** Globally visible DRAM, initialised by the host. *)
+  | On_chip   (** Accelerator-local memory, visible to one backend only. *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = {
+  levels : level_kind list;  (** Per-level kinds, in storage (mode) order. *)
+  mode_order : int list;
+      (** Permutation mapping storage level -> logical dimension.  Entry [l]
+          is the logical dimension stored at level [l].  [[0; 1]] is row-major
+          for a matrix; [[1; 0]] is column-major. *)
+  region : memory_region;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let order t = List.length t.levels
+
+(** [make ?mode_order ?region levels] builds a format.  The default mode
+    order is the identity permutation and the default region is off-chip.
+
+    @raise Invalid_argument if [mode_order] is not a permutation of
+    [0 .. length levels - 1]. *)
+let make ?mode_order ?(region = Off_chip) levels =
+  let n = List.length levels in
+  let mode_order =
+    match mode_order with None -> List.init n Fun.id | Some mo -> mo
+  in
+  if List.length mode_order <> n then
+    invalid_arg "Format.make: mode_order length mismatch";
+  let sorted = List.sort Int.compare mode_order in
+  if not (List.equal Int.equal sorted (List.init n Fun.id)) then
+    invalid_arg "Format.make: mode_order is not a permutation";
+  { levels; mode_order; region }
+
+(** Fully dense tensor of the given order. *)
+let dense ?(region = Off_chip) n = make ~region (List.init n (fun _ -> Dense))
+
+(** Dense vector. *)
+let dv ?region () = dense ?region 1
+
+(** Sparse (compressed) vector. *)
+let sv ?(region = Off_chip) () = make ~region [ Compressed ]
+
+(** Compressed sparse row: dense rows, compressed columns. *)
+let csr ?(region = Off_chip) () = make ~region [ Dense; Compressed ]
+
+(** Compressed sparse column: column-major CSR. *)
+let csc ?(region = Off_chip) () =
+  make ~mode_order:[ 1; 0 ] ~region [ Dense; Compressed ]
+
+(** Row-major dense matrix. *)
+let rm ?(region = Off_chip) () = dense ~region 2
+
+(** Column-major dense matrix. *)
+let cm ?(region = Off_chip) () = make ~mode_order:[ 1; 0 ] ~region [ Dense; Dense ]
+
+(** Compressed sparse fiber for an order-[n] tensor: every level compressed. *)
+let csf ?(region = Off_chip) n =
+  make ~region (List.init n (fun _ -> Compressed))
+
+(** The uncompressed-compressed-compressed "CSR-like" order-3 format used by
+    the paper for InnerProd and Plus2. *)
+let ucc ?(region = Off_chip) () = make ~region [ Dense; Compressed; Compressed ]
+
+(** [with_region region t] re-homes the tensor format in [region]. *)
+let with_region region t = { t with region }
+
+let on_chip t = with_region On_chip t
+let off_chip t = with_region Off_chip t
+let is_on_chip t = t.region = On_chip
+
+(** [level_of_dim t d] is the storage level holding logical dimension [d]. *)
+let level_of_dim t d =
+  let rec find l = function
+    | [] -> invalid_arg "Format.level_of_dim: no such dimension"
+    | x :: _ when x = d -> l
+    | _ :: tl -> find (l + 1) tl
+  in
+  find 0 t.mode_order
+
+(** [dim_of_level t l] is the logical dimension stored at level [l]. *)
+let dim_of_level t l =
+  match List.nth_opt t.mode_order l with
+  | Some d -> d
+  | None -> invalid_arg "Format.dim_of_level: no such level"
+
+let level_kind t l =
+  match List.nth_opt t.levels l with
+  | Some k -> k
+  | None -> invalid_arg "Format.level_kind: no such level"
+
+let is_fully_dense t = List.for_all (fun k -> k = Dense) t.levels
+let num_compressed t = List.length (List.filter (fun k -> k = Compressed) t.levels)
+
+(** Short human-readable name, e.g. ["csr"], ["csf3"], ["d2"]. *)
+let short_name t =
+  match (t.levels, t.mode_order) with
+  | [ Dense ], _ -> "dv"
+  | [ Compressed ], _ -> "sv"
+  | [ Dense; Compressed ], [ 0; 1 ] -> "csr"
+  | [ Dense; Compressed ], [ 1; 0 ] -> "csc"
+  | [ Dense; Dense ], [ 0; 1 ] -> "rm"
+  | [ Dense; Dense ], [ 1; 0 ] -> "cm"
+  | [ Dense; Compressed; Compressed ], [ 0; 1; 2 ] -> "ucc"
+  | levels, _ when List.for_all (fun k -> k = Compressed) levels ->
+      Printf.sprintf "csf%d" (List.length levels)
+  | levels, _ when List.for_all (fun k -> k = Dense) levels ->
+      Printf.sprintf "d%d" (List.length levels)
+  | levels, _ ->
+      String.concat ""
+        (List.map (function Dense -> "u" | Compressed -> "c") levels)
+
+let pp_short ppf t =
+  Fmt.pf ppf "%s@%s" (short_name t)
+    (match t.region with Off_chip -> "off" | On_chip -> "on")

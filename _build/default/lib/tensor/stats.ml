@@ -1,0 +1,237 @@
+(** Tensor statistics used by the analytic cost models.
+
+    The Capstan simulator and the CPU/GPU baselines estimate loop trip counts
+    from dataset statistics instead of executing every scalar operation (the
+    paper's datasets reach billions of iterations).  This module computes the
+    exact counts those estimates need: per-level position counts, fiber
+    lengths, and co-iteration (intersection/union) cardinalities. *)
+
+type t = {
+  dims : int array;
+  nnz : int;  (** structurally stored nonzeros *)
+  num_vals : int;  (** leaf positions incl. trailing-dense zeros *)
+  level_positions : int array;  (** iteration-space size of each level *)
+  density : float;
+}
+
+let of_tensor (x : Tensor.t) =
+  let n = Array.length (Tensor.dims x) in
+  {
+    dims = Tensor.dims x;
+    nnz = Tensor.nnz x;
+    num_vals = Tensor.num_vals x;
+    level_positions = Array.init n (Tensor.num_positions x);
+    density = Tensor.density x;
+  }
+
+(** Average number of children per position at level [l] (fiber length). *)
+let avg_fiber_len s l =
+  let parent = if l = 0 then 1 else s.level_positions.(l - 1) in
+  if parent = 0 then 0.0
+  else float_of_int s.level_positions.(l) /. float_of_int parent
+
+let pp ppf s =
+  Fmt.pf ppf "dims=%a nnz=%d vals=%d density=%.3e levels=%a"
+    Fmt.(brackets (array ~sep:(any "x") int))
+    s.dims s.nnz s.num_vals s.density
+    Fmt.(brackets (array ~sep:comma int))
+    s.level_positions
+
+(* -------------------------------------------------------------------- *)
+(* Co-iteration cardinalities                                            *)
+(* -------------------------------------------------------------------- *)
+
+let sorted_coords (x : Tensor.t) =
+  let l = Tensor.fold_nonzeros (fun acc c _ -> c :: acc) [] x in
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a
+
+let count_merge ~keep_both a b =
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 and inter = ref 0 and union = ref 0 in
+  while !i < na && !j < nb do
+    let c = compare a.(!i) b.(!j) in
+    if c = 0 then (incr inter; incr union; incr i; incr j)
+    else if c < 0 then (incr union; incr i)
+    else (incr union; incr j)
+  done;
+  union := !union + (na - !i) + (nb - !j);
+  if keep_both then (!inter, !union) else (!inter, !union)
+
+(** Number of coordinate paths present in {e both} tensors (the trip count of
+    an intersection co-iteration over full coordinates). *)
+let intersection_nnz a b =
+  fst (count_merge ~keep_both:true (sorted_coords a) (sorted_coords b))
+
+(** Number of coordinate paths present in {e either} tensor (the trip count
+    of a union co-iteration over full coordinates). *)
+let union_nnz a b =
+  snd (count_merge ~keep_both:true (sorted_coords a) (sorted_coords b))
+
+(** Union cardinality of several tensors (e.g. Plus3's three-way add). *)
+let union_nnz_many = function
+  | [] -> 0
+  | [ x ] -> Tensor.nnz x
+  | x :: rest ->
+      let tbl = Hashtbl.create 1024 in
+      List.iter
+        (fun t ->
+          Tensor.iter_nonzeros (fun c _ -> Hashtbl.replace tbl (Array.to_list c) ()) t)
+        (x :: rest);
+      Hashtbl.length tbl
+
+(** Rows (leading-dimension slices) with at least one stored nonzero. *)
+let nonempty_rows (x : Tensor.t) =
+  let seen = Hashtbl.create 256 in
+  Tensor.iter_nonzeros (fun c _ -> Hashtbl.replace seen c.(0) ()) x;
+  Hashtbl.length seen
+
+(** [prefix_coiter_count ~union a b ~depth] is the number of distinct
+    coordinate prefixes of length [depth + 1] present in both
+    ([union = false]) or either ([union = true]) tensor — exactly the total
+    number of iterations a depth-[depth] co-iteration loop executes across
+    a whole kernel. *)
+let prefix_coiter_count ~union (a : Tensor.t) (b : Tensor.t) ~depth =
+  let identity_order (x : Tensor.t) =
+    let mo = (Tensor.format x).Format.mode_order in
+    List.for_all2 ( = ) mo (List.init (List.length mo) Fun.id)
+  in
+  if identity_order a && identity_order b then begin
+    (* Fast path: storage order is lexicographic, so distinct prefixes can
+       be counted by a linear merge over the sorted nonzero streams. *)
+    let prefixes t =
+      let out = ref [] and n = ref 0 and last = ref [||] in
+      Tensor.iter_nonzeros
+        (fun c _ ->
+          let p = Array.sub c 0 (depth + 1) in
+          if !n = 0 || compare p !last <> 0 then begin
+            out := p :: !out;
+            last := p;
+            incr n
+          end)
+        t;
+      Array.of_list (List.rev !out)
+    in
+    let pa = prefixes a and pb = prefixes b in
+    let na = Array.length pa and nb = Array.length pb in
+    let i = ref 0 and j = ref 0 and inter = ref 0 in
+    while !i < na && !j < nb do
+      let c = compare pa.(!i) pb.(!j) in
+      if c = 0 then (incr inter; incr i; incr j)
+      else if c < 0 then incr i
+      else incr j
+    done;
+    if union then na + nb - !inter else !inter
+  end
+  else begin
+    let prefixes t =
+      let tbl = Hashtbl.create 1024 in
+      Tensor.iter_nonzeros
+        (fun c _ ->
+          Hashtbl.replace tbl (Array.to_list (Array.sub c 0 (depth + 1))) ())
+        t;
+      tbl
+    in
+    let pa = prefixes a and pb = prefixes b in
+    let count = ref 0 in
+    if union then begin
+      Hashtbl.iter (fun k () -> if not (Hashtbl.mem pb k) then incr count) pa;
+      !count + Hashtbl.length pb
+    end
+    else begin
+      Hashtbl.iter (fun k () -> if Hashtbl.mem pb k then incr count) pa;
+      !count
+    end
+  end
+
+(** [fiber_launch_total ~par x l] is the total pipeline occupancy, in
+    vector-lane-group cycles, of iterating every fiber of compressed level
+    [l] with [par]-wide sparse lanes: a fiber of [n > 0] elements occupies
+    [max n par / par] cycles (short fibers cannot fill the vector width).
+    Empty fibers contribute nothing (their launch overhead is charged
+    separately). *)
+let fiber_launch_total ~par (x : Tensor.t) l =
+  match x.Tensor.levels.(l) with
+  | Tensor.Dense_level { dim } ->
+      let fibers = if l = 0 then 1 else Tensor.num_positions x (l - 1) in
+      float_of_int (fibers * max dim par) /. float_of_int par
+  | Tensor.Compressed_level { pos; _ } ->
+      let acc = ref 0.0 in
+      for p = 0 to Array.length pos - 2 do
+        let n = pos.(p + 1) - pos.(p) in
+        if n > 0 then acc := !acc +. (float_of_int (max n par) /. float_of_int par)
+      done;
+      !acc
+
+(** Sorted distinct coordinate prefixes of length [depth + 1] (requires an
+    identity mode order so storage order is lexicographic). *)
+let sorted_prefixes (t : Tensor.t) ~depth =
+  let out = ref [] and n = ref 0 and last = ref [||] in
+  Tensor.iter_nonzeros
+    (fun c _ ->
+      let p = Array.sub c 0 (depth + 1) in
+      if !n = 0 || compare p !last <> 0 then begin
+        out := p :: !out;
+        last := p;
+        incr n
+      end)
+    t;
+  Array.of_list (List.rev !out)
+
+(** Like {!fiber_launch_total} but for the {e co-iteration} of two tensors
+    at level [depth]: groups the surviving coordinates by their parent
+    prefix and charges [max m par / par] per group of [m]. *)
+let coiter_launch_total ~union ~par (a : Tensor.t) (b : Tensor.t) ~depth =
+  let pa = sorted_prefixes a ~depth and pb = sorted_prefixes b ~depth in
+  let na = Array.length pa and nb = Array.length pb in
+  let parent p = Array.sub p 0 depth in
+  let acc = ref 0.0 in
+  let group = ref [||] and m = ref 0 in
+  let flush () =
+    if !m > 0 then
+      acc := !acc +. (float_of_int (max !m par) /. float_of_int par);
+    m := 0
+  in
+  let visit p =
+    let g = parent p in
+    if !m = 0 || compare g !group <> 0 then begin
+      flush ();
+      group := g
+    end;
+    incr m
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let c = compare pa.(!i) pb.(!j) in
+    if c = 0 then begin
+      visit pa.(!i);
+      incr i;
+      incr j
+    end
+    else if c < 0 then begin
+      if union then visit pa.(!i);
+      incr i
+    end
+    else begin
+      if union then visit pb.(!j);
+      incr j
+    end
+  done;
+  if union then begin
+    while !i < na do visit pa.(!i); incr i done;
+    while !j < nb do visit pb.(!j); incr j done
+  end;
+  flush ();
+  !acc
+
+(** Maximum fiber length at compressed level [l] (worst-case segment). *)
+let max_fiber_len (x : Tensor.t) l =
+  match x.Tensor.levels.(l) with
+  | Tensor.Dense_level { dim } -> dim
+  | Tensor.Compressed_level { pos; _ } ->
+      let m = ref 0 in
+      for p = 0 to Array.length pos - 2 do
+        m := max !m (pos.(p + 1) - pos.(p))
+      done;
+      !m

@@ -1,0 +1,134 @@
+(** Tensor file I/O: Matrix Market (.mtx) and FROSTT (.tns) coordinate
+    formats — the interchange formats of SuiteSparse and the FROSTT sparse
+    tensor collection the paper's datasets come from.  With these, the
+    benchmark suite can run on the original inputs when they are available
+    instead of the synthetic stand-ins. *)
+
+exception Io_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Io_error s)) fmt
+
+let split_ws line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Matrix Market                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Read a Matrix Market coordinate file (real/integer/pattern, general or
+    symmetric) into a tensor of the given [format].
+
+    @raise Io_error on malformed input. *)
+let read_matrix_market ?(name = "mtx") ~format path =
+  let ic = try open_in path with Sys_error m -> err "%s" m in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let header = try input_line ic with End_of_file -> err "%s: empty file" path in
+  if not (String.length header > 14 && String.sub header 0 14 = "%%MatrixMarket")
+  then err "%s: missing MatrixMarket header" path;
+  let lower = String.lowercase_ascii header in
+  let has s =
+    let n = String.length lower and m = String.length s in
+    let rec go i = i + m <= n && (String.sub lower i m = s || go (i + 1)) in
+    go 0
+  in
+  if not (has "coordinate") then err "%s: only coordinate matrices supported" path;
+  let symmetric = has "symmetric" in
+  let pattern = has "pattern" in
+  (* skip comments *)
+  let rec size_line () =
+    let l = input_line ic in
+    if String.length l > 0 && l.[0] = '%' then size_line () else l
+  in
+  let rows, cols, nnz =
+    match split_ws (size_line ()) with
+    | [ r; c; n ] -> (int_of_string r, int_of_string c, int_of_string n)
+    | _ -> err "%s: bad size line" path
+  in
+  let coo = Coo.create [| rows; cols |] in
+  for _ = 1 to nnz do
+    let l = input_line ic in
+    match split_ws l with
+    | i :: j :: rest ->
+        let i = int_of_string i - 1 and j = int_of_string j - 1 in
+        let v =
+          if pattern then 1.0
+          else
+            match rest with
+            | v :: _ -> float_of_string v
+            | [] -> err "%s: missing value in %S" path l
+        in
+        Coo.add coo [| i; j |] v;
+        if symmetric && i <> j then Coo.add coo [| j; i |] v
+    | _ -> err "%s: bad entry %S" path l
+  done;
+  Tensor.of_coo ~name ~format coo
+
+(** Write a tensor (order 2) as a general real Matrix Market file. *)
+let write_matrix_market (t : Tensor.t) path =
+  if Tensor.order t <> 2 then err "write_matrix_market: order-%d tensor" (Tensor.order t);
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  Printf.fprintf oc "%%%%MatrixMarket matrix coordinate real general\n";
+  let dims = Tensor.dims t in
+  Printf.fprintf oc "%d %d %d\n" dims.(0) dims.(1) (Tensor.nnz t);
+  Tensor.iter_nonzeros
+    (fun c v -> Printf.fprintf oc "%d %d %.17g\n" (c.(0) + 1) (c.(1) + 1) v)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* FROSTT .tns                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Read a FROSTT coordinate tensor ([i1 ... iN value] per line, 1-based).
+    Dimensions are inferred as the per-mode maxima unless [dims] is given.
+
+    @raise Io_error on malformed or ragged input. *)
+let read_tns ?(name = "tns") ?dims ~format path =
+  let ic = try open_in path with Sys_error m -> err "%s" m in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let entries = ref [] in
+  let order = ref 0 in
+  (try
+     while true do
+       let l = input_line ic in
+       let l = String.trim l in
+       if l <> "" && l.[0] <> '#' then begin
+         let fields = split_ws l in
+         let n = List.length fields - 1 in
+         if n < 1 then err "%s: bad line %S" path l;
+         if !order = 0 then order := n
+         else if !order <> n then err "%s: ragged entry %S" path l;
+         let coords =
+           List.filteri (fun i _ -> i < n) fields
+           |> List.map (fun s -> int_of_string s - 1)
+         in
+         let v = float_of_string (List.nth fields n) in
+         entries := (coords, v) :: !entries
+       end
+     done
+   with End_of_file -> ());
+  if !order = 0 then err "%s: no entries" path;
+  let dims =
+    match dims with
+    | Some d ->
+        if List.length d <> !order then err "%s: dims arity mismatch" path;
+        d
+    | None ->
+        List.init !order (fun m ->
+            1 + List.fold_left (fun acc (c, _) -> max acc (List.nth c m)) 0 !entries)
+  in
+  let coo = Coo.create (Array.of_list dims) in
+  List.iter (fun (c, v) -> Coo.add coo (Array.of_list c) v) !entries;
+  Tensor.of_coo ~name ~format coo
+
+(** Write any tensor in FROSTT coordinate form. *)
+let write_tns (t : Tensor.t) path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  Tensor.iter_nonzeros
+    (fun c v ->
+      Array.iter (fun x -> Printf.fprintf oc "%d " (x + 1)) c;
+      Printf.fprintf oc "%.17g\n" v)
+    t

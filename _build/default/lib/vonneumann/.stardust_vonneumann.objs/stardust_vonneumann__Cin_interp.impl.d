@@ -1,0 +1,1 @@
+lib/vonneumann/cin_interp.pp.ml: Array Float Fmt Hashtbl List Option Stardust_core Stardust_ir Stardust_schedule Stardust_tensor

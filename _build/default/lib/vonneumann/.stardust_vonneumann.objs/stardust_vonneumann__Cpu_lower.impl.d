@@ -1,0 +1,1 @@
+lib/vonneumann/cpu_lower.pp.ml: Array Fmt Imperative_ir List Printf Stardust_core Stardust_ir Stardust_schedule Stardust_tensor

@@ -1,0 +1,1 @@
+lib/vonneumann/cpu_model.pp.ml: Float List Profile

@@ -1,0 +1,1 @@
+lib/vonneumann/gpu_model.pp.ml: Float List Profile

@@ -1,0 +1,1 @@
+lib/vonneumann/imp_interp.pp.ml: Array Cpu_lower Float Fmt Hashtbl Imperative_ir List Stardust_core Stardust_tensor

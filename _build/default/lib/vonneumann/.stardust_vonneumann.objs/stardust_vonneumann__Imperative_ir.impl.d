@@ -1,0 +1,1 @@
+lib/vonneumann/imperative_ir.pp.ml: Float Fmt List Ppx_deriving_runtime Printf String

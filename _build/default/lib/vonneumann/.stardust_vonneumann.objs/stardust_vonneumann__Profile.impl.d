@@ -1,0 +1,1 @@
+lib/vonneumann/profile.pp.ml: Array Float Fmt Hashtbl List Stardust_core Stardust_ir Stardust_schedule Stardust_tensor

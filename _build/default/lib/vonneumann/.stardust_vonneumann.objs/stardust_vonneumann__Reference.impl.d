@@ -1,0 +1,1 @@
+lib/vonneumann/reference.pp.ml: Array Fmt Hashtbl List Stardust_ir Stardust_tensor

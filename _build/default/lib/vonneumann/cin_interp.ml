@@ -1,0 +1,230 @@
+(** Interpreter for scheduled concrete index notation.
+
+    Executes a {!Stardust_schedule.Schedule.t} directly: foralls become
+    counted loops over inferred extents, [where] nodes zero and run their
+    producer before the consumer, temporaries live in hash tables, and
+    split/fused variables are reconstructed through the schedule's
+    relations.  This gives an executable semantics for CIN independent of
+    any backend, used to check that scheduling transformations preserve
+    meaning (scheduled CIN ≡ dense reference) before lowering. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Coo = Stardust_tensor.Coo
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+module Relation = Stardust_schedule.Relation
+module Plan = Stardust_core.Plan
+
+exception Interp_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
+
+type store = (int list, float) Hashtbl.t
+
+type state = {
+  sched : Schedule.t;
+  inputs : (string * Tensor.t) list;
+  written : (string, store) Hashtbl.t;  (** temporaries and results *)
+  extents : (string * int) list;
+}
+
+(** Resolve the value of index variable [v] under [binding], reconstructing
+    it through split/fuse relations when it is not directly bound.  Returns
+    [None] when the reconstructed value falls outside the variable's extent
+    (the tail guard of a stripmined loop). *)
+let rec resolve st binding v =
+  match List.assoc_opt v binding with
+  | Some c -> Some c
+  | None ->
+      let rels = Schedule.relations st.sched in
+      let value =
+        List.find_map
+          (fun r ->
+            match r with
+            | Relation.Split_up { parent; outer; inner; factor } when parent = v
+              -> (
+                match (resolve st binding outer, resolve st binding inner) with
+                | Some o, Some i -> Some ((o * factor) + i)
+                | _ -> None)
+            | Relation.Split_down { parent; outer; inner; factor }
+              when parent = v -> (
+                let chunk =
+                  match List.assoc_opt parent st.extents with
+                  | Some n -> (n + factor - 1) / factor
+                  | None -> err "split_down: unknown extent of %s" parent
+                in
+                match (resolve st binding outer, resolve st binding inner) with
+                | Some o, Some i -> Some ((o * chunk) + i)
+                | _ -> None)
+            | Relation.Fused { outer; inner; fused } when outer = v -> (
+                let inner_ext =
+                  match
+                    Relation.extent_of rels
+                      (fun x -> List.assoc_opt x st.extents)
+                      inner
+                  with
+                  | Some n -> n
+                  | None -> err "fuse: unknown extent of %s" inner
+                in
+                match resolve st binding fused with
+                | Some f -> Some (f / inner_ext)
+                | None -> None)
+            | Relation.Fused { outer = _; inner; fused } when inner = v -> (
+                let inner_ext =
+                  match
+                    Relation.extent_of rels
+                      (fun x -> List.assoc_opt x st.extents)
+                      inner
+                  with
+                  | Some n -> n
+                  | None -> err "fuse: unknown extent of %s" inner
+                in
+                match resolve st binding fused with
+                | Some f -> Some (f mod inner_ext)
+                | None -> None)
+            | _ -> None)
+          rels
+      in
+      (match value with
+      | Some c -> (
+          (* Guard against overshoot from constant-factor splitting. *)
+          match List.assoc_opt v st.extents with
+          | Some n when c >= n -> None
+          | _ -> Some c)
+      | None -> err "cannot resolve index variable %s" v)
+
+let coords_of st binding indices =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest -> (
+        match resolve st binding v with
+        | Some c -> go (c :: acc) rest
+        | None -> None)
+  in
+  go [] indices
+
+let read st binding (a : Ast.access) =
+  match coords_of st binding a.indices with
+  | None -> None
+  | Some coords -> (
+      match Hashtbl.find_opt st.written a.tensor with
+      | Some store -> Some (Option.value ~default:0.0 (Hashtbl.find_opt store coords))
+      | None -> (
+          match List.assoc_opt a.tensor st.inputs with
+          | Some t -> Some (Tensor.get t (Array.of_list coords))
+          | None ->
+              (* declared but never written nor supplied: all zeros *)
+              if Schedule.has_tensor st.sched a.tensor then Some 0.0
+              else err "unknown tensor %s" a.tensor))
+
+(** Evaluate an expression; [None] when an index guard failed. *)
+let rec eval st binding (e : Ast.expr) =
+  match e with
+  | Ast.Const f -> Some f
+  | Ast.Neg e -> Option.map Float.neg (eval st binding e)
+  | Ast.Bin (op, a, b) -> (
+      match (eval st binding a, eval st binding b) with
+      | Some x, Some y ->
+          Some
+            (match op with
+            | Ast.Add -> x +. y
+            | Ast.Sub -> x -. y
+            | Ast.Mul -> x *. y)
+      | _ -> None)
+  | Ast.Access a -> read st binding a
+
+let store_of st tensor =
+  match Hashtbl.find_opt st.written tensor with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 64 in
+      (* Accumulating into a pre-existing input starts from its values. *)
+      (match List.assoc_opt tensor st.inputs with
+      | Some t ->
+          Tensor.iter_nonzeros (fun c v -> Hashtbl.replace s (Array.to_list c) v) t
+      | None -> ());
+      Hashtbl.add st.written tensor s;
+      s
+
+let exec_assign st binding (a : Ast.assign) =
+  match (coords_of st binding a.lhs.Ast.indices, eval st binding a.Ast.rhs) with
+  | Some coords, Some v ->
+      let s = store_of st a.lhs.Ast.tensor in
+      let old =
+        if a.Ast.accum then Option.value ~default:0.0 (Hashtbl.find_opt s coords)
+        else 0.0
+      in
+      Hashtbl.replace s coords (old +. v)
+  | _ -> ()  (* guarded-out iteration *)
+
+let rec exec st binding (s : Cin.stmt) =
+  match s with
+  | Cin.Assign a -> exec_assign st binding a
+  | Cin.Forall { index; body } ->
+      let n =
+        match List.assoc_opt index st.extents with
+        | Some n -> n
+        | None -> err "no extent for loop variable %s" index
+      in
+      for c = 0 to n - 1 do
+        exec st ((index, c) :: binding) body
+      done
+  | Cin.Where { consumer; producer } ->
+      (* Temporaries written by the producer are zeroed on scope entry. *)
+      List.iter
+        (fun t ->
+          if List.mem t (st.sched : Schedule.t).Schedule.temporaries then
+            Hashtbl.replace st.written t (Hashtbl.create 16))
+        (Cin.tensors_written producer);
+      exec st binding producer;
+      exec st binding consumer
+  | Cin.Sequence l -> List.iter (exec st binding) l
+  | Cin.Mapped { body; _ } -> exec st binding body
+
+(** Run a scheduled statement over concrete inputs and extract the named
+    result tensor in [result_format].  [result_dims] defaults to the dims
+    inferred from the result's access indices. *)
+let run (sched : Schedule.t) ~(inputs : (string * Tensor.t) list) ~result
+    ~result_format =
+  let stmt = Schedule.stmt sched in
+  (* Extent inference mirrors the compiler's. *)
+  let input_metas =
+    List.map (fun (n, x) -> (n, Plan.meta_of_tensor x)) inputs
+  in
+  let extents = Plan.infer_extents sched input_metas stmt in
+  let st = { sched; inputs; written = Hashtbl.create 8; extents } in
+  exec st [] stmt;
+  let store =
+    match Hashtbl.find_opt st.written result with
+    | Some s -> s
+    | None -> Hashtbl.create 1
+  in
+  if Format.order result_format = 0 then
+    Tensor.scalar ~name:result
+      (Option.value ~default:0.0 (Hashtbl.find_opt store []))
+  else begin
+    let indices =
+      match
+        List.find_opt
+          (fun (a : Ast.assign) -> a.Ast.lhs.Ast.tensor = result)
+          (Cin.assignments stmt)
+      with
+      | Some a -> a.Ast.lhs.Ast.indices
+      | None -> err "result %s is never assigned" result
+    in
+    let dims =
+      List.map
+        (fun v ->
+          match List.assoc_opt v extents with
+          | Some n -> n
+          | None -> err "no extent for result index %s" v)
+        indices
+    in
+    let coo = Coo.create (Array.of_list dims) in
+    Hashtbl.iter
+      (fun coords v -> if v <> 0.0 then Coo.add coo (Array.of_list coords) v)
+      store;
+    Tensor.of_coo ~name:result ~format:result_format coo
+  end

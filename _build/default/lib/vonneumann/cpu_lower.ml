@@ -1,0 +1,483 @@
+(** Lowering scheduled CIN to imperative (von Neumann) code — the TACO CPU
+    path the paper uses as its baseline.
+
+    The same compilation plan that drives the Spatial backend drives this
+    one, but the lowering follows the imperative programming model of
+    Figure 4a: foralls become for-loops (position loops over compressed
+    fibers), compressed-compressed co-iteration becomes a two-way merge
+    while-loop with specialized branches (TACO's iteration-lattice
+    decomposition of unions into disjoint regions), and sparse outputs are
+    appended element-at-a-time with explicit counters. *)
+
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+module Plan = Stardust_core.Plan
+module Coiter = Stardust_core.Coiter
+open Imperative_ir
+
+exception Cpu_lower_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Cpu_lower_error s)) fmt
+
+let n_pos x l = Printf.sprintf "%s%d_pos" x (l + 1)
+let n_crd x l = Printf.sprintf "%s%d_crd" x (l + 1)
+let n_vals x = x ^ "_vals"
+let n_cnt x l = Printf.sprintf "%s%d_cnt" x (l + 1)
+let n_cursor v x = Printf.sprintf "p%s_%s" x v
+let n_bound v x = Printf.sprintf "p%s_%s_end" x v
+
+type env = {
+  coord : (string * exp) list;
+  pos : ((string * int) * exp) list;  (** global positions *)
+  absent : string list;  (** tensors with no entry at the current point *)
+}
+
+let empty_env = { coord = []; pos = []; absent = [] }
+
+type state = { plan : Plan.t; mutable counters : string list }
+
+let sched st = st.plan.Plan.sched
+let fmt_of st x = Schedule.format_of (sched st) x
+let is_temp st x = List.mem x (sched st).Schedule.temporaries
+let is_result st x = List.mem x st.plan.Plan.results
+
+let coord_of env v =
+  match List.assoc_opt v env.coord with
+  | Some e -> e
+  | None -> err "coordinate of %s unavailable" v
+
+let pos_of env x l =
+  if l < 0 then int 0
+  else
+    match List.assoc_opt (x, l) env.pos with
+    | Some e -> e
+    | None -> err "position of %s level %d unavailable" x l
+
+let set_pos env x l e = { env with pos = ((x, l), e) :: env.pos }
+
+let dim_of_level st x l =
+  let m = Plan.meta st.plan x in
+  m.Plan.dims.(Format.dim_of_level m.Plan.fmt l)
+
+(** Update positions of dense levels bound to [v] (same rule as the Spatial
+    lowerer, but all positions are global). *)
+let extend_dense st env v coord =
+  let env = { env with coord = (v, coord) :: env.coord } in
+  List.fold_left
+    (fun env (x, _) ->
+      if List.mem x env.absent then env
+      else
+        let fmt = (Plan.meta st.plan x).Plan.fmt in
+        let rec levels env l =
+          if l >= Format.order fmt then env
+          else
+            let d = Format.dim_of_level fmt l in
+            let idx = Plan.access_indices st.plan x in
+            if List.nth idx d = v && Format.level_kind fmt l = Format.Dense then
+              let parent = pos_of env x (l - 1) in
+              let dim = dim_of_level st x l in
+              let g =
+                match parent with
+                | Const 0.0 -> coord
+                | p -> (p *: int dim) +: coord
+              in
+              levels (set_pos env x l g) (l + 1)
+            else levels env (l + 1)
+        in
+        levels env 0)
+    env st.plan.Plan.metas
+
+(* -------------------------------------------------------------------- *)
+(* Expressions                                                           *)
+(* -------------------------------------------------------------------- *)
+
+let read_vals st env x =
+  if List.mem x env.absent then Const 0.0
+  else
+    let fmt = fmt_of st x in
+    if Format.order fmt = 0 then
+      (* scalar temporaries are locals; scalar results are 1-cell arrays *)
+      if is_temp st x then Var (n_vals x) else Idx (n_vals x, int 0)
+    else Idx (n_vals x, pos_of env x (Format.order fmt - 1))
+
+let rec lower_expr st env (e : Ast.expr) : exp =
+  match e with
+  | Ast.Access { tensor; _ } -> read_vals st env tensor
+  | Ast.Const f -> Const f
+  | Ast.Neg e -> Neg (lower_expr st env e)
+  | Ast.Bin (op, a, b) ->
+      let o = match op with Ast.Add -> `Add | Ast.Sub -> `Sub | Ast.Mul -> `Mul in
+      Bin (o, lower_expr st env a, lower_expr st env b)
+
+(* -------------------------------------------------------------------- *)
+(* Assignments and result assembly                                       *)
+(* -------------------------------------------------------------------- *)
+
+let lower_assign st env (a : Ast.assign) : stmt list =
+  let r = a.Ast.lhs.Ast.tensor in
+  let value = lower_expr st env a.Ast.rhs in
+  let fmt = fmt_of st r in
+  if Format.order fmt = 0 then
+    if is_temp st r then
+      if a.Ast.accum then [ Assign (n_vals r, Var (n_vals r) +: value) ]
+      else [ Assign (n_vals r, value) ]
+    else [ Store { arr = n_vals r; idx = int 0; value; accum = a.Ast.accum } ]
+  else begin
+    let last = Format.order fmt - 1 in
+    match Format.level_kind fmt last with
+    | Format.Dense ->
+        [ Store { arr = n_vals r; idx = pos_of env r last; value;
+                  accum = a.Ast.accum } ]
+    | Format.Compressed ->
+        if a.Ast.accum then
+          err "cannot accumulate into appended sparse output %s" r;
+        let v_last = Plan.level_var st.plan r last in
+        let p = pos_of env r last in
+        [
+          Store { arr = n_vals r; idx = p; value; accum = false };
+          Store { arr = n_crd r last; idx = p; value = coord_of env v_last;
+                  accum = false };
+        ]
+  end
+
+(** Coordinate enqueue for mid-level compressed result levels at [v]. *)
+let mid_level_appends st env v =
+  List.concat_map
+    (fun r ->
+      if is_temp st r then []
+      else
+        let fmt = fmt_of st r in
+        let n = Format.order fmt in
+        List.concat
+          (List.init n (fun l ->
+               if
+                 l < n - 1
+                 && Format.level_kind fmt l = Format.Compressed
+                 && Plan.level_var st.plan r l = v
+               then
+                 [ Store { arr = n_crd r l; idx = pos_of env r l;
+                           value = coord_of env v; accum = false } ]
+               else [])))
+    st.plan.Plan.results
+
+(** Position-array finalisation after the loop over [v] (in the parent
+    scope): [R{l}_pos[p+1] = cnt]. *)
+let pos_finalize st env v =
+  List.concat_map
+    (fun r ->
+      if is_temp st r then []
+      else
+        let fmt = fmt_of st r in
+        List.concat
+          (List.init (Format.order fmt) (fun l ->
+               if
+                 Format.level_kind fmt l = Format.Compressed
+                 && Plan.level_var st.plan r l = v
+               then
+                 let parent = pos_of env r (l - 1) in
+                 [ Store { arr = n_pos r l; idx = parent +: int 1;
+                           value = Var (n_cnt r l); accum = false } ]
+               else [])))
+    st.plan.Plan.results
+
+(** Position expressions for result levels at [v]: sparse outputs advance
+    an explicit counter. *)
+let result_positions st env v =
+  List.fold_left
+    (fun env r ->
+      if is_temp st r then env
+      else
+        let fmt = fmt_of st r in
+        let rec levels env l =
+          if l >= Format.order fmt then env
+          else if
+            Format.level_kind fmt l = Format.Compressed
+            && Plan.level_var st.plan r l = v
+          then begin
+            if not (List.mem (n_cnt r l) st.counters) then
+              st.counters <- n_cnt r l :: st.counters;
+            levels (set_pos env r l (Var (n_cnt r l))) (l + 1)
+          end
+          else levels env (l + 1)
+        in
+        levels env 0)
+    env st.plan.Plan.results
+
+(** Counter bumps after one iteration of the loop over [v]. *)
+let counter_bumps st v =
+  List.concat_map
+    (fun r ->
+      if is_temp st r then []
+      else
+        let fmt = fmt_of st r in
+        List.concat
+          (List.init (Format.order fmt) (fun l ->
+               if
+                 Format.level_kind fmt l = Format.Compressed
+                 && Plan.level_var st.plan r l = v
+               then [ Incr (n_cnt r l) ]
+               else [])))
+    st.plan.Plan.results
+
+(* -------------------------------------------------------------------- *)
+(* Statement lowering                                                    *)
+(* -------------------------------------------------------------------- *)
+
+let rec lower_stmt st env (s : Cin.stmt) : stmt list =
+  match s with
+  | Cin.Sequence l -> List.concat_map (lower_stmt st env) l
+  | Cin.Where { consumer; producer } ->
+      let temp_decls =
+        List.concat_map
+          (fun x ->
+            if is_temp st x && Format.order (fmt_of st x) = 0 then
+              [ Decl { var = n_vals x; init = Const 0.0; is_int = false } ]
+            else [])
+          (Cin.tensors_written producer)
+      in
+      temp_decls @ lower_stmt st env producer @ lower_stmt st env consumer
+  | Cin.Mapped { body; _ } ->
+      (* backend mappings are a no-op on the CPU: lower the semantics *)
+      lower_stmt st env body
+  | Cin.Assign a -> lower_assign st env a
+  | Cin.Forall { index; body } -> lower_forall st env index body
+
+and lower_forall st env v body : stmt list =
+  let info = Plan.loop_info st.plan v in
+  (* Remove iterators of currently-absent tensors (lattice specialization:
+     inside a union branch where one operand has no fiber, co-iteration
+     degenerates). *)
+  let filter_its its =
+    List.filter
+      (fun (it : Coiter.iterator) -> not (List.mem it.Coiter.tensor env.absent))
+      its
+  in
+  let plan =
+    match info.Plan.plan with
+    | Coiter.Scan_plan { op; a; b; dense } -> (
+        match filter_its [ a; b ] with
+        | [ x; y ] -> Coiter.Scan_plan { op; a = x; b = y; dense }
+        | [ x ] -> Coiter.Pos_plan { lead = x; dense }
+        | _ -> err "all iterators absent at loop %s" v)
+    | Coiter.Pos_plan { lead; dense } -> (
+        match filter_its [ lead ] with
+        | [ x ] -> Coiter.Pos_plan { lead = x; dense }
+        | _ -> err "lead iterator absent at loop %s" v)
+    | p -> p
+  in
+  let parallel = info.Plan.depth = 0 in
+  match plan with
+  | Coiter.Dense_plan _ ->
+      let env' = extend_dense st env v (Var v) in
+      let env' = result_positions st env' v in
+      let inner =
+        mid_level_appends st env' v
+        @ lower_stmt st env' body
+        @ counter_bumps st v
+      in
+      For { var = v; lo = int 0; hi = int info.Plan.extent; body = inner; parallel }
+      :: pos_finalize st env v
+  | Coiter.Pos_plan { lead; _ } ->
+      let x = lead.Coiter.tensor and l = lead.Coiter.level in
+      let q = n_cursor v x in
+      let parent = pos_of env x (l - 1) in
+      let coord_decl = Decl { var = v; init = Idx (n_crd x l, Var q); is_int = true } in
+      let env' = { env with coord = (v, Var v) :: env.coord } in
+      let env' = set_pos env' x l (Var q) in
+      let env' = extend_dense st env' v (Var v) in
+      (* Compressed result levels are appended through explicit counters
+         (uniform with the merge branches, as TACO generates). *)
+      let env' = result_positions st env' v in
+      let inner =
+        (coord_decl :: mid_level_appends st env' v)
+        @ lower_stmt st env' body
+        @ counter_bumps st v
+      in
+      For
+        {
+          var = q;
+          lo = Idx (n_pos x l, parent);
+          hi = Idx (n_pos x l, parent +: int 1);
+          body = inner;
+          parallel;
+        }
+      :: pos_finalize st env v
+  | Coiter.Scan_plan { op; a; b; _ } -> lower_merge st env v body ~op ~a ~b
+
+(** Two-way merge co-iteration (TACO's while-loop strategy).  Union merges
+    emit three specialized branches plus two tail loops; intersections
+    advance the lagging cursor. *)
+and lower_merge st env v body ~op ~(a : Coiter.iterator) ~(b : Coiter.iterator) :
+    stmt list =
+  let xa = a.Coiter.tensor and la = a.Coiter.level in
+  let xb = b.Coiter.tensor and lb = b.Coiter.level in
+  let ca = n_cursor v xa and cb = n_cursor v xb in
+  let ea = n_bound v xa and eb = n_bound v xb in
+  let header =
+    [
+      Decl { var = ca; init = Idx (n_pos xa la, pos_of env xa (la - 1)); is_int = true };
+      Decl { var = ea; init = Idx (n_pos xa la, pos_of env xa (la - 1) +: int 1); is_int = true };
+      Decl { var = cb; init = Idx (n_pos xb lb, pos_of env xb (lb - 1)); is_int = true };
+      Decl { var = eb; init = Idx (n_pos xb lb, pos_of env xb (lb - 1) +: int 1); is_int = true };
+    ]
+  in
+  (* Specialized body for one region of the merge lattice. *)
+  let branch_body ~absent coord =
+    let env' = { env with absent = absent @ env.absent } in
+    let env' = { env' with coord = (v, coord) :: env'.coord } in
+    let env' =
+      if List.mem xa absent then env' else set_pos env' xa la (Var ca)
+    in
+    let env' =
+      if List.mem xb absent then env' else set_pos env' xb lb (Var cb)
+    in
+    let env' = extend_dense st env' v coord in
+    let env' = result_positions st env' v in
+    mid_level_appends st env' v @ lower_stmt st env' body @ counter_bumps st v
+  in
+  match op with
+  | `And ->
+      let va = Printf.sprintf "%s_%s" v xa and vb = Printf.sprintf "%s_%s" v xb in
+      header
+      @ [
+          While
+            {
+              cond = And (Var ca <: Var ea, Var cb <: Var eb);
+              body =
+                [
+                  Decl { var = va; init = Idx (n_crd xa la, Var ca); is_int = true };
+                  Decl { var = vb; init = Idx (n_crd xb lb, Var cb); is_int = true };
+                  If
+                    {
+                      cond = Var va =: Var vb;
+                      then_ = branch_body ~absent:[] (Var va) @ [ Incr ca; Incr cb ];
+                      else_ =
+                        [
+                          If
+                            {
+                              cond = Var va <: Var vb;
+                              then_ = [ Incr ca ];
+                              else_ = [ Incr cb ];
+                            };
+                        ];
+                    };
+                ];
+            };
+        ]
+      @ pos_finalize st env v
+  | `Or ->
+      let va = Printf.sprintf "%s_%s" v xa and vb = Printf.sprintf "%s_%s" v xb in
+      let tail cursor bound crd_arr absent =
+        While
+          {
+            cond = Var cursor <: Var bound;
+            body =
+              (Decl { var = v; init = Idx (crd_arr, Var cursor); is_int = true }
+               :: branch_body ~absent (Var v))
+              @ [ Incr cursor ];
+          }
+      in
+      header
+      @ [
+          While
+            {
+              cond = And (Var ca <: Var ea, Var cb <: Var eb);
+              body =
+                [
+                  Decl { var = va; init = Idx (n_crd xa la, Var ca); is_int = true };
+                  Decl { var = vb; init = Idx (n_crd xb lb, Var cb); is_int = true };
+                  If
+                    {
+                      cond = Var va =: Var vb;
+                      then_ = branch_body ~absent:[] (Var va) @ [ Incr ca; Incr cb ];
+                      else_ =
+                        [
+                          If
+                            {
+                              cond = Var va <: Var vb;
+                              then_ = branch_body ~absent:[ xb ] (Var va) @ [ Incr ca ];
+                              else_ = branch_body ~absent:[ xa ] (Var vb) @ [ Incr cb ];
+                            };
+                        ];
+                    };
+                ];
+            };
+          tail ca ea (n_crd xa la) [ xb ];
+          tail cb eb (n_crd xb lb) [ xa ];
+        ]
+      @ pos_finalize st env v
+
+(* -------------------------------------------------------------------- *)
+(* Kernel assembly                                                       *)
+(* -------------------------------------------------------------------- *)
+
+let array_length (m : Plan.meta) = function
+  | `Pos l -> (if l = 0 then 1 else m.Plan.level_counts.(l - 1)) + 1
+  | `Crd l -> max 1 m.Plan.level_counts.(l)
+  | `Vals -> max 1 m.Plan.num_vals
+
+(** Lower a full compilation plan to an imperative kernel. *)
+let lower ?(name = "compute") (plan : Plan.t) : func =
+  let st = { plan; counters = [] } in
+  let stmt = Schedule.stmt (sched st) in
+  (* Body first (it discovers the counters), then prepend declarations. *)
+  let body = lower_stmt st empty_env stmt in
+  let counter_decls =
+    List.rev_map
+      (fun c -> Decl { var = c; init = int 0; is_int = true })
+      st.counters
+  in
+  (* Zero-initialise dense outputs (the explicit init TACO emits — the
+     cost the paper highlights for the GPU's fully dense outputs). *)
+  let init_outputs =
+    List.concat_map
+      (fun r ->
+        if is_temp st r then []
+        else
+          let m = Plan.meta st.plan r in
+          if Format.order m.Plan.fmt = 0 then []
+          else if Format.is_fully_dense m.Plan.fmt then
+            [
+              Comment (r ^ " is dense: zero-initialise");
+              For
+                {
+                  var = "pinit_" ^ r;
+                  lo = int 0;
+                  hi = int m.Plan.num_vals;
+                  body =
+                    [ Store { arr = n_vals r; idx = Var ("pinit_" ^ r);
+                              value = Const 0.0; accum = false } ];
+                  parallel = true;
+                };
+            ]
+          else []
+      )
+      st.plan.Plan.results
+  in
+  (* Scalar temporaries that live at kernel scope (no enclosing where in a
+     loop) are declared by the where-lowering itself. *)
+  let arrays =
+    List.concat_map
+      (fun (x, (m : Plan.meta)) ->
+        let fmt = m.Plan.fmt in
+        if Format.is_on_chip fmt then []
+        else begin
+          let out = is_result st x in
+          let n = Format.order fmt in
+          List.concat
+            (List.init n (fun l ->
+                 if Format.level_kind fmt l = Format.Compressed then
+                   [
+                     { aname = n_pos x l; length = array_length m (`Pos l);
+                       is_output = out };
+                     { aname = n_crd x l; length = array_length m (`Crd l);
+                       is_output = out };
+                   ]
+                 else []))
+          @ [ { aname = n_vals x; length = array_length m `Vals; is_output = out } ]
+        end)
+      st.plan.Plan.metas
+  in
+  { fname = name; arrays; scalars = []; body = init_outputs @ counter_decls @ body }

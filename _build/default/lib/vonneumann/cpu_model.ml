@@ -1,0 +1,101 @@
+(** Analytic CPU timing model — the 128-thread Xeon baseline.
+
+    The paper profiles TACO-generated C on a four-socket Xeon E7-8890 v3
+    (128 threads, 2494 MHz), cold cache, single iteration.  We model that
+    machine analytically:
+
+    - position-loop iterations (pointer-bump traversal of one compressed
+      fiber) cost a few cycles each;
+    - two-way merge iterations (the while-loops TACO emits for unions)
+      are branch-heavy and cost substantially more;
+    - innermost dense iterations vectorize (AVX2) and cost a fraction of
+      a cycle;
+    - gathers (random reads at sparse coordinates) are priced by the
+      residency of the gathered table: a kilobyte-scale vector stays in
+      cache, while row-gathers from multi-megabyte factor matrices miss
+      all the way to (cold) DRAM, paying per cache line with limited
+      memory-level parallelism;
+    - sparse output assembly appends element-at-a-time;
+    - TACO parallelizes only kernels whose outermost loop is a dense
+      forall, whose outputs are dense, and which use no workspace — of
+      the paper's ten kernels, only SpMV (see {!Profile}); even then
+      four-socket scaling on an irregular kernel is far below 128x.
+
+    Constants are calibrated once (see EXPERIMENTS.md) against the paper's
+    reported CPU-vs-Capstan geomean; they are in the range of published
+    Xeon measurements, not fitted per kernel. *)
+
+type params = {
+  freq_hz : float;
+  threads : int;
+  thread_eff : float;  (** parallel efficiency on sparse kernels *)
+  cycles_per_pos_iter : float;  (** compressed position-loop iteration *)
+  cycles_per_and_merge : float;  (** intersection merge iteration *)
+  cycles_per_or_merge : float;  (** union merge iteration *)
+  cycles_per_dense_iter : float;  (** vectorized dense iteration *)
+  cycles_per_append : float;  (** sparse output element append *)
+  cycles_per_hot_gather : float;  (** gather from a cache-resident table *)
+  cycles_per_cold_line : float;
+      (** per cache line of a cold gather (latency / achievable MLP) *)
+  hot_table_bytes : float;  (** residency threshold *)
+  line_bytes : float;
+  mem_bw_bytes_per_s : float;  (** aggregate cold-cache bandwidth *)
+}
+
+let xeon_e7_8890_v3 =
+  {
+    freq_hz = 2.494e9;
+    threads = 128;
+    thread_eff = 0.11;
+    cycles_per_pos_iter = 9.0;
+    cycles_per_and_merge = 12.0;
+    cycles_per_or_merge = 22.0;
+    cycles_per_dense_iter = 0.6;
+    cycles_per_append = 25.0;
+    cycles_per_hot_gather = 7.0;
+    cycles_per_cold_line = 60.0;
+    hot_table_bytes = 4.0e6;
+    line_bytes = 64.0;
+    mem_bw_bytes_per_s = 120.0e9;
+  }
+
+type report = {
+  seconds : float;
+  work_seconds : float;
+  mem_seconds : float;
+  effective_threads : float;
+}
+
+let gather_cycles params (g : Profile.gather) =
+  if g.Profile.table_bytes <= params.hot_table_bytes then
+    g.Profile.count *. params.cycles_per_hot_gather
+  else
+    let lines =
+      Float.max 1.0 (Float.of_int g.Profile.words_each *. 8.0 /. params.line_bytes)
+    in
+    g.Profile.count *. lines *. params.cycles_per_cold_line
+
+(** Time to run the kernel whose workload profile is [p]. *)
+let run ?(params = xeon_e7_8890_v3) (p : Profile.t) =
+  let effective_threads =
+    if p.Profile.parallel_outer then
+      Float.max 1.0 (float_of_int params.threads *. params.thread_eff)
+    else 1.0
+  in
+  let cycles =
+    (p.Profile.pos_iters *. params.cycles_per_pos_iter)
+    +. (p.Profile.merge_and_iters *. params.cycles_per_and_merge)
+    +. (p.Profile.merge_or_iters *. params.cycles_per_or_merge)
+    +. (p.Profile.dense_inner_iters *. params.cycles_per_dense_iter)
+    +. (p.Profile.output_appends *. params.cycles_per_append)
+    +. List.fold_left (fun a g -> a +. gather_cycles params g) 0.0 p.Profile.gathers
+  in
+  let work_seconds = cycles /. params.freq_hz /. effective_threads in
+  let bytes = p.Profile.input_bytes +. (8.0 *. p.Profile.output_words) in
+  let mem_seconds = bytes /. params.mem_bw_bytes_per_s in
+  {
+    seconds = Float.max work_seconds mem_seconds;
+    work_seconds;
+    mem_seconds;
+    effective_threads;
+  }

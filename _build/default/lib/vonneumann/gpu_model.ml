@@ -1,0 +1,107 @@
+(** Analytic GPU timing model — the V100 baseline.
+
+    The paper's GPU baseline is TACO's CUDA backend on a V100 (p3.2xlarge),
+    data-transfer time excluded, cold cache, single iteration.  The model
+    charges the mechanisms that shape TACO-GPU performance in Table 6:
+
+    - TACO does not support sparse outputs on GPUs, so the result tensor is
+      {e fully dense} in device memory and the generated kernel first
+      zero-initialises it with a generated (strided, uncoalesced) loop far
+      below memcpy bandwidth — this single mechanism produces SDDMM's
+      four-orders-of-magnitude slowdown (a 49702^2 dense output);
+    - assembling values into that dense image from sparse iteration is a
+      scatter with atomic/uncoalesced writes (slow per element), while
+      fully dense outputs are written coalesced (free beyond bandwidth);
+    - coalesced position loops stream near memory bandwidth (SpMV is only
+      ~3x behind Capstan), but two-way merge while-loops diverge within
+      warps and run orders of magnitude slower;
+    - gathers run at the device's random-access rate.
+
+    Constants are calibrated once against the paper's GPU-vs-Capstan
+    geomean (see EXPERIMENTS.md). *)
+
+type params = {
+  stream_iter_rate : float;  (** coalesced position-loop iterations / s *)
+  merge_iter_rate : float;  (** divergent merge while-loop iterations / s *)
+  dense_iter_rate : float;  (** dense innermost iterations / s *)
+  gather_hot_rate : float;  (** random accesses into L2-resident tables / s *)
+  gather_cold_rate : float;  (** random accesses missing to device DRAM / s *)
+  scatter_hot_rate : float;  (** scatters into an L2-resident output image / s *)
+  scatter_cold_rate : float;  (** scatters missing to device DRAM / s *)
+  l2_bytes : float;
+  mem_bw_bytes_per_s : float;  (** streaming bandwidth *)
+  init_bw_bytes_per_s : float;
+      (** effective bandwidth of TACO's generated zero-initialisation *)
+  launch_seconds : float;  (** fixed kernel-launch overhead *)
+}
+
+let v100 =
+  {
+    stream_iter_rate = 40.0e9;
+    merge_iter_rate = 4.0e9;
+    dense_iter_rate = 200.0e9;
+    gather_hot_rate = 40.0e9;
+    gather_cold_rate = 2.0e9;
+    scatter_hot_rate = 2.0e9;
+    scatter_cold_rate = 40.0e6;
+    l2_bytes = 6.0e6;
+    mem_bw_bytes_per_s = 800.0e9;
+    init_bw_bytes_per_s = 8.0e9;
+    launch_seconds = 8.0e-6;
+  }
+
+type report = {
+  seconds : float;
+  init_seconds : float;
+  compute_seconds : float;
+  scatter_seconds : float;
+  mem_seconds : float;
+}
+
+(** Time to run the kernel whose workload profile is [p].  The dense-output
+    initialisation uses [output_dense_words] — the full dense image of the
+    result — independent of how sparse the result actually is. *)
+let run ?(params = v100) (p : Profile.t) =
+  let init_seconds =
+    4.0 *. p.Profile.output_dense_words /. params.init_bw_bytes_per_s
+  in
+  let sparse_output =
+    (* fully dense results have output_words = dense image *)
+    p.Profile.output_words < p.Profile.output_dense_words -. 0.5
+  in
+  let scatter_seconds =
+    if not sparse_output then 0.0
+    else
+      let rate =
+        if 4.0 *. p.Profile.output_dense_words <= params.l2_bytes then
+          params.scatter_hot_rate
+        else params.scatter_cold_rate
+      in
+      p.Profile.output_appends /. rate
+  in
+  let gather_seconds =
+    List.fold_left
+      (fun acc (g : Profile.gather) ->
+        let rate =
+          if g.Profile.table_bytes <= params.l2_bytes then
+            params.gather_hot_rate
+          else params.gather_cold_rate
+        in
+        acc +. (g.Profile.count /. rate))
+      0.0 p.Profile.gathers
+  in
+  let compute_seconds =
+    (p.Profile.pos_iters /. params.stream_iter_rate)
+    +. (Profile.merge_iters p /. params.merge_iter_rate)
+    +. (p.Profile.dense_inner_iters /. params.dense_iter_rate)
+    +. gather_seconds
+  in
+  let mem_seconds =
+    (p.Profile.input_bytes +. (4.0 *. p.Profile.output_dense_words))
+    /. params.mem_bw_bytes_per_s
+  in
+  let seconds =
+    params.launch_seconds +. init_seconds +. scatter_seconds
+    +. Float.max compute_seconds mem_seconds
+  in
+  { seconds; init_seconds; compute_seconds; scatter_seconds; mem_seconds }

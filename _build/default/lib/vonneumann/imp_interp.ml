@@ -1,0 +1,191 @@
+(** Interpreter for the imperative IR — executes the generated CPU kernel
+    on real tensors and tallies its operation mix.
+
+    The tally (loop iterations, loads/stores, floating-point operations,
+    branches) is what the analytic CPU timing model consumes on inputs
+    small enough to interpret; at paper scale the model derives the same
+    quantities from the compilation plan's loop statistics. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Format = Stardust_tensor.Format
+module Plan = Stardust_core.Plan
+module Compile = Stardust_core.Compile
+open Imperative_ir
+
+exception Interp_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
+
+type tally = {
+  mutable iters : float;
+  mutable loads : float;
+  mutable stores : float;
+  mutable flops : float;
+  mutable branches : float;
+}
+
+let fresh_tally () =
+  { iters = 0.; loads = 0.; stores = 0.; flops = 0.; branches = 0. }
+
+type machine = {
+  arrays : (string, float array) Hashtbl.t;
+  tally : tally;
+}
+
+let arr m name =
+  match Hashtbl.find_opt m.arrays name with
+  | Some a -> a
+  | None -> err "array %s not bound" name
+
+let rec eval m env e =
+  match e with
+  | Const f -> f
+  | Var v -> (
+      match List.assoc_opt v env with
+      | Some r -> !r
+      | None -> err "variable %s unbound" v)
+  | Idx (a, ix) ->
+      let i = int_of_float (eval m env ix) in
+      let a = arr m a in
+      if i < 0 || i >= Array.length a then err "index %d out of bounds" i;
+      m.tally.loads <- m.tally.loads +. 1.0;
+      a.(i)
+  | Bin (op, x, y) -> (
+      let a = eval m env x and b = eval m env y in
+      m.tally.flops <- m.tally.flops +. 1.0;
+      match op with
+      | `Add -> a +. b
+      | `Sub -> a -. b
+      | `Mul -> a *. b
+      | `Div -> a /. b
+      | `Min -> Float.min a b
+      | `Max -> Float.max a b)
+  | Neg x -> -.eval m env x
+  | Cmp (r, x, y) -> (
+      let a = eval m env x and b = eval m env y in
+      m.tally.branches <- m.tally.branches +. 1.0;
+      match r with
+      | Lt -> if a < b then 1.0 else 0.0
+      | Le -> if a <= b then 1.0 else 0.0
+      | Eq -> if a = b then 1.0 else 0.0
+      | Ne -> if a <> b then 1.0 else 0.0)
+  | And (x, y) -> if eval m env x <> 0.0 && eval m env y <> 0.0 then 1.0 else 0.0
+  | Or (x, y) -> if eval m env x <> 0.0 || eval m env y <> 0.0 then 1.0 else 0.0
+
+let rec exec m env (s : stmt) =
+  match s with
+  | Comment _ -> env
+  | Decl { var; init; _ } -> (var, ref (eval m env init)) :: env
+  | Assign (v, e) -> (
+      match List.assoc_opt v env with
+      | Some r ->
+          r := eval m env e;
+          env
+      | None -> err "assignment to undeclared %s" v)
+  | Incr v -> (
+      match List.assoc_opt v env with
+      | Some r ->
+          r := !r +. 1.0;
+          env
+      | None -> err "increment of undeclared %s" v)
+  | Store { arr = a; idx; value; accum } ->
+      let i = int_of_float (eval m env idx) in
+      let a = arr m a in
+      if i < 0 || i >= Array.length a then err "store index %d out of bounds" i;
+      let v = eval m env value in
+      m.tally.stores <- m.tally.stores +. 1.0;
+      a.(i) <- (if accum then a.(i) +. v else v);
+      env
+  | For { var; lo; hi; body; _ } ->
+      let lo = int_of_float (eval m env lo) and hi = int_of_float (eval m env hi) in
+      for k = lo to hi - 1 do
+        m.tally.iters <- m.tally.iters +. 1.0;
+        ignore (exec_body m ((var, ref (float_of_int k)) :: env) body)
+      done;
+      env
+  | While { cond; body } ->
+      let guard = ref (eval m env cond <> 0.0) in
+      while !guard do
+        m.tally.iters <- m.tally.iters +. 1.0;
+        ignore (exec_body m env body);
+        guard := eval m env cond <> 0.0
+      done;
+      env
+  | If { cond; then_; else_ } ->
+      if eval m env cond <> 0.0 then ignore (exec_body m env then_)
+      else ignore (exec_body m env else_);
+      env
+
+and exec_body m env body = List.fold_left (exec m) env body
+
+(* -------------------------------------------------------------------- *)
+(* Driving a compiled kernel                                             *)
+(* -------------------------------------------------------------------- *)
+
+let float_array_of_ints a = Array.map float_of_int a
+
+(** Run the CPU lowering of a plan on concrete inputs.  Returns the result
+    tensors and the operation tally. *)
+let run (plan : Plan.t) ~(inputs : (string * Tensor.t) list) =
+  let func = Cpu_lower.lower plan in
+  let m = { arrays = Hashtbl.create 32; tally = fresh_tally () } in
+  (* Allocate every declared array, then fill inputs. *)
+  List.iter
+    (fun (a : array_decl) ->
+      Hashtbl.replace m.arrays a.aname (Array.make (max 1 a.length) 0.0))
+    func.arrays;
+  List.iter
+    (fun (name, x) ->
+      let fmt = Tensor.format x in
+      let blit aname src =
+        match Hashtbl.find_opt m.arrays aname with
+        | Some d ->
+            if Array.length src > Array.length d then
+              err "input %s exceeds declared array size" aname;
+            Array.blit src 0 d 0 (Array.length src)
+        | None -> ()
+      in
+      for l = 0 to Tensor.order x - 1 do
+        if Format.level_kind fmt l = Format.Compressed then begin
+          blit (Cpu_lower.n_pos name l) (float_array_of_ints (Tensor.pos_array x l));
+          blit (Cpu_lower.n_crd name l) (float_array_of_ints (Tensor.crd_array x l))
+        end
+      done;
+      blit (Cpu_lower.n_vals name) (Tensor.vals_array x))
+    inputs;
+  (* Scalar results live in locals; give them array cells instead. *)
+  ignore (exec_body m [] func.body);
+  let read_result name =
+    let meta = Plan.meta plan name in
+    let fmt = { meta.Plan.fmt with Format.region = Format.Off_chip } in
+    let dims = Array.to_list meta.Plan.dims in
+    let n = List.length dims in
+    let parent = ref 1 in
+    let levels =
+      Array.init n (fun l ->
+          let d = meta.Plan.dims.(Format.dim_of_level fmt l) in
+          match Format.level_kind fmt l with
+          | Format.Dense ->
+              parent := !parent * d;
+              Tensor.Dense_level { dim = d }
+          | Format.Compressed ->
+              let pos_img = arr m (Cpu_lower.n_pos name l) in
+              let pos = Array.init (!parent + 1) (fun i -> int_of_float pos_img.(i)) in
+              let count = pos.(!parent) in
+              let crd_img = arr m (Cpu_lower.n_crd name l) in
+              let crd = Array.init count (fun i -> int_of_float crd_img.(i)) in
+              parent := count;
+              Tensor.Compressed_level { pos; crd })
+    in
+    let vals = Array.sub (arr m (Cpu_lower.n_vals name)) 0 !parent in
+    Tensor.of_arrays ~name ~format:fmt ~dims ~levels ~vals
+  in
+  let results =
+    List.filter_map
+      (fun r ->
+        let meta = Plan.meta plan r in
+        if Format.is_on_chip meta.Plan.fmt then None
+        else Some (r, read_result r))
+      plan.Plan.results
+  in
+  (results, m.tally, func)

@@ -1,0 +1,295 @@
+(** Analytic workload profile for the von Neumann baselines.
+
+    Summarises a compiled kernel's execution on imperative hardware:
+    per-loop total iteration counts (derived from the compilation plan and
+    exact dataset statistics, the same way the Capstan estimator works),
+    split into irregular (sparse position/merge) iterations and
+    vectorizable dense-inner iterations, plus memory-traffic and
+    gather-count estimates.  {!Cpu_model} and {!Gpu_model} convert these
+    into times. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Stats = Stardust_tensor.Stats
+module Format = Stardust_tensor.Format
+module Plan = Stardust_core.Plan
+module Coiter = Stardust_core.Coiter
+module Memory = Stardust_core.Memory
+
+(** One random-access (gather) source: how many gathers, how many
+    contiguous words each pulls (1 for a vector element, a whole row for a
+    factor-matrix access), and how large the gathered table is — the CPU
+    model prices small resident tables far below cache-missing ones. *)
+type gather = { count : float; words_each : int; table_bytes : float }
+
+type t = {
+  loop_totals : (string * float) list;  (** per loop variable *)
+  pos_iters : float;  (** single-iterator position-loop iterations *)
+  merge_and_iters : float;
+      (** intersection merge while-loop iterations (mismatches skip fast) *)
+  merge_or_iters : float;  (** union merge iterations (every branch works) *)
+  output_appends : float;
+      (** sparse coordinate/value appends assembling the result *)
+  dense_inner_iters : float;  (** innermost dense (vectorizable) iterations *)
+  flops : float;  (** arithmetic in innermost bodies *)
+  input_bytes : float;  (** bytes of input arrays touched (cold cache) *)
+  output_words : float;  (** words written to the result *)
+  output_dense_words : float;
+      (** words of a {e fully dense} result image — what TACO's GPU path
+          must zero-initialise regardless of sparsity *)
+  gathers : gather list;
+  parallel_outer : bool;  (** the outermost loop parallelizes *)
+}
+
+(** Total random accesses across all gather sources. *)
+let total_gathers t = List.fold_left (fun a g -> a +. g.count) 0.0 t.gathers
+
+let merge_iters t = t.merge_and_iters +. t.merge_or_iters
+
+let err fmt = Fmt.kstr failwith fmt
+
+(** Total iterations of every loop in the plan, exact from dataset
+    statistics. *)
+let loop_totals (plan : Plan.t) ~(inputs : (string * Tensor.t) list) =
+  let tensor n =
+    match List.assoc_opt n inputs with
+    | Some t -> t
+    | None -> err "profile: %s is not an input" n
+  in
+  let memo = Hashtbl.create 16 in
+  let coiter ~union (a : Coiter.iterator) (b : Coiter.iterator) =
+    let key = (union, a.Coiter.tensor, b.Coiter.tensor, a.Coiter.level) in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let v =
+          float_of_int
+            (Stats.prefix_coiter_count ~union (tensor a.Coiter.tensor)
+               (tensor b.Coiter.tensor) ~depth:a.Coiter.level)
+        in
+        Hashtbl.add memo key v;
+        v
+  in
+  let totals = Hashtbl.create 16 in
+  let rec total_of v =
+    match Hashtbl.find_opt totals v with
+    | Some t -> t
+    | None ->
+        let info = Plan.loop_info plan v in
+        let parent_total =
+          match info.Plan.above with
+          | Memory.Kernel_start -> 1.0
+          | Memory.Above_loop w -> total_of w
+        in
+        let t =
+          match info.Plan.plan with
+          | Coiter.Dense_plan _ -> parent_total *. float_of_int info.Plan.extent
+          | Coiter.Pos_plan { lead; _ } ->
+              float_of_int
+                (Plan.meta plan lead.Coiter.tensor).Plan.level_counts.(lead.Coiter.level)
+          | Coiter.Scan_plan { op; a; b; _ } -> coiter ~union:(op = `Or) a b
+        in
+        Hashtbl.add totals v t;
+        t
+  in
+  List.map (fun (v, _) -> (v, total_of v)) plan.Plan.loops
+
+(** Arithmetic operation count of an index-notation expression. *)
+let rec expr_ops (e : Stardust_ir.Ast.expr) =
+  match e with
+  | Stardust_ir.Ast.Access _ | Stardust_ir.Ast.Const _ -> 0
+  | Stardust_ir.Ast.Neg e -> 1 + expr_ops e
+  | Stardust_ir.Ast.Bin (_, a, b) -> 1 + expr_ops a + expr_ops b
+
+let of_plan (plan : Plan.t) ~(inputs : (string * Tensor.t) list) =
+  let totals = loop_totals plan ~inputs in
+  let total v = List.assoc v totals in
+  let loops = plan.Plan.loops in
+  (* Innermost loops and their classification. *)
+  let pos_iters = ref 0.0
+  and merge_and = ref 0.0
+  and merge_or = ref 0.0
+  and dense_inner = ref 0.0 in
+  List.iter
+    (fun (v, (info : Plan.loop_info)) ->
+      match info.Plan.plan with
+      | Coiter.Dense_plan _ ->
+          if info.Plan.is_innermost then dense_inner := !dense_inner +. total v
+      | Coiter.Pos_plan _ -> pos_iters := !pos_iters +. total v
+      | Coiter.Scan_plan { op; a; b; _ } ->
+          (* a two-way merge visits every element of both operand streams
+             once (plus the matched iterations themselves) *)
+          let count (it : Coiter.iterator) =
+            float_of_int
+              (Plan.meta plan it.Coiter.tensor).Plan.level_counts.(it.Coiter.level)
+          in
+          let iters = Float.max (total v) (count a +. count b) in
+          if op = `Or then merge_or := !merge_or +. iters
+          else merge_and := !merge_and +. iters)
+    loops;
+  (* Flops: innermost iterations x ops of the assignments they run. *)
+  let stmt = Stardust_schedule.Schedule.stmt plan.Plan.sched in
+  let ops_per_assign =
+    match Stardust_ir.Cin.assignments stmt with
+    | [] -> 1
+    | l ->
+        max 1
+          (List.fold_left (fun acc (a : Stardust_ir.Ast.assign) ->
+               acc + expr_ops a.Stardust_ir.Ast.rhs) 0 l
+          / List.length l)
+  in
+  let innermost_total =
+    List.fold_left
+      (fun acc (v, (i : Plan.loop_info)) ->
+        if i.Plan.is_innermost then acc +. total v else acc)
+      0.0 loops
+  in
+  let flops = innermost_total *. float_of_int (ops_per_assign + 1) in
+  (* Memory traffic: inputs touched once (cold cache), outputs written.
+     TACO C uses 8-byte values and 4-byte indices. *)
+  let input_bytes =
+    List.fold_left
+      (fun acc (n, _) ->
+        match List.assoc_opt n inputs with
+        | None -> acc
+        | Some x ->
+            let fmt = Tensor.format x in
+            let idx_bytes =
+              List.fold_left ( + ) 0
+                (List.init (Tensor.order x) (fun l ->
+                     if Format.level_kind fmt l = Format.Compressed then
+                       4 * (Tensor.num_positions x l + Array.length (Tensor.pos_array x l))
+                     else 0))
+            in
+            acc +. float_of_int ((8 * Tensor.num_vals x) + idx_bytes))
+      0.0 plan.Plan.metas
+  in
+  (* Gathers: each dense (universe) access looked up at the sparse
+     coordinates of a position loop is one random access per iteration.
+     Its granularity is the span of the accessed tensor's levels below
+     the gathered level (a trailing row), and its table is the whole
+     values array. *)
+  let depth_of v =
+    match List.assoc_opt v loops with
+    | Some (i : Plan.loop_info) -> i.Plan.depth
+    | None -> max_int
+  in
+  let gathers =
+    List.concat_map
+      (fun (v, (info : Plan.loop_info)) ->
+        match info.Plan.plan with
+        | Coiter.Pos_plan { dense; _ } ->
+            List.map
+              (fun (it : Coiter.iterator) ->
+                let m = Plan.meta plan it.Coiter.tensor in
+                let fmt = m.Plan.fmt in
+                let indices = Plan.access_indices plan it.Coiter.tensor in
+                (* Granularity: the contiguous row spanned by the levels
+                   below the gathered one whose loops run deeper (they
+                   consume the row after this gather pulls it).  Levels
+                   whose variables are already fixed above contribute
+                   nothing. *)
+                let words_each =
+                  List.fold_left ( * ) 1
+                    (List.init (Format.order fmt) (fun l ->
+                         let lv =
+                           List.nth indices (Format.dim_of_level fmt l)
+                         in
+                         if l > it.Coiter.level && depth_of lv > info.Plan.depth
+                         then m.Plan.dims.(Format.dim_of_level fmt l)
+                         else 1))
+                in
+                (* Working set: the span the random coordinate selects
+                   from, times the row granularity — what must stay
+                   resident for the gathers to hit in cache. *)
+                let span =
+                  m.Plan.dims.(Format.dim_of_level fmt it.Coiter.level)
+                in
+                { count = total v;
+                  words_each;
+                  table_bytes = 8.0 *. float_of_int (span * words_each) })
+              dense
+        | _ -> [])
+      loops
+  in
+  let result_meta r = Plan.meta plan r in
+  (* appended sparse coordinates: every compressed result level writes its
+     crd (and the deepest one its value) element-at-a-time *)
+  let output_appends =
+    List.fold_left
+      (fun acc r ->
+        if
+          List.mem r (plan.Plan.sched : Stardust_schedule.Schedule.t)
+                     .Stardust_schedule.Schedule.temporaries
+        then acc
+        else
+          let m = result_meta r in
+          let fmt = m.Plan.fmt in
+          acc
+          +. List.fold_left ( +. ) 0.0
+               (List.init (Format.order fmt) (fun l ->
+                    if Format.level_kind fmt l = Format.Compressed then
+                      float_of_int m.Plan.level_counts.(l)
+                    else 0.0)))
+      0.0 plan.Plan.results
+  in
+  let output_words, output_dense_words =
+    List.fold_left
+      (fun (w, dw) r ->
+        if List.mem r (plan.Plan.sched : Stardust_schedule.Schedule.t)
+                       .Stardust_schedule.Schedule.temporaries
+        then (w, dw)
+        else
+          let m = result_meta r in
+          let dense_words =
+            Array.fold_left (fun a d -> a *. float_of_int d) 1.0 m.Plan.dims
+          in
+          (w +. float_of_int m.Plan.num_vals, dw +. dense_words))
+      (0.0, 0.0) plan.Plan.results
+  in
+  (* TACO's OpenMP parallelization applies only when the outermost loop is
+     a dense forall, the kernel assembles no sparse output (the append
+     counters would race), and there is no workspace (where) producer in
+     the loop nest.  Of the paper's ten kernels only SpMV qualifies —
+     which is why its CPU baseline is an order of magnitude closer to
+     Capstan than the others (Table 6). *)
+  let outer_dense =
+    match loops with
+    | (_, { Plan.depth = 0; plan = Coiter.Dense_plan _; _ }) :: _ -> true
+    | _ -> false
+  in
+  let has_where =
+    Stardust_ir.Cin.fold
+      (fun acc s -> acc || match s with Stardust_ir.Cin.Where _ -> true | _ -> false)
+      false stmt
+  in
+  let outputs_dense =
+    List.for_all
+      (fun r ->
+        List.mem r (plan.Plan.sched : Stardust_schedule.Schedule.t)
+                   .Stardust_schedule.Schedule.temporaries
+        ||
+        let m = Plan.meta plan r in
+        Format.order m.Plan.fmt > 0 && Format.is_fully_dense m.Plan.fmt)
+      plan.Plan.results
+  in
+  let parallel_outer = outer_dense && (not has_where) && outputs_dense in
+  {
+    loop_totals = totals;
+    pos_iters = !pos_iters;
+    merge_and_iters = !merge_and;
+    merge_or_iters = !merge_or;
+    output_appends;
+    dense_inner_iters = !dense_inner;
+    flops;
+    input_bytes;
+    output_words;
+    output_dense_words;
+    gathers;
+    parallel_outer;
+  }
+
+let pp ppf p =
+  Fmt.pf ppf
+    "pos=%.3e merge=%.3e dense_inner=%.3e flops=%.3e in_bytes=%.3e out=%.3e dense_out=%.3e gathers=%.3e par=%b"
+    p.pos_iters (merge_iters p) p.dense_inner_iters p.flops p.input_bytes
+    p.output_words p.output_dense_words (total_gathers p) p.parallel_outer

@@ -1,0 +1,124 @@
+(** Dense reference evaluator — the correctness oracle.
+
+    Evaluates an index-notation assignment by brute force over the full
+    (dense) iteration space.  Exponential in tensor order and meant only
+    for small validation inputs; every backend (the CIN interpreter, the
+    imperative CPU backend, and the Capstan simulator) is checked against
+    this evaluator in the test suite. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Coo = Stardust_tensor.Coo
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+
+exception Eval_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+(** Index-variable extents inferred from the input tensors' dimensions. *)
+let extents_of_assign (a : Ast.assign) ~(inputs : (string * Tensor.t) list) =
+  let tbl = Hashtbl.create 16 in
+  let scan (acc : Ast.access) =
+    match List.assoc_opt acc.tensor inputs with
+    | None -> ()
+    | Some t ->
+        List.iteri
+          (fun d v ->
+            let n = Tensor.dim t d in
+            match Hashtbl.find_opt tbl v with
+            | None -> Hashtbl.add tbl v n
+            | Some n' when n' = n -> ()
+            | Some n' -> err "conflicting extents for %s: %d vs %d" v n' n)
+          acc.indices
+  in
+  scan a.lhs;
+  List.iter scan (Ast.accesses_of_expr a.rhs);
+  tbl
+
+let rec eval_expr inputs binding (e : Ast.expr) =
+  match e with
+  | Ast.Const f -> f
+  | Ast.Neg e -> -.eval_expr inputs binding e
+  | Ast.Bin (op, a, b) -> (
+      let x = eval_expr inputs binding a and y = eval_expr inputs binding b in
+      match op with Ast.Add -> x +. y | Ast.Sub -> x -. y | Ast.Mul -> x *. y)
+  | Ast.Access { tensor; indices } -> (
+      match List.assoc_opt tensor inputs with
+      | None -> err "unknown tensor %s" tensor
+      | Some t ->
+          let coords =
+            Array.of_list
+              (List.map
+                 (fun v ->
+                   match List.assoc_opt v binding with
+                   | Some c -> c
+                   | None -> err "unbound index %s" v)
+                 indices)
+          in
+          Tensor.get t coords)
+
+(** [eval a ~inputs ~result_format] computes the assignment densely and
+    packs the result in [result_format].  The left-hand-side tensor need
+    not exist in [inputs] (when it does and [a.accum] is set, its values
+    are the starting point of the accumulation). *)
+let eval (a : Ast.assign) ~(inputs : (string * Tensor.t) list) ~result_format =
+  let extents = extents_of_assign a ~inputs in
+  let extent v =
+    match Hashtbl.find_opt extents v with
+    | Some n -> n
+    | None -> err "cannot infer extent of %s" v
+  in
+  let out_vars = a.lhs.Ast.indices in
+  let red_vars = Ast.reduction_vars a in
+  (* Standard index-notation semantics: the implicit summation over a
+     reduction variable binds only the additive terms that mention it
+     (e.g. in [y(i) = b(i) - A(i,j)*x(j)], [b] is added once, not once per
+     [j]).  Split the right-hand side accordingly. *)
+  let red_terms, plain_terms =
+    List.partition
+      (fun (_, t) ->
+        List.exists (fun v -> List.mem v red_vars) (Ast.indices_of_expr t))
+      (Ast.linear_terms a.Ast.rhs)
+  in
+  let red_expr = Ast.of_linear_terms red_terms in
+  let plain_expr = Ast.of_linear_terms plain_terms in
+  let cell binding =
+    let acc = ref (if plain_terms = [] then 0.0 else eval_expr inputs binding plain_expr) in
+    if red_terms <> [] then begin
+      let rec inner binding = function
+        | [] -> acc := !acc +. eval_expr inputs binding red_expr
+        | v :: rest ->
+            for c = 0 to extent v - 1 do
+              inner ((v, c) :: binding) rest
+            done
+      in
+      inner binding red_vars
+    end;
+    !acc
+  in
+  if out_vars = [] then Tensor.scalar ~name:a.lhs.Ast.tensor (cell [])
+  else begin
+    let dims = List.map extent out_vars in
+    let coo = Coo.create (Array.of_list dims) in
+    let rec outer binding = function
+      | [] ->
+          let acc = ref (cell binding) in
+          (match (a.Ast.accum, List.assoc_opt a.lhs.Ast.tensor inputs) with
+          | true, Some prev ->
+              let coords =
+                Array.of_list (List.map (fun v -> List.assoc v binding) out_vars)
+              in
+              acc := !acc +. Tensor.get prev coords
+          | _ -> ());
+          if !acc <> 0.0 then
+            Coo.add coo
+              (Array.of_list (List.map (fun v -> List.assoc v binding) out_vars))
+              !acc
+      | v :: rest ->
+          for c = 0 to extent v - 1 do
+            outer ((v, c) :: binding) rest
+          done
+    in
+    outer [] out_vars;
+    Tensor.of_coo ~name:a.lhs.Ast.tensor ~format:result_format coo
+  end

@@ -1,0 +1,1 @@
+lib/workloads/datasets.ml: Array Float List Prng Stardust_tensor

@@ -1,0 +1,234 @@
+(** Dataset generators reproducing Table 4.
+
+    The paper evaluates on three SuiteSparse matrices (bcsstk30,
+    ckt11752_dc_1, Trefethen_20000), uniform random matrices/tensors at
+    controlled densities, and the facebook activity tensor.  None of those
+    files ship with this repository, so each is replaced by a deterministic
+    synthetic generator matching its published dimensions, nonzero count,
+    and structure class:
+
+    - {!bcsstk30_like}: a banded FEM-style stiffness matrix (clustered
+      near-diagonal entries, symmetric pattern);
+    - {!ckt11752_like}: circuit-simulation structure — a guaranteed
+      diagonal plus a few scattered entries per row with hub columns;
+    - {!trefethen_like}: the actual Trefethen construction (diagonal plus
+      entries at power-of-two offsets), which needs no source data;
+    - {!facebook_like}: a power-law third-order activity tensor (most
+      activity in few temporal slices, hub users);
+    - {!random_matrix} / {!random_tensor3}: i.i.d. uniform sparsity at the
+      exact densities of Table 4.
+
+    Only dimensions, densities, and structure enter the performance models,
+    so these generators preserve the evaluation's behaviour. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Coo = Stardust_tensor.Coo
+module Format = Stardust_tensor.Format
+
+let value rng = Prng.range rng 0.25 1.75
+
+(* -------------------------------------------------------------------- *)
+(* Generic random generators                                             *)
+(* -------------------------------------------------------------------- *)
+
+(** Uniform random sparse matrix of approximately [density * rows * cols]
+    nonzeros (duplicate draws collapse). *)
+let random_matrix ?(seed = 7) ~name ~format ~rows ~cols ~density () =
+  let rng = Prng.create seed in
+  let coo = Coo.create [| rows; cols |] in
+  let target = int_of_float (density *. float_of_int rows *. float_of_int cols) in
+  (* Per-row draw keeps generation O(nnz) and the distribution uniform. *)
+  let per_row = float_of_int target /. float_of_int rows in
+  for i = 0 to rows - 1 do
+    let n =
+      int_of_float per_row + (if Prng.bool rng (Float.rem per_row 1.0) then 1 else 0)
+    in
+    for _ = 1 to n do
+      Coo.add coo [| i; Prng.int rng cols |] (value rng)
+    done
+  done;
+  Tensor.of_coo ~name ~format coo
+
+(** Uniform random order-3 tensor at the given density. *)
+let random_tensor3 ?(seed = 11) ~name ~format ~dims ~density () =
+  let rng = Prng.create seed in
+  let d0, d1, d2 =
+    match dims with [ a; b; c ] -> (a, b, c) | _ -> invalid_arg "dims"
+  in
+  let coo = Coo.create [| d0; d1; d2 |] in
+  let total = density *. float_of_int d0 *. float_of_int d1 *. float_of_int d2 in
+  let per_slice = total /. float_of_int d0 in
+  for i = 0 to d0 - 1 do
+    let n =
+      int_of_float per_slice
+      + (if Prng.bool rng (Float.rem per_slice 1.0) then 1 else 0)
+    in
+    for _ = 1 to n do
+      Coo.add coo [| i; Prng.int rng d1; Prng.int rng d2 |] (value rng)
+    done
+  done;
+  Tensor.of_coo ~name ~format coo
+
+(** Dense matrix with uniform values (built directly in storage order —
+    dense operands at paper scale reach millions of elements). *)
+let dense_matrix ?(seed = 13) ~name ~format ~rows ~cols () =
+  if not (Format.is_fully_dense format) then
+    invalid_arg "Datasets.dense_matrix: format is not dense";
+  let rng = Prng.create seed in
+  (* Values indexed in logical row-major order, then permuted into storage
+     order so the same seed gives the same logical matrix under rm or cm. *)
+  let logical = Array.init (rows * cols) (fun _ -> value rng) in
+  let dims = [ rows; cols ] in
+  let vals =
+    match format.Format.mode_order with
+    | [ 0; 1 ] -> logical
+    | [ 1; 0 ] ->
+        Array.init (rows * cols) (fun k ->
+            let j = k / rows and i = k mod rows in
+            logical.((i * cols) + j))
+    | _ -> invalid_arg "Datasets.dense_matrix: unsupported mode order"
+  in
+  let levels =
+    Array.of_list
+      (List.map
+         (fun d -> Tensor.Dense_level { dim = List.nth dims d })
+         format.Format.mode_order)
+  in
+  Tensor.of_arrays ~name ~format ~dims ~levels ~vals
+
+(** Dense vector with uniform values. *)
+let dense_vector ?(seed = 17) ~name ~dim () =
+  let rng = Prng.create seed in
+  Tensor.of_arrays ~name ~format:(Format.dv ()) ~dims:[ dim ]
+    ~levels:[| Tensor.Dense_level { dim } |]
+    ~vals:(Array.init dim (fun _ -> value rng))
+
+(* -------------------------------------------------------------------- *)
+(* SuiteSparse-like matrices (Table 4's named datasets)                  *)
+(* -------------------------------------------------------------------- *)
+
+(** Banded FEM stiffness structure: 28924 x 28924, density 2.48e-3
+    (~72 nnz/row) clustered within a +-600 band around the diagonal. *)
+let bcsstk30_like ?(dim = 28924) ?(seed = 19) ~format () =
+  let rng = Prng.create seed in
+  let coo = Coo.create [| dim; dim |] in
+  let per_row = int_of_float (2.48e-3 *. float_of_int dim) in
+  let band = 600 in
+  for i = 0 to dim - 1 do
+    Coo.add coo [| i; i |] (value rng);
+    for _ = 2 to per_row do
+      let off = Prng.int rng (2 * band) - band in
+      let j = max 0 (min (dim - 1) (i + off)) in
+      Coo.add coo [| i; j |] (value rng)
+    done
+  done;
+  Tensor.of_coo ~name:"bcsstk30" ~format coo
+
+(** Circuit structure: 49702 x 49702, density 1.35e-4 (~6.7 nnz/row) — a
+    diagonal, a few scattered couplings, and a small set of hub columns
+    (supply rails) shared by many rows. *)
+let ckt11752_like ?(dim = 49702) ?(seed = 23) ~format () =
+  let rng = Prng.create seed in
+  let coo = Coo.create [| dim; dim |] in
+  let hubs = Array.init 24 (fun _ -> Prng.int rng dim) in
+  for i = 0 to dim - 1 do
+    Coo.add coo [| i; i |] (value rng);
+    (* local couplings *)
+    for _ = 1 to 4 do
+      let j = max 0 (min (dim - 1) (i + Prng.int rng 200 - 100)) in
+      Coo.add coo [| i; j |] (value rng)
+    done;
+    (* occasional hub connection *)
+    if Prng.bool rng 0.7 then
+      Coo.add coo [| i; hubs.(Prng.int rng (Array.length hubs)) |] (value rng)
+  done;
+  Tensor.of_coo ~name:"ckt11752_dc_1" ~format coo
+
+(** The Trefethen_20000 construction itself: A(i,i) on the diagonal and
+    A(i, i +- 2^k) off it — 20000 x 20000, density 1.39e-3. *)
+let trefethen_like ?(dim = 20000) ?(seed = 29) ~format () =
+  let rng = Prng.create seed in
+  let coo = Coo.create [| dim; dim |] in
+  for i = 0 to dim - 1 do
+    Coo.add coo [| i; i |] (value rng);
+    let k = ref 1 in
+    while !k < dim do
+      if i - !k >= 0 then Coo.add coo [| i; i - !k |] (value rng);
+      if i + !k < dim then Coo.add coo [| i; i + !k |] (value rng);
+      k := !k * 2
+    done
+  done;
+  Tensor.of_coo ~name:"Trefethen_20000" ~format coo
+
+(** Power-law activity tensor like the facebook dataset: 1591 temporal
+    slices over a 63891 x 63890 user grid, density 1.14e-7 (~740 K nnz),
+    with activity concentrated in few slices and hub users. *)
+let facebook_like ?(dims = (1591, 63891, 63890)) ?(density = 1.14e-7)
+    ?(seed = 31) ~format () =
+  let d0, d1, d2 = dims in
+  let rng = Prng.create seed in
+  let coo = Coo.create [| d0; d1; d2 |] in
+  let total =
+    int_of_float (density *. float_of_int d0 *. float_of_int d1 *. float_of_int d2)
+  in
+  (* Zipf-ish slice popularity: slice s receives weight 1/(s+1)^0.7. *)
+  let weights = Array.init d0 (fun s -> 1.0 /. Float.pow (float_of_int (s + 1)) 0.7) in
+  let wsum = Array.fold_left ( +. ) 0.0 weights in
+  let hub rng d = if Prng.bool rng 0.2 then Prng.int rng (d / 100 + 1) else Prng.int rng d in
+  Array.iteri
+    (fun s w ->
+      let n = int_of_float (float_of_int total *. w /. wsum) in
+      for _ = 1 to n do
+        Coo.add coo [| s; hub rng d1; hub rng d2 |] (value rng)
+      done)
+    weights;
+  Tensor.of_coo ~name:"facebook" ~format coo
+
+(* -------------------------------------------------------------------- *)
+(* Derived datasets (section 8.1's rotations)                            *)
+(* -------------------------------------------------------------------- *)
+
+(** Rotate a matrix's columns right by [by] (Plus3's extra operands). *)
+let rotate_cols ~by ~name x =
+  let dims = Tensor.dims x in
+  let cols = dims.(1) in
+  let coo = Coo.create dims in
+  Tensor.iter_nonzeros
+    (fun c v -> Coo.add coo [| c.(0); (c.(1) + by) mod cols |] v)
+    x;
+  Tensor.of_coo ~name ~format:(Tensor.format x) coo
+
+(** Rotate the even coordinates of the last dimension by two (Plus2 and
+    InnerProd's second operands). *)
+let rotate_even_last ~name x =
+  let dims = Tensor.dims x in
+  let n = Array.length dims in
+  let last = dims.(n - 1) in
+  let coo = Coo.create dims in
+  Tensor.iter_nonzeros
+    (fun c v ->
+      let c = Array.copy c in
+      if c.(n - 1) mod 2 = 0 then c.(n - 1) <- (c.(n - 1) + 2) mod last;
+      Coo.add coo c v)
+    x;
+  Tensor.of_coo ~name ~format:(Tensor.format x) coo
+
+(* -------------------------------------------------------------------- *)
+(* Small validation datasets (used by the test-suite)                    *)
+(* -------------------------------------------------------------------- *)
+
+(** A small random sparse tensor of arbitrary order for unit tests. *)
+let small_random ?(seed = 37) ~name ~format ~dims ~density () =
+  let rng = Prng.create seed in
+  let coo = Coo.create (Array.of_list dims) in
+  let rec gen coords = function
+    | [] ->
+        if Prng.bool rng density then
+          Coo.add coo (Array.of_list (List.rev coords)) (value rng)
+    | d :: rest ->
+        for c = 0 to d - 1 do
+          gen (c :: coords) rest
+        done
+  in
+  gen [] dims;
+  Tensor.of_coo ~name ~format coo

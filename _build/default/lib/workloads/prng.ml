@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every dataset in the benchmark suite is generated from a fixed seed so
+    runs are reproducible bit-for-bit; we do not use [Random] to keep the
+    generators independent of OCaml's global state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 t) Int64.max_int)
+                  (Int64.of_int bound))
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int x /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform float in [lo, hi). *)
+let range t lo hi = lo +. ((hi -. lo) *. float t)
+
+(** Bernoulli draw. *)
+let bool t p = float t < p

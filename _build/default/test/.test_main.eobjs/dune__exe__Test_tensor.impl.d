@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Gen Hashtbl List Option Printf QCheck QCheck_alcotest Stardust_tensor String

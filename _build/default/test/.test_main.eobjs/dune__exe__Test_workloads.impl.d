@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Stardust_tensor Stardust_workloads

@@ -1,0 +1,47 @@
+(* Shared small validation datasets for end-to-end kernel tests. *)
+
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module D = Stardust_workloads.Datasets
+
+let sp ?(seed = 42) name format dims density =
+  D.small_random ~seed ~name ~format ~dims ~density ()
+
+(** Per kernel: small inputs exercising the same formats as the paper. *)
+let small_inputs : (string * (string * T.t) list) list =
+  [
+    ("SpMV", [ ("A", sp "A" (F.csr ()) [ 8; 10 ] 0.3);
+               ("x", D.dense_vector ~name:"x" ~dim:10 ()) ]);
+    ("Plus3",
+      [ ("B", sp ~seed:1 "B" (F.csr ()) [ 8; 10 ] 0.3);
+        ("C", sp ~seed:2 "C" (F.csr ()) [ 8; 10 ] 0.3);
+        ("D", sp ~seed:3 "D" (F.csr ()) [ 8; 10 ] 0.3) ]);
+    ("SDDMM",
+      [ ("B", sp "B" (F.csr ()) [ 6; 7 ] 0.35);
+        ("C", D.dense_matrix ~name:"C" ~format:(F.rm ()) ~rows:6 ~cols:5 ());
+        ("D", D.dense_matrix ~seed:5 ~name:"D" ~format:(F.rm ()) ~rows:7 ~cols:5 ()) ]);
+    ("MatTransMul",
+      [ ("A", sp "A" (F.csc ()) [ 9; 8 ] 0.3);
+        ("x", D.dense_vector ~name:"x" ~dim:9 ());
+        ("z", D.dense_vector ~seed:6 ~name:"z" ~dim:8 ()) ]);
+    ("Residual",
+      [ ("A", sp "A" (F.csr ()) [ 8; 10 ] 0.3);
+        ("x", D.dense_vector ~name:"x" ~dim:10 ());
+        ("b", D.dense_vector ~seed:8 ~name:"b" ~dim:8 ()) ]);
+    ("TTV",
+      [ ("B", sp "B" (F.csf 3) [ 4; 5; 6 ] 0.3);
+        ("c", D.dense_vector ~name:"c" ~dim:6 ()) ]);
+    ("TTM",
+      [ ("B", sp "B" (F.csf 3) [ 4; 5; 6 ] 0.3);
+        ("C", D.dense_matrix ~name:"C" ~format:(F.cm ()) ~rows:7 ~cols:6 ()) ]);
+    ("MTTKRP",
+      [ ("B", sp "B" (F.csf 3) [ 4; 5; 6 ] 0.3);
+        ("C", D.dense_matrix ~name:"C" ~format:(F.rm ()) ~rows:5 ~cols:8 ());
+        ("D", D.dense_matrix ~seed:9 ~name:"D" ~format:(F.rm ()) ~rows:6 ~cols:8 ()) ]);
+    ("InnerProd",
+      [ ("B", sp ~seed:10 "B" (F.ucc ()) [ 4; 5; 6 ] 0.4);
+        ("C", sp ~seed:11 "C" (F.ucc ()) [ 4; 5; 6 ] 0.4) ]);
+    ("Plus2",
+      [ ("B", sp ~seed:12 "B" (F.ucc ()) [ 4; 5; 6 ] 0.4);
+        ("C", sp ~seed:13 "C" (F.ucc ()) [ 4; 5; 6 ] 0.4) ]);
+  ]

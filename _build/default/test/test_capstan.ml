@@ -1,0 +1,142 @@
+(* Tests for the Capstan architecture substrate: DRAM models, architecture
+   parameters, and the resource accounting of Table 5. *)
+
+module Arch = Stardust_capstan.Arch
+module Dram = Stardust_capstan.Dram
+module Resources = Stardust_capstan.Resources
+module Sim = Stardust_capstan.Sim
+module K = Stardust_core.Kernels
+module F = Stardust_tensor.Format
+module D = Stardust_workloads.Datasets
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Arch                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_arch_defaults () =
+  let a = Arch.default in
+  checki "pcu" 200 a.Arch.num_pcu;
+  checki "pmu" 200 a.Arch.num_pmu;
+  checki "mc" 80 a.Arch.num_mc;
+  checki "shuffle" 16 a.Arch.num_shuffle;
+  checki "lanes" 16 a.Arch.lanes;
+  checki "pmu words" (16 * 4096) (Arch.pmu_words a);
+  checki "pmus for small" 1 (Arch.pmus_for a 10);
+  checki "pmus for exact" 1 (Arch.pmus_for a (16 * 4096));
+  checki "pmus for big" 2 (Arch.pmus_for a ((16 * 4096) + 1))
+
+let test_arch_variants () =
+  checkf "ideal net overhead" 1.0 (Arch.ideal_network Arch.default).Arch.net_overhead;
+  checki "plasticine scalar sparse" 1 Arch.plasticine.Arch.sparse_lanes;
+  checki "capstan vector sparse" 16 Arch.default.Arch.sparse_lanes
+
+(* ------------------------------------------------------------------ *)
+(* DRAM                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dram_bandwidths () =
+  checkb "hbm faster than ddr4" true
+    (Dram.hbm2e.Dram.bandwidth_bytes_per_s > Dram.ddr4.Dram.bandwidth_bytes_per_s);
+  checkb "ideal infinite" true
+    (Float.is_integer Dram.ideal.Dram.bandwidth_bytes_per_s = false
+     || Dram.ideal.Dram.bandwidth_bytes_per_s = infinity)
+
+let test_dram_transfer_cycles () =
+  let clock_hz = 1.6e9 in
+  let c_ddr =
+    Dram.transfer_cycles Dram.ddr4 ~clock_hz ~streamed_bytes:1.0e6
+      ~random_accesses:0.0
+  in
+  let c_hbm =
+    Dram.transfer_cycles Dram.hbm2e ~clock_hz ~streamed_bytes:1.0e6
+      ~random_accesses:0.0
+  in
+  checkb "ddr slower" true (c_ddr > c_hbm);
+  checkf "ideal free" 0.0
+    (Dram.transfer_cycles Dram.ideal ~clock_hz ~streamed_bytes:1.0e9
+       ~random_accesses:1.0e6);
+  (* random accesses cost a de-rated full line each *)
+  let c_rand =
+    Dram.transfer_cycles Dram.ddr4 ~clock_hz ~streamed_bytes:0.0
+      ~random_accesses:1000.0
+  in
+  checkb "randoms expensive" true (c_rand > 1000.0 *. 4.0 /. 42.0)
+
+let test_dram_bandwidth_sweep () =
+  let base = Dram.hbm2e in
+  let half = Dram.with_bandwidth base (base.Dram.bandwidth_bytes_per_s /. 2.0) in
+  let clock_hz = 1.6e9 in
+  let c1 = Dram.transfer_cycles base ~clock_hz ~streamed_bytes:1e6 ~random_accesses:0. in
+  let c2 = Dram.transfer_cycles half ~clock_hz ~streamed_bytes:1e6 ~random_accesses:0. in
+  checkf "halving bandwidth doubles time" (2.0 *. c1) c2
+
+(* ------------------------------------------------------------------ *)
+(* Resources (Table 5 shape)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let compile name =
+  let spec = Option.get (K.find name) in
+  let st = List.hd spec.K.stages in
+  let inputs =
+    List.filter
+      (fun (n, _) -> List.mem_assoc n st.K.formats)
+      (List.assoc spec.K.kname Test_backend_data.small_inputs)
+  in
+  K.compile_stage spec st ~inputs
+
+let test_resources_shuffle_pattern () =
+  (* The paper's Table 5 shuffle column: gather kernels saturate the 16
+     shuffle networks, affine kernels use none, union-result kernels use
+     one port per outer replica. *)
+  let shuf name = (Resources.count Arch.default (compile name)).Resources.shuffle in
+  checki "SpMV gathers" 16 (shuf "SpMV");
+  checki "MatTransMul gathers" 16 (shuf "MatTransMul");
+  checki "Residual gathers" 16 (shuf "Residual");
+  checki "TTV gathers" 16 (shuf "TTV");
+  checki "SDDMM affine" 0 (shuf "SDDMM");
+  checki "TTM affine" 0 (shuf "TTM");
+  checki "MTTKRP affine" 0 (shuf "MTTKRP");
+  checki "InnerProd scalar result" 0 (shuf "InnerProd");
+  checki "Plus2 scatter per level" 2 (shuf "Plus2")
+
+let test_resources_within_budget () =
+  List.iter
+    (fun (spec : K.spec) ->
+      let u = Resources.count Arch.default (compile spec.K.kname) in
+      checkb (spec.K.kname ^ " pcu") true (u.Resources.pcu <= 200);
+      checkb (spec.K.kname ^ " pmu") true (u.Resources.pmu <= 200);
+      checkb (spec.K.kname ^ " mc") true (u.Resources.mc <= 80);
+      checkb (spec.K.kname ^ " shuffle") true (u.Resources.shuffle <= 16);
+      checkb (spec.K.kname ^ " nonzero") true (u.Resources.pcu > 0))
+    K.all
+
+let test_resources_scale_with_par () =
+  let spec = { K.spmv with K.outer_par = 2 } in
+  let st = List.hd spec.K.stages in
+  let inputs = List.assoc "SpMV" Test_backend_data.small_inputs in
+  let low = Resources.count Arch.default (K.compile_stage spec st ~inputs) in
+  let spec16 = { K.spmv with K.outer_par = 16 } in
+  let high = Resources.count Arch.default (K.compile_stage spec16 st ~inputs) in
+  checkb "more par, more pcu" true (high.Resources.pcu > low.Resources.pcu);
+  checkb "more par, more shuffle" true (high.Resources.shuffle > low.Resources.shuffle)
+
+let test_limiting_resource () =
+  let u = Resources.count Arch.default (compile "SpMV") in
+  Alcotest.(check string) "spmv limited by shuffle" "Shuf" u.Resources.limiting
+
+let suite =
+  [
+    ("arch defaults", `Quick, test_arch_defaults);
+    ("arch variants", `Quick, test_arch_variants);
+    ("dram bandwidth ordering", `Quick, test_dram_bandwidths);
+    ("dram transfer cycles", `Quick, test_dram_transfer_cycles);
+    ("dram bandwidth sweep", `Quick, test_dram_bandwidth_sweep);
+    ("resources: shuffle pattern (Table 5)", `Quick, test_resources_shuffle_pattern);
+    ("resources: within chip budget", `Quick, test_resources_within_budget);
+    ("resources: scale with par", `Quick, test_resources_scale_with_par);
+    ("resources: limiting resource", `Quick, test_limiting_resource);
+  ]

@@ -1,0 +1,243 @@
+(* Edge-case and failure-injection tests across the stack: empty and
+   degenerate tensors, scheduling misuse, simulator guard rails, and
+   numeric corner cases. *)
+
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module Coo = Stardust_tensor.Coo
+module Stats = Stardust_tensor.Stats
+module P = Stardust_ir.Parser
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+module S = Stardust_schedule.Schedule
+module C = Stardust_core.Compile
+module K = Stardust_core.Kernels
+module Sim = Stardust_capstan.Sim
+module Ref = Stardust_vonneumann.Reference
+module Imp = Stardust_vonneumann.Imp_interp
+module D = Stardust_workloads.Datasets
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate tensors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_tensor () =
+  let t = T.of_entries ~name:"z" ~format:(F.csr ()) ~dims:[ 4; 5 ] [] in
+  checki "nnz" 0 (T.nnz t);
+  checki "vals" 0 (T.num_vals t);
+  checkf "get" 0.0 (T.get t [| 2; 3 |]);
+  checkf "density" 0.0 (T.density t);
+  let count = ref 0 in
+  T.iter_nonzeros (fun _ _ -> incr count) t;
+  checki "no iterations" 0 !count;
+  (* empty tensors still convert and round-trip *)
+  checkb "convert empty" true (T.equal_approx t (T.convert ~format:(F.csc ()) t))
+
+let test_empty_rows_pack () =
+  (* rows 0 and 2 empty: pos must still be monotone and complete *)
+  let t = T.of_entries ~name:"t" ~format:(F.csr ()) ~dims:[ 3; 3 ]
+      [ ([ 1; 0 ], 1.0); ([ 1; 2 ], 2.0) ] in
+  Alcotest.(check (array int)) "pos" [| 0; 0; 2; 2 |] (T.pos_array t 1)
+
+let test_single_element () =
+  let t = T.of_entries ~name:"t" ~format:(F.csf 3) ~dims:[ 1; 1; 1 ]
+      [ ([ 0; 0; 0 ], 7.0) ] in
+  checkf "get" 7.0 (T.get t [| 0; 0; 0 |]);
+  checki "positions at each level" 1 (T.num_positions t 2)
+
+let test_dense_trailing_zeros () =
+  (* csr-like with dense last level stores explicit zeros *)
+  let fmt = F.make [ F.Compressed; F.Dense ] in
+  let t = T.of_entries ~name:"t" ~format:fmt ~dims:[ 3; 4 ]
+      [ ([ 1; 2 ], 5.0) ] in
+  checki "one row stored" 4 (T.num_vals t);
+  checki "one structural nonzero" 1 (T.nnz t);
+  checkf "explicit zero readable" 0.0 (T.get t [| 1; 0 |])
+
+let test_negative_values_survive () =
+  let t = T.of_entries ~name:"t" ~format:(F.csr ()) ~dims:[ 2; 2 ]
+      [ ([ 0; 0 ], -3.5) ] in
+  checkf "negative value" (-3.5) (T.get t [| 0; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Empty inputs through the whole pipeline                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_spmv_empty_matrix () =
+  let a = T.of_entries ~name:"A" ~format:(F.csr ()) ~dims:[ 4; 4 ] [] in
+  let x = D.dense_vector ~name:"x" ~dim:4 () in
+  let inputs = [ ("A", a); ("x", x) ] in
+  let st = List.hd K.spmv.K.stages in
+  let compiled = K.compile_stage K.spmv st ~inputs in
+  let results, _ = Sim.execute compiled in
+  checki "empty result" 0 (T.nnz (List.assoc "y" results));
+  let cpu, _, _ = Imp.run compiled.C.plan ~inputs in
+  checki "cpu empty too" 0 (T.nnz (List.assoc "y" cpu))
+
+let test_union_disjoint_operands () =
+  (* B and C share no coordinates: the union is their concatenation *)
+  let b = T.of_entries ~name:"B" ~format:(F.csr ()) ~dims:[ 2; 6 ]
+      [ ([ 0; 0 ], 1.0); ([ 1; 2 ], 2.0) ] in
+  let c = T.of_entries ~name:"C" ~format:(F.csr ()) ~dims:[ 2; 6 ]
+      [ ([ 0; 1 ], 3.0); ([ 1; 5 ], 4.0) ] in
+  let inputs = [ ("B", b); ("C", c) ] in
+  let spec = Stardust_core.Kernels_extra.sp_add in
+  let st = List.hd spec.K.stages in
+  let compiled = K.compile_stage spec st ~inputs in
+  let results, _ = Sim.execute compiled in
+  let r = List.assoc "A" results in
+  checki "all four entries" 4 (T.nnz r);
+  checkf "from B" 2.0 (T.get r [| 1; 2 |]);
+  checkf "from C" 4.0 (T.get r [| 1; 5 |])
+
+let test_intersection_disjoint_is_empty () =
+  let b = T.of_entries ~name:"B" ~format:(F.csr ()) ~dims:[ 2; 6 ]
+      [ ([ 0; 0 ], 1.0) ] in
+  let c = T.of_entries ~name:"C" ~format:(F.csr ()) ~dims:[ 2; 6 ]
+      [ ([ 0; 1 ], 3.0) ] in
+  let inputs = [ ("B", b); ("C", c) ] in
+  let spec = Stardust_core.Kernels_extra.hadamard in
+  let st = List.hd spec.K.stages in
+  let compiled = K.compile_stage spec st ~inputs in
+  let results, _ = Sim.execute compiled in
+  checki "empty intersection" 0 (T.nnz (List.assoc "A" results))
+
+(* ------------------------------------------------------------------ *)
+(* Parser numerics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parser_numbers () =
+  let lit s =
+    match (P.parse_assign ("a = " ^ s)).Ast.rhs with
+    | Ast.Const f -> f
+    | e -> Alcotest.failf "not a constant: %a" Ast.pp_expr e
+  in
+  checkf "int" 3.0 (lit "3");
+  checkf "decimal" 0.5 (lit "0.5");
+  checkf "leading dot" 0.25 (lit ".25");
+  checkf "scientific" 1500.0 (lit "1.5e3");
+  checkf "negative exponent" 0.0015 (lit "1.5e-3")
+
+let test_parser_whitespace_and_names () =
+  let a = P.parse_assign "  y_out ( i1 )=  A_mat(i1 ,j')   * x(j')  " in
+  Alcotest.(check string) "tensor" "y_out" a.Ast.lhs.Ast.tensor;
+  Alcotest.(check (list string)) "primed vars" [ "i1"; "j'" ]
+    (Ast.indices_of_expr a.Ast.rhs)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling misuse                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let spmv_sched () =
+  S.of_assign
+    ~formats:[ ("y", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ]
+    (P.parse_assign "y(i) = A(i,j) * x(j)")
+
+let expect_schedule_error name f =
+  match f () with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail (name ^ ": misuse accepted")
+
+let test_schedule_misuse () =
+  expect_schedule_error "zero split factor" (fun () ->
+      S.split_up (spmv_sched ()) "i" "a" "b" 0);
+  expect_schedule_error "negative split factor" (fun () ->
+      S.split_down (spmv_sched ()) "i" "a" "b" (-2));
+  expect_schedule_error "fuse non-nested" (fun () ->
+      S.fuse (spmv_sched ()) "j" "i" "f");
+  expect_schedule_error "precompute arity" (fun () ->
+      S.precompute (spmv_sched ())
+        (Ast.access "x" [ "j" ])
+        [ "j" ] []
+        ("t", F.make ~region:F.On_chip [ F.Dense ]));
+  expect_schedule_error "precompute bad placement" (fun () ->
+      S.precompute ~at:"zz" (spmv_sched ())
+        (Ast.access "x" [ "j" ])
+        [ "j" ] [ "j" ]
+        ("t", F.make ~region:F.On_chip [ F.Dense ]))
+
+let test_auto_bulk_noop () =
+  (* nothing matches: the pass leaves the program (and trace) unchanged *)
+  let s = spmv_sched () in
+  let s' = S.auto_bulk_transfers s in
+  checkb "stmt unchanged" true (Cin.equal_stmt (S.stmt s) (S.stmt s'));
+  checki "trace unchanged" (List.length (S.trace s)) (List.length (S.trace s'))
+
+(* ------------------------------------------------------------------ *)
+(* Simulator guard rails                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_oob_detected () =
+  let open Stardust_spatial.Spatial_ir in
+  let prog =
+    { name = "oob"; env = []; host_params = [];
+      dram = [ { mem = "d"; kind = Dram_dense; size = Int 2 } ];
+      accel =
+        [ Alloc { mem = "m"; kind = Sram_dense; size = Int 2 };
+          Load_burst { dst = "m"; src = "d"; lo = Int 0; hi = Int 4; par = 1 } ] }
+  in
+  match Sim.execute_program prog ~dram_init:[] with
+  | exception Sim.Sim_error _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds burst accepted"
+
+let test_sim_capacity_overflow_detected () =
+  let open Stardust_spatial.Spatial_ir in
+  let prog =
+    { name = "cap"; env = []; host_params = [];
+      dram = [ { mem = "d"; kind = Dram_dense; size = Int 8 } ];
+      accel =
+        [ Alloc { mem = "m"; kind = Sram_dense; size = Int 2 };
+          Load_burst { dst = "m"; src = "d"; lo = Int 0; hi = Int 8; par = 1 } ] }
+  in
+  match Sim.execute_program prog ~dram_init:[] with
+  | exception Sim.Sim_error _ -> ()
+  | _ -> Alcotest.fail "SRAM capacity overflow accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Cross-format compilation matrix                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_spmv_over_matrix_formats () =
+  (* the same expression compiles and validates over several B formats *)
+  let x = D.dense_vector ~name:"x" ~dim:6 () in
+  let entries = [ ([ 0; 1 ], 2.0); ([ 2; 0 ], 3.0); ([ 4; 5 ], 4.0) ] in
+  List.iter
+    (fun fmt ->
+      let a = T.of_entries ~name:"A" ~format:fmt ~dims:[ 5; 6 ] entries in
+      let formats = [ ("y", F.dv ()); ("A", fmt); ("x", F.dv ()) ] in
+      let sched =
+        S.of_assign ~formats (P.parse_assign "y(i) = A(i,j) * x(j)")
+      in
+      let compiled = C.compile sched ~inputs:[ ("A", a); ("x", x) ] in
+      let expected =
+        Ref.eval (P.parse_assign "y(i) = A(i,j) * x(j)")
+          ~inputs:[ ("A", a); ("x", x) ] ~result_format:(F.dv ())
+      in
+      let results, _ = Sim.execute compiled in
+      checkb (F.short_name fmt ^ " agrees") true
+        (T.max_abs_diff (List.assoc "y" results) expected < 1e-6))
+    [ F.csr (); F.rm (); F.make [ F.Compressed; F.Compressed ];
+      F.make [ F.Compressed; F.Dense ] ]
+
+let suite =
+  [
+    ("empty tensor", `Quick, test_empty_tensor);
+    ("empty rows pack", `Quick, test_empty_rows_pack);
+    ("single element csf", `Quick, test_single_element);
+    ("dense trailing zeros", `Quick, test_dense_trailing_zeros);
+    ("negative values", `Quick, test_negative_values_survive);
+    ("pipeline: empty matrix", `Quick, test_spmv_empty_matrix);
+    ("pipeline: disjoint union", `Quick, test_union_disjoint_operands);
+    ("pipeline: disjoint intersection", `Quick, test_intersection_disjoint_is_empty);
+    ("parser: numeric literals", `Quick, test_parser_numbers);
+    ("parser: whitespace and names", `Quick, test_parser_whitespace_and_names);
+    ("schedule misuse", `Quick, test_schedule_misuse);
+    ("auto bulk no-op", `Quick, test_auto_bulk_noop);
+    ("sim: OOB burst", `Quick, test_sim_oob_detected);
+    ("sim: capacity overflow", `Quick, test_sim_capacity_overflow_detected);
+    ("SpMV across matrix formats", `Quick, test_spmv_over_matrix_formats);
+  ]

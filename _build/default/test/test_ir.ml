@@ -1,0 +1,203 @@
+(* Tests for the index-notation AST, the parser, and the CIN IR. *)
+
+module Ast = Stardust_ir.Ast
+module P = Stardust_ir.Parser
+module Cin = Stardust_ir.Cin
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+let strings = Alcotest.list Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip s = Ast.assign_to_string (P.parse_assign s)
+
+let test_parse_simple () =
+  checks "spmv" "y(i) = A(i, j) * x(j)" (roundtrip "y(i) = A(i,j) * x(j)");
+  checks "plus" "A(i, j) = B(i, j) + C(i, j)" (roundtrip "A(i,j)=B(i,j)+C(i,j)");
+  checks "accum" "y(i) += A(i, j) * x(j)" (roundtrip "y(i) += A(i,j)*x(j)")
+
+let test_parse_precedence () =
+  let a = P.parse_assign "a = b + c * d" in
+  (match a.Ast.rhs with
+  | Ast.Bin (Ast.Add, Ast.Access { tensor = "b"; _ }, Ast.Bin (Ast.Mul, _, _)) -> ()
+  | e -> Alcotest.failf "wrong tree: %a" Ast.pp_expr e);
+  let a = P.parse_assign "a = (b + c) * d" in
+  match a.Ast.rhs with
+  | Ast.Bin (Ast.Mul, Ast.Bin (Ast.Add, _, _), _) -> ()
+  | e -> Alcotest.failf "parens ignored: %a" Ast.pp_expr e
+
+let test_parse_constants () =
+  let a = P.parse_assign "y(i) = 0.5 * A(i,j) * x(j) + 0.25 * z(i)" in
+  checkb "has consts" true
+    (List.exists
+       (function Ast.Const 0.5 -> true | _ -> false)
+       (let rec leaves = function
+          | Ast.Bin (_, a, b) -> leaves a @ leaves b
+          | Ast.Neg e -> leaves e
+          | e -> [ e ]
+        in
+        leaves a.Ast.rhs))
+
+let test_parse_negation () =
+  checks "sub" "y(i) = b(i) - A(i, j) * x(j)" (roundtrip "y(i) = b(i) - A(i,j)*x(j)");
+  let a = P.parse_assign "a = -b * c" in
+  match a.Ast.rhs with
+  | Ast.Bin (Ast.Mul, Ast.Neg _, _) -> ()
+  | e -> Alcotest.failf "wrong: %a" Ast.pp_expr e
+
+let test_parse_scalars () =
+  let a = P.parse_assign "alpha = B(i,j,k) * C(i,j,k)" in
+  check strings "scalar lhs" [] a.Ast.lhs.Ast.indices;
+  check strings "reductions" [ "i"; "j"; "k" ] (Ast.reduction_vars a)
+
+let test_parse_errors () =
+  let fails s =
+    match P.parse_assign_opt s with
+    | None -> ()
+    | Some _ -> Alcotest.failf "should not parse: %s" s
+  in
+  fails "y(i) = ";
+  fails "y(i = A(i)";
+  fails "= A(i)";
+  fails "y(i) = A(i,)";
+  fails "y(i) = A(i) $ B(i)";
+  fails "y(i) = A(i) B(i)"
+
+let test_parse_offsets () =
+  (* the error position is the character offset *)
+  match P.parse_assign "y(i) = A(i,j) ? x(j)" with
+  | exception P.Parse_error (_, off) -> Alcotest.check Alcotest.int "offset" 14 off
+  | _ -> Alcotest.fail "expected parse error"
+
+(* ------------------------------------------------------------------ *)
+(* AST queries                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sddmm = P.parse_assign "A(i,j) = B(i,j) * C(i,k) * D(j,k)"
+
+let test_ast_queries () =
+  check strings "tensors" [ "B"; "C"; "D" ] (Ast.tensors_of_expr sddmm.Ast.rhs);
+  check strings "indices" [ "i"; "j"; "k" ] (Ast.indices_of_expr sddmm.Ast.rhs);
+  check strings "reductions" [ "k" ] (Ast.reduction_vars sddmm);
+  check strings "all vars" [ "i"; "j"; "k" ] (Ast.all_vars sddmm)
+
+let test_ast_subst () =
+  let e = Ast.subst_indices sddmm.Ast.rhs [ ("k", "kk") ] in
+  check strings "renamed" [ "i"; "j"; "kk" ] (Ast.indices_of_expr e);
+  let e = Ast.subst_tensors sddmm.Ast.rhs [ ("B", "B_on") ] in
+  check strings "tensor renamed" [ "B_on"; "C"; "D" ] (Ast.tensors_of_expr e)
+
+let test_linear_terms () =
+  let a = P.parse_assign "y(i) = b(i) - A(i,j) * x(j) + c(i)" in
+  let terms = Ast.linear_terms a.Ast.rhs in
+  Alcotest.check Alcotest.int "three terms" 3 (List.length terms);
+  check (Alcotest.list Alcotest.bool) "signs" [ false; true; false ]
+    (List.map fst terms);
+  (* rebuilding preserves the term list *)
+  let rebuilt = Ast.of_linear_terms terms in
+  Alcotest.check Alcotest.int "round trip" 3
+    (List.length (Ast.linear_terms rebuilt))
+
+(* ------------------------------------------------------------------ *)
+(* CIN                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_concretize () =
+  let s = Cin.concretize sddmm in
+  check strings "loop order" [ "i"; "j"; "k" ] (Cin.bound_vars s);
+  match s with
+  | Cin.Forall { body = Cin.Forall { body = Cin.Forall { body = Cin.Assign a; _ }; _ }; _ }
+    ->
+      checkb "accum inserted" true a.Ast.accum
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_concretize_no_reduction () =
+  let a = P.parse_assign "A(i,j) = B(i,j) + C(i,j)" in
+  match Cin.concretize a with
+  | Cin.Forall { body = Cin.Forall { body = Cin.Assign a; _ }; _ } ->
+      checkb "no accum" false a.Ast.accum
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_cin_queries () =
+  let s = Cin.concretize sddmm in
+  check strings "read" [ "B"; "C"; "D" ] (Cin.tensors_read s);
+  check strings "written" [ "A" ] (Cin.tensors_written s);
+  check strings "all" [ "A"; "B"; "C"; "D" ] (Cin.all_tensors s);
+  checkb "well formed" true (Cin.is_well_formed s);
+  checkb "assignment found" true (List.length (Cin.assignments s) = 1)
+
+let test_cin_unbound () =
+  let s = Cin.forall "i" (Cin.Assign (P.parse_assign "y(i) = x(j)")) in
+  checkb "j unbound" true (List.mem ("x", "j") (Cin.unbound_indices s));
+  checkb "not well formed" false (Cin.is_well_formed s)
+
+let test_cin_replace () =
+  let s = Cin.concretize sddmm in
+  let target =
+    Cin.forall "k" (Cin.Assign { sddmm with accum = true })
+  in
+  checkb "contains inner loop" true (Cin.contains ~target s);
+  let replaced =
+    Cin.replace_first ~target
+      ~replacement:(Cin.Mapped { backend = Cin.Spatial; func = Cin.Reduction;
+                                 config = None; body = target })
+      s
+  in
+  checkb "replaced" true (Option.is_some replaced);
+  let missing =
+    Cin.replace_first ~target:(Cin.forall "zz" target) ~replacement:target s
+  in
+  checkb "no match" true (Option.is_none missing)
+
+let test_cin_subst () =
+  let s = Cin.concretize sddmm in
+  let s' = Cin.subst_tensors s [ ("B", "B_on") ] in
+  check strings "renamed reads" [ "B_on"; "C"; "D" ] (Cin.tensors_read s');
+  let s'' = Cin.subst_indices s [ ("i", "i0") ] in
+  check strings "renamed loops" [ "i0"; "j"; "k" ] (Cin.bound_vars s'')
+
+let test_cin_where () =
+  let producer = Cin.forall "j" (Cin.Assign (P.parse_assign "ws += A(i,j) * x(j)")) in
+  let consumer = Cin.Assign (P.parse_assign "y(i) = ws") in
+  let s = Cin.forall "i" (Cin.where consumer producer) in
+  check strings "written includes temp" [ "ws"; "y" ]
+    (List.sort compare (Cin.tensors_written s));
+  checkb "well formed" true (Cin.is_well_formed s)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Pretty printing is stable enough to grep in docs/tests. *)
+let test_cin_pp () =
+  let s = Cin.concretize (P.parse_assign "y(i) = A(i,j) * x(j)") in
+  let str = Cin.to_string s in
+  checkb "mentions forall i" true (contains str "forall(i)");
+  checkb "mentions +=" true (contains str "+=")
+
+let suite =
+  [
+    ("parse simple", `Quick, test_parse_simple);
+    ("parse precedence", `Quick, test_parse_precedence);
+    ("parse constants", `Quick, test_parse_constants);
+    ("parse negation", `Quick, test_parse_negation);
+    ("parse scalar lhs", `Quick, test_parse_scalars);
+    ("parse errors", `Quick, test_parse_errors);
+    ("parse error offsets", `Quick, test_parse_offsets);
+    ("ast queries", `Quick, test_ast_queries);
+    ("ast substitution", `Quick, test_ast_subst);
+    ("linear terms", `Quick, test_linear_terms);
+    ("concretize reductions", `Quick, test_concretize);
+    ("concretize plain", `Quick, test_concretize_no_reduction);
+    ("cin queries", `Quick, test_cin_queries);
+    ("cin unbound detection", `Quick, test_cin_unbound);
+    ("cin replace", `Quick, test_cin_replace);
+    ("cin substitution", `Quick, test_cin_subst);
+    ("cin where", `Quick, test_cin_where);
+    ("cin printing", `Quick, test_cin_pp);
+  ]

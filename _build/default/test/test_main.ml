@@ -1,0 +1,17 @@
+(* Stardust test suite entry point: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "stardust"
+    [
+      ("tensor", Test_tensor.suite);
+      ("ir", Test_ir.suite);
+      ("schedule", Test_schedule.suite);
+      ("lower", Test_lower.suite);
+      ("spatial", Test_spatial.suite);
+      ("backends", Test_backends.suite);
+      ("vonneumann", Test_vonneumann.suite);
+      ("capstan", Test_capstan.suite);
+      ("workloads", Test_workloads.suite);
+      ("edge", Test_edge.suite);
+      ("properties", Test_properties.suite);
+    ]

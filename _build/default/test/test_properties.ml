@@ -1,0 +1,180 @@
+(* Additional randomized property tests across the whole stack. *)
+
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module Stats = Stardust_tensor.Stats
+module P = Stardust_ir.Parser
+module Ast = Stardust_ir.Ast
+module K = Stardust_core.Kernels
+module C = Stardust_core.Compile
+module Sim = Stardust_capstan.Sim
+module Arch = Stardust_capstan.Arch
+module Dram = Stardust_capstan.Dram
+module Resources = Stardust_capstan.Resources
+module Ref = Stardust_vonneumann.Reference
+module Imp = Stardust_vonneumann.Imp_interp
+module D = Stardust_workloads.Datasets
+
+let close a b = T.max_abs_diff a b < 1e-6
+
+let run_stage spec ~inputs =
+  let st = List.hd spec.K.stages in
+  let compiled = K.compile_stage spec st ~inputs in
+  let expected =
+    Ref.eval (P.parse_assign st.K.expr) ~inputs ~result_format:st.K.result_format
+  in
+  let sim, report = Sim.execute compiled in
+  (compiled, List.assoc st.K.result sim, expected, report)
+
+(* SDDMM on random masks and ranks: all backends agree. *)
+let prop_sddmm_random =
+  QCheck.Test.make ~name:"SDDMM agrees on random masks and ranks" ~count:25
+    QCheck.(triple (int_range 0 500) (int_range 2 6) (int_range 1 9))
+    (fun (seed, rank, d10) ->
+      let b = D.small_random ~seed ~name:"B" ~format:(F.csr ()) ~dims:[ 6; 7 ]
+          ~density:(float_of_int d10 /. 10.0) () in
+      let c = D.dense_matrix ~seed:(seed + 1) ~name:"C" ~format:(F.rm ())
+          ~rows:6 ~cols:rank () in
+      let d = D.dense_matrix ~seed:(seed + 2) ~name:"D" ~format:(F.rm ())
+          ~rows:7 ~cols:rank () in
+      let inputs = [ ("B", b); ("C", c); ("D", d) ] in
+      let compiled, sim, expected, _ = run_stage K.sddmm ~inputs in
+      let cpu, _, _ = Imp.run compiled.C.plan ~inputs in
+      close sim expected && close (List.assoc "A" cpu) expected)
+
+(* TTV on random 3-tensors: all backends agree. *)
+let prop_ttv_random =
+  QCheck.Test.make ~name:"TTV agrees on random 3-tensors" ~count:25
+    QCheck.(pair (int_range 0 500) (int_range 1 6))
+    (fun (seed, d10) ->
+      let b = D.small_random ~seed ~name:"B" ~format:(F.csf 3)
+          ~dims:[ 4; 5; 6 ] ~density:(float_of_int d10 /. 10.0) () in
+      QCheck.assume (T.nnz b > 0);
+      let c = D.dense_vector ~seed:(seed + 1) ~name:"c" ~dim:6 () in
+      let inputs = [ ("B", b); ("c", c) ] in
+      let compiled, sim, expected, _ = run_stage K.ttv ~inputs in
+      let cpu, _, _ = Imp.run compiled.C.plan ~inputs in
+      close sim expected && close (List.assoc "A" cpu) expected)
+
+(* The input format of the operands does not change the computed values. *)
+let prop_format_invariance =
+  QCheck.Test.make ~name:"result values are format-invariant" ~count:25
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let b0 = D.small_random ~seed ~name:"B" ~format:(F.csr ()) ~dims:[ 5; 6 ]
+          ~density:0.4 () in
+      let x = D.dense_vector ~seed:(seed + 1) ~name:"x" ~dim:6 () in
+      let results =
+        List.map
+          (fun fmt ->
+            let b = T.rename "A" (T.convert ~format:fmt b0) in
+            let formats = [ ("y", F.dv ()); ("A", fmt); ("x", F.dv ()) ] in
+            let sched =
+              Stardust_schedule.Schedule.of_assign ~formats
+                (P.parse_assign "y(i) = A(i,j) * x(j)")
+            in
+            let compiled = C.compile sched ~inputs:[ ("A", b); ("x", x) ] in
+            let sim, _ = Sim.execute compiled in
+            List.assoc "y" sim)
+          [ F.csr (); F.rm (); F.make [ F.Compressed; F.Compressed ] ]
+      in
+      match results with
+      | r0 :: rest -> List.for_all (close r0) rest
+      | [] -> false)
+
+(* Simulated cycles never decrease when memory bandwidth decreases. *)
+let prop_bandwidth_monotone =
+  QCheck.Test.make ~name:"cycles are monotone in memory bandwidth" ~count:15
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let b = D.small_random ~seed ~name:"A" ~format:(F.csr ()) ~dims:[ 8; 9 ]
+          ~density:0.3 () in
+      let x = D.dense_vector ~name:"x" ~dim:9 () in
+      let st = List.hd K.spmv.K.stages in
+      let compiled = K.compile_stage K.spmv st ~inputs:[ ("A", b); ("x", x) ] in
+      let cyc bw =
+        (Sim.estimate
+           ~config:{ Sim.arch = Arch.default;
+                     dram = Dram.with_bandwidth Dram.hbm2e bw }
+           compiled).Sim.cycles
+      in
+      let c1 = cyc 10.0e9 and c2 = cyc 100.0e9 and c3 = cyc 1000.0e9 in
+      c1 >= c2 && c2 >= c3)
+
+(* Resource counts grow monotonically with inner parallelization. *)
+let prop_resources_monotone =
+  QCheck.Test.make ~name:"PMU/MC counts never shrink with outer par" ~count:10
+    QCheck.(int_range 1 8)
+    (fun op ->
+      let inputs = List.assoc "SDDMM" Test_backend_data.small_inputs in
+      let lo = { K.sddmm with K.outer_par = op } in
+      let hi = { K.sddmm with K.outer_par = op * 2 } in
+      let count spec =
+        Resources.count Arch.default
+          (K.compile_stage spec (List.hd spec.K.stages) ~inputs)
+      in
+      let a = count lo and b = count hi in
+      b.Resources.pcu >= a.Resources.pcu && b.Resources.pmu >= a.Resources.pmu)
+
+(* Parsing is a retraction of printing. *)
+let prop_parse_print_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(fun a -> Ast.assign_to_string a)
+      QCheck.Gen.(
+        let var = oneofl [ "i"; "j"; "k" ] in
+        let access =
+          map2
+            (fun t vs -> Ast.Access { tensor = t; indices = vs })
+            (oneofl [ "A"; "B"; "C" ])
+            (map (fun v -> [ v ]) var)
+        in
+        let leaf =
+          oneof [ access; map (fun n -> Ast.Const (float_of_int n)) (int_bound 9) ]
+        in
+        let rec expr n =
+          if n = 0 then leaf
+          else
+            oneof
+              [ leaf;
+                map2 (fun a b -> Ast.Bin (Ast.Add, a, b)) (expr (n - 1)) (expr (n - 1));
+                map2 (fun a b -> Ast.Bin (Ast.Mul, a, b)) (expr (n - 1)) (expr (n - 1));
+                map2 (fun a b -> Ast.Bin (Ast.Sub, a, b)) (expr (n - 1)) (expr (n - 1));
+                map (fun a -> Ast.Neg a) (expr (n - 1)) ]
+        in
+        map
+          (fun e ->
+            (* anchor the output variable so every extent is inferable *)
+            { Ast.lhs = { tensor = "y"; indices = [ "i" ] };
+              accum = false;
+              rhs = Ast.Bin (Ast.Add, e, Ast.access "Z" [ "i" ]) })
+          (expr 3))
+  in
+  QCheck.Test.make ~name:"parse (print e) evaluates like e" ~count:100 arb
+    (fun a ->
+      let reparsed = P.parse_assign (Ast.assign_to_string a) in
+      (* structural equality can differ in association; compare by dense
+         evaluation over small random tensors *)
+      let mk name =
+        D.small_random ~seed:(Hashtbl.hash name) ~name ~format:(F.dv ())
+          ~dims:[ 4 ] ~density:0.8 ()
+      in
+      let inputs =
+        List.map (fun n -> (n, mk n))
+          (List.sort_uniq compare
+             ([ "A"; "B"; "C"; "Z" ] @ Ast.tensors_of_expr a.Ast.rhs))
+      in
+      let v1 = Ref.eval a ~inputs ~result_format:(F.dv ()) in
+      let v2 = Ref.eval reparsed ~inputs ~result_format:(F.dv ()) in
+      close v1 v2)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_sddmm_random;
+      prop_ttv_random;
+      prop_format_invariance;
+      prop_bandwidth_monotone;
+      prop_resources_monotone;
+      prop_parse_print_roundtrip;
+    ]

@@ -1,0 +1,331 @@
+(* Tests for the scheduling language: every command of Tables 1 and 2,
+   validity checks, and the semantics-preservation property (scheduled CIN
+   interpreted == dense reference). *)
+
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module Ast = Stardust_ir.Ast
+module P = Stardust_ir.Parser
+module Cin = Stardust_ir.Cin
+module S = Stardust_schedule.Schedule
+module R = Stardust_schedule.Relation
+module Ref = Stardust_vonneumann.Reference
+module Interp = Stardust_vonneumann.Cin_interp
+module D = Stardust_workloads.Datasets
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let strings = Alcotest.list Alcotest.string
+let on_scalar = F.make ~region:F.On_chip []
+
+let spmv_formats = [ ("y", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ]
+let spmv = P.parse_assign "y(i) = A(i,j) * x(j)"
+let spmv_sched () = S.of_assign ~formats:spmv_formats spmv
+
+let small_A () =
+  D.small_random ~seed:3 ~name:"A" ~format:(F.csr ()) ~dims:[ 6; 7 ] ~density:0.4 ()
+
+let small_x () = D.dense_vector ~name:"x" ~dim:7 ()
+
+let inputs () = [ ("A", small_A ()); ("x", small_x ()) ]
+
+(** Scheduled program evaluates to the same tensor as the reference. *)
+let preserves_semantics ?(inputs = inputs ()) ~assign ~result ~result_format sched =
+  let expected = Ref.eval assign ~inputs ~result_format in
+  let got = Interp.run sched ~inputs ~result ~result_format in
+  T.max_abs_diff got expected < 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* of_assign                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_assign () =
+  let s = spmv_sched () in
+  Alcotest.(check (list string)) "loops" [ "i"; "j" ] (Cin.bound_vars (S.stmt s));
+  checkb "valid" true (S.is_valid s);
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_of_assign_missing_format () =
+  Alcotest.check_raises "missing format"
+    (S.Schedule_error "of_assign: tensor x has no declared format") (fun () ->
+      ignore (S.of_assign ~formats:[ ("y", F.dv ()); ("A", F.csr ()) ] spmv))
+
+let test_of_assign_arity () =
+  match S.of_assign ~formats:spmv_formats (P.parse_assign "y(i) = A(i) * x(i)") with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted"
+
+let test_of_assign_mixed_terms () =
+  (* Residual-style mixed terms get an automatic workspace. *)
+  let formats =
+    [ ("y", F.dv ()); ("b", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ]
+  in
+  let a = P.parse_assign "y(i) = b(i) - A(i,j) * x(j)" in
+  let s = S.of_assign ~formats a in
+  checkb "workspace introduced" true (S.has_tensor s "_rs");
+  let has_where =
+    Cin.fold (fun acc n -> acc || match n with Cin.Where _ -> true | _ -> false)
+      false (S.stmt s)
+  in
+  checkb "where node" true has_where;
+  let inputs =
+    [ ("A", small_A ()); ("x", small_x ());
+      ("b", D.dense_vector ~seed:5 ~name:"b" ~dim:6 ()) ]
+  in
+  checkb "semantics" true
+    (preserves_semantics ~inputs ~assign:a ~result:"y" ~result_format:(F.dv ()) s)
+
+(* ------------------------------------------------------------------ *)
+(* precompute                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_precompute_scalar_workspace () =
+  let s = spmv_sched () in
+  let e = Ast.(access "A" [ "i"; "j" ] * access "x" [ "j" ]) in
+  let s = S.precompute s e [] [] ("ws", on_scalar) in
+  checkb "temp recorded" true (List.mem "ws" s.S.temporaries);
+  (* shape: forall i (y = ws where forall j ws += A*x) *)
+  (match S.stmt s with
+  | Cin.Forall { index = "i"; body = Cin.Where { consumer = Cin.Assign c; producer } }
+    ->
+      checkb "consumer reads ws" true
+        (List.mem "ws" (Ast.tensors_of_expr c.Ast.rhs));
+      checkb "consumer not accum" false c.Ast.accum;
+      Alcotest.(check (list string)) "producer loop" [ "j" ] (Cin.bound_vars producer)
+  | s -> Alcotest.failf "wrong shape: %a" Cin.pp s);
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_precompute_staging () =
+  let s = spmv_sched () in
+  let s = S.precompute s (Ast.access "x" [ "j" ]) [ "j" ] [ "j" ]
+      ("x_on", F.make ~region:F.On_chip [ F.Dense ]) in
+  (match S.stmt s with
+  | Cin.Where { producer; _ } ->
+      Alcotest.(check (list string)) "producer copies x" [ "x" ]
+        (Cin.tensors_read producer)
+  | s -> Alcotest.failf "expected top-level where, got %a" Cin.pp s);
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_precompute_staging_at () =
+  let s = spmv_sched () in
+  let s = S.precompute ~at:"i" s (Ast.access "x" [ "j" ]) [ "j" ] [ "j" ]
+      ("x_on", F.make ~region:F.On_chip [ F.Dense ]) in
+  (* the where sits inside the i loop *)
+  (match S.stmt s with
+  | Cin.Forall { index = "i"; body = Cin.Where _ } -> ()
+  | s -> Alcotest.failf "wrong placement: %a" Cin.pp s);
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_precompute_errors () =
+  let s = spmv_sched () in
+  (match S.precompute s (Ast.access "zz" [ "j" ]) [] [] ("w", on_scalar) with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "missing expression accepted");
+  let s' = S.precompute s Ast.(access "A" [ "i"; "j" ] * access "x" [ "j" ]) [] []
+      ("ws", on_scalar) in
+  match S.precompute s' (Ast.access "x" [ "j" ]) [] [] ("ws", on_scalar) with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "duplicate temp accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Loop transformations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_up () =
+  let s = spmv_sched () in
+  let s = S.split_up s "i" "i0" "i1" 2 in
+  Alcotest.(check (list string)) "loops" [ "i0"; "i1"; "j" ]
+    (Cin.bound_vars (S.stmt s));
+  checkb "relation recorded" true
+    (List.exists (function R.Split_up _ -> true | _ -> false) (S.relations s));
+  checkb "still valid (derived var)" true (S.is_valid s);
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_split_down () =
+  let s = S.split_down (spmv_sched ()) "i" "i0" "i1" 3 in
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_fuse () =
+  let s = S.fuse (spmv_sched ()) "i" "j" "f" in
+  Alcotest.(check (list string)) "fused loop" [ "f" ] (Cin.bound_vars (S.stmt s));
+  checkb "valid" true (S.is_valid s);
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_split_then_fuse_roundtrip () =
+  let s = spmv_sched () in
+  let s = S.split_up s "j" "j0" "j1" 4 in
+  let s = S.fuse s "j0" "j1" "jf" in
+  checkb "semantics" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_reorder () =
+  let formats =
+    [ ("A", F.rm ()); ("B", F.csf 3); ("C", F.cm ()) ]
+  in
+  let a = P.parse_assign "A(i,k) = B(i,j,l) * C(k,l)" in
+  let s = S.of_assign ~formats:[ ("A", F.rm ()); ("B", F.csf 3); ("C", F.cm ()) ] a in
+  ignore formats;
+  let s = S.reorder s [ "i"; "k"; "l"; "j" ] in
+  Alcotest.(check (list string)) "new order" [ "i"; "k"; "l"; "j" ]
+    (Cin.bound_vars (S.stmt s))
+
+let test_reorder_errors () =
+  let s = spmv_sched () in
+  (match S.reorder s [ "i" ] with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "partial permutation accepted");
+  match S.reorder s [ "i"; "zz" ] with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "unknown variable accepted"
+
+let test_split_missing_loop () =
+  match S.split_up (spmv_sched ()) "zz" "a" "b" 2 with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "missing loop accepted"
+
+(* ------------------------------------------------------------------ *)
+(* map / accelerate / environment                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_environment () =
+  let s = spmv_sched () in
+  let s = S.set_environment s "innerPar" 16 in
+  let s = S.set_environment s "innerPar" 8 in
+  checki "overwrite" 8 (S.env_value s "innerPar");
+  checki "default" 4 (S.env_value ~default:4 s "outerPar");
+  match S.env_value s "nope" with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "unset variable accepted"
+
+let test_map_and_accelerate () =
+  let s = spmv_sched () in
+  let e = Ast.(access "A" [ "i"; "j" ] * access "x" [ "j" ]) in
+  let s = S.precompute s e [] [] ("ws", on_scalar) in
+  let target =
+    Cin.forall "j"
+      (Cin.Assign { lhs = { tensor = "ws"; indices = [] }; accum = true; rhs = e })
+  in
+  let s = S.accelerate s target Cin.Spatial Cin.Reduction (Some (Cin.Cvar "innerPar")) in
+  let mapped =
+    Cin.fold
+      (fun acc n ->
+        acc || match n with Cin.Mapped { func = Cin.Reduction; _ } -> true | _ -> false)
+      false (S.stmt s)
+  in
+  checkb "reduce mapped" true mapped;
+  checkb "semantics unchanged" true
+    (preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let test_map_missing_target () =
+  let s = spmv_sched () in
+  let bogus = Cin.forall "q" (Cin.Assign (P.parse_assign "w += A(q,q)")) in
+  match S.map_to s bogus Cin.Spatial Cin.Reduction None with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail "missing target accepted"
+
+let test_accelerate_staged () =
+  (* stage_inputs copies off-chip operands on-chip and rewrites the body *)
+  let formats = [ ("a", F.dv ()); ("b", F.dv ()); ("c", F.dv ()) ] in
+  let a = P.parse_assign "a(i) = b(i) * c(i)" in
+  let s = S.of_assign ~formats a in
+  let target = S.stmt s in
+  let s = S.accelerate ~stage_inputs:true s target Cin.Spatial
+      (Cin.Custom_func "vvmul") None in
+  checkb "b staged" true (S.has_tensor s "b_on");
+  checkb "c staged" true (S.has_tensor s "c_on");
+  checkb "staged copies on-chip" true (F.is_on_chip (S.format_of s "b_on"))
+
+let test_auto_bulk_transfers () =
+  let formats =
+    [ ("t_on", F.make ~region:F.On_chip [ F.Dense ]); ("t", F.dv ()) ]
+  in
+  let a = P.parse_assign "t_on(i) = t(i)" in
+  let s = S.of_assign ~formats a in
+  let s = S.auto_bulk_transfers s in
+  let bulk =
+    Cin.fold
+      (fun acc n ->
+        acc || match n with Cin.Mapped { func = Cin.Bulk_load; _ } -> true | _ -> false)
+      false (S.stmt s)
+  in
+  checkb "bulk load detected" true bulk
+
+let test_trace () =
+  let s = S.set_environment (spmv_sched ()) "innerPar" 16 in
+  checki "trace grows" 2 (List.length (S.trace s))
+
+(* ------------------------------------------------------------------ *)
+(* Relations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_relation_extents () =
+  let rels = [ R.Split_up { parent = "i"; outer = "io"; inner = "ii"; factor = 4 } ] in
+  let base = function "i" -> Some 10 | _ -> None in
+  Alcotest.(check (option int)) "inner" (Some 4) (R.extent_of rels base "ii");
+  Alcotest.(check (option int)) "outer ceil" (Some 3) (R.extent_of rels base "io");
+  let rels = [ R.Fused { outer = "i"; inner = "j"; fused = "f" } ] in
+  let base = function "i" -> Some 3 | "j" -> Some 5 | _ -> None in
+  Alcotest.(check (option int)) "fused" (Some 15) (R.extent_of rels base "f")
+
+let test_relation_recoverable () =
+  let rels = [ R.Split_up { parent = "i"; outer = "io"; inner = "ii"; factor = 4 } ] in
+  let known = R.recoverable rels [ "io"; "ii" ] in
+  checkb "parent recoverable" true (List.mem "i" known);
+  let known = R.recoverable rels [ "io" ] in
+  checkb "needs both" false (List.mem "i" known)
+
+(* ------------------------------------------------------------------ *)
+(* Property: random schedule pipelines preserve semantics               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_schedules_preserve =
+  QCheck.Test.make ~name:"random split/fuse/reorder pipelines preserve semantics"
+    ~count:60
+    QCheck.(triple (int_bound 2) (int_range 2 5) (int_bound 1))
+    (fun (which, factor, flip) ->
+      let s = spmv_sched () in
+      let s =
+        match which with
+        | 0 -> S.split_up s "j" "j0" "j1" factor
+        | 1 -> S.split_down s "i" "i0" "i1" factor
+        | _ -> S.fuse s "i" "j" "f"
+      in
+      let s =
+        if flip = 1 && which = 0 then S.fuse s "j0" "j1" "jf" else s
+      in
+      preserves_semantics ~assign:spmv ~result:"y" ~result_format:(F.dv ()) s)
+
+let suite =
+  [
+    ("of_assign", `Quick, test_of_assign);
+    ("of_assign missing format", `Quick, test_of_assign_missing_format);
+    ("of_assign arity", `Quick, test_of_assign_arity);
+    ("of_assign mixed terms", `Quick, test_of_assign_mixed_terms);
+    ("precompute scalar workspace", `Quick, test_precompute_scalar_workspace);
+    ("precompute staging", `Quick, test_precompute_staging);
+    ("precompute staging at loop", `Quick, test_precompute_staging_at);
+    ("precompute errors", `Quick, test_precompute_errors);
+    ("split_up", `Quick, test_split_up);
+    ("split_down", `Quick, test_split_down);
+    ("fuse", `Quick, test_fuse);
+    ("split+fuse round trip", `Quick, test_split_then_fuse_roundtrip);
+    ("reorder", `Quick, test_reorder);
+    ("reorder errors", `Quick, test_reorder_errors);
+    ("split missing loop", `Quick, test_split_missing_loop);
+    ("environment", `Quick, test_environment);
+    ("map/accelerate reduce", `Quick, test_map_and_accelerate);
+    ("map missing target", `Quick, test_map_missing_target);
+    ("accelerate with staging", `Quick, test_accelerate_staged);
+    ("auto bulk transfers", `Quick, test_auto_bulk_transfers);
+    ("command trace", `Quick, test_trace);
+    ("relation extents", `Quick, test_relation_extents);
+    ("relation recoverable", `Quick, test_relation_recoverable);
+    QCheck_alcotest.to_alcotest prop_schedules_preserve;
+  ]

@@ -1,0 +1,455 @@
+(* Direct tests of the Spatial IR execution semantics (via hand-written
+   programs through the raw simulator entry point), the code generator,
+   and tests of the extended long-tail kernel suite and auto-scheduler. *)
+
+module Ir = Stardust_spatial.Spatial_ir
+module Codegen = Stardust_spatial.Codegen
+module Sim = Stardust_capstan.Sim
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module P = Stardust_ir.Parser
+module K = Stardust_core.Kernels
+module KX = Stardust_core.Kernels_extra
+module Auto = Stardust_core.Autoschedule
+module C = Stardust_core.Compile
+module Ref = Stardust_vonneumann.Reference
+module Imp = Stardust_vonneumann.Imp_interp
+module D = Stardust_workloads.Datasets
+open Ir
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let arr = Alcotest.array (Alcotest.float 1e-9)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let run ?config prog ~dram_init = Sim.execute_program ?config prog ~dram_init
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written IR programs                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_exec_foreach_copy () =
+  (* out[i] = 2 * in[i] through an SRAM staging buffer *)
+  let prog =
+    { name = "copy2x"; env = []; host_params = [];
+      dram =
+        [ { mem = "in_dram"; kind = Dram_dense; size = Int 4 };
+          { mem = "out_dram"; kind = Dram_dense; size = Int 4 } ];
+      accel =
+        [ Alloc { mem = "buf"; kind = Sram_dense; size = Int 4 };
+          Load_burst { dst = "buf"; src = "in_dram"; lo = Int 0; hi = Int 4; par = 1 };
+          Alloc { mem = "out"; kind = Sram_dense; size = Int 4 };
+          Foreach
+            { len = Int 4; par = 1; bind = "i"; trip = Trip_const 4;
+              body =
+                [ Write { mem = "out"; idx = Some (var "i");
+                          value = Bin (Mul, Flt 2.0, sram_read "buf" (var "i"));
+                          accum = false } ] };
+          Store_burst { dst = "out_dram"; src = "out"; lo = Int 0; len = Int 4; par = 1 } ] }
+  in
+  let dump, report = run prog ~dram_init:[ ("in_dram", [| 1.; 2.; 3.; 4. |]) ] in
+  Alcotest.check arr "doubled" [| 2.; 4.; 6.; 8. |] (List.assoc "out_dram" dump);
+  checkb "cycles counted" true (report.Sim.cycles > 0.0)
+
+let test_exec_reduce_accumulates () =
+  (* Reduce accumulates into its target register across launches *)
+  let prog =
+    { name = "racc"; env = []; host_params = [];
+      dram = [ { mem = "out_dram"; kind = Dram_dense; size = Int 1 } ];
+      accel =
+        [ Alloc { mem = "acc"; kind = Reg; size = Int 1 };
+          Foreach
+            { len = Int 3; par = 1; bind = "i"; trip = Trip_const 3;
+              body =
+                [ Reduce
+                    { target = "acc"; init = Flt 0.0; len = Int 4; par = 1;
+                      bind = "j"; body = []; expr = Flt 1.0; trip = Trip_const 4 } ] };
+          Store_burst { dst = "out_dram"; src = "acc"; lo = Int 0; len = Int 1; par = 1 } ] }
+  in
+  let dump, _ = run prog ~dram_init:[] in
+  checkf "3 launches x 4" 12.0 (List.assoc "out_dram" dump).(0)
+
+let test_exec_fifo_order_and_underflow () =
+  let prog =
+    { name = "fifo"; env = []; host_params = [];
+      dram =
+        [ { mem = "in_dram"; kind = Dram_dense; size = Int 3 };
+          { mem = "out_dram"; kind = Dram_dense; size = Int 3 } ];
+      accel =
+        [ Alloc { mem = "f"; kind = Fifo 16; size = Int 16 };
+          Load_burst { dst = "f"; src = "in_dram"; lo = Int 0; hi = Int 3; par = 1 };
+          Store_burst { dst = "out_dram"; src = "f"; lo = Int 0; len = Int 3; par = 1 } ] }
+  in
+  let dump, _ = run prog ~dram_init:[ ("in_dram", [| 7.; 8.; 9. |]) ] in
+  Alcotest.check arr "fifo order" [| 7.; 8.; 9. |] (List.assoc "out_dram" dump);
+  (* draining more than enqueued raises *)
+  let bad =
+    { prog with
+      accel =
+        [ Alloc { mem = "f"; kind = Fifo 16; size = Int 16 };
+          Load_burst { dst = "f"; src = "in_dram"; lo = Int 0; hi = Int 2; par = 1 };
+          Store_burst { dst = "out_dram"; src = "f"; lo = Int 0; len = Int 3; par = 1 } ] }
+  in
+  match run bad ~dram_init:[ ("in_dram", [| 1.; 2.; 3. |]) ] with
+  | exception Sim.Sim_error _ -> ()
+  | _ -> Alcotest.fail "FIFO underflow not detected"
+
+let test_exec_predicated_reads () =
+  (* negative index reads return 0 (absent union lanes) *)
+  let prog =
+    { name = "pred"; env = []; host_params = [];
+      dram = [ { mem = "out_dram"; kind = Dram_dense; size = Int 2 } ];
+      accel =
+        [ Alloc { mem = "m"; kind = Sram_dense; size = Int 4 };
+          Write { mem = "m"; idx = Some (Int 0); value = Flt 5.0; accum = false };
+          Alloc { mem = "o"; kind = Sram_dense; size = Int 2 };
+          Write { mem = "o"; idx = Some (Int 0);
+                  value = Read ("m", [ Int (-1) ]); accum = false };
+          Write { mem = "o"; idx = Some (Int 1);
+                  value = Mux (Int (-1), Flt 9.0, Flt 3.0); accum = false };
+          Store_burst { dst = "out_dram"; src = "o"; lo = Int 0; len = Int 2; par = 1 } ] }
+  in
+  let dump, _ = run prog ~dram_init:[] in
+  let o = List.assoc "out_dram" dump in
+  checkf "negative read is 0" 0.0 o.(0);
+  checkf "mux takes else branch" 3.0 o.(1)
+
+let test_exec_scan_and_or () =
+  (* union and intersection scans over two bit-vectors *)
+  let mk op out_len =
+    { name = "scan"; env = []; host_params = [];
+      dram =
+        [ { mem = "a_dram"; kind = Dram_dense; size = Int 3 };
+          { mem = "b_dram"; kind = Dram_dense; size = Int 3 };
+          { mem = "out_dram"; kind = Dram_dense; size = Int out_len } ];
+      accel =
+        [ Alloc { mem = "fa"; kind = Fifo 16; size = Int 16 };
+          Load_burst { dst = "fa"; src = "a_dram"; lo = Int 0; hi = Int 3; par = 1 };
+          Alloc { mem = "fb"; kind = Fifo 16; size = Int 16 };
+          Load_burst { dst = "fb"; src = "b_dram"; lo = Int 0; hi = Int 3; par = 1 };
+          Alloc { mem = "bva"; kind = Bit_vector; size = Int 8 };
+          Gen_bitvector { bv = "bva"; crd_mem = "fa"; count = Int 3;
+                          trip = Trip_const 3 };
+          Alloc { mem = "bvb"; kind = Bit_vector; size = Int 8 };
+          Gen_bitvector { bv = "bvb"; crd_mem = "fb"; count = Int 3;
+                          trip = Trip_const 3 };
+          Alloc { mem = "out"; kind = Sram_dense; size = Int 8 };
+          Alloc { mem = "cnt"; kind = Reg; size = Int 1 };
+          Foreach_scan
+            { scan = { op; bvs = [ "bva"; "bvb" ]; scan_par = 1;
+                       scan_len = Int 8; bind_pos = [ "pa"; "pb" ];
+                       bind_out = Some "o"; bind_coord = "c" };
+              trip = Trip_const 0;
+              body =
+                [ Write { mem = "out"; idx = Some (var "o"); value = var "c";
+                          accum = false };
+                  Write { mem = "cnt"; idx = None; value = Int 1; accum = true } ] };
+          Store_burst { dst = "out_dram"; src = "out"; lo = Int 0;
+                        len = Int out_len; par = 1 } ] }
+  in
+  (* A = {1,3,5}, B = {3,5,7} *)
+  let init = [ ("a_dram", [| 1.; 3.; 5. |]); ("b_dram", [| 3.; 5.; 7. |]) ] in
+  let dump, _ = run (mk Scan_or 4) ~dram_init:init in
+  Alcotest.check arr "union coords" [| 1.; 3.; 5.; 7. |] (List.assoc "out_dram" dump);
+  let dump, _ = run (mk Scan_and 2) ~dram_init:init in
+  Alcotest.check arr "intersection coords" [| 3.; 5. |] (List.assoc "out_dram" dump)
+
+let test_exec_scan_rank_binds () =
+  (* scan position binds are per-input ordinals, -1 when absent *)
+  let prog =
+    { name = "ranks"; env = []; host_params = [];
+      dram =
+        [ { mem = "a_dram"; kind = Dram_dense; size = Int 2 };
+          { mem = "b_dram"; kind = Dram_dense; size = Int 2 };
+          { mem = "out_dram"; kind = Dram_dense; size = Int 8 } ];
+      accel =
+        [ Alloc { mem = "fa"; kind = Fifo 16; size = Int 16 };
+          Load_burst { dst = "fa"; src = "a_dram"; lo = Int 0; hi = Int 2; par = 1 };
+          Alloc { mem = "fb"; kind = Fifo 16; size = Int 16 };
+          Load_burst { dst = "fb"; src = "b_dram"; lo = Int 0; hi = Int 2; par = 1 };
+          Alloc { mem = "bva"; kind = Bit_vector; size = Int 8 };
+          Gen_bitvector { bv = "bva"; crd_mem = "fa"; count = Int 2; trip = Trip_const 2 };
+          Alloc { mem = "bvb"; kind = Bit_vector; size = Int 8 };
+          Gen_bitvector { bv = "bvb"; crd_mem = "fb"; count = Int 2; trip = Trip_const 2 };
+          Alloc { mem = "out"; kind = Sram_dense; size = Int 8 };
+          Foreach_scan
+            { scan = { op = Scan_or; bvs = [ "bva"; "bvb" ]; scan_par = 1;
+                       scan_len = Int 8; bind_pos = [ "pa"; "pb" ];
+                       bind_out = Some "o"; bind_coord = "c" };
+              trip = Trip_const 0;
+              body =
+                [ Write { mem = "out"; idx = Some (Bin (Mul, var "o", Int 2));
+                          value = var "pa"; accum = false };
+                  Write { mem = "out";
+                          idx = Some (Bin (Add, Bin (Mul, var "o", Int 2), Int 1));
+                          value = var "pb"; accum = false } ] };
+          Store_burst { dst = "out_dram"; src = "out"; lo = Int 0; len = Int 8; par = 1 } ] }
+  in
+  (* A = {2,4}, B = {4,6}: union order 2,4,6 *)
+  let dump, _ =
+    run prog ~dram_init:[ ("a_dram", [| 2.; 4. |]); ("b_dram", [| 4.; 6. |]) ]
+  in
+  let o = List.assoc "out_dram" dump in
+  (* coord 2: pa=0 pb=-1; coord 4: pa=1 pb=0; coord 6: pa=-1 pb=1 *)
+  Alcotest.check arr "ranks" [| 0.; -1.; 1.; 0.; -1.; 1.; 0.; 0. |] o
+
+let test_codegen_pretty () =
+  let prog =
+    { name = "pp"; env = [ ("ip", 4) ]; host_params = [];
+      dram = [ { mem = "x_dram"; kind = Dram_sparse; size = Int 8 } ];
+      accel =
+        [ Alloc { mem = "r"; kind = Reg; size = Int 1 };
+          Reduce { target = "r"; init = Flt 0.0; len = Int 8; par = 4; bind = "i";
+                   body = []; expr = Read ("x_dram", [ var "i" ]);
+                   trip = Trip_const 8 } ] }
+  in
+  let code = Codegen.to_string prog in
+  checkb "spatial class" true (contains code "extends SpatialApp");
+  checkb "sparse dram comment" true (contains code "// sparse");
+  checkb "reduce" true (contains code "Reduce(r)(8 by 1 par 4)");
+  checkb "env val" true (contains code "val ip = 4")
+
+(* ------------------------------------------------------------------ *)
+(* Extended (long-tail) kernels: four-way agreement                    *)
+(* ------------------------------------------------------------------ *)
+
+let extra_inputs = function
+  | "SpMM" ->
+      [ ("B", D.small_random ~seed:21 ~name:"B" ~format:(F.csr ()) ~dims:[ 7; 8 ]
+            ~density:0.3 ());
+        ("C", D.dense_matrix ~name:"C" ~format:(F.rm ()) ~rows:8 ~cols:5 ()) ]
+  | "SvAdd" | "SvAxpy" | "SvDot" ->
+      [ ("a", D.small_random ~seed:22 ~name:"a" ~format:(F.sv ()) ~dims:[ 12 ]
+            ~density:0.4 ());
+        ("b", D.small_random ~seed:23 ~name:"b" ~format:(F.sv ()) ~dims:[ 12 ]
+            ~density:0.4 ()) ]
+  | "Hadamard" | "SpAdd" ->
+      [ ("B", D.small_random ~seed:24 ~name:"B" ~format:(F.csr ()) ~dims:[ 7; 8 ]
+            ~density:0.35 ());
+        ("C", D.small_random ~seed:25 ~name:"C" ~format:(F.csr ()) ~dims:[ 7; 8 ]
+            ~density:0.35 ()) ]
+  | "RowSums" ->
+      [ ("A", D.small_random ~seed:26 ~name:"A" ~format:(F.csr ()) ~dims:[ 7; 8 ]
+            ~density:0.3 ());
+        ("o", T.of_entries ~name:"o" ~format:(F.dv ()) ~dims:[ 8 ]
+            (List.init 8 (fun i -> ([ i ], 1.0)))) ]
+  | k -> Alcotest.failf "no inputs for %s" k
+
+let extra_kernel_test (spec : K.spec) () =
+  let st = List.hd spec.K.stages in
+  let inputs = extra_inputs spec.K.kname in
+  let compiled = K.compile_stage spec st ~inputs in
+  let expected =
+    Ref.eval (P.parse_assign st.K.expr) ~inputs ~result_format:st.K.result_format
+  in
+  let sim, report = Sim.execute compiled in
+  let cpu, _, _ = Imp.run compiled.C.plan ~inputs in
+  checkb "sim agrees" true (T.max_abs_diff (List.assoc st.K.result sim) expected < 1e-6);
+  checkb "cpu agrees" true (T.max_abs_diff (List.assoc st.K.result cpu) expected < 1e-6);
+  let est = Sim.estimate compiled in
+  checkb "estimate iterations" true
+    (Float.abs (est.Sim.iterations -. report.Sim.iterations) < 0.5)
+
+let extra_cases =
+  List.map
+    (fun (spec : K.spec) ->
+      ("long-tail kernel: " ^ spec.K.kname, `Quick, extra_kernel_test spec))
+    KX.all
+
+(* ------------------------------------------------------------------ *)
+(* Auto-scheduler                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_autoschedule_spmv () =
+  (* 6-line mode: formats + algorithm only (section 8.3) *)
+  let inputs =
+    [ ("A", D.small_random ~seed:31 ~name:"A" ~format:(F.csr ()) ~dims:[ 8; 9 ]
+          ~density:0.3 ());
+      ("x", D.dense_vector ~name:"x" ~dim:9 ()) ]
+  in
+  let formats = [ ("y", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ] in
+  let compiled = Auto.compile ~formats ~inputs "y(i) = A(i,j) * x(j)" in
+  let expected =
+    Ref.eval (P.parse_assign "y(i) = A(i,j) * x(j)") ~inputs
+      ~result_format:(F.dv ())
+  in
+  let sim, _ = Sim.execute compiled in
+  checkb "auto-scheduled SpMV correct" true
+    (T.max_abs_diff (List.assoc "y" sim) expected < 1e-6);
+  (* the auto-scheduler found the Reduce acceleration *)
+  let mapped =
+    Stardust_ir.Cin.fold
+      (fun acc n ->
+        acc
+        || match n with
+           | Stardust_ir.Cin.Mapped { func = Stardust_ir.Cin.Reduction; _ } -> true
+           | _ -> false)
+      false
+      (Stardust_schedule.Schedule.stmt compiled.C.schedule)
+  in
+  checkb "reduce accelerated" true mapped;
+  (* gather kernel: shuffle-limited outer par of 16 *)
+  Alcotest.(check int) "outerPar"
+    16
+    (Stardust_schedule.Schedule.env_value compiled.C.schedule "outerPar")
+
+let test_autoschedule_residual () =
+  let inputs =
+    [ ("A", D.small_random ~seed:32 ~name:"A" ~format:(F.csr ()) ~dims:[ 8; 9 ]
+          ~density:0.3 ());
+      ("x", D.dense_vector ~name:"x" ~dim:9 ());
+      ("b", D.dense_vector ~seed:33 ~name:"b" ~dim:8 ()) ]
+  in
+  let formats =
+    [ ("y", F.dv ()); ("b", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ]
+  in
+  let compiled = Auto.compile ~formats ~inputs "y(i) = b(i) - A(i,j) * x(j)" in
+  let expected =
+    Ref.eval (P.parse_assign "y(i) = b(i) - A(i,j) * x(j)") ~inputs
+      ~result_format:(F.dv ())
+  in
+  let sim, _ = Sim.execute compiled in
+  checkb "auto-scheduled Residual correct" true
+    (T.max_abs_diff (List.assoc "y" sim) expected < 1e-6)
+
+let test_autoschedule_ttm_order () =
+  (* the dense output dimension is moved innermost automatically *)
+  let formats =
+    [ ("A", F.make [ F.Compressed; F.Compressed; F.Dense ]);
+      ("B", F.csf 3); ("C", F.cm ()) ]
+  in
+  let a = P.parse_assign "A(i,j,k) = B(i,j,l) * C(k,l)" in
+  let sched = Auto.schedule ~formats a in
+  let nest = Stardust_ir.Cin.bound_vars (Stardust_schedule.Schedule.stmt sched) in
+  checkb "k innermost" true (List.rev nest <> [] && List.hd (List.rev nest) = "k")
+
+(* ------------------------------------------------------------------ *)
+(* Tensor I/O                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Io = Stardust_tensor.Tensor_io
+
+let test_io_mtx_roundtrip () =
+  let t = D.small_random ~seed:41 ~name:"m" ~format:(F.csr ()) ~dims:[ 6; 7 ]
+      ~density:0.4 () in
+  let path = Filename.temp_file "stardust" ".mtx" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Io.write_matrix_market t path;
+  let t' = Io.read_matrix_market ~format:(F.csr ()) path in
+  checkb "round trip" true (T.equal_approx t t')
+
+let test_io_mtx_symmetric () =
+  let path = Filename.temp_file "stardust" ".mtx" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc
+    "%%MatrixMarket matrix coordinate real symmetric\n% comment\n3 3 2\n2 1 5.0\n3 3 7.0\n";
+  close_out oc;
+  let t = Io.read_matrix_market ~format:(F.csr ()) path in
+  checkf "mirrored" 5.0 (T.get t [| 0; 1 |]);
+  checkf "original" 5.0 (T.get t [| 1; 0 |]);
+  checkf "diagonal once" 7.0 (T.get t [| 2; 2 |]);
+  Alcotest.(check int) "nnz" 3 (T.nnz t)
+
+let test_io_tns_roundtrip () =
+  let t = D.small_random ~seed:42 ~name:"t" ~format:(F.csf 3) ~dims:[ 4; 5; 6 ]
+      ~density:0.3 () in
+  let path = Filename.temp_file "stardust" ".tns" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Io.write_tns t path;
+  let t' = Io.read_tns ~dims:[ 4; 5; 6 ] ~format:(F.csf 3) path in
+  checkb "round trip" true (T.equal_approx t t')
+
+let test_io_errors () =
+  let path = Filename.temp_file "stardust" ".mtx" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc "not a matrix market file\n";
+  close_out oc;
+  match Io.read_matrix_market ~format:(F.csr ()) path with
+  | exception Io.Io_error _ -> ()
+  | _ -> Alcotest.fail "bad header accepted"
+
+let suite =
+  [
+    ("exec: foreach copy", `Quick, test_exec_foreach_copy);
+    ("exec: reduce accumulates", `Quick, test_exec_reduce_accumulates);
+    ("exec: fifo order + underflow", `Quick, test_exec_fifo_order_and_underflow);
+    ("exec: predicated reads", `Quick, test_exec_predicated_reads);
+    ("exec: scan and/or", `Quick, test_exec_scan_and_or);
+    ("exec: scan rank binds", `Quick, test_exec_scan_rank_binds);
+    ("codegen: pretty printing", `Quick, test_codegen_pretty);
+  ]
+  @ extra_cases
+  @ [
+      ("autoschedule: SpMV (6-line mode)", `Quick, test_autoschedule_spmv);
+      ("autoschedule: Residual", `Quick, test_autoschedule_residual);
+      ("autoschedule: TTM dense-innermost", `Quick, test_autoschedule_ttm_order);
+      ("io: matrix market round trip", `Quick, test_io_mtx_roundtrip);
+      ("io: matrix market symmetric", `Quick, test_io_mtx_symmetric);
+      ("io: frostt round trip", `Quick, test_io_tns_roundtrip);
+      ("io: error handling", `Quick, test_io_errors);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Friendly unsupported-feature errors                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_not_supported_on_spatial () =
+  (* split/fuse run on the CPU path and interpreter; the Spatial backend
+     reports them clearly instead of failing obscurely *)
+  let module S = Stardust_schedule.Schedule in
+  let formats = [ ("y", F.dv ()); ("x", F.dv ()) ] in
+  let sched = S.of_assign ~formats (P.parse_assign "y(i) = x(i)") in
+  let sched = S.split_up sched "i" "i0" "i1" 4 in
+  let inputs = [ ("x", D.dense_vector ~name:"x" ~dim:8 ()) ] in
+  match C.compile sched ~inputs with
+  | exception C.Compile_error msg ->
+      checkb "actionable message" true (contains msg "split_up")
+  | _ -> Alcotest.fail "derived-variable loop accepted by Spatial backend"
+
+let prop_autoschedule_correct =
+  QCheck.Test.make ~name:"auto-scheduled random kernels are correct" ~count:25
+    QCheck.(pair (int_range 0 2) (int_range 0 1000))
+    (fun (which, seed) ->
+      let expr, formats, inputs, result, rfmt =
+        match which with
+        | 0 ->
+            ( "y(i) = A(i,j) * x(j)",
+              [ ("y", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ],
+              [ ("A", D.small_random ~seed ~name:"A" ~format:(F.csr ())
+                   ~dims:[ 6; 7 ] ~density:0.4 ());
+                ("x", D.dense_vector ~seed:(seed + 1) ~name:"x" ~dim:7 ()) ],
+              "y", F.dv () )
+        | 1 ->
+            ( "A(i,j) = B(i,j) + C(i,j)",
+              [ ("A", F.csr ()); ("B", F.csr ()); ("C", F.csr ()) ],
+              [ ("B", D.small_random ~seed ~name:"B" ~format:(F.csr ())
+                   ~dims:[ 5; 6 ] ~density:0.4 ());
+                ("C", D.small_random ~seed:(seed + 2) ~name:"C"
+                   ~format:(F.csr ()) ~dims:[ 5; 6 ] ~density:0.4 ()) ],
+              "A", F.csr () )
+        | _ ->
+            ( "alpha = a(i) * b(i)",
+              [ ("alpha", F.make []); ("a", F.sv ()); ("b", F.sv ()) ],
+              [ ("a", D.small_random ~seed ~name:"a" ~format:(F.sv ())
+                   ~dims:[ 12 ] ~density:0.5 ());
+                ("b", D.small_random ~seed:(seed + 3) ~name:"b"
+                   ~format:(F.sv ()) ~dims:[ 12 ] ~density:0.5 ()) ],
+              "alpha", F.make [] )
+      in
+      let compiled = Auto.compile ~formats ~inputs expr in
+      let expected = Ref.eval (P.parse_assign expr) ~inputs ~result_format:rfmt in
+      let sim, _ = Sim.execute compiled in
+      T.max_abs_diff (List.assoc result sim) expected < 1e-6)
+
+let suite =
+  suite
+  @ [
+      ("errors: split on Spatial path", `Quick, test_split_not_supported_on_spatial);
+      QCheck_alcotest.to_alcotest prop_autoschedule_correct;
+    ]

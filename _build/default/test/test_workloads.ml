@@ -1,0 +1,108 @@
+(* Tests for the dataset generators (Table 4 shapes) and the PRNG. *)
+
+module T = Stardust_tensor.Tensor
+module F = Stardust_tensor.Format
+module D = Stardust_workloads.Datasets
+module Prng = Stardust_workloads.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    checki "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_ranges () =
+  let r = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.float r in
+    checkb "in [0,1)" true (x >= 0.0 && x < 1.0);
+    let n = Prng.int r 17 in
+    checkb "int bound" true (n >= 0 && n < 17)
+  done
+
+let test_random_matrix_density () =
+  let m =
+    D.random_matrix ~name:"m" ~format:(F.csr ()) ~rows:500 ~cols:500
+      ~density:0.01 ()
+  in
+  let d = T.density m in
+  checkb "density near target" true (d > 0.007 && d < 0.013)
+
+let test_generators_deterministic () =
+  let a = D.random_matrix ~seed:9 ~name:"a" ~format:(F.csr ()) ~rows:50 ~cols:50
+      ~density:0.1 () in
+  let b = D.random_matrix ~seed:9 ~name:"a" ~format:(F.csr ()) ~rows:50 ~cols:50
+      ~density:0.1 () in
+  checkb "same tensor" true (T.equal_approx a b)
+
+let test_trefethen_structure () =
+  let t = D.trefethen_like ~dim:64 ~format:(F.csr ()) () in
+  (* diagonal plus power-of-two offsets only *)
+  T.iter_nonzeros
+    (fun c _ ->
+      let off = abs (c.(0) - c.(1)) in
+      checkb "offset is 0 or 2^k" true
+        (off = 0 || off land (off - 1) = 0))
+    t;
+  checkb "diagonal present" true (T.get t [| 10; 10 |] <> 0.0)
+
+let test_bcsstk_banded () =
+  let t = D.bcsstk30_like ~dim:2000 ~format:(F.csr ()) () in
+  T.iter_nonzeros
+    (fun c _ -> checkb "within band" true (abs (c.(0) - c.(1)) <= 600))
+    t;
+  checkb "dense enough" true (T.density t > 1e-3)
+
+let test_facebook_powerlaw () =
+  let t = D.facebook_like ~dims:(50, 500, 500) ~density:1e-3 ~format:(F.csf 3) () in
+  (* early temporal slices hold more activity than late ones *)
+  let slice s =
+    let n = ref 0 in
+    T.iter_nonzeros (fun c _ -> if c.(0) = s then incr n) t;
+    !n
+  in
+  checkb "power-law slices" true (slice 0 > slice 40)
+
+let test_rotations_preserve_nnz () =
+  let b = D.random_matrix ~name:"b" ~format:(F.csr ()) ~rows:40 ~cols:40
+      ~density:0.1 () in
+  let c = D.rotate_cols ~by:1 ~name:"c" b in
+  checki "nnz preserved" (T.nnz b) (T.nnz c);
+  let t3 = D.random_tensor3 ~name:"t" ~format:(F.ucc ()) ~dims:[ 10; 10; 10 ]
+      ~density:0.1 () in
+  let r3 = D.rotate_even_last ~name:"r" t3 in
+  checkb "same dims" true (T.dims t3 = T.dims r3)
+
+let test_dense_generators () =
+  let rm = D.dense_matrix ~name:"d" ~format:(F.rm ()) ~rows:6 ~cols:7 () in
+  checki "fully dense" (6 * 7) (T.nnz rm);
+  (* rm and cm with the same seed hold the same logical matrix *)
+  let cm = D.dense_matrix ~name:"d" ~format:(F.cm ()) ~rows:6 ~cols:7 () in
+  checkb "same logical content" true (T.equal_approx rm cm);
+  let v = D.dense_vector ~name:"v" ~dim:9 () in
+  checki "vector dense" 9 (T.nnz v)
+
+let test_small_random_bounds () =
+  let t = D.small_random ~name:"s" ~format:(F.ucc ()) ~dims:[ 4; 5; 6 ]
+      ~density:0.5 () in
+  checkb "within dims" true
+    (T.fold_nonzeros
+       (fun acc c _ -> acc && c.(0) < 4 && c.(1) < 5 && c.(2) < 6)
+       true t)
+
+let suite =
+  [
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng ranges", `Quick, test_prng_ranges);
+    ("random matrix density", `Quick, test_random_matrix_density);
+    ("generators deterministic", `Quick, test_generators_deterministic);
+    ("trefethen structure", `Quick, test_trefethen_structure);
+    ("bcsstk banded", `Quick, test_bcsstk_banded);
+    ("facebook power law", `Quick, test_facebook_powerlaw);
+    ("rotations preserve nnz", `Quick, test_rotations_preserve_nnz);
+    ("dense generators", `Quick, test_dense_generators);
+    ("small random bounds", `Quick, test_small_random_bounds);
+  ]

@@ -1,0 +1,126 @@
+(* Autotune artifact: design-space exploration results and pool scaling.
+
+   For each paper kernel the explorer searches the schedule space around
+   the autoscheduler's heuristic seed and reports the best point found,
+   its simulated cycles, and the improvement over the heuristic — one JSON
+   trajectory line per kernel for tracking across runs.
+
+   The second half measures the parallel evaluator itself: the same
+   exhaustive SDDMM search wall-clocked with one worker and with a full
+   pool (fresh memo caches for both, so every point is recompiled and
+   re-estimated).  On a multi-core machine the pool run is strictly
+   faster; the frontier is identical either way. *)
+
+module F = Stardust_tensor.Format
+module K = Stardust_core.Kernels
+module D = Stardust_workloads.Datasets
+module Explore = Stardust_explore.Explore
+module Eval = Stardust_explore.Eval
+module Point = Stardust_explore.Point
+module Pool = Stardust_explore.Pool
+
+let scale = 256
+
+(* Paper-shaped random inputs for one kernel stage (mirrors stardustc). *)
+let stage_inputs (st : K.stage) n =
+  List.filter_map
+    (fun (tname, fmt) ->
+      if tname = st.K.result || (String.length tname > 0 && tname.[0] = '_')
+      then None
+      else
+        let order = F.order fmt in
+        let dims = List.init order (fun _ -> n) in
+        let t =
+          if F.is_fully_dense fmt then
+            if order = 1 then D.dense_vector ~name:tname ~dim:n ()
+            else if order = 2 then
+              D.dense_matrix ~name:tname ~format:fmt ~rows:n ~cols:n ()
+            else D.small_random ~name:tname ~format:fmt ~dims ~density:1.0 ()
+          else
+            D.small_random
+              ~seed:(Hashtbl.hash tname)
+              ~name:tname ~format:fmt ~dims ~density:0.1 ()
+        in
+        Some (tname, t))
+    st.K.formats
+
+let problem_of (spec : K.spec) =
+  let st = List.hd spec.K.stages in
+  Eval.problem_of_string
+    ~name:(String.lowercase_ascii spec.K.kname)
+    ~formats:st.K.formats
+    ~inputs:(stage_inputs st scale)
+    st.K.expr
+
+let kernels = [ K.spmv; K.sddmm; K.mattransmul; K.residual; K.mttkrp ]
+
+let search_table () =
+  Fmt.pr "@.== Autotune: best found point per kernel (n=%d) ==@.@." scale;
+  Fmt.pr "%-12s %10s %14s %14s %9s  %s@." "kernel" "points" "heuristic"
+    "best cycles" "speedup" "best point";
+  Fmt.pr "%s@." (String.make 92 '-');
+  let rows =
+    List.map
+      (fun spec ->
+        let p = problem_of spec in
+        let r = Explore.run p in
+        let seed_cycles = Eval.cycles r.Explore.seed_eval in
+        let best_cycles = Option.bind r.Explore.best Eval.cycles in
+        let speedup =
+          match (seed_cycles, best_cycles) with
+          | Some s, Some b when b > 0. -> Some (s /. b)
+          | _ -> None
+        in
+        Fmt.pr "%-12s %10d %14s %14s %9s  %s@." p.Eval.name
+          r.Explore.candidates
+          (match seed_cycles with
+          | Some c -> Fmt.str "%.0f" c
+          | None -> "pruned")
+          (match best_cycles with Some c -> Fmt.str "%.0f" c | None -> "-")
+          (match speedup with Some s -> Fmt.str "%.2fx" s | None -> "-")
+          (match r.Explore.best with
+          | Some b -> Point.to_string b.Eval.point
+          | None -> "-");
+        (p.Eval.name, best_cycles))
+      kernels
+  in
+  (* one machine-readable line per kernel for trajectory tracking *)
+  List.iter
+    (fun (name, cycles) ->
+      Fmt.pr "{\"bench\": \"autotune_%s\", \"best_cycles\": %s}@." name
+        (match cycles with Some c -> Fmt.str "%.0f" c | None -> "null"))
+    rows
+
+let pool_scaling () =
+  let p = problem_of K.sddmm in
+  let timed workers =
+    (* fresh cache so both runs do the full compile+estimate work *)
+    let cache = Pool.Cache.create () in
+    let t0 = Unix.gettimeofday () in
+    let r = Explore.run ~workers ~cache p in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, r)
+  in
+  let wide = Pool.default_workers () in
+  let t1, r1 = timed 1 in
+  let tn, rn = timed wide in
+  let same =
+    List.for_all2
+      (fun (a : Eval.eval) (b : Eval.eval) ->
+        Point.equal a.Eval.point b.Eval.point)
+      r1.Explore.frontier rn.Explore.frontier
+  in
+  Fmt.pr "@.== Autotune: evaluator pool scaling (SDDMM, exhaustive) ==@.@.";
+  Fmt.pr "workers=1:  %6.2fs for %d points@." t1
+    (List.length r1.Explore.evaluated);
+  Fmt.pr "workers=%d:  %6.2fs for %d points (%.2fx)@." wide tn
+    (List.length rn.Explore.evaluated)
+    (t1 /. tn);
+  Fmt.pr "frontier identical across worker counts: %b@." same;
+  Fmt.pr "{\"bench\": \"autotune_pool\", \"workers\": %d, \"t1\": %.3f, \
+          \"tn\": %.3f, \"same_frontier\": %b}@."
+    wide t1 tn same
+
+let run () =
+  search_table ();
+  pool_scaling ()

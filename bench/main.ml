@@ -22,6 +22,7 @@ let artifacts =
     ("case_spmv", ("Section 8.3: SpMV case study", Tables.case_spmv));
     ("longtail", ("Long-tail kernels beyond the paper's suite", Tables.longtail));
     ("ablations", ("Ablations: sparse lanes, bit-vector stream, gather staging, scheduling", Ablations.run));
+    ("autotune", ("Design-space exploration: best point per kernel, pool scaling", Autotune.run));
     ("micro", ("Compiler-phase microbenchmarks (Bechamel)", Micro.run));
   ]
 

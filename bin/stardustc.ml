@@ -23,6 +23,10 @@ module Dram = Stardust_capstan.Dram
 module Resources = Stardust_capstan.Resources
 module Imp = Stardust_vonneumann.Imp_interp
 module D = Stardust_workloads.Datasets
+module Explore = Stardust_explore.Explore
+module Space = Stardust_explore.Space
+module Point = Stardust_explore.Point
+module Eval = Stardust_explore.Eval
 open Cmdliner
 
 let format_of_string = function
@@ -61,6 +65,30 @@ let gen_tensor name fmt dims density seed =
       | [ r; c ] when F.is_fully_dense fmt ->
           D.dense_matrix ~seed ~name ~format:fmt ~rows:r ~cols:c ()
       | _ -> D.small_random ~seed ~name ~format:fmt ~dims ~density:1.0 ())
+
+(** Paper-shaped random inputs for one kernel stage at scale [n] (shared
+    by the [kernel] and [autotune] subcommands). *)
+let stage_random_inputs (st : K.stage) n =
+  List.filter_map
+    (fun (tname, fmt) ->
+      if tname = st.K.result || (String.length tname > 0 && tname.[0] = '_')
+      then None
+      else
+        let order = F.order fmt in
+        let dims = List.init order (fun _ -> n) in
+        let t =
+          if F.is_fully_dense fmt then
+            if order = 1 then D.dense_vector ~name:tname ~dim:n ()
+            else if order = 2 then
+              D.dense_matrix ~name:tname ~format:fmt ~rows:n ~cols:n ()
+            else D.small_random ~name:tname ~format:fmt ~dims ~density:1.0 ()
+          else
+            D.small_random
+              ~seed:(Hashtbl.hash tname)
+              ~name:tname ~format:fmt ~dims ~density:0.1 ()
+        in
+        Some (tname, t))
+    st.K.formats
 
 (* ------------------------------------------------------------------ *)
 (* Output sections                                                      *)
@@ -135,29 +163,7 @@ let kernel_cmd =
         exit 1
     | Some spec ->
         let n = scale in
-        let inputs_for (st : K.stage) =
-          List.filter_map
-            (fun (tname, fmt) ->
-              if tname = st.K.result || (String.length tname > 0 && tname.[0] = '_')
-              then None
-              else
-                let order = F.order fmt in
-                let dims = List.init order (fun _ -> n) in
-                let t =
-                  if F.is_fully_dense fmt then
-                    if order = 1 then D.dense_vector ~name:tname ~dim:n ()
-                    else if order = 2 then
-                      D.dense_matrix ~name:tname ~format:fmt ~rows:n ~cols:n ()
-                    else
-                      D.small_random ~name:tname ~format:fmt ~dims ~density:1.0 ()
-                  else
-                    D.small_random
-                      ~seed:(Hashtbl.hash tname)
-                      ~name:tname ~format:fmt ~dims ~density:0.1 ()
-                in
-                Some (tname, t))
-            st.K.formats
-        in
+        let inputs_for (st : K.stage) = stage_random_inputs st n in
         let pool = ref [] in
         List.iter
           (fun (st : K.stage) ->
@@ -233,9 +239,139 @@ let compile_cmd =
     Term.(const run $ expr $ formats $ data $ flag_cin $ flag_code $ flag_res
           $ flag_sim $ flag_est $ flag_cpu $ flag_dot)
 
+let autotune_cmd =
+  let kname_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"KERNEL"
+             ~doc:"Paper kernel to autotune (or use -e/-f/-d for an \
+                   arbitrary expression).")
+  in
+  let scale =
+    Arg.(value & opt int 128 & info [ "n" ] ~doc:"Scale of the random inputs.")
+  in
+  let expr =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "expr" ] ~docv:"EXPR"
+             ~doc:"Index-notation assignment to autotune instead of a named \
+                   kernel.")
+  in
+  let formats =
+    Arg.(value & opt_all string []
+         & info [ "f"; "format" ] ~docv:"NAME=FMT" ~doc:"Tensor format binding.")
+  in
+  let data =
+    Arg.(value & opt_all string []
+         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
+             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+  in
+  let strategy =
+    Arg.(value
+         & opt (enum [ ("grid", `Grid); ("greedy", `Greedy); ("random", `Random) ]) `Grid
+         & info [ "strategy" ] ~docv:"STRATEGY"
+             ~doc:"Search strategy: exhaustive $(b,grid), $(b,greedy) \
+                   coordinate descent, or seeded $(b,random) sampling.")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ]
+             ~doc:"Domain worker pool size (0 = one per available core).")
+  in
+  let samples =
+    Arg.(value & opt int 64
+         & info [ "samples" ] ~doc:"Sample count for --strategy random.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"PRNG seed for --strategy random.")
+  in
+  let splits =
+    Arg.(value & opt (list int) []
+         & info [ "splits" ] ~docv:"N,N"
+             ~doc:"Also enumerate loop splits at these tile sizes (the \
+                   pruning layer rejects what the backend cannot lower).")
+  in
+  let regions =
+    Arg.(value & flag
+         & info [ "regions" ]
+             ~doc:"Also search the on-chip/off-chip gather-region axis.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the result as JSON on stdout.")
+  in
+  let run kname scale expr formats data strategy workers samples seed splits
+      regions json =
+    let problem =
+      match (kname, expr) with
+      | Some name, None -> (
+          match K.find name with
+          | None ->
+              Fmt.epr "unknown kernel %s (try: stardustc list)@." name;
+              exit 1
+          | Some spec ->
+              let st = List.hd spec.K.stages in
+              if List.length spec.K.stages > 1 then
+                Fmt.epr
+                  "note: %s is multi-stage; autotuning its first stage (%s)@."
+                  spec.K.kname st.K.expr;
+              let inputs = stage_random_inputs st scale in
+              Eval.problem_of_string
+                ~name:(String.lowercase_ascii spec.K.kname)
+                ~formats:st.K.formats ~inputs st.K.expr)
+      | None, Some expr ->
+          let formats =
+            List.map
+              (fun s ->
+                match String.split_on_char '=' s with
+                | [ n; f ] -> (n, format_of_string f)
+                | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
+              formats
+          in
+          let inputs =
+            List.mapi
+              (fun i s ->
+                let name, dims, density = parse_data_spec s in
+                let fmt =
+                  match List.assoc_opt name formats with
+                  | Some f -> f
+                  | None -> Fmt.failwith "no format for tensor %s" name
+                in
+                (name, gen_tensor name fmt dims density (i + 1)))
+              data
+          in
+          Eval.problem_of_string ~name:"custom" ~formats ~inputs expr
+      | _ ->
+          Fmt.epr "autotune: give a KERNEL name or -e EXPR (not both)@.";
+          exit 1
+    in
+    let axes =
+      Space.default_axes ~arch:Arch.default ~split_factors:splits
+        ~gathers:
+          (if regions then [ Point.Auto; Point.On_chip; Point.Off_chip ]
+           else [ Point.Auto ])
+        ~formats:problem.Eval.formats problem.Eval.expr
+    in
+    let strategy =
+      match strategy with
+      | `Grid -> Explore.Exhaustive
+      | `Greedy -> Explore.Greedy
+      | `Random -> Explore.Random { samples; seed }
+    in
+    let workers = if workers <= 0 then None else Some workers in
+    let r = Explore.run ?workers ~strategy ~axes problem in
+    if json then Fmt.pr "%s@." (Explore.to_json r)
+    else Fmt.pr "%a" Explore.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:"Search the schedule/format/hardware design space of a kernel \
+             and print the Pareto frontier over (cycles, chip resources).")
+    Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ strategy
+          $ workers $ samples $ seed $ splits $ regions $ json)
+
 let () =
   let doc = "the Stardust sparse-tensor-algebra-to-RDA compiler" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "stardustc" ~version:"1.0.0" ~doc)
-          [ list_cmd; kernel_cmd; compile_cmd ]))
+          [ list_cmd; kernel_cmd; compile_cmd; autotune_cmd ]))

@@ -1,20 +1,25 @@
-(* Design-space exploration with the environment command (section 5.2).
+(* Design-space exploration with the autotuner (section 5.2).
 
    Run with:  dune exec examples/design_space.exe
 
    The paper's environment command exposes backend configuration —
    innerPar, outerPar — to the scheduling layer, so an end programmer (or
    auto-scheduler) can sweep hardware schedules without touching Spatial.
-   This example sweeps both factors for SDDMM, reporting simulated cycles
-   and chip resources for every point, and flags the paper's chosen
-   configuration (Table 5: Par = 12). *)
+   The [Stardust_explore] library automates that sweep: it enumerates the
+   legal schedule points around the autoscheduler's heuristic seed, prunes
+   the ones that cannot be placed on the chip, costs the survivors on a
+   pool of parallel domains, and reports the Pareto frontier over
+   (simulated cycles, chip resources).  This example runs it on SDDMM and
+   flags the paper's chosen configuration (Table 5: outerPar = 12,
+   innerPar = 16). *)
 
 module F = Stardust_tensor.Format
 module T = Stardust_tensor.Tensor
 module K = Stardust_core.Kernels
 module Sim = Stardust_capstan.Sim
-module Arch = Stardust_capstan.Arch
-module Resources = Stardust_capstan.Resources
+module Explore = Stardust_explore.Explore
+module Eval = Stardust_explore.Eval
+module Point = Stardust_explore.Point
 module D = Stardust_workloads.Datasets
 
 let () =
@@ -24,26 +29,22 @@ let () =
   let d = D.dense_matrix ~seed:7 ~name:"D" ~format:(F.rm ()) ~rows:512 ~cols:32 () in
   let inputs = [ ("B", b); ("C", c); ("D", d) ] in
   Fmt.pr "SDDMM design space: B 512x512 (%d nnz), rank 32@.@." (T.nnz b);
-  Fmt.pr "%8s %8s %12s %8s %8s %8s %8s@." "outerPar" "innerPar" "cycles" "PCU"
-    "PMU" "MC" "limit";
-  Fmt.pr "%s@." (String.make 68 '-');
-  let best = ref (infinity, 0, 0) in
-  List.iter
-    (fun op ->
-      List.iter
-        (fun ip ->
-          let spec = { K.sddmm with K.outer_par = op; K.inner_par = ip } in
-          let st = List.hd spec.K.stages in
-          let compiled = K.compile_stage spec st ~inputs in
-          let r = Sim.estimate compiled in
-          let u = Resources.count Arch.default compiled in
-          if r.Sim.cycles < (let c, _, _ = !best in c) then best := (r.Sim.cycles, op, ip);
-          Fmt.pr "%8d %8d %12.0f %8d %8d %8d %8s%s@." op ip r.Sim.cycles
-            u.Resources.pcu u.Resources.pmu u.Resources.mc u.Resources.limiting
-            (if op = 12 && ip = 16 then "   <- paper's Table 5 point" else ""))
-        [ 4; 8; 16 ])
-    [ 1; 2; 4; 8; 12; 16 ];
-  let cycles, op, ip = !best in
-  Fmt.pr "@.best point: outerPar=%d innerPar=%d at %.0f cycles@." op ip cycles;
-  Fmt.pr "(design-space exploration with high-level schedules only — no@.";
+  let st = List.hd K.sddmm.K.stages in
+  let problem =
+    Eval.problem_of_string ~name:"sddmm" ~formats:st.K.formats ~inputs
+      st.K.expr
+  in
+  let r = Explore.run problem in
+  Fmt.pr "%a" Explore.pp_result r;
+  (match r.Explore.best with
+  | Some best
+    when best.Eval.point.Point.outer_par = 12
+         && best.Eval.point.Point.inner_par = 16 ->
+      Fmt.pr "@.the best point is the paper's Table 5 configuration@.";
+      Fmt.pr "(outerPar=12, innerPar=16)@."
+  | Some best ->
+      Fmt.pr "@.best point: %s (paper's Table 5 point: op=12 ip=16)@."
+        (Point.to_string best.Eval.point)
+  | None -> ());
+  Fmt.pr "@.(design-space exploration with high-level schedules only — no@.";
   Fmt.pr " Spatial or Capstan knowledge needed, as section 5.2 argues)@."

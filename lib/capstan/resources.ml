@@ -32,6 +32,11 @@ type usage = {
   mc_frac : float;
   shuffle_frac : float;
   limiting : string;  (** the resource closest to its budget *)
+  feasible : bool;
+      (** the raw (unclamped) demand fits every physical budget; the
+          [pcu]/[pmu]/[mc]/[shuffle] counts above are clamped to the chip,
+          so an infeasible kernel still reports 100% of its limiting
+          resource rather than >100% *)
 }
 
 let rec exp_ops = function
@@ -121,6 +126,12 @@ let count (arch : Arch.t) (c : Compile.compiled) =
               | _ -> ())
           fmt.F.levels)
     plan.Plan.results;
+  let feasible =
+    !pcu <= arch.Arch.num_pcu
+    && !pmu <= arch.Arch.num_pmu
+    && !mc <= arch.Arch.num_mc
+    && !shuffle <= arch.Arch.num_shuffle
+  in
   let mc = min !mc arch.Arch.num_mc in
   let shuffle = min !shuffle arch.Arch.num_shuffle in
   let pcu = min !pcu arch.Arch.num_pcu in
@@ -148,9 +159,11 @@ let count (arch : Arch.t) (c : Compile.compiled) =
     mc_frac;
     shuffle_frac;
     limiting;
+    feasible;
   }
 
 let pp ppf u =
-  Fmt.pf ppf "par=%d PCU=%d (%.0f%%) PMU=%d (%.0f%%) MC=%d (%.0f%%) Shuf=%d (%.0f%%) limit=%s"
+  Fmt.pf ppf "par=%d PCU=%d (%.0f%%) PMU=%d (%.0f%%) MC=%d (%.0f%%) Shuf=%d (%.0f%%) limit=%s%s"
     u.outer_par u.pcu (100. *. u.pcu_frac) u.pmu (100. *. u.pmu_frac) u.mc
     (100. *. u.mc_frac) u.shuffle (100. *. u.shuffle_frac) u.limiting
+    (if u.feasible then "" else " OVER-BUDGET")

@@ -19,9 +19,14 @@
       full vector width inside, and an outer factor that respects the
       16-port shuffle limit when the kernel gathers.
 
-    [schedule] is a heuristic, not a search: combined with
-    {!Stardust_capstan.Sim.estimate} it is the starting point a
-    design-space explorer (see [examples/design_space.ml]) refines. *)
+    The recipe is split into two halves so the design-space explorer
+    ([Stardust_explore]) can reuse it: {!decide} computes the knob values
+    the heuristic would pick (a {!decision}), and {!schedule_point} builds
+    the schedule for {e any} decision — the heuristic's or an explorer
+    candidate's.  {!schedule} composes the two; combined with
+    {!Stardust_capstan.Sim.estimate} it is the starting point the explorer
+    refines.  Legality predicates live in {!Legality}, shared with the
+    explorer's candidate generator. *)
 
 module Format = Stardust_tensor.Format
 module Ast = Stardust_ir.Ast
@@ -30,103 +35,66 @@ module Schedule = Stardust_schedule.Schedule
 
 let on_scalar = Format.make ~region:Format.On_chip []
 
-(** Reduction variables ordered so that dense (vectorizable) dimensions
-    come last: a variable is dense if {e every} tensor accessing it stores
-    the corresponding dimension in a dense level. *)
-let dense_last ~formats (a : Ast.assign) vars =
-  let is_dense v =
-    List.for_all
-      (fun (acc : Ast.access) ->
-        match List.find_index (String.equal v) acc.indices with
-        | None -> true
-        | Some d -> (
-            match List.assoc_opt acc.tensor formats with
-            | None -> true
-            | Some fmt ->
-                Format.level_kind fmt (Format.level_of_dim fmt d) = Format.Dense))
-      (a.Ast.lhs :: Ast.accesses_of_expr a.Ast.rhs)
-  in
-  let sparse, dense = List.partition (fun v -> not (is_dense v)) vars in
-  (sparse @ dense, dense <> [])
+(** One point in the schedule space the heuristic ranges over: an optional
+    explicit loop order (applied only when the nest is plain and the order
+    passes {!Legality.respects_levels}; [None] keeps the canonical
+    concretization order) and the two parallelization factors. *)
+type decision = {
+  order : string list option;
+  inner_par : int;
+  outer_par : int;
+}
 
-(** A loop order is usable only if every tensor's storage levels bind
-    outside-in: the variable of level [l] must come before the variable of
-    level [l+1] (compressed fibers are reachable only through their
-    parents). *)
-let respects_levels ~formats (a : Ast.assign) order =
-  let pos v = List.find_index (String.equal v) order in
-  List.for_all
-    (fun (acc : Ast.access) ->
-      match List.assoc_opt acc.tensor formats with
-      | None -> true
-      | Some fmt ->
-          let n = Format.order fmt in
-          let var_of_level l =
-            List.nth acc.indices (Format.dim_of_level fmt l)
-          in
-          List.for_all
-            (fun l ->
-              match (pos (var_of_level l), pos (var_of_level (l + 1))) with
-              | Some p1, Some p2 -> p1 < p2
-              | _ -> true)
-            (if n < 2 then [] else List.init (n - 1) Fun.id))
-    (a.Ast.lhs :: Ast.accesses_of_expr a.Ast.rhs)
-
-(** Does any access gather a dense tensor at sparse coordinates?  (Then
-    outer parallelization is capped by the shuffle network.) *)
-let uses_gather ~formats (a : Ast.assign) =
-  let var_sparse v =
-    List.exists
-      (fun (acc : Ast.access) ->
-        match List.find_index (String.equal v) acc.indices with
-        | None -> false
-        | Some d -> (
-            match List.assoc_opt acc.tensor formats with
-            | None -> false
-            | Some fmt ->
-                Format.level_kind fmt (Format.level_of_dim fmt d)
-                = Format.Compressed))
-      (Ast.accesses_of_expr a.Ast.rhs)
-  in
-  List.exists
-    (fun (acc : Ast.access) ->
-      match List.assoc_opt acc.tensor formats with
-      | None -> false
-      | Some fmt ->
-          Format.is_fully_dense fmt
-          && List.exists var_sparse acc.indices)
-    (Ast.accesses_of_expr a.Ast.rhs)
-
-(** Derive a complete schedule for an index-notation assignment: loop
-    order, parallelization factors, workspace insertion, and Reduce
-    acceleration.  This is the 6-line input mode of section 8.3 — the user
-    supplies only formats and the algorithm. *)
-let schedule ?(inner_par = 16) ?outer_par ~formats (a : Ast.assign) =
+(** The knob values the heuristic picks for an assignment: dense-innermost
+    loop order when legal, full vector width inside, shuffle-limited outer
+    factor when the kernel gathers. *)
+let decide ?(inner_par = 16) ?outer_par ~formats (a : Ast.assign) =
   let sched = Schedule.of_assign ~formats a in
-  let rvars = Ast.reduction_vars a in
-  (* 1. dense-innermost loop order *)
   let out_vars = a.Ast.lhs.Ast.indices in
+  let rvars = Ast.reduction_vars a in
   let all = Cin.bound_vars (Schedule.stmt sched) in
-  let reordered, moved = dense_last ~formats a (out_vars @ rvars) in
-  let sched =
+  let reordered, moved = Legality.dense_last ~formats a (out_vars @ rvars) in
+  let order =
     (* only reorder plain nests (auto-workspace kernels keep their shape),
        and only when the new order keeps every tensor's levels outside-in *)
     if
       moved
       && all = out_vars @ rvars
       && reordered <> all
-      && respects_levels ~formats a reordered
-    then Schedule.reorder sched reordered
-    else sched
+      && Legality.respects_levels ~formats a reordered
+    then Some reordered
+    else None
   in
-  (* 2. parallelization: shuffle-limited when the kernel gathers *)
-  let op =
+  let outer_par =
     match outer_par with
     | Some p -> p
-    | None -> if uses_gather ~formats a then 16 else 8
+    | None -> if Legality.uses_gather ~formats a then 16 else 8
   in
-  let sched = Schedule.set_environment sched "innerPar" inner_par in
-  let sched = Schedule.set_environment sched "outerPar" op in
+  { order; inner_par; outer_par }
+
+(** Build the complete schedule for an assignment at one {!decision}: loop
+    order, parallelization factors, workspace insertion, and Reduce
+    acceleration.  Orders that are illegal for the formats, or that target
+    a non-plain nest, are ignored (the canonical order is kept), so every
+    decision yields a valid schedule. *)
+let schedule_point ~formats (a : Ast.assign) (d : decision) =
+  let sched = Schedule.of_assign ~formats a in
+  let rvars = Ast.reduction_vars a in
+  (* 1. loop order *)
+  let out_vars = a.Ast.lhs.Ast.indices in
+  let all = Cin.bound_vars (Schedule.stmt sched) in
+  let sched =
+    match d.order with
+    | Some order
+      when all = out_vars @ rvars
+           && order <> all
+           && Legality.respects_levels ~formats a order ->
+        Schedule.reorder sched order
+    | _ -> sched
+  in
+  (* 2. parallelization factors, through the environment command *)
+  let sched = Schedule.set_environment sched "innerPar" d.inner_par in
+  let sched = Schedule.set_environment sched "outerPar" d.outer_par in
   (* 3. accelerate the reduction as a Reduce pattern *)
   if rvars = [] then sched
   else if Schedule.has_tensor sched "_rs" then begin
@@ -178,6 +146,13 @@ let schedule ?(inner_par = 16) ?outer_par ~formats (a : Ast.assign) =
             with Schedule.Schedule_error _ -> sched)
         | _ -> sched)
   end
+
+(** Derive a complete schedule for an index-notation assignment: the
+    heuristic {!decide} followed by {!schedule_point}.  This is the 6-line
+    input mode of section 8.3 — the user supplies only formats and the
+    algorithm. *)
+let schedule ?inner_par ?outer_par ~formats (a : Ast.assign) =
+  schedule_point ~formats a (decide ?inner_par ?outer_par ~formats a)
 
 (** Auto-schedule and compile in one step. *)
 let compile ?name ?inner_par ?outer_par ~formats ~inputs expr =

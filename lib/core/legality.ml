@@ -1,0 +1,99 @@
+(** Schedule-legality predicates shared by the auto-scheduler heuristic
+    ({!Autoschedule}) and the design-space explorer ([Stardust_explore]).
+
+    A schedule point is more than a tuple of knob values: most loop orders
+    are illegal for a given set of formats (compressed fibers are reachable
+    only through their parents), and parallelization factors interact with
+    the shuffle network.  These predicates answer, for an index-notation
+    assignment and a format environment, which points are even candidates —
+    one implementation, used both to drive the heuristic's choices and to
+    filter the explorer's candidate enumeration. *)
+
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+
+(** Reduction variables ordered so that dense (vectorizable) dimensions
+    come last: a variable is dense if {e every} tensor accessing it stores
+    the corresponding dimension in a dense level.  Returns the reordered
+    variable list and whether anything moved. *)
+let dense_last ~formats (a : Ast.assign) vars =
+  let is_dense v =
+    List.for_all
+      (fun (acc : Ast.access) ->
+        match List.find_index (String.equal v) acc.indices with
+        | None -> true
+        | Some d -> (
+            match List.assoc_opt acc.tensor formats with
+            | None -> true
+            | Some fmt ->
+                Format.level_kind fmt (Format.level_of_dim fmt d) = Format.Dense))
+      (a.Ast.lhs :: Ast.accesses_of_expr a.Ast.rhs)
+  in
+  let sparse, dense = List.partition (fun v -> not (is_dense v)) vars in
+  (sparse @ dense, dense <> [])
+
+(** A loop order is usable only if every tensor's storage levels bind
+    outside-in: the variable of level [l] must come before the variable of
+    level [l+1] (compressed fibers are reachable only through their
+    parents). *)
+let respects_levels ~formats (a : Ast.assign) order =
+  let pos v = List.find_index (String.equal v) order in
+  List.for_all
+    (fun (acc : Ast.access) ->
+      match List.assoc_opt acc.tensor formats with
+      | None -> true
+      | Some fmt ->
+          let n = Format.order fmt in
+          let var_of_level l =
+            List.nth acc.indices (Format.dim_of_level fmt l)
+          in
+          List.for_all
+            (fun l ->
+              match (pos (var_of_level l), pos (var_of_level (l + 1))) with
+              | Some p1, Some p2 -> p1 < p2
+              | _ -> true)
+            (if n < 2 then [] else List.init (n - 1) Fun.id))
+    (a.Ast.lhs :: Ast.accesses_of_expr a.Ast.rhs)
+
+(** Does any access gather a dense tensor at sparse coordinates?  (Then
+    outer parallelization is capped by the shuffle network's port count —
+    section 8.3's reason SDDMM stops at Par = 12/16.) *)
+let uses_gather ~formats (a : Ast.assign) =
+  let var_sparse v =
+    List.exists
+      (fun (acc : Ast.access) ->
+        match List.find_index (String.equal v) acc.indices with
+        | None -> false
+        | Some d -> (
+            match List.assoc_opt acc.tensor formats with
+            | None -> false
+            | Some fmt ->
+                Format.level_kind fmt (Format.level_of_dim fmt d)
+                = Format.Compressed))
+      (Ast.accesses_of_expr a.Ast.rhs)
+  in
+  List.exists
+    (fun (acc : Ast.access) ->
+      match List.assoc_opt acc.tensor formats with
+      | None -> false
+      | Some fmt ->
+          Format.is_fully_dense fmt
+          && List.exists var_sparse acc.indices)
+    (Ast.accesses_of_expr a.Ast.rhs)
+
+(** All legal loop orders for [vars]: the permutations that satisfy
+    {!respects_levels}.  The candidate generator enumerates these; callers
+    should keep [vars] small (loop nests are at most 4-5 deep in practice,
+    and the legality filter prunes most permutations of sparse kernels). *)
+let legal_orders ~formats (a : Ast.assign) vars =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun p -> x :: p)
+              (perms (List.filter (fun y -> y <> x) l)))
+          l
+  in
+  List.filter (respects_levels ~formats a) (perms vars)

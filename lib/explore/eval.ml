@@ -1,0 +1,127 @@
+(** Evaluation layer: cost one candidate point.
+
+    A point is built into a schedule through
+    {!Stardust_core.Autoschedule.schedule_point} (so the heuristic's seed
+    point evaluates to exactly the heuristic's schedule), compiled,
+    pruned ({!Prune}), and finally costed with the analytic simulator
+    {!Stardust_capstan.Sim.estimate} — the same oracle the paper's
+    benchmarks use at scale.
+
+    Evaluations are memoised in a {!Pool.Cache} keyed by a canonical
+    fingerprint of (expression, formats, point, dataset statistics,
+    machine configuration): identical queries across search strategies —
+    greedy descent revisits its pivot point once per sweep — or across
+    repeated [run]s sharing a cache return the stored result.  Evaluation
+    is pure, so memoisation cannot change any search outcome, only its
+    cost. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Parser = Stardust_ir.Parser
+module Schedule = Stardust_schedule.Schedule
+module Auto = Stardust_core.Autoschedule
+module Compile = Stardust_core.Compile
+module Arch = Stardust_capstan.Arch
+module Sim = Stardust_capstan.Sim
+module Resources = Stardust_capstan.Resources
+
+(** One search problem: the fixed algorithm/format/data triple the
+    explorer searches schedules for. *)
+type problem = {
+  name : string;
+  expr : Ast.assign;
+  formats : (string * Format.t) list;
+  inputs : (string * Tensor.t) list;
+  config : Sim.config;
+}
+
+let problem ?(name = "kernel") ?(config = Sim.default_config) ~formats ~inputs
+    expr =
+  { name; expr; formats; inputs; config }
+
+let problem_of_string ?name ?config ~formats ~inputs s =
+  problem ?name ?config ~formats ~inputs (Parser.parse_assign s)
+
+(** Canonical fingerprint of everything that determines a cost, except the
+    point: expression, formats, per-tensor dataset statistics, machine. *)
+let problem_key (p : problem) =
+  let fmts =
+    String.concat ","
+      (List.map
+         (fun (n, f) -> Fmt.str "%s:%s" n (Format.short_name f))
+         (List.sort compare p.formats))
+  in
+  let data =
+    String.concat ","
+      (List.map
+         (fun (n, t) ->
+           Fmt.str "%s:%s/%d" n
+             (String.concat "x"
+                (List.map string_of_int (Array.to_list (Tensor.dims t))))
+             (Tensor.nnz t))
+         (List.sort (fun (a, _) (b, _) -> compare a b) p.inputs))
+  in
+  Fmt.str "%a|%s|%s|%d" Ast.pp_assign p.expr fmts data (Hashtbl.hash p.config)
+
+type outcome =
+  | Feasible of { report : Sim.report; usage : Resources.usage }
+  | Infeasible of string  (** pruned, with the pruning reason *)
+
+type eval = { point : Point.t; outcome : outcome }
+
+let cycles (e : eval) =
+  match e.outcome with
+  | Feasible { report; _ } -> Some report.Sim.cycles
+  | Infeasible _ -> None
+
+(** The secondary objective for the Pareto frontier: fraction of the chip
+    the point occupies (its limiting resource's share). *)
+let resource_frac (e : eval) =
+  match e.outcome with
+  | Feasible { usage = u; _ } ->
+      Some
+        (List.fold_left Float.max u.Resources.pcu_frac
+           [ u.Resources.pmu_frac; u.Resources.mc_frac;
+             u.Resources.shuffle_frac ])
+  | Infeasible _ -> None
+
+(** Compile and cost one point (uncached). *)
+let compute (p : problem) (pt : Point.t) : eval =
+  let arch = p.config.Sim.arch in
+  match
+    let d =
+      { Auto.order = pt.Point.order; inner_par = pt.Point.inner_par;
+        outer_par = pt.Point.outer_par }
+    in
+    let sched = Auto.schedule_point ~formats:p.formats p.expr d in
+    let sched =
+      match pt.Point.split with
+      | None -> sched
+      | Some (v, c) -> Schedule.split_up sched v (v ^ "_o") (v ^ "_i") c
+    in
+    let sram_budget =
+      match pt.Point.gather with
+      | Point.Auto -> None
+      | Point.On_chip -> Some (arch.Arch.num_pmu * Arch.pmu_words arch)
+      | Point.Off_chip -> Some 0
+    in
+    Compile.compile ?sram_budget ~name:p.name sched ~inputs:p.inputs
+  with
+  | exception Compile.Compile_error m ->
+      { point = pt; outcome = Infeasible (Fmt.str "compile: %s" m) }
+  | exception Schedule.Schedule_error m ->
+      { point = pt; outcome = Infeasible (Fmt.str "schedule: %s" m) }
+  | compiled -> (
+      match Prune.check ~arch compiled with
+      | Prune.Reject reason -> { point = pt; outcome = Infeasible reason }
+      | Prune.Pass usage ->
+          let report = Sim.estimate ~config:p.config compiled in
+          { point = pt; outcome = Feasible { report; usage } })
+
+(** Memoised evaluation.  [key] is the precomputed {!problem_key} (so the
+    per-problem part is fingerprinted once per search, not per point). *)
+let evaluate ~(cache : eval Pool.Cache.t) ~key (p : problem) (pt : Point.t) =
+  Pool.Cache.find_or_compute cache
+    (key ^ "|" ^ Point.fingerprint pt)
+    (fun () -> compute p pt)

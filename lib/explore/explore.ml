@@ -1,0 +1,284 @@
+(** The design-space exploration driver (autotuner).
+
+    Pipeline: {!Space} generates legal candidates seeded by the
+    {!Stardust_core.Autoschedule} heuristic → {!Prune} rejects points that
+    cannot be placed → {!Eval} costs the survivors with
+    {!Stardust_capstan.Sim.estimate} on a {!Pool} of OCaml domains →
+    {!Pareto} keeps the (cycles, chip-resources) frontier.
+
+    Three strategies share that pipeline:
+
+    - {b exhaustive} grid: every candidate, evaluated in parallel;
+    - {b greedy} coordinate descent: start at the heuristic seed, sweep
+      one axis at a time (evaluating each axis's alternatives as one
+      parallel batch), move to the axis's best point, repeat to fixpoint;
+    - {b random} search: a seeded {!Stardust_workloads.Prng} draw of N
+      candidates (plus the heuristic seed) — reproducible bit-for-bit,
+      never [Random.self_init].
+
+    Every strategy is deterministic and independent of the worker count:
+    candidates are enumerated in a fixed order, batches preserve input
+    order ({!Pool.map}), and memoisation only short-circuits recomputation
+    of a pure function. *)
+
+module Prng = Stardust_workloads.Prng
+module Sim = Stardust_capstan.Sim
+module Resources = Stardust_capstan.Resources
+
+type strategy =
+  | Exhaustive
+  | Greedy
+  | Random of { samples : int; seed : int }
+
+let strategy_name = function
+  | Exhaustive -> "exhaustive"
+  | Greedy -> "greedy"
+  | Random _ -> "random"
+
+type result = {
+  problem : Eval.problem;
+  strategy : strategy;
+  workers : int;
+  candidates : int;  (** size of the enumerated space *)
+  evaluated : Eval.eval list;  (** deterministic order, duplicates removed *)
+  pruned : int;  (** evaluated points rejected before simulation *)
+  seed_eval : Eval.eval;  (** the heuristic point's evaluation *)
+  frontier : Eval.eval list;  (** feasible non-dominated, by cycles asc *)
+  best : Eval.eval option;  (** frontier head: minimum cycles *)
+}
+
+let objectives (e : Eval.eval) =
+  match (Eval.cycles e, Eval.resource_frac e) with
+  | Some c, Some r -> Some (c, r)
+  | _ -> None
+
+(* Deduplicate while preserving first-occurrence order. *)
+let dedup evals =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (e : Eval.eval) ->
+      let fp = Point.fingerprint e.Eval.point in
+      if Hashtbl.mem seen fp then false
+      else begin
+        Hashtbl.add seen fp ();
+        true
+      end)
+    evals
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy coordinate descent over the axes record.  Each sweep re-places
+   one coordinate at a time; the sweep's batches are evaluated in
+   parallel and the pivot moves to the best feasible alternative (ties:
+   earlier axis value).  Stops when a full sweep leaves the pivot
+   unchanged, or after [max_sweeps] as a guard. *)
+let greedy ~eval_batch ~(axes : Space.axes) (start : Point.t) =
+  let max_sweeps = 8 in
+  let trail = ref [] in
+  let better (cur_pt, cur_cy) (e : Eval.eval) =
+    match Eval.cycles e with
+    | Some c when c < cur_cy -> (e.Eval.point, c)
+    | _ -> (cur_pt, cur_cy)
+  in
+  (* Variant builders take the current pivot so each axis's batch keeps
+     the coordinates already settled earlier in the sweep. *)
+  let axis_variants : (Point.t -> Point.t list) list =
+    [
+      (fun pt -> List.map (fun o -> { pt with Point.order = o }) axes.Space.orders);
+      (fun pt ->
+        List.map (fun p -> { pt with Point.outer_par = p }) axes.Space.outer_pars);
+      (fun pt ->
+        List.map (fun p -> { pt with Point.inner_par = p }) axes.Space.inner_pars);
+      (fun pt -> List.map (fun s -> { pt with Point.split = s }) axes.Space.splits);
+      (fun pt -> List.map (fun g -> { pt with Point.gather = g }) axes.Space.gathers);
+    ]
+  in
+  let sweep_axis (pt, cy) mk_variants =
+    let batch =
+      List.filter
+        (fun (v : Point.t) -> Point.fingerprint v <> Point.fingerprint pt)
+        (mk_variants pt)
+    in
+    if batch = [] then (pt, cy)
+    else begin
+      let evals = eval_batch batch in
+      trail := List.rev_append evals !trail;
+      List.fold_left better (pt, cy) evals
+    end
+  in
+  let start_eval = List.hd (eval_batch [ start ]) in
+  trail := [ start_eval ];
+  let start_cycles =
+    match Eval.cycles start_eval with Some c -> c | None -> infinity
+  in
+  let rec sweeps n (pt, cy) =
+    if n >= max_sweeps then (pt, cy)
+    else
+      let next = List.fold_left sweep_axis (pt, cy) axis_variants in
+      if Point.fingerprint (fst next) = Point.fingerprint pt then next
+      else sweeps (n + 1) next
+  in
+  ignore (sweeps 0 (start, start_cycles));
+  List.rev !trail
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Search the design space of [problem].  [axes] defaults to
+    {!Space.default_axes} for the problem's expression and formats;
+    [workers] to {!Pool.default_workers}; [cache] to a fresh memo table
+    (pass one in to share memoised evaluations across related runs). *)
+let run ?workers ?(strategy = Exhaustive) ?axes ?cache (p : Eval.problem) =
+  let workers =
+    match workers with Some w -> max 1 w | None -> Pool.default_workers ()
+  in
+  let axes =
+    match axes with
+    | Some ax -> ax
+    | None ->
+        Space.default_axes ~arch:p.Eval.config.Sim.arch ~formats:p.Eval.formats
+          p.Eval.expr
+  in
+  let cache = match cache with Some c -> c | None -> Pool.Cache.create () in
+  let key = Eval.problem_key p in
+  let eval_batch pts =
+    Array.to_list
+      (Pool.map ~workers (Eval.evaluate ~cache ~key p) (Array.of_list pts))
+  in
+  let all = Space.points ~formats:p.Eval.formats p.Eval.expr axes in
+  let seed_pt = List.hd all in
+  let evaluated =
+    match strategy with
+    | Exhaustive -> eval_batch all
+    | Greedy -> dedup (greedy ~eval_batch ~axes seed_pt)
+    | Random { samples; seed } ->
+        let arr = Array.of_list all in
+        let rng = Prng.create seed in
+        let picks =
+          List.init (max 0 samples) (fun _ ->
+              arr.(Prng.int rng (Array.length arr)))
+        in
+        dedup (eval_batch (seed_pt :: picks))
+  in
+  let seed_eval =
+    (* memoised: the seed is always the first evaluated point *)
+    List.hd (eval_batch [ seed_pt ])
+  in
+  let pruned =
+    List.length
+      (List.filter
+         (fun (e : Eval.eval) ->
+           match e.Eval.outcome with Eval.Infeasible _ -> true | _ -> false)
+         evaluated)
+  in
+  let frontier = Pareto.frontier objectives evaluated in
+  {
+    problem = p;
+    strategy;
+    workers;
+    candidates = List.length all;
+    evaluated;
+    pruned;
+    seed_eval;
+    frontier;
+    best = (match frontier with [] -> None | e :: _ -> Some e);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_eval ppf (e : Eval.eval) =
+  match e.Eval.outcome with
+  | Eval.Feasible { report; usage } ->
+      Fmt.pf ppf "%-44s %12.0f cycles  %3.0f%% chip (%s-bound)"
+        (Point.to_string e.Eval.point) report.Sim.cycles
+        (100.
+        *. List.fold_left Float.max usage.Resources.pcu_frac
+             [ usage.Resources.pmu_frac; usage.Resources.mc_frac;
+               usage.Resources.shuffle_frac ])
+        usage.Resources.limiting
+  | Eval.Infeasible reason ->
+      Fmt.pf ppf "%-44s pruned: %s" (Point.to_string e.Eval.point) reason
+
+(** Human-readable report: search summary, Pareto frontier, best point,
+    and the improvement over the heuristic seed. *)
+let pp_result ppf (r : result) =
+  Fmt.pf ppf "%s: %s search, %d candidates, %d evaluated (%d pruned), %d workers@."
+    r.problem.Eval.name (strategy_name r.strategy) r.candidates
+    (List.length r.evaluated) r.pruned r.workers;
+  Fmt.pf ppf "heuristic seed: %a@." pp_eval r.seed_eval;
+  Fmt.pf ppf "Pareto frontier (cycles vs chip fraction):@.";
+  List.iter (fun e -> Fmt.pf ppf "  %a@." pp_eval e) r.frontier;
+  match (r.best, Eval.cycles r.seed_eval) with
+  | Some b, Some seed_cycles ->
+      let bc = Option.get (Eval.cycles b) in
+      Fmt.pf ppf "best: %a@." pp_eval b;
+      if bc < seed_cycles then
+        Fmt.pf ppf "%.2fx faster than the heuristic point@."
+          (seed_cycles /. bc)
+      else Fmt.pf ppf "heuristic point is already optimal in this space@."
+  | Some b, None -> Fmt.pf ppf "best: %a@." pp_eval b
+  | None, _ -> Fmt.pf ppf "no feasible point in the search space@."
+
+(* Minimal JSON rendering (no external dependency). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_point (pt : Point.t) =
+  Fmt.str
+    "{\"order\": %s, \"outer_par\": %d, \"inner_par\": %d, \"split\": %s, \
+     \"gather\": \"%s\"}"
+    (match pt.Point.order with
+    | None -> "null"
+    | Some o -> Fmt.str "\"%s\"" (json_escape (String.concat "," o)))
+    pt.Point.outer_par pt.Point.inner_par
+    (match pt.Point.split with
+    | None -> "null"
+    | Some (v, c) -> Fmt.str "{\"var\": \"%s\", \"tile\": %d}" (json_escape v) c)
+    (match pt.Point.gather with
+    | Point.Auto -> "auto"
+    | Point.On_chip -> "on_chip"
+    | Point.Off_chip -> "off_chip")
+
+let json_of_eval (e : Eval.eval) =
+  match e.Eval.outcome with
+  | Eval.Feasible { report; usage } ->
+      Fmt.str
+        "{\"point\": %s, \"cycles\": %.0f, \"seconds\": %.6e, \
+         \"dram_bytes\": %.0f, \"pcu\": %d, \"pmu\": %d, \"mc\": %d, \
+         \"shuffle\": %d, \"limiting\": \"%s\"}"
+        (json_of_point e.Eval.point) report.Sim.cycles report.Sim.seconds
+        report.Sim.streamed_bytes usage.Resources.pcu usage.Resources.pmu
+        usage.Resources.mc usage.Resources.shuffle
+        (json_escape usage.Resources.limiting)
+  | Eval.Infeasible reason ->
+      Fmt.str "{\"point\": %s, \"pruned\": \"%s\"}" (json_of_point e.Eval.point)
+        (json_escape reason)
+
+(** Machine-readable report for trajectory tracking and tooling. *)
+let to_json (r : result) =
+  Fmt.str
+    "{\"kernel\": \"%s\", \"strategy\": \"%s\", \"workers\": %d, \
+     \"candidates\": %d, \"evaluated\": %d, \"pruned\": %d, \
+     \"heuristic\": %s, \"best\": %s, \"frontier\": [%s]}"
+    (json_escape r.problem.Eval.name)
+    (strategy_name r.strategy) r.workers r.candidates
+    (List.length r.evaluated) r.pruned
+    (json_of_eval r.seed_eval)
+    (match r.best with None -> "null" | Some b -> json_of_eval b)
+    (String.concat ", " (List.map json_of_eval r.frontier))

@@ -1,0 +1,36 @@
+(** Pareto frontier over two minimized objectives.
+
+    The explorer reports not just the fastest point but the whole
+    cycles-vs-chip-resources trade-off curve: a point belongs to the
+    frontier iff no other point is at least as good on both objectives and
+    strictly better on one.  Ties on both objectives keep the earliest
+    point (deterministic under the evaluator's stable ordering). *)
+
+(** [frontier objectives xs] filters [xs] to its non-dominated subset,
+    sorted by the first objective ascending (then the second, then input
+    order).  [objectives] returns [(primary, secondary)], both minimized;
+    elements for which it returns [None] (infeasible points) are dropped. *)
+let frontier (objectives : 'a -> (float * float) option) (xs : 'a list) =
+  let pts =
+    List.mapi (fun i x -> (i, x)) xs
+    |> List.filter_map (fun (i, x) ->
+           match objectives x with Some (a, b) -> Some (i, a, b, x) | None -> None)
+  in
+  let dominated (i, a, b, _) =
+    List.exists
+      (fun (j, a', b', _) ->
+        let strictly = a' < a || b' < b in
+        let at_least = a' <= a && b' <= b in
+        (at_least && strictly) || (a' = a && b' = b && j < i))
+      pts
+  in
+  pts
+  |> List.filter (fun p -> not (dominated p))
+  |> List.sort (fun (i, a, b, _) (j, a', b', _) ->
+         compare (a, b, i) (a', b', j))
+  |> List.map (fun (_, _, _, x) -> x)
+
+(** The minimum of [xs] under the first objective (ties: secondary
+    objective, then input order); [None] when nothing is feasible. *)
+let best (objectives : 'a -> (float * float) option) (xs : 'a list) =
+  match frontier objectives xs with [] -> None | x :: _ -> Some x

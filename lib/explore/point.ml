@@ -1,0 +1,53 @@
+(** A point in the Stardust design space.
+
+    The paper's separation of algorithm, format, and schedule (sections 1
+    and 8.3) means a kernel's performance-relevant choices collapse into a
+    small record: the loop order, the two parallelization factors exposed
+    through the [environment] command (section 5.2), an optional split of
+    one loop into tiles, and where gathered arrays live on the memory
+    hierarchy.  The explorer enumerates and evaluates these records; the
+    algorithm and formats stay fixed. *)
+
+(** Memory-region choice for gathered values arrays (the on-chip vs
+    off-chip axis of the format language, section 5.1).  [Auto] lets the
+    memory analysis decide from its default SRAM budget; [On_chip] forces
+    gathered arrays into sparse SRAM when they fit anywhere on the chip;
+    [Off_chip] pins them in DRAM behind random-access streams. *)
+type gather_region = Auto | On_chip | Off_chip
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = {
+  order : string list option;
+      (** explicit loop order; [None] keeps the canonical nest *)
+  outer_par : int;  (** replication of the outer parallel pattern *)
+  inner_par : int;  (** vector width of the accelerated inner pattern *)
+  split : (string * int) option;
+      (** split this loop variable into tiles of the given size *)
+  gather : gather_region;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let make ?order ?split ?(gather = Auto) ~outer_par ~inner_par () =
+  { order; outer_par; inner_par; split; gather }
+
+(** Compact single-line rendering, e.g. [order=i,k,l,j op=8 ip=16]. *)
+let pp_compact ppf t =
+  let order =
+    match t.order with
+    | None -> "(canonical)"
+    | Some o -> String.concat "," o
+  in
+  Fmt.pf ppf "order=%s op=%d ip=%d%s%s" order t.outer_par t.inner_par
+    (match t.split with
+    | None -> ""
+    | Some (v, c) -> Fmt.str " split(%s,%d)" v c)
+    (match t.gather with
+    | Auto -> ""
+    | On_chip -> " gather=on"
+    | Off_chip -> " gather=off")
+
+let to_string t = Fmt.str "%a" pp_compact t
+
+(** Canonical fingerprint of the point itself; {!Fingerprint} combines it
+    with the problem's identity for the memoization cache. *)
+let fingerprint t = to_string t

@@ -1,0 +1,86 @@
+(** Fixed-size [Domain] worker pool with deterministic result ordering,
+    plus the mutex-guarded memoization cache the evaluator shares across
+    workers.
+
+    Candidate evaluation (compile + resource count + analytic simulation)
+    is pure: each result depends only on its candidate.  So parallelism is
+    a plain self-scheduling map — workers pull indices from an atomic
+    counter and write into a preallocated slot array, which makes the
+    output order (and therefore the frontier, the best point, and every
+    printed report) independent of the worker count and of scheduling
+    interleavings.  OCaml 5 domains give real parallelism; with
+    [workers = 1] the map degenerates to a sequential loop with no domain
+    spawned, which the bench suite uses as the serial baseline. *)
+
+(** Default worker count: the physical parallelism the runtime recommends,
+    bounded to keep domain startup cost below the work saved on small
+    candidate sets. *)
+let default_workers () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+(** [map ~workers f items] is [Array.map f items], computed by [workers]
+    domains.  Results are returned in input order regardless of worker
+    count.  If any application raises, the first exception (by item index)
+    is re-raised in the calling domain after all workers join. *)
+let map ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
+  let workers = match workers with Some w -> max 1 w | None -> default_workers () in
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if workers = 1 || n = 1 then Array.map f items
+  else begin
+    let results : 'b option array = Array.make n None in
+    let errors : (int * exn) option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some (i, e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min (workers - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.iter
+      (function Some (_, e) -> raise e | None -> ())
+      errors;
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map: missing slot")
+      results
+  end
+
+(** Memoization cache shared between workers.  Lookups and inserts hold a
+    mutex; the computation itself runs outside it, so two workers may race
+    to fill the same key — harmless for pure functions (last write wins
+    with an identical value) and far cheaper than blocking every worker on
+    one kernel compilation. *)
+module Cache = struct
+  type 'a t = { tbl : (string, 'a) Hashtbl.t; lock : Mutex.t }
+
+  let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+
+  let size t =
+    Mutex.lock t.lock;
+    let n = Hashtbl.length t.tbl in
+    Mutex.unlock t.lock;
+    n
+
+  let find_or_compute t key f =
+    Mutex.lock t.lock;
+    let hit = Hashtbl.find_opt t.tbl key in
+    Mutex.unlock t.lock;
+    match hit with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        Mutex.lock t.lock;
+        if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key v;
+        Mutex.unlock t.lock;
+        v
+end

@@ -1,0 +1,125 @@
+(** Candidate generation: enumerate the legal schedule points of one
+    kernel.
+
+    The axes are the knobs the paper exposes to the scheduling layer:
+
+    - {b loop orders} — permutations of a plain nest filtered through
+      {!Stardust_core.Legality.respects_levels} (compressed levels must
+      bind outside-in).  Auto-workspace kernels (mixed additive
+      expressions) keep their canonical shape: their nest is not a plain
+      permutable forall chain.
+    - {b parallelization factors} — [outerPar] replicas and [innerPar]
+      vector width, set through the [environment] command.  Inner factors
+      are capped at the architecture's vector lanes; outer factors are
+      capped at the shuffle network's port count when the kernel gathers
+      (section 8.3's Par ≤ 16 rule), both via
+      {!Stardust_core.Legality.uses_gather}.
+    - {b split/tile sizes} — optional [split_up] of one nest variable.
+    - {b gather regions} — on-chip vs off-chip placement of gathered
+      values arrays (the format language's memory-region axis).
+
+    The heuristic {!Stardust_core.Autoschedule.decide} point seeds the
+    enumeration: it is always the first candidate, so any search strategy
+    that evaluates its inputs in order starts from a known-good point and
+    can only improve on it. *)
+
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+module Auto = Stardust_core.Autoschedule
+module Legality = Stardust_core.Legality
+module Arch = Stardust_capstan.Arch
+
+type axes = {
+  orders : string list option list;
+  outer_pars : int list;
+  inner_pars : int list;
+  splits : (string * int) option list;
+  gathers : Point.gather_region list;
+}
+
+(** Variables of the canonical nest when it is a plain permutable forall
+    chain over exactly the output-then-reduction variables; [None] for
+    auto-workspace shapes whose nest must keep its structure. *)
+let plain_nest ~formats (a : Ast.assign) =
+  let sched = Schedule.of_assign ~formats a in
+  let all = Cin.bound_vars (Schedule.stmt sched) in
+  let vars = a.Ast.lhs.Ast.indices @ Ast.reduction_vars a in
+  if all = vars then Some vars else None
+
+(** The heuristic's choice as a {!Point.t} — the search seed. *)
+let seed ?inner_par ?outer_par ~formats (a : Ast.assign) =
+  let d = Auto.decide ?inner_par ?outer_par ~formats a in
+  Point.make ?order:d.Auto.order ~outer_par:d.Auto.outer_par
+    ~inner_par:d.Auto.inner_par ()
+
+(** Build the default axes for an assignment.  [split_factors] defaults to
+    empty (the compiled backends do not lower split loops yet; enabling it
+    enumerates candidates the pruning layer then rejects, which is useful
+    for exercising the pruner but wastes evaluations otherwise).
+    [gathers] defaults to the automatic placement only; pass all three
+    regions to search the memory axis. *)
+let default_axes ?(arch = Arch.default) ?(outer_pars = [ 1; 2; 4; 8; 12; 16 ])
+    ?(inner_pars = [ 4; 8; 16 ]) ?(split_factors = [])
+    ?(gathers = [ Point.Auto ]) ~formats (a : Ast.assign) =
+  let orders =
+    match plain_nest ~formats a with
+    | None -> [ None ]
+    | Some vars ->
+        List.map Option.some (Legality.legal_orders ~formats a vars)
+  in
+  let inner_pars =
+    List.filter (fun p -> p >= 1 && p <= arch.Arch.lanes) inner_pars
+  in
+  let outer_pars =
+    let cap =
+      if Legality.uses_gather ~formats a then arch.Arch.num_shuffle
+      else arch.Arch.num_pcu
+    in
+    List.filter (fun p -> p >= 1 && p <= cap) outer_pars
+  in
+  let splits =
+    None
+    :: (match plain_nest ~formats a with
+       | None -> []
+       | Some vars ->
+           List.concat_map
+             (fun v -> List.map (fun c -> Some (v, c)) split_factors)
+             vars)
+  in
+  { orders; outer_pars; inner_pars; splits; gathers }
+
+(** Enumerate the whole candidate list, seed point first, duplicates
+    removed.  The order is deterministic: seed, then the cartesian product
+    in axis-major order (orders, outer, inner, split, gather). *)
+let points ?inner_par ?outer_par ~formats (a : Ast.assign) (ax : axes) =
+  let seed_pt = seed ?inner_par ?outer_par ~formats a in
+  let seen = Hashtbl.create 256 in
+  let keep pt =
+    let fp = Point.fingerprint pt in
+    if Hashtbl.mem seen fp then None
+    else begin
+      Hashtbl.add seen fp ();
+      Some pt
+    end
+  in
+  let product =
+    List.concat_map
+      (fun order ->
+        List.concat_map
+          (fun op ->
+            List.concat_map
+              (fun ip ->
+                List.concat_map
+                  (fun split ->
+                    List.map
+                      (fun gather ->
+                        { Point.order; outer_par = op; inner_par = ip;
+                          split; gather })
+                      ax.gathers)
+                  ax.splits)
+              ax.inner_pars)
+          ax.outer_pars)
+      ax.orders
+  in
+  List.filter_map keep (seed_pt :: product)

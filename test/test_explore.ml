@@ -1,0 +1,274 @@
+(* Tests for Stardust_explore: legality predicates, the parallel pool,
+   Pareto filtering, and end-to-end search properties. *)
+
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module P = Stardust_ir.Parser
+module Legality = Stardust_core.Legality
+module K = Stardust_core.Kernels
+module Resources = Stardust_capstan.Resources
+module D = Stardust_workloads.Datasets
+module Explore = Stardust_explore.Explore
+module Eval = Stardust_explore.Eval
+module Point = Stardust_explore.Point
+module Space = Stardust_explore.Space
+module Pool = Stardust_explore.Pool
+module Pareto = Stardust_explore.Pareto
+
+(* ------------------------------------------------------------------ *)
+(* Legality predicates (shared by the heuristic and the explorer)      *)
+(* ------------------------------------------------------------------ *)
+
+let spmv_assign = P.parse_assign "y(i) = A(i,j) * x(j)"
+let spmv_formats = [ ("y", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ]
+
+let sddmm_assign = P.parse_assign "A(i,j) = B(i,j) * C(i,k) * D(j,k)"
+
+let sddmm_formats =
+  [ ("A", F.csr ()); ("B", F.csr ()); ("C", F.rm ()); ("D", F.rm ()) ]
+
+let test_respects_levels () =
+  Alcotest.(check bool)
+    "CSR canonical order is legal" true
+    (Legality.respects_levels ~formats:spmv_formats spmv_assign [ "i"; "j" ]);
+  Alcotest.(check bool)
+    "CSR reversed order binds j before its parent level" false
+    (Legality.respects_levels ~formats:spmv_formats spmv_assign [ "j"; "i" ])
+
+let test_legal_orders () =
+  Alcotest.(check (list (list string)))
+    "SpMV has exactly one legal order" [ [ "i"; "j" ] ]
+    (Legality.legal_orders ~formats:spmv_formats spmv_assign [ "i"; "j" ]);
+  let orders =
+    Legality.legal_orders ~formats:sddmm_formats sddmm_assign [ "i"; "j"; "k" ]
+  in
+  Alcotest.(check bool)
+    "SDDMM canonical order is among the legal ones" true
+    (List.mem [ "i"; "j"; "k" ] orders);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Fmt.str "order %s respects levels" (String.concat "," o))
+        true
+        (Legality.respects_levels ~formats:sddmm_formats sddmm_assign o))
+    orders
+
+let test_dense_last () =
+  (* A reduction variable that only indexes dense levels sinks below the
+     ones that touch compressed levels. *)
+  let formats = [ ("alpha", F.make []); ("b", F.sv ()); ("c", F.dv ()) ] in
+  let a = P.parse_assign "alpha = b(i) * c(j)" in
+  let reordered, moved = Legality.dense_last ~formats a [ "j"; "i" ] in
+  Alcotest.(check bool) "dense-only var moved" true moved;
+  Alcotest.(check (list string))
+    "j sinks below the sparse var" [ "i"; "j" ] reordered;
+  (* SpMV's reduction variable indexes a compressed level: no move. *)
+  let same, moved =
+    Legality.dense_last ~formats:spmv_formats spmv_assign [ "j" ]
+  in
+  Alcotest.(check bool) "nothing to move for SpMV" false moved;
+  Alcotest.(check (list string)) "order unchanged" [ "j" ] same
+
+let test_uses_gather () =
+  Alcotest.(check bool)
+    "SpMV gathers the dense vector" true
+    (Legality.uses_gather ~formats:spmv_formats spmv_assign);
+  let formats = [ ("a", F.sv ()); ("b", F.sv ()); ("c", F.sv ()) ] in
+  Alcotest.(check bool)
+    "sparse-sparse add gathers nothing" false
+    (Legality.uses_gather ~formats (P.parse_assign "a(i) = b(i) + c(i)"))
+
+(* ------------------------------------------------------------------ *)
+(* Pool: deterministic parallel map and memo cache                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let xs = Array.init 100 (fun i -> i) in
+  let expect = Array.map (fun i -> i * i) xs in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (array int))
+        (Fmt.str "map with %d workers preserves order" workers)
+        expect
+        (Pool.map ~workers (fun i -> i * i) xs))
+    [ 1; 2; 4 ]
+
+let test_pool_map_exception () =
+  Alcotest.check_raises "exception from a worker propagates"
+    (Failure "boom 7")
+    (fun () ->
+      ignore
+        (Pool.map ~workers:4
+           (fun i -> if i = 7 then failwith "boom 7" else i)
+           (Array.init 16 (fun i -> i))))
+
+let test_pool_cache () =
+  let cache : int Pool.Cache.t = Pool.Cache.create () in
+  let calls = ref 0 in
+  let f () = incr calls; 41 + 1 in
+  let a = Pool.Cache.find_or_compute cache "k" f in
+  let b = Pool.Cache.find_or_compute cache "k" f in
+  Alcotest.(check int) "value" 42 a;
+  Alcotest.(check int) "cached value" 42 b;
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "one entry" 1 (Pool.Cache.size cache)
+
+(* ------------------------------------------------------------------ *)
+(* Pareto frontier                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pareto () =
+  let pts = [ (4., 1.); (1., 4.); (2., 2.); (3., 3.); (2., 2.); (5., 0.5) ] in
+  let obj x = Some x in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "dominated points dropped, sorted by primary"
+    [ (1., 4.); (2., 2.); (4., 1.); (5., 0.5) ]
+    (Pareto.frontier obj pts);
+  Alcotest.(check (option (pair (float 0.) (float 0.))))
+    "best is the cycle minimum" (Some (1., 4.))
+    (Pareto.best obj pts);
+  Alcotest.(check (option (pair (float 0.) (float 0.))))
+    "empty input" None
+    (Pareto.best obj [])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end search properties                                        *)
+(* ------------------------------------------------------------------ *)
+
+let spmv_problem seed =
+  let a = D.small_random ~seed ~name:"A" ~format:(F.csr ()) ~dims:[ 24; 24 ]
+      ~density:0.2 () in
+  let x = D.dense_vector ~seed:(seed + 1) ~name:"x" ~dim:24 () in
+  Eval.problem ~name:"spmv" ~formats:spmv_formats
+    ~inputs:[ ("A", a); ("x", x) ]
+    spmv_assign
+
+let sddmm_problem seed =
+  let b = D.small_random ~seed ~name:"B" ~format:(F.csr ()) ~dims:[ 16; 18 ]
+      ~density:0.2 () in
+  let c = D.dense_matrix ~seed:(seed + 1) ~name:"C" ~format:(F.rm ()) ~rows:16
+      ~cols:8 () in
+  let d = D.dense_matrix ~seed:(seed + 2) ~name:"D" ~format:(F.rm ()) ~rows:18
+      ~cols:8 () in
+  Eval.problem ~name:"sddmm" ~formats:sddmm_formats
+    ~inputs:[ ("B", b); ("C", c); ("D", d) ]
+    sddmm_assign
+
+let mttkrp_problem seed =
+  let st = List.hd K.mttkrp.K.stages in
+  let b = D.small_random ~seed ~name:"B" ~format:(F.csf 3)
+      ~dims:[ 8; 9; 10 ] ~density:0.15 () in
+  let c = D.dense_matrix ~seed:(seed + 1) ~name:"C" ~format:(F.rm ()) ~rows:9
+      ~cols:6 () in
+  let d = D.dense_matrix ~seed:(seed + 2) ~name:"D" ~format:(F.rm ()) ~rows:10
+      ~cols:6 () in
+  Eval.problem_of_string ~name:"mttkrp" ~formats:st.K.formats
+    ~inputs:[ ("B", b); ("C", c); ("D", d) ]
+    st.K.expr
+
+(* The heuristic's point is always enumerated first, so the explorer's
+   best can never be slower than the autoscheduler's choice. *)
+let check_never_worse name problem =
+  let r = Explore.run ~workers:2 problem in
+  (match (Option.bind r.Explore.best Eval.cycles,
+          Eval.cycles r.Explore.seed_eval) with
+  | Some best, Some seed ->
+      if best > seed then
+        Alcotest.failf "%s: explorer best %.0f slower than heuristic %.0f"
+          name best seed
+  | None, Some seed ->
+      Alcotest.failf "%s: heuristic feasible (%.0f) but explorer found nothing"
+        name seed
+  | _, None -> (* heuristic point over budget: nothing to compare *) ());
+  (* every frontier point must fit on the chip *)
+  List.iter
+    (fun (e : Eval.eval) ->
+      match e.Eval.outcome with
+      | Eval.Feasible { usage; _ } ->
+          Alcotest.(check bool)
+            (Fmt.str "%s frontier point %s fits" name
+               (Point.to_string e.Eval.point))
+            true usage.Resources.feasible
+      | Eval.Infeasible reason ->
+          Alcotest.failf "%s: infeasible point %s on the frontier (%s)" name
+            (Point.to_string e.Eval.point) reason)
+    r.Explore.frontier
+
+let prop_never_worse =
+  QCheck.Test.make ~name:"explorer best never slower than heuristic" ~count:4
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      check_never_worse "spmv" (spmv_problem seed);
+      check_never_worse "sddmm" (sddmm_problem seed);
+      check_never_worse "mttkrp" (mttkrp_problem seed);
+      true)
+
+let frontier_points (r : Explore.result) =
+  List.map (fun (e : Eval.eval) -> e.Eval.point) r.Explore.frontier
+
+let test_determinism () =
+  let p = sddmm_problem 11 in
+  let r1 = Explore.run ~workers:1 p in
+  let r4 = Explore.run ~workers:4 p in
+  Alcotest.(check int)
+    "same candidate count" r1.Explore.candidates r4.Explore.candidates;
+  Alcotest.(check bool)
+    "identical frontier regardless of worker count" true
+    (List.for_all2 Point.equal (frontier_points r1) (frontier_points r4));
+  let rg1 = Explore.run ~workers:1 ~strategy:Explore.Greedy p in
+  let rg4 = Explore.run ~workers:4 ~strategy:Explore.Greedy p in
+  Alcotest.(check bool)
+    "greedy is worker-count independent too" true
+    (List.for_all2 Point.equal (frontier_points rg1) (frontier_points rg4));
+  let rr1 = Explore.run ~workers:1
+      ~strategy:(Explore.Random { samples = 12; seed = 3 }) p in
+  let rr4 = Explore.run ~workers:4
+      ~strategy:(Explore.Random { samples = 12; seed = 3 }) p in
+  Alcotest.(check bool)
+    "seeded random search is reproducible" true
+    (List.for_all2 Point.equal (frontier_points rr1) (frontier_points rr4))
+
+let test_strategies_agree () =
+  (* Greedy and random both start from the seed, so they can never beat
+     exhaustive, and greedy must match or improve on the seed. *)
+  let p = spmv_problem 5 in
+  let rex = Explore.run p in
+  let rgr = Explore.run ~strategy:Explore.Greedy p in
+  match (Option.bind rex.Explore.best Eval.cycles,
+         Option.bind rgr.Explore.best Eval.cycles) with
+  | Some ex, Some gr ->
+      Alcotest.(check bool) "greedy >= exhaustive best" true (gr >= ex);
+      (match Eval.cycles rgr.Explore.seed_eval with
+      | Some seed ->
+          Alcotest.(check bool) "greedy <= its seed" true (gr <= seed)
+      | None -> ())
+  | _ -> Alcotest.fail "expected feasible best for SpMV"
+
+let test_seed_first () =
+  (* The candidate list starts with the heuristic decision. *)
+  let axes = Space.default_axes ~formats:spmv_formats spmv_assign in
+  let pts = Space.points ~formats:spmv_formats spmv_assign axes in
+  let seed = Space.seed ~formats:spmv_formats spmv_assign in
+  Alcotest.(check bool) "non-empty space" true (pts <> []);
+  Alcotest.(check bool)
+    "heuristic seed enumerated first" true
+    (Point.equal (List.hd pts) seed)
+
+let suite =
+  [
+    Alcotest.test_case "legality: respects_levels" `Quick test_respects_levels;
+    Alcotest.test_case "legality: legal_orders" `Quick test_legal_orders;
+    Alcotest.test_case "legality: dense_last" `Quick test_dense_last;
+    Alcotest.test_case "legality: uses_gather" `Quick test_uses_gather;
+    Alcotest.test_case "pool: map preserves order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool: exceptions propagate" `Quick
+      test_pool_map_exception;
+    Alcotest.test_case "pool: memo cache" `Quick test_pool_cache;
+    Alcotest.test_case "pareto frontier" `Quick test_pareto;
+    Alcotest.test_case "search: worker-count determinism" `Quick
+      test_determinism;
+    Alcotest.test_case "search: strategies consistent" `Quick
+      test_strategies_agree;
+    Alcotest.test_case "space: seed enumerated first" `Quick test_seed_first;
+    QCheck_alcotest.to_alcotest prop_never_worse;
+  ]

@@ -14,4 +14,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("edge", Test_edge.suite);
       ("properties", Test_properties.suite);
+      ("explore", Test_explore.suite);
     ]

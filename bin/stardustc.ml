@@ -22,6 +22,8 @@ module Arch = Stardust_capstan.Arch
 module Dram = Stardust_capstan.Dram
 module Resources = Stardust_capstan.Resources
 module Imp = Stardust_vonneumann.Imp_interp
+module Diag = Stardust_diag.Diag
+module Fallback = Stardust_driver.Fallback
 module D = Stardust_workloads.Datasets
 module Explore = Stardust_explore.Explore
 module Space = Stardust_explore.Space
@@ -239,6 +241,162 @@ let compile_cmd =
     Term.(const run $ expr $ formats $ data $ flag_cin $ flag_code $ flag_res
           $ flag_sim $ flag_est $ flag_cpu $ flag_dot)
 
+(* ------------------------------------------------------------------ *)
+(* run: execute with graceful degradation                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let kname_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"KERNEL"
+             ~doc:"Paper kernel to run (or use -e/-f/-d for an arbitrary \
+                   expression).")
+  in
+  let scale =
+    Arg.(value & opt int 32 & info [ "n" ] ~doc:"Scale of the random inputs.")
+  in
+  let expr =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "expr" ] ~docv:"EXPR"
+             ~doc:"Index-notation assignment to run instead of a named kernel.")
+  in
+  let formats =
+    Arg.(value & opt_all string []
+         & info [ "f"; "format" ] ~docv:"NAME=FMT" ~doc:"Tensor format binding.")
+  in
+  let data =
+    Arg.(value & opt_all string []
+         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
+             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+  in
+  let fallback =
+    Arg.(value
+         & opt
+             (enum
+                [ ("none", Fallback.No_fallback);
+                  ("retile", Fallback.Retile);
+                  ("cpu", Fallback.Cpu) ])
+             Fallback.No_fallback
+         & info [ "fallback" ] ~docv:"POLICY"
+             ~doc:"Degradation policy when the kernel exceeds chip capacity: \
+                   $(b,none) fails with diagnostics, $(b,retile) retries \
+                   progressively gentler mappings, $(b,cpu) additionally \
+                   falls back to the von Neumann CPU baseline.")
+  in
+  let diag_json =
+    Arg.(value & flag
+         & info [ "diag-json" ]
+             ~doc:"Emit all diagnostics as a JSON array on stdout instead of \
+                   human-readable text on stderr.")
+  in
+  let pmus =
+    Arg.(value & opt int 0
+         & info [ "pmus" ]
+             ~doc:"Override the chip's PMU count (0 = default; shrink it to \
+                   exercise the capacity fallbacks).")
+  in
+  let pcus =
+    Arg.(value & opt int 0
+         & info [ "pcus" ]
+             ~doc:"Override the chip's PCU count (0 = default).")
+  in
+  let watchdog =
+    Arg.(value & opt float Sim.default_watchdog
+         & info [ "watchdog" ]
+             ~doc:"Simulator step budget before the watchdog trips.")
+  in
+  let run kname scale expr formats data policy diag_json pmus pcus watchdog =
+    let arch =
+      let a = Arch.default in
+      let a = if pmus > 0 then { a with Arch.num_pmu = pmus } else a in
+      if pcus > 0 then { a with Arch.num_pcu = pcus } else a
+    in
+    let config = { Sim.default_config with Sim.arch } in
+    (* every diagnostic the run produces, in emission order *)
+    let emitted = ref [] in
+    let emit ds = emitted := !emitted @ ds in
+    let finish code =
+      if diag_json then Fmt.pr "%s@." (Diag.list_to_json !emitted)
+      else List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) !emitted;
+      exit code
+    in
+    let pool = ref [] in
+    let run_stage label (cres : (C.compiled, Diag.t list) result) =
+      match cres with
+      | Error ds ->
+          emit ds;
+          finish 1
+      | Ok compiled -> (
+          match Fallback.run ~policy ~config ~watchdog compiled with
+          | Error ds ->
+              emit ds;
+              finish 1
+          | Ok o ->
+              emit o.Fallback.diags;
+              Fmt.pr "%s: ok on %s%a@." label
+                (Fallback.backend_name o.Fallback.backend)
+                Fmt.(
+                  option (fun ppf (r : Sim.report) ->
+                      Fmt.pf ppf " (%.0f cycles)" r.Sim.cycles))
+                o.Fallback.report;
+              List.iter
+                (fun (rname, t) -> Fmt.pr "  %s: %d nnz@." rname (T.nnz t))
+                o.Fallback.results;
+              pool := o.Fallback.results @ !pool)
+    in
+    (match (kname, expr) with
+    | Some name, None -> (
+        match K.find name with
+        | None ->
+            Fmt.epr "unknown kernel %s (try: stardustc list)@." name;
+            exit 1
+        | Some spec ->
+            List.iter
+              (fun (st : K.stage) ->
+                let inputs =
+                  List.map
+                    (fun (tname, t) ->
+                      match List.assoc_opt tname !pool with
+                      | Some prev -> (tname, T.rename tname prev)
+                      | None -> (tname, t))
+                    (stage_random_inputs st scale)
+                in
+                run_stage st.K.expr (K.compile_stage_result spec st ~inputs))
+              spec.K.stages)
+    | None, Some e ->
+        let formats =
+          List.map
+            (fun s ->
+              match String.split_on_char '=' s with
+              | [ n; f ] -> (n, format_of_string f)
+              | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
+            formats
+        in
+        let inputs =
+          List.mapi
+            (fun i s ->
+              let name, dims, density = parse_data_spec s in
+              let fmt =
+                match List.assoc_opt name formats with
+                | Some f -> f
+                | None -> Fmt.failwith "no format for tensor %s" name
+              in
+              (name, gen_tensor name fmt dims density (i + 1)))
+            data
+        in
+        run_stage e (C.compile_string_result ~formats ~inputs e)
+    | _ ->
+        Fmt.epr "run: give a KERNEL name or -e EXPR (not both)@.";
+        exit 1);
+    finish 0
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile and execute a kernel, degrading gracefully (per \
+             $(b,--fallback)) when it exceeds chip capacity.")
+    Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ fallback
+          $ diag_json $ pmus $ pcus $ watchdog)
+
 let autotune_cmd =
   let kname_arg =
     Arg.(value & pos 0 (some string) None
@@ -371,7 +529,20 @@ let autotune_cmd =
 
 let () =
   let doc = "the Stardust sparse-tensor-algebra-to-RDA compiler" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "stardustc" ~version:"1.0.0" ~doc)
-          [ list_cmd; kernel_cmd; compile_cmd; autotune_cmd ]))
+  let group =
+    Cmd.group (Cmd.info "stardustc" ~version:"1.0.0" ~doc)
+      [ list_cmd; kernel_cmd; compile_cmd; run_cmd; autotune_cmd ]
+  in
+  (* last-resort structured handler: no input may crash the CLI with a raw
+     exception; anything the subcommands did not turn into diagnostics
+     themselves becomes an E0901 here *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception e ->
+      let d =
+        Diag.error ~stage:Diag.Driver ~code:Diag.code_unexpected
+          ~context:[ ("exception", Printexc.to_string e) ]
+          "stardustc aborted on an unhandled exception"
+      in
+      Fmt.epr "%a@." Diag.pp d;
+      exit 2

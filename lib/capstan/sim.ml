@@ -29,9 +29,56 @@ module Compile = Stardust_core.Compile
 module Coiter = Stardust_core.Coiter
 open Stardust_spatial.Spatial_ir
 
-exception Sim_error of string
+(** What went wrong, structurally: callers (the fallback driver, the
+    autotuner) route on the kind without parsing messages.
 
-let err fmt = Fmt.kstr (fun s -> raise (Sim_error s)) fmt
+    - [Runtime] — malformed program or estimator query: a compiler bug.
+    - [Capacity] — a hard capacity limit was exceeded at execution time
+      (on-chip overflow, FIFO under/overflow, out-of-bounds stream):
+      recoverable by re-scheduling or falling back to the CPU baseline.
+    - [Watchdog] — the cycle budget expired, the symptom of
+      non-terminating (or corrupt-data-driven runaway) co-iteration.
+    - [Fault] — an injected fault was mis-applied (bad injection spec). *)
+type error_kind = Runtime | Capacity | Watchdog | Fault
+
+let error_kind_name = function
+  | Runtime -> "runtime"
+  | Capacity -> "capacity"
+  | Watchdog -> "watchdog"
+  | Fault -> "fault"
+
+exception Sim_error of { kind : error_kind; message : string }
+
+let kind_name = function
+  | Runtime -> "runtime"
+  | Capacity -> "capacity"
+  | Watchdog -> "watchdog"
+  | Fault -> "fault"
+
+let () =
+  Printexc.register_printer (function
+    | Sim_error { kind; message } ->
+        Some (Printf.sprintf "Sim_error(%s): %s" (kind_name kind) message)
+    | _ -> None)
+
+let err_k kind fmt = Fmt.kstr (fun s -> raise (Sim_error { kind; message = s })) fmt
+let err fmt = err_k Runtime fmt
+let cap fmt = err_k Capacity fmt
+
+(** Deterministic fault injection: hand one of these to {!execute} to
+    prove the stack degrades or reports instead of crashing.
+
+    - [Dram_stall_storm] multiplies the memory-system component of the
+      timing model by [factor] (a storm of row-buffer conflicts and
+      refresh stalls) — the run still completes, slower.
+    - [Corrupt_pos]/[Corrupt_crd] overwrite one word of a tensor's
+      position/coordinate DRAM image after initialisation, the way a
+      flaky DRAM channel would; downstream capacity guards must catch
+      the damage and raise a structured error. *)
+type fault =
+  | Dram_stall_storm of { factor : float }
+  | Corrupt_pos of { tensor : string; level : int; index : int; value : float }
+  | Corrupt_crd of { tensor : string; level : int; index : int; value : float }
 
 type config = { arch : Arch.t; dram : Dram.t }
 
@@ -61,16 +108,17 @@ type tally = {
 let fresh_tally () =
   { compute = 0.; bytes = 0.; rand = 0.; iters = 0.; bits = 0.; bursts = 0. }
 
-let finish cfg (t : tally) =
+let finish ?(dram_stall = 1.0) cfg (t : tally) =
   let compute = t.compute *. cfg.arch.Arch.net_overhead in
   let dram =
-    Dram.transfer_cycles cfg.dram ~clock_hz:cfg.arch.Arch.clock_hz
-      ~streamed_bytes:t.bytes ~random_accesses:t.rand
-    +. cfg.dram.Dram.latency_cycles
-    (* short bursts expose a fraction of the first-word latency that the
-       decoupled access-execute prefetcher cannot hide *)
-    +. (t.bursts *. cfg.dram.Dram.latency_cycles
-        *. cfg.arch.Arch.latency_exposure)
+    (Dram.transfer_cycles cfg.dram ~clock_hz:cfg.arch.Arch.clock_hz
+       ~streamed_bytes:t.bytes ~random_accesses:t.rand
+     +. cfg.dram.Dram.latency_cycles
+     (* short bursts expose a fraction of the first-word latency that the
+        decoupled access-execute prefetcher cannot hide *)
+     +. (t.bursts *. cfg.dram.Dram.latency_cycles
+         *. cfg.arch.Arch.latency_exposure))
+    *. dram_stall
   in
   let cycles = Float.max compute dram in
   {
@@ -99,7 +147,22 @@ type machine = {
   heap : (string, memv) Hashtbl.t;
   dram_sparse : (string, unit) Hashtbl.t;  (** names with random access *)
   tally : tally;
+  watchdog : float;  (** scalar-step budget; infinity disables *)
+  mutable steps : float;  (** scalar steps executed so far *)
 }
+
+(** Charge [n] scalar steps against the watchdog budget.  Interpreted
+    loops are always finite, but corrupted position arrays or adversarial
+    schedules can inflate trip counts by orders of magnitude — the
+    watchdog turns that runaway into a structured diagnostic instead of an
+    apparent hang. *)
+let watchdog_tick m n =
+  m.steps <- m.steps +. n;
+  if m.steps > m.watchdog then
+    err_k Watchdog
+      "watchdog budget of %.3g scalar steps exhausted — non-terminating or \
+       runaway co-iteration (corrupt position data can cause this)"
+      m.watchdog
 
 let word_bytes = 4.0
 
@@ -146,7 +209,7 @@ let rec eval m env e =
         match find_mem m name with
         | MArr a ->
             if i >= Array.length a then
-              err "%s: read out of bounds (%d >= %d)" name i (Array.length a)
+              cap "%s: read out of bounds (%d >= %d)" name i (Array.length a)
             else begin
               if Hashtbl.mem m.dram_sparse name then m.tally.rand <- m.tally.rand +. 1.0;
               a.(i)
@@ -233,17 +296,17 @@ let rec exec m env ~ctx (s : stmt) : (string * float) list =
       let q = as_queue m f in
       match Queue.take_opt q with
       | Some v -> (x, v) :: env
-      | None -> err "FIFO %s underflow" f)
+      | None -> cap "FIFO %s underflow" f)
   | Load_burst { dst; src; lo; hi; _ } ->
       let a = as_arr m src in
       let lo = iof (eval m env lo) and hi = iof (eval m env hi) in
       if lo < 0 || hi > Array.length a then
-        err "load from %s out of bounds [%d, %d)" src lo hi;
+        cap "load from %s out of bounds [%d, %d)" src lo hi;
       let n = max 0 (hi - lo) in
       (match find_mem m dst with
       | MArr d ->
           if n > Array.length d then
-            err "load into %s overflows its capacity (%d > %d)" dst n
+            cap "load into %s overflows its capacity (%d > %d)" dst n
               (Array.length d);
           Array.blit a lo d 0 n
       | MQueue q ->
@@ -257,17 +320,17 @@ let rec exec m env ~ctx (s : stmt) : (string * float) list =
       let d = as_arr m dst in
       let lo = iof (eval m env lo) and n = iof (eval m env len) in
       if lo < 0 || lo + n > Array.length d then
-        err "store to %s out of bounds [%d, %d)" dst lo (lo + n);
+        cap "store to %s out of bounds [%d, %d)" dst lo (lo + n);
       (match find_mem m src with
       | MArr s ->
           if n > Array.length s then
-            err "store from %s reads past capacity" src;
+            cap "store from %s reads past capacity" src;
           Array.blit s 0 d lo n
       | MQueue q ->
           for k = 0 to n - 1 do
             match Queue.take_opt q with
             | Some v -> d.(lo + k) <- v
-            | None -> err "FIFO %s underflow during store" src
+            | None -> cap "FIFO %s underflow during store" src
           done
       | MReg r ->
           if n <> 1 then err "register store must have length 1";
@@ -280,6 +343,7 @@ let rec exec m env ~ctx (s : stmt) : (string * float) list =
       let sparse = is_sparse_trip trip in
       let par_eff = pattern_par m.cfg.arch ~sparse par in
       for k = 0 to n - 1 do
+        watchdog_tick m 1.0;
         ignore (exec_body m ((bind, float_of_int k) :: env) ~ctx:(ctx *. float_of_int par_eff) body)
       done;
       charge_pattern m ~iters:(float_of_int n) ~par ~sparse ~ctx;
@@ -290,6 +354,7 @@ let rec exec m env ~ctx (s : stmt) : (string * float) list =
       let par_eff = pattern_par m.cfg.arch ~sparse par in
       let acc = ref (eval m env init) in
       for k = 0 to n - 1 do
+        watchdog_tick m 1.0;
         let env' =
           exec_body m ((bind, float_of_int k) :: env)
             ~ctx:(ctx *. float_of_int par_eff) body
@@ -320,7 +385,7 @@ let rec exec m env ~ctx (s : stmt) : (string * float) list =
       let a = as_arr m mem in
       let i = iof (eval m env ix) in
       if i < 0 || i >= Array.length a then
-        err "%s: write out of bounds (%d)" mem i;
+        cap "%s: write out of bounds (%d)" mem i;
       let v = eval m env value in
       a.(i) <- (if accum then a.(i) +. v else v);
       env
@@ -331,16 +396,28 @@ let rec exec m env ~ctx (s : stmt) : (string * float) list =
       let bits = as_bits m bv in
       Array.fill bits 0 (Array.length bits) false;
       let n = iof (eval m env count) in
+      let set c =
+        let i = iof c in
+        if i < 0 || i >= Array.length bits then
+          cap
+            "coordinate %d outside bit-vector %s (length %d) — corrupted \
+             crd stream"
+            i bv (Array.length bits)
+        else bits.(i) <- true
+      in
       (match find_mem m crd_mem with
       | MQueue q ->
           for _ = 1 to n do
             match Queue.take_opt q with
-            | Some c -> bits.(iof c) <- true
-            | None -> err "FIFO %s underflow feeding bit-vector %s" crd_mem bv
+            | Some c -> set c
+            | None -> cap "FIFO %s underflow feeding bit-vector %s" crd_mem bv
           done
       | MArr a ->
+          if n < 0 || n > Array.length a then
+            cap "bit-vector %s: %d coordinates from %s (length %d)" bv n
+              crd_mem (Array.length a);
           for k = 0 to n - 1 do
-            bits.(iof a.(k)) <- true
+            set a.(k)
           done
       | _ -> err "bit-vector source %s has no coordinates" crd_mem);
       m.tally.compute <- m.tally.compute +. (float_of_int n /. (lanes_f m *. ctx));
@@ -353,10 +430,10 @@ and scan_loop m env ~ctx (s : scan) f =
   let len = iof (eval m env s.scan_len) in
   (match bvs with
   | [ b ] ->
-      if Array.length b < len then err "bit-vector shorter than scan length"
+      if Array.length b < len then cap "bit-vector shorter than scan length"
   | [ a; b ] ->
       if Array.length a < len || Array.length b < len then
-        err "bit-vector shorter than scan length"
+        cap "bit-vector shorter than scan length"
   | _ -> err "scan over %d bit-vectors" (List.length bvs));
   let ranks = List.map bit_ranks bvs in
   let combined c =
@@ -368,6 +445,7 @@ and scan_loop m env ~ctx (s : scan) f =
   in
   let out = ref 0 in
   for c = 0 to len - 1 do
+    watchdog_tick m 1.0;
     if combined c then begin
       let pos_binds =
         List.map2 (fun name rk -> (name, float_of_int rk.(c))) s.bind_pos ranks
@@ -412,7 +490,7 @@ let init_dram m (c : Compile.compiled) =
         match Hashtbl.find_opt m.heap dst_name with
         | Some (MArr d) ->
             if Array.length src > Array.length d then
-              err "input %s larger than its DRAM declaration" dst_name;
+              cap "input %s larger than its DRAM declaration" dst_name;
             Array.blit src 0 d 0 (Array.length src)
         | Some _ -> err "DRAM %s has wrong kind" dst_name
         | None -> ()  (* sub-array not used by the kernel *)
@@ -428,7 +506,10 @@ let init_dram m (c : Compile.compiled) =
       blit (Memory.dram_name name Memory.Vals) (Tensor.vals_array x))
     c.Compile.inputs
 
-(** Read a result tensor back from the DRAM images. *)
+(** Read a result tensor back from the DRAM images.  Every count read from
+    a position image is validated before it sizes an array: corrupted
+    metadata becomes a structured capacity error, not an
+    [Invalid_argument] crash. *)
 let read_result m (c : Compile.compiled) name =
   let meta = Plan.meta c.Compile.plan name in
   let fmt = { meta.Plan.fmt with Format.region = Format.Off_chip } in
@@ -449,29 +530,81 @@ let read_result m (c : Compile.compiled) name =
             Tensor.Dense_level { dim = d }
         | Format.Compressed ->
             let pos_img = arr (Memory.dram_name name (Memory.Pos l)) in
+            if !parent + 1 > Array.length pos_img then
+              cap "result %s level %d: position image too short (%d > %d)"
+                name l (!parent + 1) (Array.length pos_img);
             let pos = Array.init (!parent + 1) (fun i -> iof pos_img.(i)) in
             let count = pos.(!parent) in
             let crd_img = arr (Memory.dram_name name (Memory.Crd l)) in
+            if count < 0 || count > Array.length crd_img then
+              cap
+                "result %s level %d: corrupt position count %d (coordinate \
+                 image holds %d)"
+                name l count (Array.length crd_img);
             let crd = Array.init count (fun i -> iof crd_img.(i)) in
             parent := count;
             Tensor.Compressed_level { pos; crd })
   in
   let vals_img = arr (Memory.dram_name name Memory.Vals) in
+  if !parent < 0 || !parent > Array.length vals_img then
+    cap "result %s: corrupt value count %d (image holds %d)" name !parent
+      (Array.length vals_img);
   let vals = Array.sub vals_img 0 !parent in
-  Tensor.of_arrays ~name ~format:fmt ~dims ~levels ~vals
+  match Tensor.of_arrays ~name ~format:fmt ~dims ~levels ~vals with
+  | t -> t
+  | exception Invalid_argument msg ->
+      cap "result %s readback rejected: %s" name msg
+
+(** Apply the deterministic fault list to the initialised DRAM images and
+    return the DRAM stall factor the storm faults accumulate to. *)
+let apply_faults m (faults : fault list) =
+  let corrupt aname index value =
+    match Hashtbl.find_opt m.heap aname with
+    | Some (MArr a) ->
+        if index < 0 || index >= Array.length a then
+          err_k Fault "fault injection: %s has no word %d (length %d)" aname
+            index (Array.length a)
+        else a.(index) <- value
+    | _ -> err_k Fault "fault injection: no DRAM image %s" aname
+  in
+  List.fold_left
+    (fun stall f ->
+      match f with
+      | Dram_stall_storm { factor } -> stall *. Float.max 1.0 factor
+      | Corrupt_pos { tensor; level; index; value } ->
+          corrupt (Memory.dram_name tensor (Memory.Pos level)) index value;
+          stall
+      | Corrupt_crd { tensor; level; index; value } ->
+          corrupt (Memory.dram_name tensor (Memory.Crd level)) index value;
+          stall)
+    1.0 faults
+
+(** Default watchdog: generous for any kernel worth interpreting, small
+    enough that runaway co-iteration surfaces in seconds. *)
+let default_watchdog = 1e9
 
 (** Functionally execute a compiled kernel; returns the result tensors and
-    the timing report. *)
-let execute ?(config = default_config) (c : Compile.compiled) =
+    the timing report.
+
+    [watchdog] bounds the scalar steps interpreted (default
+    {!default_watchdog}); exceeding it raises [Sim_error] with kind
+    [Watchdog].  [faults] deterministically injects DRAM stall storms and
+    pos/crd corruption (see {!fault}); corrupted metadata surfaces as
+    [Sim_error] with kind [Capacity], never as an unstructured crash. *)
+let execute ?(config = default_config) ?(watchdog = default_watchdog)
+    ?(faults = []) (c : Compile.compiled) =
   let m =
     {
       cfg = config;
       heap = Hashtbl.create 64;
       dram_sparse = Hashtbl.create 4;
       tally = fresh_tally ();
+      watchdog;
+      steps = 0.0;
     }
   in
   init_dram m c;
+  let dram_stall = apply_faults m faults in
   let env =
     List.map (fun (k, v) -> (k, float_of_int v)) c.Compile.program.env
   in
@@ -486,13 +619,14 @@ let execute ?(config = default_config) (c : Compile.compiled) =
         else None)
       c.Compile.plan.Plan.results
   in
-  (results, finish config m.tally)
+  (results, finish ~dram_stall config m.tally)
 
 (** Run a raw Spatial program without a compilation plan: DRAM images are
     supplied directly and the final DRAM contents returned.  Used by tests
     to pin down the IR's execution semantics (predication, scans, FIFO
     discipline) independently of the compiler. *)
-let execute_program ?(config = default_config) (prog : program)
+let execute_program ?(config = default_config)
+    ?(watchdog = default_watchdog) (prog : program)
     ~(dram_init : (string * float array) list) =
   let m =
     {
@@ -500,6 +634,8 @@ let execute_program ?(config = default_config) (prog : program)
       heap = Hashtbl.create 64;
       dram_sparse = Hashtbl.create 4;
       tally = fresh_tally ();
+      watchdog;
+      steps = 0.0;
     }
   in
   List.iter

@@ -4,7 +4,19 @@
     (already scheduled: a {!Stardust_schedule.Schedule.t}) and the concrete
     input tensors — and produces a {!Stardust_spatial.Spatial_ir.program}
     together with the compilation plan that sized it.  Convenience helpers
-    parse expressions from strings and build default schedules. *)
+    parse expressions from strings and build default schedules.
+
+    Two API surfaces:
+
+    - {!compile_result} / {!compile_string_result} return
+      [(compiled, Diag.t list) result]: every stage exception
+      ([Parse_error], [Schedule_error], [Plan_error], [Lower_error],
+      Spatial validation) is converted into located, stage-tagged
+      {!Stardust_diag.Diag.t} diagnostics, and even unexpected exceptions
+      are captured rather than escaping.
+    - {!compile} / {!compile_string} are thin raising shims kept for
+      existing callers: they raise {!Compile_error} with the rendered
+      diagnostic text. *)
 
 module Tensor = Stardust_tensor.Tensor
 module Format = Stardust_tensor.Format
@@ -12,6 +24,7 @@ module Ast = Stardust_ir.Ast
 module Parser = Stardust_ir.Parser
 module Cin = Stardust_ir.Cin
 module Schedule = Stardust_schedule.Schedule
+module Diag = Stardust_diag.Diag
 
 type compiled = {
   name : string;
@@ -23,42 +36,113 @@ type compiled = {
 
 exception Compile_error of string
 
-(** [compile ~name sched ~inputs] runs planning (co-iteration analysis and
-    memory binding) and lowering.  The compiled program is validated
-    structurally before being returned.
+(* ------------------------------------------------------------------ *)
+(* Diagnostic-producing driver                                         *)
+(* ------------------------------------------------------------------ *)
 
-    @raise Compile_error when planning, lowering, or validation fails. *)
-let compile ?(name = "kernel") ?sram_budget (sched : Schedule.t)
-    ~(inputs : (string * Tensor.t) list) : compiled =
-  let fail fmt = Fmt.kstr (fun s -> raise (Compile_error s)) fmt in
+(** Convert one caught stage exception into its diagnostic.  [name] tags
+    every diagnostic with the kernel being compiled. *)
+let diag_of_exn ~name (e : exn) : Diag.t =
+  let ctx = [ ("kernel", name) ] in
+  match e with
+  | Parser.Parse_error (m, off) ->
+      Diag.error ~stage:Diag.Parse ~code:Diag.code_parse
+        ~span:{ Diag.start = off; stop = off + 1 }
+        ~context:ctx "%s" m
+  | Schedule.Schedule_error m ->
+      Diag.error ~stage:Diag.Schedule ~code:Diag.code_schedule ~context:ctx
+        "%s" m
+  | Plan.Plan_error m ->
+      Diag.error ~stage:Diag.Plan ~code:Diag.code_plan ~context:ctx "%s" m
+  | Coiter.Lower_error m ->
+      Diag.error ~stage:Diag.Lower ~code:Diag.code_lower ~context:ctx "%s" m
+  | Compile_error m ->
+      Diag.error ~stage:Diag.Driver ~code:Diag.code_unexpected ~context:ctx
+        "%s" m
+  | e ->
+      Diag.error ~stage:Diag.Driver ~code:Diag.code_unexpected
+        ~context:(("exception", Printexc.to_string e) :: ctx)
+        "unexpected exception during compilation"
+
+(** [compile_result ~name sched ~inputs] runs planning (co-iteration
+    analysis and memory binding) and lowering, returning either the
+    compiled kernel or the accumulated diagnostics.  No stage exception
+    escapes. *)
+let compile_result ?(name = "kernel") ?sram_budget (sched : Schedule.t)
+    ~(inputs : (string * Tensor.t) list) :
+    (compiled, Diag.t list) result =
+  let c = Diag.Collector.create () in
   match
     let plan = Plan.build ?sram_budget sched ~inputs in
     let program = Lower.lower ~name plan in
     (plan, program)
   with
-  | exception Plan.Plan_error m -> fail "planning %s: %s" name m
-  | exception Coiter.Lower_error m -> fail "lowering %s: %s" name m
-  | exception Schedule.Schedule_error m -> fail "scheduling %s: %s" name m
-  | plan, program ->
-      (match Stardust_spatial.Spatial_ir.validate program with
-      | [] -> ()
+  | exception Diag.Fail ds -> Error ds
+  | exception e -> Error [ diag_of_exn ~name e ]
+  | plan, program -> (
+      match Stardust_spatial.Spatial_ir.validate program with
+      | [] -> Ok { name; schedule = sched; plan; program; inputs }
       | errs ->
-          fail "%s: generated Spatial program is invalid:@ %a" name
-            Fmt.(list ~sep:(any ";@ ") string)
-            errs);
-      { name; schedule = sched; plan; program; inputs }
+          (* validation reports every structural defect, not just the
+             first: one diagnostic each *)
+          List.iter
+            (fun m ->
+              Diag.Collector.add c
+                (Diag.error ~stage:Diag.Codegen ~code:Diag.code_codegen
+                   ~context:[ ("kernel", name) ]
+                   "generated Spatial program is invalid: %s" m))
+            errs;
+          Error (Diag.Collector.to_list c))
+
+(** Parse an index-notation string into its canonical schedule, reporting
+    parse and scheduling failures as located diagnostics. *)
+let schedule_of_string_result ~formats s : (Schedule.t, Diag.t list) result =
+  match Parser.parse_assign s with
+  | a -> (
+      match Schedule.of_assign ~formats a with
+      | sched -> Ok sched
+      | exception e -> Error [ diag_of_exn ~name:"kernel" e ])
+  | exception e -> Error [ diag_of_exn ~name:"kernel" e ]
+
+(** One-call convenience: parse, schedule canonically, and compile, with
+    all failures as diagnostics.  The parse span refers to [s]. *)
+let compile_string_result ?name ?sram_budget ~formats ~inputs s :
+    (compiled, Diag.t list) result =
+  match schedule_of_string_result ~formats s with
+  | Error ds -> Error ds
+  | Ok sched -> compile_result ?name ?sram_budget sched ~inputs
+
+(* ------------------------------------------------------------------ *)
+(* Raising shims (legacy API)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let render_diags ds =
+  String.concat "; " (List.map Diag.to_string ds)
+
+(** Raising shim over {!compile_result}.
+    @raise Compile_error when planning, lowering, or validation fails. *)
+let compile ?name ?sram_budget (sched : Schedule.t)
+    ~(inputs : (string * Tensor.t) list) : compiled =
+  match compile_result ?name ?sram_budget sched ~inputs with
+  | Ok c -> c
+  | Error ds -> raise (Compile_error (render_diags ds))
 
 (** Parse an index-notation string and build its canonical schedule.
     [formats] must cover every tensor named in the expression. *)
 let schedule_of_string ~formats s =
-  match Parser.parse_assign s with
-  | a -> Schedule.of_assign ~formats a
-  | exception Parser.Parse_error (m, off) ->
-      raise (Compile_error (Printf.sprintf "parse error at %d: %s" off m))
+  match schedule_of_string_result ~formats s with
+  | Ok sched -> sched
+  | Error ds -> raise (Compile_error (render_diags ds))
 
 (** One-call convenience: parse, schedule canonically, and compile. *)
 let compile_string ?name ?sram_budget ~formats ~inputs s =
-  compile ?name ?sram_budget (schedule_of_string ~formats s) ~inputs
+  match compile_string_result ?name ?sram_budget ~formats ~inputs s with
+  | Ok c -> c
+  | Error ds -> raise (Compile_error (render_diags ds))
+
+(* ------------------------------------------------------------------ *)
+(* Reporting helpers                                                   *)
+(* ------------------------------------------------------------------ *)
 
 (** The generated Spatial source text. *)
 let spatial_code c = Stardust_spatial.Codegen.to_string c.program

@@ -344,3 +344,12 @@ let compile_stage ?sram_budget spec (st : stage) ~inputs =
   Compile.compile ?sram_budget
     ~name:(String.lowercase_ascii spec.kname)
     sched ~inputs
+
+(** Diagnostic-returning variant of {!compile_stage}: scheduling and
+    compilation failures come back as stage-tagged diagnostics instead of
+    exceptions. *)
+let compile_stage_result ?sram_budget spec (st : stage) ~inputs =
+  let name = String.lowercase_ascii spec.kname in
+  match schedule_stage spec st with
+  | sched -> Compile.compile_result ?sram_budget ~name sched ~inputs
+  | exception e -> Error [ Compile.diag_of_exn ~name e ]

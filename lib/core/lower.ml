@@ -459,7 +459,12 @@ let drain_results st env site =
                   match info.Plan.plan with
                   | Pos_plan { lead; _ } -> var (n_end lead.tensor lead.level)
                   | Scan_plan _ -> reg_read (n_cnt r last)
-                  | Dense_plan _ -> assert false
+                  | Dense_plan _ ->
+                      err
+                        "result %s: compressed last level %d is driven by a \
+                         dense loop plan, so its position count has no \
+                         source (the level kinds and the loop plan disagree)"
+                        r last
                 in
                 [
                   Write
@@ -645,14 +650,11 @@ let extend_env st env v (info : Plan.loop_info) ~coord ~ordinals =
                     { local = ord;
                       base = var (n_start lead.tensor lead.level);
                       predicated = false }
-                | Scan_plan _, _ -> (
+                | Scan_plan _, _ ->
                     (* counter-based: base let + scan output ordinal *)
-                    match info.Plan.plan with
-                    | Scan_plan _ ->
-                        { local = Var (v ^ "_out");
-                          base = var (n_base r l);
-                          predicated = false }
-                    | _ -> assert false)
+                    { local = Var (v ^ "_out");
+                      base = var (n_base r l);
+                      predicated = false }
                 | Dense_plan _, _ ->
                     err "result %s: compressed level under dense loop" r
                 | _, [] -> err "no ordinals for loop %s" v

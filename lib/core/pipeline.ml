@@ -5,61 +5,146 @@
     kernels (each PageRank step is an SpMV; each ALS sweep is several
     MTTKRPs).  This module runs a kernel's stages in order, materialising
     each stage's result (the host round-trip the paper's off-chip formats
-    denote) and accumulating the per-stage reports. *)
+    denote) and accumulating the per-stage reports.
+
+    {!run_result} is the structured-error surface: every stage failure —
+    compile or execute — is reported as stage-tagged diagnostics carrying
+    the stage index and expression, and a retry policy re-attempts flaky
+    [execute] calls (the simulator's fault-injection hook produces exactly
+    such transients) before giving up.  {!run} is the raising shim. *)
 
 module Tensor = Stardust_tensor.Tensor
+module Diag = Stardust_diag.Diag
 
 type stage_result = {
   stage_expr : string;
   compiled : Compile.compiled;
   outputs : (string * Tensor.t) list;
+  retries_used : int;  (** times [execute] was retried for this stage *)
 }
 
 type t = {
   stages : stage_result list;
   results : (string * Tensor.t) list;  (** final tensor pool *)
+  warnings : Diag.t list;  (** retry notices and other non-fatal events *)
 }
 
 exception Pipeline_error of string
 
-(** [run spec ~inputs ~execute] compiles and executes every stage of
-    [spec], feeding each stage's outputs into later stages' inputs.
+(** Context every stage diagnostic carries. *)
+let stage_ctx ~index (st : Kernels.stage) extra =
+  ("stage", string_of_int index)
+  :: ("expr", st.Kernels.expr)
+  :: extra
+
+(** [run_result spec ~inputs ~execute] compiles and executes every stage
+    of [spec], feeding each stage's outputs into later stages' inputs.
     [execute] maps a compiled stage to its result tensors — pass
     [Stardust_capstan.Sim] execution from the application (this library
-    does not depend on the simulator), e.g.:
+    does not depend on the simulator).
 
-    {[
-      Pipeline.run spec ~inputs ~execute:(fun c -> fst (Sim.execute c))
-    ]} *)
-let run (spec : Kernels.spec) ~(inputs : (string * Tensor.t) list)
-    ~(execute : Compile.compiled -> (string * Tensor.t) list) : t =
+    [retries] (default 0) is the per-stage retry budget for [execute]:
+    when it raises, the stage is re-executed up to [retries] more times
+    before the failure becomes a diagnostic; each retry emits a warning
+    diagnostic.  Compilation failures are never retried (they are
+    deterministic). *)
+let run_result ?(retries = 0) (spec : Kernels.spec)
+    ~(inputs : (string * Tensor.t) list)
+    ~(execute : Compile.compiled -> (string * Tensor.t) list) :
+    (t, Diag.t list) result =
+  let warnings = ref [] in
   let pool = ref inputs in
-  let stages =
-    List.map
-      (fun (st : Kernels.stage) ->
-        let stage_inputs =
-          List.filter_map
-            (fun (n, _) ->
-              if n = st.Kernels.result then None
-              else
-                match List.assoc_opt n !pool with
-                | Some t -> Some (n, Tensor.rename n t)
-                | None ->
-                    if String.length n > 0 && n.[0] = '_' then None
-                    else
-                      raise
-                        (Pipeline_error
-                           (Printf.sprintf "stage %s: missing input %s"
-                              st.Kernels.expr n)))
-            st.Kernels.formats
-        in
-        let compiled = Kernels.compile_stage spec st ~inputs:stage_inputs in
-        let outputs = execute compiled in
-        List.iter (fun (n, t) -> pool := (n, t) :: List.remove_assoc n !pool) outputs;
-        { stage_expr = st.Kernels.expr; compiled; outputs })
-      spec.Kernels.stages
-  in
-  { stages; results = !pool }
+  let exception Stage_failed of Diag.t list in
+  try
+    let stages =
+      List.mapi
+        (fun index (st : Kernels.stage) ->
+          let fail ds = raise (Stage_failed ds) in
+          let stage_inputs =
+            List.filter_map
+              (fun (n, _) ->
+                if n = st.Kernels.result then None
+                else
+                  match List.assoc_opt n !pool with
+                  | Some t -> Some (n, Tensor.rename n t)
+                  | None ->
+                      if String.length n > 0 && n.[0] = '_' then None
+                      else
+                        fail
+                          [
+                            Diag.error ~stage:Diag.Driver
+                              ~code:Diag.code_pipeline_stage
+                              ~context:(stage_ctx ~index st [])
+                              "stage %d (%s): missing input tensor %s" index
+                              st.Kernels.expr n;
+                          ])
+              st.Kernels.formats
+          in
+          let compiled =
+            match
+              Kernels.compile_stage_result spec st ~inputs:stage_inputs
+            with
+            | Ok c -> c
+            | Error ds ->
+                fail
+                  (List.map
+                     (fun (d : Diag.t) ->
+                       { d with Diag.context = stage_ctx ~index st d.Diag.context })
+                     ds)
+          in
+          (* Execute with the retry policy: transient faults (e.g. the
+             simulator's injected DRAM storms) get [retries] more
+             attempts. *)
+          let rec attempt k =
+            match execute compiled with
+            | outputs -> (outputs, k)
+            | exception e ->
+                if k < retries then begin
+                  warnings :=
+                    Diag.warning ~stage:Diag.Driver ~code:Diag.code_retry
+                      ~context:
+                        (stage_ctx ~index st
+                           [ ("exception", Printexc.to_string e) ])
+                      "stage %d (%s): execution attempt %d failed; retrying"
+                      index st.Kernels.expr (k + 1)
+                    :: !warnings;
+                  attempt (k + 1)
+                end
+                else
+                  fail
+                    [
+                      Diag.error ~stage:Diag.Driver
+                        ~code:Diag.code_pipeline_stage
+                        ~context:
+                          (stage_ctx ~index st
+                             [ ("exception", Printexc.to_string e);
+                               ("attempts", string_of_int (k + 1)) ])
+                        "stage %d (%s): execution failed" index
+                        st.Kernels.expr;
+                    ]
+          in
+          let outputs, retries_used = attempt 0 in
+          List.iter
+            (fun (n, t) -> pool := (n, t) :: List.remove_assoc n !pool)
+            outputs;
+          { stage_expr = st.Kernels.expr; compiled; outputs; retries_used })
+        spec.Kernels.stages
+    in
+    Ok { stages; results = !pool; warnings = List.rev !warnings }
+  with Stage_failed ds -> Error (List.rev_append !warnings ds)
+
+(** Raising shim over {!run_result}.
+    @raise Pipeline_error on the first stage failure. *)
+let run ?retries (spec : Kernels.spec) ~(inputs : (string * Tensor.t) list)
+    ~(execute : Compile.compiled -> (string * Tensor.t) list) : t =
+  match run_result ?retries spec ~inputs ~execute with
+  | Ok t -> t
+  | Error ds ->
+      raise
+        (Pipeline_error
+           (String.concat "; "
+              (List.map Diag.to_string
+                 (List.filter Diag.is_error ds))))
 
 (** The final result tensor of the last stage. *)
 let final t =

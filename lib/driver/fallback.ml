@@ -1,0 +1,237 @@
+(** Graceful capacity degradation: the fallback chain.
+
+    The paper's memory analysis exists because Capstan has hard PMU/SRAM
+    capacity limits that real kernels routinely exceed.  Rather than dying
+    when {!Stardust_capstan.Resources.count} reports an infeasible mapping
+    or the simulator trips a capacity guard, this driver walks a fallback
+    chain and reports what it did as warning diagnostics:
+
+    {ol
+    {- {b Capstan} — the kernel as scheduled.}
+    {- {b Retile} — recompile with every gatherable region forced
+       off-chip ([sram_budget = 0]) and progressively shrunk
+       parallelization factors: smaller replication means fewer PMU/PCU
+       replicas and smaller on-chip footprints.}
+    {- {b CPU baseline} — execute the TACO-style von Neumann lowering of
+       the same plan on the host.  Always feasible; the kernel still
+       produces its result, just not on the accelerator.}}
+
+    How far the chain walks is the caller's [policy]:
+    [No_fallback] reports the first failure as structured diagnostics,
+    [Retile] stops after step 2, [Cpu] walks to the end. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Schedule = Stardust_schedule.Schedule
+module Compile = Stardust_core.Compile
+module Plan = Stardust_core.Plan
+module Sim = Stardust_capstan.Sim
+module Arch = Stardust_capstan.Arch
+module Resources = Stardust_capstan.Resources
+module Imp = Stardust_vonneumann.Imp_interp
+module Diag = Stardust_diag.Diag
+
+type policy = No_fallback | Retile | Cpu
+
+let policy_name = function
+  | No_fallback -> "none"
+  | Retile -> "retile"
+  | Cpu -> "cpu"
+
+let policy_of_string = function
+  | "none" -> Some No_fallback
+  | "retile" -> Some Retile
+  | "cpu" -> Some Cpu
+  | _ -> None
+
+(** Which rung of the chain actually ran the kernel. *)
+type backend =
+  | Capstan  (** as scheduled *)
+  | Capstan_retiled of string  (** description of the retile that fit *)
+  | Cpu_baseline
+
+let backend_name = function
+  | Capstan -> "capstan"
+  | Capstan_retiled d -> "capstan-retiled(" ^ d ^ ")"
+  | Cpu_baseline -> "cpu"
+
+type outcome = {
+  backend : backend;
+  compiled : Compile.compiled;  (** the kernel that actually ran *)
+  results : (string * Tensor.t) list;
+  report : Sim.report option;  (** [None] on the CPU baseline *)
+  diags : Diag.t list;
+      (** warnings naming the fallback taken, plus notes recording each
+          abandoned attempt *)
+}
+
+let diag_of_sim_error ~name kind message =
+  let code =
+    match (kind : Sim.error_kind) with
+    | Sim.Capacity -> Diag.code_sim_capacity
+    | Sim.Watchdog -> Diag.code_sim_watchdog
+    | Sim.Fault -> Diag.code_sim_fault
+    | Sim.Runtime -> Diag.code_sim_runtime
+  in
+  Diag.error ~stage:Diag.Simulate ~code ~context:[ ("kernel", name) ] "%s"
+    message
+
+(** Is this failure the kind more resources or less parallelism could fix
+    (as opposed to a compiler bug)? *)
+let recoverable = function
+  | Sim.Sim_error { kind = Sim.Capacity | Sim.Watchdog; _ } -> true
+  | _ -> false
+
+(** Try to run [c] on Capstan: resource feasibility first (the static
+    analysis SARA would enforce at place-and-route), then functional
+    execution with its capacity guards live. *)
+let try_capstan ~config ~watchdog ~faults (c : Compile.compiled) :
+    (((string * Tensor.t) list * Sim.report), Diag.t list) result =
+  let u = Resources.count config.Sim.arch c in
+  if not u.Resources.feasible then
+    Error
+      [
+        Diag.error ~stage:Diag.Driver ~code:Diag.code_infeasible
+          ~context:
+            [ ("kernel", c.Compile.name);
+              ("limiting", u.Resources.limiting);
+              ("usage", Fmt.str "%a" Resources.pp u) ]
+          "kernel %s does not fit the chip: %a" c.Compile.name Resources.pp u;
+      ]
+  else
+    match Sim.execute ~config ~watchdog ~faults c with
+    | results -> Ok results
+    | exception Sim.Sim_error { kind; message } ->
+        Error [ diag_of_sim_error ~name:c.Compile.name kind message ]
+
+(** The retile ladder: progressively gentler mappings of the same
+    schedule.  Every rung forces gather regions off-chip
+    ([sram_budget = 0]); later rungs also shed parallel replication. *)
+let retile_attempts (c : Compile.compiled) =
+  let sched = c.Compile.schedule in
+  let ip = Schedule.env_value ~default:16 sched "innerPar" in
+  let op = Schedule.env_value ~default:1 sched "outerPar" in
+  List.filter_map
+    (fun (label, ip', op') ->
+      if ip' = ip && op' = op && label <> "off-chip gather regions" then None
+      else Some (label, ip', op'))
+    [
+      ("off-chip gather regions", ip, op);
+      ("quarter parallelism", max 1 (ip / 4), max 1 (op / 4));
+      ("serial", 1, 1);
+    ]
+
+let recompile_retiled (c : Compile.compiled) ~ip ~op =
+  let sched = c.Compile.schedule in
+  let sched = Schedule.set_environment sched "innerPar" ip in
+  let sched = Schedule.set_environment sched "outerPar" op in
+  Compile.compile_result ~name:c.Compile.name ~sram_budget:0 sched
+    ~inputs:c.Compile.inputs
+
+(** Run the CPU baseline: the von Neumann lowering of the same plan,
+    interpreted on the host. *)
+let try_cpu (c : Compile.compiled) :
+    ((string * Tensor.t) list, Diag.t list) result =
+  match Imp.run c.Compile.plan ~inputs:c.Compile.inputs with
+  | results, _tally, _func -> Ok results
+  | exception e ->
+      Error
+        [
+          Diag.error ~stage:Diag.Driver ~code:Diag.code_unexpected
+            ~context:
+              [ ("kernel", c.Compile.name);
+                ("exception", Printexc.to_string e) ]
+            "CPU baseline execution failed";
+        ]
+
+(** Walk the fallback chain for an already-compiled kernel.
+
+    On success the outcome's [diags] hold a warning naming any fallback
+    taken (code [W0101]/[W0102]) and notes for each abandoned attempt; on
+    failure every accumulated diagnostic is returned, so the caller can
+    see the whole chain's story, not just its last link. *)
+let run ?(policy = No_fallback) ?(config = Sim.default_config)
+    ?(watchdog = Sim.default_watchdog) ?(faults = [])
+    (c : Compile.compiled) : (outcome, Diag.t list) result =
+  let name = c.Compile.name in
+  let trail = Diag.Collector.create () in
+  let demote (d : Diag.t) = { d with Diag.severity = Diag.Note } in
+  match try_capstan ~config ~watchdog ~faults c with
+  | Ok (results, report) ->
+      Ok
+        {
+          backend = Capstan;
+          compiled = c;
+          results;
+          report = Some report;
+          diags = Diag.Collector.to_list trail;
+        }
+  | Error ds when policy = No_fallback -> Error ds
+  | Error ds -> (
+      (* record why Capstan was abandoned, demoted to notes *)
+      Diag.Collector.add_all trail (List.map demote ds);
+      let rec retile = function
+        | [] -> None
+        | (label, ip, op) :: rest -> (
+            match recompile_retiled c ~ip ~op with
+            | Error ds ->
+                Diag.Collector.add_all trail (List.map demote ds);
+                retile rest
+            | Ok c' -> (
+                match try_capstan ~config ~watchdog ~faults c' with
+                | Ok (results, report) -> Some (label, c', results, report)
+                | Error ds ->
+                    Diag.Collector.add_all trail (List.map demote ds);
+                    retile rest))
+      in
+      match retile (retile_attempts c) with
+      | Some (label, c', results, report) ->
+          Diag.Collector.add trail
+            (Diag.warning ~stage:Diag.Driver ~code:Diag.code_fallback_retile
+               ~context:[ ("kernel", name); ("retile", label) ]
+               "kernel %s did not fit as scheduled; degraded to a retiled \
+                mapping (%s)"
+               name label);
+          Ok
+            {
+              backend = Capstan_retiled label;
+              compiled = c';
+              results;
+              report = Some report;
+              diags = Diag.Collector.to_list trail;
+            }
+      | None when policy = Cpu -> (
+          match try_cpu c with
+          | Ok results ->
+              Diag.Collector.add trail
+                (Diag.warning ~stage:Diag.Driver ~code:Diag.code_fallback_cpu
+                   ~context:[ ("kernel", name) ]
+                   "kernel %s does not fit Capstan under any attempted \
+                    mapping; fell back to the CPU baseline"
+                   name);
+              Ok
+                {
+                  backend = Cpu_baseline;
+                  compiled = c;
+                  results;
+                  report = None;
+                  diags = Diag.Collector.to_list trail;
+                }
+          | Error ds ->
+              Diag.Collector.add_all trail ds;
+              Error (Diag.Collector.to_list trail))
+      | None ->
+          Diag.Collector.add trail
+            (Diag.error ~stage:Diag.Driver ~code:Diag.code_infeasible
+               ~context:[ ("kernel", name); ("policy", policy_name policy) ]
+               "kernel %s does not fit Capstan under any retiled mapping \
+                (fallback policy %S stops short of the CPU baseline)"
+               name (policy_name policy));
+          Error (Diag.Collector.to_list trail))
+
+(** Compile-then-run convenience: compilation diagnostics and fallback
+    diagnostics share one error channel. *)
+let compile_and_run ?policy ?config ?watchdog ?faults ?name ?sram_budget
+    sched ~inputs : (outcome, Diag.t list) result =
+  match Compile.compile_result ?name ?sram_budget sched ~inputs with
+  | Error ds -> Error ds
+  | Ok c -> run ?policy ?config ?watchdog ?faults c

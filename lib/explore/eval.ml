@@ -115,9 +115,20 @@ let compute (p : problem) (pt : Point.t) : eval =
   | compiled -> (
       match Prune.check ~arch compiled with
       | Prune.Reject reason -> { point = pt; outcome = Infeasible reason }
-      | Prune.Pass usage ->
-          let report = Sim.estimate ~config:p.config compiled in
-          { point = pt; outcome = Feasible { report; usage } })
+      | Prune.Pass usage -> (
+          match Sim.estimate ~config:p.config compiled with
+          | report -> { point = pt; outcome = Feasible { report; usage } }
+          | exception Sim.Sim_error { kind; message } ->
+              (* a capacity guard the static prune missed — a pruned point,
+                 not a search-aborting failure *)
+              {
+                point = pt;
+                outcome =
+                  Infeasible
+                    (Fmt.str "simulate(%s): %s"
+                       (Sim.error_kind_name kind)
+                       message);
+              }))
 
 (** Memoised evaluation.  [key] is the precomputed {!problem_key} (so the
     per-problem part is fingerprinted once per search, not per point). *)

@@ -17,18 +17,44 @@
     candidate sets. *)
 let default_workers () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
+(** A worker application raised: [index] is the failing item's position in
+    the input array, [exn] the original exception, and the re-raise in the
+    calling domain carries the {e worker's} backtrace (captured at the
+    raise site inside the domain, which [Domain.join]-then-[raise] would
+    otherwise discard). *)
+exception Worker_error of { index : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { index; exn } ->
+        Some
+          (Printf.sprintf "Pool.Worker_error(item %d): %s" index
+             (Printexc.to_string exn))
+    | _ -> None)
+
 (** [map ~workers f items] is [Array.map f items], computed by [workers]
     domains.  Results are returned in input order regardless of worker
-    count.  If any application raises, the first exception (by item index)
-    is re-raised in the calling domain after all workers join. *)
+    count.  If any application raises, the first failure (by item index)
+    is re-raised in the calling domain after all workers join, wrapped in
+    {!Worker_error} with the item's index and the worker's backtrace
+    preserved. *)
 let map ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
   let workers = match workers with Some w -> max 1 w | None -> default_workers () in
   let n = Array.length items in
+  let apply i x =
+    match f x with
+    | v -> v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Printexc.raise_with_backtrace (Worker_error { index = i; exn = e }) bt
+  in
   if n = 0 then [||]
-  else if workers = 1 || n = 1 then Array.map f items
+  else if workers = 1 || n = 1 then Array.mapi apply items
   else begin
     let results : 'b option array = Array.make n None in
-    let errors : (int * exn) option array = Array.make n None in
+    let errors : (exn * Printexc.raw_backtrace) option array =
+      Array.make n None
+    in
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
@@ -36,7 +62,11 @@ let map ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
         if i < n then begin
           (match f items.(i) with
           | v -> results.(i) <- Some v
-          | exception e -> errors.(i) <- Some (i, e));
+          | exception e ->
+              (* capture the trace here, inside the domain, where it still
+                 exists *)
+              let bt = Printexc.get_raw_backtrace () in
+              errors.(i) <- Some (Worker_error { index = i; exn = e }, bt));
           loop ()
         end
       in
@@ -48,7 +78,9 @@ let map ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
     worker ();
     List.iter Domain.join spawned;
     Array.iter
-      (function Some (_, e) -> raise e | None -> ())
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
       errors;
     Array.map
       (function Some v -> v | None -> invalid_arg "Pool.map: missing slot")

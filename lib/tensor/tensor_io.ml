@@ -2,7 +2,13 @@
     formats — the interchange formats of SuiteSparse and the FROSTT sparse
     tensor collection the paper's datasets come from.  With these, the
     benchmark suite can run on the original inputs when they are available
-    instead of the synthetic stand-ins. *)
+    instead of the synthetic stand-ins.
+
+    Both readers are hardened against malformed files: truncated headers,
+    non-numeric fields, negative or out-of-range coordinates, duplicate
+    entries, and trailing garbage all raise {!Io_error} carrying the file
+    path and the 1-based line number — never a bare [Scanf.Scanf_failure],
+    [Failure], or [End_of_file].  Channels are closed on every path. *)
 
 exception Io_error of string
 
@@ -13,6 +19,50 @@ let split_ws line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
+(** Line-tracking reader over an input channel: every error it raises
+    names the path and line. *)
+type reader = { path : string; ic : in_channel; mutable lineno : int }
+
+let reader path =
+  match open_in path with
+  | ic -> { path; ic; lineno = 0 }
+  | exception Sys_error m -> err "%s" m
+
+let line_err r fmt =
+  Fmt.kstr (fun s -> err "%s:%d: %s" r.path r.lineno s) fmt
+
+(** Next line, or [None] at end of file. *)
+let next_line r =
+  match input_line r.ic with
+  | l ->
+      r.lineno <- r.lineno + 1;
+      Some l
+  | exception End_of_file -> None
+
+let require_line r what =
+  match next_line r with
+  | Some l -> l
+  | None -> line_err r "unexpected end of file (expected %s)" what
+
+let parse_int r what s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> line_err r "%s: not an integer %S" what s
+
+let parse_float r what s =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> line_err r "%s: not a number %S" what s
+
+(** 1-based file coordinate -> 0-based, bounds-checked against [dim]. *)
+let parse_coord r ~mode ~dim s =
+  let c = parse_int r (Printf.sprintf "coordinate (mode %d)" mode) s in
+  if c < 1 then line_err r "coordinate %d (mode %d) is not positive" c mode;
+  if dim > 0 && c > dim then
+    line_err r "coordinate %d (mode %d) exceeds the declared dimension %d" c
+      mode dim;
+  c - 1
+
 (* ------------------------------------------------------------------ *)
 (* Matrix Market                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -20,49 +70,82 @@ let split_ws line =
 (** Read a Matrix Market coordinate file (real/integer/pattern, general or
     symmetric) into a tensor of the given [format].
 
-    @raise Io_error on malformed input. *)
+    @raise Io_error on malformed input, with the offending line number. *)
 let read_matrix_market ?(name = "mtx") ~format path =
-  let ic = try open_in path with Sys_error m -> err "%s" m in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-  let header = try input_line ic with End_of_file -> err "%s: empty file" path in
+  let r = reader path in
+  Fun.protect ~finally:(fun () -> close_in_noerr r.ic) @@ fun () ->
+  let header = require_line r "the MatrixMarket banner" in
   if not (String.length header > 14 && String.sub header 0 14 = "%%MatrixMarket")
-  then err "%s: missing MatrixMarket header" path;
+  then line_err r "missing MatrixMarket header";
   let lower = String.lowercase_ascii header in
   let has s =
     let n = String.length lower and m = String.length s in
     let rec go i = i + m <= n && (String.sub lower i m = s || go (i + 1)) in
     go 0
   in
-  if not (has "coordinate") then err "%s: only coordinate matrices supported" path;
+  if not (has "coordinate") then
+    line_err r "only coordinate matrices are supported";
   let symmetric = has "symmetric" in
   let pattern = has "pattern" in
   (* skip comments *)
   let rec size_line () =
-    let l = input_line ic in
+    let l = require_line r "the size line" in
     if String.length l > 0 && l.[0] = '%' then size_line () else l
   in
   let rows, cols, nnz =
     match split_ws (size_line ()) with
-    | [ r; c; n ] -> (int_of_string r, int_of_string c, int_of_string n)
-    | _ -> err "%s: bad size line" path
+    | [ rs; cs; ns ] ->
+        let rows = parse_int r "row count" rs in
+        let cols = parse_int r "column count" cs in
+        let nnz = parse_int r "entry count" ns in
+        if rows <= 0 || cols <= 0 then
+          line_err r "non-positive matrix dimensions %dx%d" rows cols;
+        if nnz < 0 then line_err r "negative entry count %d" nnz;
+        (rows, cols, nnz)
+    | _ -> line_err r "bad size line (want ROWS COLS NNZ)"
   in
   let coo = Coo.create [| rows; cols |] in
-  for _ = 1 to nnz do
-    let l = input_line ic in
+  let seen = Hashtbl.create (2 * nnz + 1) in
+  for k = 1 to nnz do
+    let l =
+      match next_line r with
+      | Some l -> l
+      | None ->
+          line_err r "truncated file: %d of %d entries present" (k - 1) nnz
+    in
     match split_ws l with
-    | i :: j :: rest ->
-        let i = int_of_string i - 1 and j = int_of_string j - 1 in
+    | is :: js :: rest ->
+        let i = parse_coord r ~mode:0 ~dim:rows is in
+        let j = parse_coord r ~mode:1 ~dim:cols js in
         let v =
-          if pattern then 1.0
+          if pattern then (
+            if rest <> [] then
+              line_err r "pattern matrix entry carries a value";
+            1.0)
           else
             match rest with
-            | v :: _ -> float_of_string v
-            | [] -> err "%s: missing value in %S" path l
+            | [ vs ] -> parse_float r "value" vs
+            | [] -> line_err r "missing value in %S" l
+            | _ -> line_err r "trailing fields in entry %S" l
         in
+        if Hashtbl.mem seen (i, j) then
+          line_err r "duplicate entry (%d, %d)" (i + 1) (j + 1);
+        Hashtbl.add seen (i, j) ();
         Coo.add coo [| i; j |] v;
         if symmetric && i <> j then Coo.add coo [| j; i |] v
-    | _ -> err "%s: bad entry %S" path l
+    | _ -> line_err r "bad entry %S (want I J [VALUE])" l
   done;
+  (* trailing garbage: anything after the declared entries except
+     comments and blank lines is an error *)
+  let rec check_tail () =
+    match next_line r with
+    | None -> ()
+    | Some l when String.trim l = "" || (String.length l > 0 && l.[0] = '%')
+      ->
+        check_tail ()
+    | Some l -> line_err r "trailing garbage after %d entries: %S" nnz l
+  in
+  check_tail ();
   Tensor.of_coo ~name ~format coo
 
 (** Write a tensor (order 2) as a general real Matrix Market file. *)
@@ -84,37 +167,57 @@ let write_matrix_market (t : Tensor.t) path =
 (** Read a FROSTT coordinate tensor ([i1 ... iN value] per line, 1-based).
     Dimensions are inferred as the per-mode maxima unless [dims] is given.
 
-    @raise Io_error on malformed or ragged input. *)
+    @raise Io_error on malformed or ragged input, with the offending line
+    number. *)
 let read_tns ?(name = "tns") ?dims ~format path =
-  let ic = try open_in path with Sys_error m -> err "%s" m in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let r = reader path in
+  Fun.protect ~finally:(fun () -> close_in_noerr r.ic) @@ fun () ->
+  let declared = Option.map Array.of_list dims in
   let entries = ref [] in
+  let seen = Hashtbl.create 64 in
   let order = ref 0 in
-  (try
-     while true do
-       let l = input_line ic in
-       let l = String.trim l in
-       if l <> "" && l.[0] <> '#' then begin
-         let fields = split_ws l in
-         let n = List.length fields - 1 in
-         if n < 1 then err "%s: bad line %S" path l;
-         if !order = 0 then order := n
-         else if !order <> n then err "%s: ragged entry %S" path l;
-         let coords =
-           List.filteri (fun i _ -> i < n) fields
-           |> List.map (fun s -> int_of_string s - 1)
-         in
-         let v = float_of_string (List.nth fields n) in
-         entries := (coords, v) :: !entries
-       end
-     done
-   with End_of_file -> ());
+  let rec loop () =
+    match next_line r with
+    | None -> ()
+    | Some l ->
+        let l = String.trim l in
+        if l <> "" && l.[0] <> '#' then begin
+          let fields = split_ws l in
+          let n = List.length fields - 1 in
+          if n < 1 then line_err r "bad line %S (want I1 .. IN VALUE)" l;
+          if !order = 0 then begin
+            (match declared with
+            | Some d when Array.length d <> n ->
+                line_err r "entry has %d modes but dims declares %d" n
+                  (Array.length d)
+            | _ -> ());
+            order := n
+          end
+          else if !order <> n then
+            line_err r "ragged entry %S: %d modes, expected %d" l n !order;
+          let coords =
+            List.filteri (fun i _ -> i < n) fields
+            |> List.mapi (fun mode s ->
+                   let dim =
+                     match declared with Some d -> d.(mode) | None -> 0
+                   in
+                   parse_coord r ~mode ~dim s)
+          in
+          let v = parse_float r "value" (List.nth fields n) in
+          if Hashtbl.mem seen coords then
+            line_err r "duplicate entry %s"
+              (String.concat " "
+                 (List.map (fun c -> string_of_int (c + 1)) coords));
+          Hashtbl.add seen coords ();
+          entries := (coords, v) :: !entries
+        end;
+        loop ()
+  in
+  loop ();
   if !order = 0 then err "%s: no entries" path;
   let dims =
     match dims with
-    | Some d ->
-        if List.length d <> !order then err "%s: dims arity mismatch" path;
-        d
+    | Some d -> d
     | None ->
         List.init !order (fun m ->
             1 + List.fold_left (fun acc (c, _) -> max acc (List.nth c m)) 0 !entries)

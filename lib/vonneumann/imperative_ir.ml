@@ -71,8 +71,17 @@ let rec pp_exp ppf = function
   | Bin (`Max, a, b) -> Fmt.pf ppf "TACO_MAX(%a, %a)" pp_exp a pp_exp b
   | Bin (op, a, b) ->
       let s =
-        match op with `Add -> "+" | `Sub -> "-" | `Mul -> "*" | `Div -> "/"
-        | _ -> assert false
+        match op with
+        | `Add -> "+"
+        | `Sub -> "-"
+        | `Mul -> "*"
+        | `Div -> "/"
+        | (`Min | `Max) as op ->
+            (* Min/Max are matched by the TACO_MIN/TACO_MAX branches
+               above; reaching here means a printer branch was reordered *)
+            Fmt.invalid_arg
+              "Imperative_ir.pp_exp: %s is not an infix operator"
+              (match op with `Min -> "min" | `Max -> "max")
       in
       Fmt.pf ppf "(%a %s %a)" pp_exp a s pp_exp b
   | Neg e -> Fmt.pf ppf "(-%a)" pp_exp e

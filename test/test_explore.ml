@@ -94,13 +94,22 @@ let test_pool_map_order () =
     [ 1; 2; 4 ]
 
 let test_pool_map_exception () =
-  Alcotest.check_raises "exception from a worker propagates"
-    (Failure "boom 7")
-    (fun () ->
-      ignore
-        (Pool.map ~workers:4
-           (fun i -> if i = 7 then failwith "boom 7" else i)
-           (Array.init 16 (fun i -> i))))
+  List.iter
+    (fun workers ->
+      match
+        Pool.map ~workers
+          (fun i -> if i = 7 then failwith "boom 7" else i)
+          (Array.init 16 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Worker_error"
+      | exception Pool.Worker_error { index; exn = Failure m } ->
+          Alcotest.(check int)
+            (Fmt.str "failing item index with %d workers" workers)
+            7 index;
+          Alcotest.(check string) "original exception carried" "boom 7" m
+      | exception e ->
+          Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+    [ 1; 4 ]
 
 let test_pool_cache () =
   let cache : int Pool.Cache.t = Pool.Cache.create () in

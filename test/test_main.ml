@@ -15,4 +15,5 @@ let () =
       ("edge", Test_edge.suite);
       ("properties", Test_properties.suite);
       ("explore", Test_explore.suite);
+      ("diag", Test_diag.suite);
     ]

@@ -26,6 +26,10 @@ module Diag = Stardust_diag.Diag
 module Fallback = Stardust_driver.Fallback
 module D = Stardust_workloads.Datasets
 module Explore = Stardust_explore.Explore
+module Fuzz = Stardust_oracle.Fuzz
+module Ocorpus = Stardust_oracle.Corpus
+module Orunner = Stardust_oracle.Runner
+module Ocase = Stardust_oracle.Case
 module Space = Stardust_explore.Space
 module Point = Stardust_explore.Point
 module Eval = Stardust_explore.Eval
@@ -527,11 +531,115 @@ let autotune_cmd =
     Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ strategy
           $ workers $ samples $ seed $ splits $ regions $ json)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz / replay: the differential-testing oracle                      *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let cases =
+    Arg.(value & opt int 100
+         & info [ "cases" ] ~doc:"Number of random cases to run.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"Master PRNG seed (the run is bit-for-bit \
+                                 reproducible given the same seed and case \
+                                 count).")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory for minimized failing cases (default: corpus/; \
+                   $(b,--no-corpus) disables persistence).")
+  in
+  let no_corpus =
+    Arg.(value & flag
+         & info [ "no-corpus" ] ~doc:"Do not persist failing cases.")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ]
+             ~doc:"Domain worker pool size (0 = one per available core).")
+  in
+  let timeout =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-case wall-clock deadline; a case that exceeds it is \
+                   abandoned and reported as hung (0 disables).")
+  in
+  let watchdog =
+    Arg.(value & opt float Orunner.default_watchdog
+         & info [ "watchdog" ]
+             ~doc:"Simulator step budget per backend run.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-case progress.")
+  in
+  let run cases seed corpus no_corpus workers timeout watchdog quiet =
+    let cfg =
+      {
+        Fuzz.default_config with
+        Fuzz.cases;
+        seed;
+        corpus_dir =
+          (if no_corpus then None
+           else Some (Option.value corpus ~default:Ocorpus.default_dir));
+        workers = (if workers <= 0 then None else Some workers);
+        case_timeout = (if timeout <= 0.0 then None else Some timeout);
+        watchdog;
+        log = (if quiet then ignore else prerr_endline);
+      }
+    in
+    let stats = Fuzz.run cfg in
+    Fmt.pr "%a@." Fuzz.pp_stats stats;
+    List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) stats.Fuzz.diags;
+    exit (if stats.Fuzz.failed > 0 || stats.Fuzz.hung > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially test every backend on random sparse tensor \
+             algebra: generated cases run through the reference evaluator, \
+             both interpreters, the Capstan simulator, and the fallback \
+             driver; disagreements are minimized and saved to the corpus.")
+    Term.(const run $ cases $ seed $ corpus $ no_corpus $ workers $ timeout
+          $ watchdog $ quiet)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"CASE.json" ~doc:"Corpus entry to re-execute.")
+  in
+  let watchdog =
+    Arg.(value & opt float Orunner.default_watchdog
+         & info [ "watchdog" ] ~doc:"Simulator step budget per backend run.")
+  in
+  let run file watchdog =
+    let case = Ocorpus.load file in
+    (match Ocorpus.load_verdicts file with
+    | [] -> ()
+    | vs ->
+        Fmt.pr "recorded verdicts:@.";
+        List.iter (fun (b, v) -> Fmt.pr "  %-14s %s@." b v) vs;
+        Fmt.pr "@.");
+    let outcome = Orunner.run_case ~watchdog case in
+    Fmt.pr "%a@." Orunner.pp_outcome outcome;
+    List.iter
+      (fun d -> Fmt.epr "%a@." Diag.pp d)
+      (Orunner.diags_of_outcome ~file outcome);
+    exit (if outcome.Orunner.failing then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Deterministically re-execute a saved fuzz case through every \
+             backend and report fresh verdicts.")
+    Term.(const run $ file_arg $ watchdog)
+
 let () =
   let doc = "the Stardust sparse-tensor-algebra-to-RDA compiler" in
   let group =
     Cmd.group (Cmd.info "stardustc" ~version:"1.0.0" ~doc)
-      [ list_cmd; kernel_cmd; compile_cmd; run_cmd; autotune_cmd ]
+      [ list_cmd; kernel_cmd; compile_cmd; run_cmd; autotune_cmd; fuzz_cmd;
+        replay_cmd ]
   in
   (* last-resort structured handler: no input may crash the CLI with a raw
      exception; anything the subcommands did not turn into diagnostics

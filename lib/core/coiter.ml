@@ -28,6 +28,11 @@ type iterator = {
 (** Contraction-set tree mirroring the expression structure. *)
 type tree =
   | Empty  (** no access in this sub-expression uses the variable *)
+  | Univ
+      (** an additive term is constant in the variable (a broadcast): it is
+          generically nonzero at {e every} coordinate, so the union must
+          cover the whole dimension — the universe of Figure 10's
+          [U ∪ x = U] rule, without any tensor supplying the universe *)
   | Leaf of iterator
   | Node of [ `And | `Or ] * tree * tree
 [@@deriving show { with_path = false }, eq]
@@ -61,9 +66,21 @@ let rec tree_of_expr formats v (e : Ast.expr) =
   | Ast.Neg e -> tree_of_expr formats v e
   | Ast.Bin (op, a, b) -> (
       let ta = tree_of_expr formats v a and tb = tree_of_expr formats v b in
-      match (ta, tb) with
-      | Empty, t | t, Empty -> t
-      | ta, tb ->
+      match (op, ta, tb) with
+      | _, Empty, Empty -> Empty
+      (* Multiplication: a factor constant in [v] scales the other side
+         without changing which coordinates are nonzero. *)
+      | Ast.Mul, Empty, t | Ast.Mul, t, Empty -> t
+      | Ast.Mul, Univ, t | Ast.Mul, t, Univ -> t
+      (* Addition/subtraction: a term constant in [v] (including one whose
+         sub-tree already collapsed to the universe) is generically nonzero
+         at every coordinate, so the sum is too: U ∪ x = U. *)
+      | (Ast.Add | Ast.Sub), Empty, _
+      | (Ast.Add | Ast.Sub), _, Empty
+      | (Ast.Add | Ast.Sub), Univ, _
+      | (Ast.Add | Ast.Sub), _, Univ ->
+          Univ
+      | op, ta, tb ->
           let o = match op with Ast.Mul -> `And | Ast.Add | Ast.Sub -> `Or in
           Node (o, ta, tb))
 
@@ -76,12 +93,13 @@ let tree_of_stmt formats v (s : Cin.stmt) =
       let t = tree_of_expr formats v a.Ast.rhs in
       match (acc, t) with
       | Empty, t | t, Empty -> t
+      | Univ, _ | _, Univ -> Univ
       | acc, t -> Node (`Or, acc, t))
     Empty
     (Cin.assignments s)
 
 let rec leaves = function
-  | Empty -> []
+  | Empty | Univ -> []
   | Leaf it -> [ it ]
   | Node (_, a, b) -> leaves a @ leaves b
 
@@ -133,6 +151,10 @@ let rewrite tree =
   (* Flatten a same-operator spine; mixed operators are unsupported. *)
   let rec flatten op = function
     | Empty -> []
+    | Univ ->
+        (* Unreachable: [tree_of_expr]/[tree_of_stmt] collapse any
+           combination involving the universe before a [Node] forms. *)
+        err "rewrite: universe inside a contraction node"
     | Leaf it -> [ it ]
     | Node (o, a, b) when o = op -> flatten op a @ flatten op b
     | Node (o, _, _) ->
@@ -147,6 +169,14 @@ let rewrite tree =
          that introduce derived variables (split_up/split_down/fuse) are \
          supported by the CIN interpreter but not yet by the compiled \
          backends"
+  | Univ ->
+      (* Some additive term is constant in the variable, so every
+         coordinate of the dimension is (generically) nonzero: iterate the
+         full dimension.  Compressed operands would need per-coordinate
+         lookups, which the backends reject when they lower the accesses —
+         better an honest refusal than iterating only a sparse operand's
+         pattern and silently dropping the broadcast term's contributions. *)
+      Dense_plan { dense = [] }
   | Leaf it -> (
       match it.kind with
       | `U -> Dense_plan { dense = [ it ] }

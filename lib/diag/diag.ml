@@ -26,6 +26,7 @@ type stage =
   | Simulate   (** Capstan functional simulation or estimation *)
   | Io         (** tensor file input/output *)
   | Driver     (** host orchestration: compile driver, pipeline, fallback *)
+  | Oracle     (** differential-testing oracle: cross-backend fuzzing *)
 
 (** Half-open character range [start, stop) into the source string. *)
 type span = { start : int; stop : int }
@@ -56,9 +57,15 @@ type t = {
                            overflow, [E0603] watchdog expired,
                            [E0604] injected fault surfaced
     - E07xx io           — [E0701] malformed tensor file
+    - E08xx oracle       — [E0801] backends disagree on a fuzz case,
+                           [E0802] a backend crashed on a fuzz case,
+                           [E0803] a backend hung on a fuzz case (timed
+                           out or tripped the simulator watchdog)
     - E09xx driver       — [E0901] unexpected exception, [E0902] stage
                            failed in a pipeline, [E0903] kernel infeasible
-                           on the target chip
+                           on the target chip, [E0904] internal invariant
+                           violated (a bug in Stardust itself), [E0905] a
+                           worker-pool task exceeded its deadline
     - W01xx degradation  — [W0101] fell back to a retiled schedule,
                            [W0102] fell back to the CPU baseline,
                            [W0103] pipeline stage retried *)
@@ -73,9 +80,14 @@ let code_sim_capacity = "E0602"
 let code_sim_watchdog = "E0603"
 let code_sim_fault = "E0604"
 let code_io = "E0701"
+let code_oracle_mismatch = "E0801"
+let code_oracle_crash = "E0802"
+let code_oracle_hang = "E0803"
 let code_unexpected = "E0901"
 let code_pipeline_stage = "E0902"
 let code_infeasible = "E0903"
+let code_internal = "E0904"
+let code_worker_timeout = "E0905"
 let code_fallback_retile = "W0101"
 let code_fallback_cpu = "W0102"
 let code_retry = "W0103"
@@ -116,6 +128,7 @@ let stage_name = function
   | Simulate -> "simulate"
   | Io -> "io"
   | Driver -> "driver"
+  | Oracle -> "oracle"
 
 (** One-line form: [error[E0301][plan] message (key=value, ...)]. *)
 let pp ppf d =

@@ -1,6 +1,6 @@
 (** Fixed-size [Domain] worker pool with deterministic result ordering,
-    plus the mutex-guarded memoization cache the evaluator shares across
-    workers.
+    per-task deadlines, and the mutex-guarded memoization cache the
+    evaluator shares across workers.
 
     Candidate evaluation (compile + resource count + analytic simulation)
     is pure: each result depends only on its candidate.  So parallelism is
@@ -10,7 +10,21 @@
     printed report) independent of the worker count and of scheduling
     interleavings.  OCaml 5 domains give real parallelism; with
     [workers = 1] the map degenerates to a sequential loop with no domain
-    spawned, which the bench suite uses as the serial baseline. *)
+    spawned, which the bench suite uses as the serial baseline.
+
+    {2 Deadlines and hung-worker isolation}
+
+    With [?timeout] set, every application runs in a dedicated sub-domain
+    while the worker polls for its completion against a wall-clock
+    deadline.  A task that exceeds the deadline is {e abandoned} — OCaml
+    domains cannot be killed, so the runaway domain keeps spinning until
+    the process exits, but the pool records a structured timeout for that
+    item and moves on to the next one.  One wedged task therefore costs
+    exactly one slot (plus one burned core), never the whole map.  The
+    differential-testing oracle leans on this to survive backends that
+    hang on a fuzz case. *)
+
+module Diag = Stardust_diag.Diag
 
 (** Default worker count: the physical parallelism the runtime recommends,
     bounded to keep domain startup cost below the work saved on small
@@ -24,49 +38,110 @@ let default_workers () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
     otherwise discard). *)
 exception Worker_error of { index : int; exn : exn }
 
+(** A worker application exceeded its [?timeout] deadline: [index] is the
+    hung item's position, [seconds] the deadline it blew through.  The
+    runaway computation has been abandoned, not cancelled. *)
+exception Worker_timeout of { index : int; seconds : float }
+
 let () =
   Printexc.register_printer (function
     | Worker_error { index; exn } ->
         Some
           (Printf.sprintf "Pool.Worker_error(item %d): %s" index
              (Printexc.to_string exn))
+    | Worker_timeout { index; seconds } ->
+        Some
+          (Printf.sprintf "Pool.Worker_timeout(item %d): exceeded %gs" index
+             seconds)
     | _ -> None)
 
-(** [map ~workers f items] is [Array.map f items], computed by [workers]
-    domains.  Results are returned in input order regardless of worker
-    count.  If any application raises, the first failure (by item index)
-    is re-raised in the calling domain after all workers join, wrapped in
-    {!Worker_error} with the item's index and the worker's backtrace
-    preserved. *)
-let map ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
-  let workers = match workers with Some w -> max 1 w | None -> default_workers () in
+(** How one item's application ended.  [Unfilled] is unreachable by
+    construction (every index fetched from the atomic counter is written
+    exactly once); if it ever surfaces, that is a pool bug and is reported
+    as an internal-error diagnostic with provenance, not a bare
+    [Invalid_argument]. *)
+type 'b slot =
+  | Unfilled
+  | Value of 'b
+  | Raised of exn * Printexc.raw_backtrace
+  | Timed_out of float
+
+(** Why an item of {!map_result} produced no value. *)
+type failure =
+  | Failure_raised of { exn : exn; backtrace : Printexc.raw_backtrace }
+      (** the application raised; [exn] is wrapped in {!Worker_error} *)
+  | Failure_timed_out of { seconds : float }
+      (** the application blew its deadline and was abandoned *)
+
+let internal_error ~where message =
+  Diag.fail
+    [
+      Diag.error ~stage:Diag.Driver ~code:Diag.code_internal
+        ~context:[ ("where", where) ]
+        "internal invariant violated: %s" message;
+    ]
+
+let apply_plain f i x =
+  match f x with
+  | v -> Value v
+  | exception e ->
+      (* capture the trace here, inside the raising domain, where it still
+         exists *)
+      let bt = Printexc.get_raw_backtrace () in
+      Raised (Worker_error { index = i; exn = e }, bt)
+
+(** Run one application in a dedicated sub-domain and poll for completion
+    against a wall-clock deadline.  On timeout the sub-domain is abandoned
+    (never joined): its eventual result, if any, is discarded.  If no
+    domain can be spawned (the runtime's domain budget is exhausted by
+    abandoned tasks), the application degrades to running inline without a
+    deadline — forward progress over isolation. *)
+let apply_timed ~seconds f i x =
+  let cell = Atomic.make None in
+  match Domain.spawn (fun () -> Atomic.set cell (Some (apply_plain f i x))) with
+  | exception _ -> apply_plain f i x
+  | d ->
+      let deadline = Unix.gettimeofday () +. seconds in
+      let rec wait () =
+        match Atomic.get cell with
+        | Some r ->
+            Domain.join d;
+            r
+        | None ->
+            if Unix.gettimeofday () >= deadline then Timed_out seconds
+            else begin
+              Unix.sleepf 0.001;
+              wait ()
+            end
+      in
+      wait ()
+
+(** The self-scheduling core: one slot per item, each filled exactly once
+    with how that item's application ended. *)
+let run_slots ?timeout ?workers (f : 'a -> 'b) (items : 'a array) :
+    'b slot array =
+  let workers =
+    match workers with Some w -> max 1 w | None -> default_workers ()
+  in
   let n = Array.length items in
   let apply i x =
-    match f x with
-    | v -> v
-    | exception e ->
-        let bt = Printexc.get_raw_backtrace () in
-        Printexc.raise_with_backtrace (Worker_error { index = i; exn = e }) bt
+    match timeout with
+    | None -> apply_plain f i x
+    | Some seconds -> apply_timed ~seconds f i x
   in
-  if n = 0 then [||]
-  else if workers = 1 || n = 1 then Array.mapi apply items
+  let slots : 'b slot array = Array.make n Unfilled in
+  if n = 0 then slots
+  else if workers = 1 || n = 1 then begin
+    Array.iteri (fun i x -> slots.(i) <- apply i x) items;
+    slots
+  end
   else begin
-    let results : 'b option array = Array.make n None in
-    let errors : (exn * Printexc.raw_backtrace) option array =
-      Array.make n None
-    in
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f items.(i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              (* capture the trace here, inside the domain, where it still
-                 exists *)
-              let bt = Printexc.get_raw_backtrace () in
-              errors.(i) <- Some (Worker_error { index = i; exn = e }, bt));
+          slots.(i) <- apply i items.(i);
           loop ()
         end
       in
@@ -77,15 +152,47 @@ let map ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
     in
     worker ();
     List.iter Domain.join spawned;
-    Array.iter
-      (function
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
-      errors;
-    Array.map
-      (function Some v -> v | None -> invalid_arg "Pool.map: missing slot")
-      results
+    slots
   end
+
+(** [map ~workers f items] is [Array.map f items], computed by [workers]
+    domains.  Results are returned in input order regardless of worker
+    count.  If any application fails, the first failure (by item index) is
+    re-raised in the calling domain after all workers join: exceptions are
+    wrapped in {!Worker_error} with the worker's backtrace preserved, and
+    with [?timeout] set a blown deadline raises {!Worker_timeout}.  Callers
+    that need per-item failure isolation use {!map_result} instead. *)
+let map ?timeout ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
+  let slots = run_slots ?timeout ?workers f items in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Timed_out seconds -> raise (Worker_timeout { index = i; seconds })
+      | Value _ | Unfilled -> ())
+    slots;
+  Array.map
+    (function
+      | Value v -> v
+      | Unfilled | Raised _ | Timed_out _ ->
+          internal_error ~where:"Pool.map" "result slot never filled")
+    slots
+
+(** [map_result ?timeout ?workers f items] is {!map} with per-item failure
+    isolation: every item yields [Ok value] or [Error failure], and one
+    crashing or hung application never poisons the others.  This is the
+    entry point the differential oracle drives fuzz cases through. *)
+let map_result ?timeout ?workers (f : 'a -> 'b) (items : 'a array) :
+    ('b, failure) result array =
+  let slots = run_slots ?timeout ?workers f items in
+  Array.map
+    (function
+      | Value v -> Ok v
+      | Raised (exn, backtrace) -> Error (Failure_raised { exn; backtrace })
+      | Timed_out seconds -> Error (Failure_timed_out { seconds })
+      | Unfilled ->
+          internal_error ~where:"Pool.map_result" "result slot never filled")
+    slots
 
 (** Memoization cache shared between workers.  Lookups and inserts hold a
     mutex; the computation itself runs outside it, so two workers may race

@@ -1,0 +1,303 @@
+(** A fuzz case: one fully self-contained differential-testing input.
+
+    A case carries everything needed to re-execute it bit-for-bit — the
+    index-notation expression (as the string the parser accepts), every
+    input tensor's format, dimensions, and explicit nonzero entries, the
+    sampled schedule point (loop order and environment), and the result's
+    name and format.  The generator's seed rides along as provenance, but
+    replay never re-generates: a shrunk case has drifted arbitrarily far
+    from what its seed would produce, so the case file is the truth.
+
+    {!prepare} elaborates a case into the runnable form every backend
+    consumes (parsed assignment, canonical schedule with the point
+    applied, packed tensors); an unpreparable case is reported as a
+    malformed case, never a backend verdict. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Parser = Stardust_ir.Parser
+module Schedule = Stardust_schedule.Schedule
+
+type tensor_spec = {
+  tname : string;
+  fmt : Format.t;
+  dims : int list;
+  entries : (int list * float) list;  (** explicit nonzeros, any order *)
+}
+
+type t = {
+  seed : int;  (** generator seed (provenance only; replay uses the data) *)
+  expr : string;  (** index-notation assignment, e.g. ["Y(i) = A(i,j) * x(j)"] *)
+  tensors : tensor_spec list;
+  order : string list;
+      (** sampled loop order over every index variable; [[]] = canonical *)
+  env : (string * int) list;  (** environment knobs, e.g. [innerPar] *)
+  result : string;
+  result_format : Format.t;
+}
+
+(** The runnable elaboration of a case. *)
+type prepared = {
+  p_seed : int;  (** the case's seed, for provenance in backend stubs *)
+  assign : Ast.assign;
+  sched : Schedule.t;  (** canonical schedule + reorder + environment *)
+  inputs : (string * Tensor.t) list;
+  p_result : string;
+  p_result_format : Format.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Format codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Compact format spelling for corpus files: one char per level ([d]
+    dense, [c] compressed) plus [:DIGITS] when the mode order is not the
+    identity — ["dc"] is CSR, ["dc:10"] is CSC, ["scalar"] is order 0. *)
+let format_to_string (f : Format.t) =
+  if Format.order f = 0 then "scalar"
+  else
+    let levels =
+      String.concat ""
+        (List.map
+           (function Format.Dense -> "d" | Format.Compressed -> "c")
+           f.Format.levels)
+    in
+    let identity = List.init (Format.order f) Fun.id in
+    if List.equal Int.equal f.Format.mode_order identity then levels
+    else
+      levels ^ ":"
+      ^ String.concat "" (List.map string_of_int f.Format.mode_order)
+
+let format_of_string s =
+  if s = "scalar" then Format.make []
+  else
+    let levels_s, order_s =
+      match String.index_opt s ':' with
+      | None -> (s, None)
+      | Some i ->
+          ( String.sub s 0 i,
+            Some (String.sub s (i + 1) (String.length s - i - 1)) )
+    in
+    let levels =
+      List.init (String.length levels_s) (fun i ->
+          match levels_s.[i] with
+          | 'd' -> Format.Dense
+          | 'c' -> Format.Compressed
+          | c -> invalid_arg (Printf.sprintf "Case.format_of_string: %C" c))
+    in
+    let mode_order =
+      Option.map
+        (fun os ->
+          List.init (String.length os) (fun i -> Char.code os.[i] - Char.code '0'))
+        order_s
+    in
+    Format.make ?mode_order levels
+
+(* ------------------------------------------------------------------ *)
+(* Structure queries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Total operand accesses on the right-hand side (the "operand count" the
+    shrinker minimizes). *)
+let num_operands (c : t) =
+  match Parser.parse_assign c.expr with
+  | a -> List.length (Ast.accesses_of_expr a.Ast.rhs)
+  | exception _ -> max_int
+
+(** A strictly-decreasing measure of case complexity: the shrinker only
+    accepts steps that reduce it, which bounds the search and defines
+    "smaller".  Operands weigh most (dropping one simplifies every
+    backend's trace), then extents, stored entries, compressed levels, and
+    schedule-point structure. *)
+let size (c : t) =
+  let operands = num_operands c in
+  let operands = if operands = max_int then 1000 else operands in
+  (100 * operands)
+  + List.fold_left
+      (fun acc ts ->
+        acc
+        + List.fold_left ( + ) 0 ts.dims
+        + List.length ts.entries
+        + Format.num_compressed ts.fmt
+        + (let identity = List.init (Format.order ts.fmt) Fun.id in
+           if List.equal Int.equal ts.fmt.Format.mode_order identity then 0
+           else 1))
+      0 c.tensors
+  + Format.num_compressed c.result_format
+  + (if c.order = [] then 0 else 1)
+  + List.length c.env
+
+(** Does every additive term of [a] cover the full reduction space?  When
+    true the canonical CIN is one perfect forall nest over every index
+    variable (so a full loop order can be applied by [reorder]); when
+    false the scheduler introduces a scalar workspace and only the result
+    variables form the outer nest. *)
+let perfect_nest (a : Ast.assign) =
+  let rvars = Ast.reduction_vars a in
+  rvars = []
+  || List.for_all
+       (fun (_, t) ->
+         List.for_all
+           (fun v -> List.mem v (Ast.indices_of_expr t))
+           rvars)
+       (Ast.linear_terms a.Ast.rhs)
+
+(** The extent of every index variable, as implied by the input tensors.
+    @raise Invalid_argument on a conflict (a malformed case). *)
+let var_extents (c : t) (a : Ast.assign) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (acc : Ast.access) ->
+      match List.find_opt (fun ts -> ts.tname = acc.tensor) c.tensors with
+      | None -> ()
+      | Some ts ->
+          List.iteri
+            (fun d v ->
+              let n = List.nth ts.dims d in
+              match Hashtbl.find_opt tbl v with
+              | None -> Hashtbl.add tbl v n
+              | Some n' when n' = n -> ()
+              | Some n' ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Case.var_extents: %s is both %d and %d" v n' n))
+            acc.indices)
+    (Ast.accesses_of_expr a.Ast.rhs);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [prepare c] parses, schedules (applying the case's loop order and
+    environment), and packs the input tensors.  Any failure — parse
+    error, illegal schedule point, inconsistent tensor data — is a
+    malformed case: [Error reason], never an exception. *)
+let prepare (c : t) : (prepared, string) result =
+  match
+    let assign = Parser.parse_assign c.expr in
+    let formats =
+      List.map (fun ts -> (ts.tname, ts.fmt)) c.tensors
+      @ [ (c.result, c.result_format) ]
+    in
+    let sched = Schedule.of_assign ~formats assign in
+    let sched =
+      match c.order with
+      | [] -> sched
+      | order ->
+          (* The reorderable nest is every variable for a perfect nest,
+             and just the result variables when a workspace was
+             introduced (the reduction loops then live in the producer,
+             whose order stays canonical). *)
+          let nest =
+            if perfect_nest assign then order
+            else
+              List.filter
+                (fun v -> List.mem v assign.Ast.lhs.Ast.indices)
+                order
+          in
+          if List.length nest < 2 then sched else Schedule.reorder sched nest
+    in
+    let sched =
+      List.fold_left
+        (fun s (k, v) -> Schedule.set_environment s k v)
+        sched c.env
+    in
+    let inputs =
+      List.map
+        (fun ts ->
+          ( ts.tname,
+            Tensor.of_entries ~name:ts.tname ~format:ts.fmt ~dims:ts.dims
+              ts.entries ))
+        c.tensors
+    in
+    { p_seed = c.seed; assign; sched; inputs; p_result = c.result;
+      p_result_format = c.result_format }
+  with
+  | p -> Ok p
+  | exception e -> Error (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tensor_to_json ts =
+  Json.Obj
+    [
+      ("name", Json.Str ts.tname);
+      ("format", Json.Str (format_to_string ts.fmt));
+      ("dims", Json.Arr (List.map (fun d -> Json.Num (float_of_int d)) ts.dims));
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun (coords, v) ->
+               Json.Arr
+                 [
+                   Json.Arr
+                     (List.map (fun c -> Json.Num (float_of_int c)) coords);
+                   Json.Num v;
+                 ])
+             ts.entries) );
+    ]
+
+let to_json (c : t) =
+  Json.Obj
+    [
+      ("seed", Json.Num (float_of_int c.seed));
+      ("expr", Json.Str c.expr);
+      ("result", Json.Str c.result);
+      ("result_format", Json.Str (format_to_string c.result_format));
+      ("order", Json.Arr (List.map (fun v -> Json.Str v) c.order));
+      ( "env",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) c.env)
+      );
+      ("tensors", Json.Arr (List.map tensor_to_json c.tensors));
+    ]
+
+let tensor_of_json j =
+  {
+    tname = Json.to_str (Json.member_exn "name" j);
+    fmt = format_of_string (Json.to_str (Json.member_exn "format" j));
+    dims = List.map Json.to_int (Json.to_list (Json.member_exn "dims" j));
+    entries =
+      List.map
+        (fun e ->
+          match Json.to_list e with
+          | [ coords; v ] ->
+              (List.map Json.to_int (Json.to_list coords), Json.to_float v)
+          | _ -> raise (Json.Parse_error ("malformed entry", 0)))
+        (Json.to_list (Json.member_exn "entries" j));
+  }
+
+let of_json j =
+  {
+    seed = Json.to_int (Json.member_exn "seed" j);
+    expr = Json.to_str (Json.member_exn "expr" j);
+    result = Json.to_str (Json.member_exn "result" j);
+    result_format =
+      format_of_string (Json.to_str (Json.member_exn "result_format" j));
+    order = List.map Json.to_str (Json.to_list (Json.member_exn "order" j));
+    env =
+      List.map
+        (fun (k, v) -> (k, Json.to_int v))
+        (Json.to_obj (Json.member_exn "env" j));
+    tensors =
+      List.map tensor_of_json (Json.to_list (Json.member_exn "tensors" j));
+  }
+
+let equal (a : t) (b : t) = to_json a = to_json b
+
+let pp ppf (c : t) =
+  Fmt.pf ppf "@[<v>case (seed %d): %s@,schedule: order=[%a] env=[%a]@,%a@]"
+    c.seed c.expr
+    Fmt.(list ~sep:comma string)
+    c.order
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
+    c.env
+    Fmt.(
+      list ~sep:cut (fun ppf ts ->
+          Fmt.pf ppf "  %s: %s %a, %d nnz" ts.tname (format_to_string ts.fmt)
+            (brackets (list ~sep:(any "x") int))
+            ts.dims (List.length ts.entries)))
+    c.tensors

@@ -1,0 +1,102 @@
+(** The crash corpus: failing cases persisted as JSON files.
+
+    Each file is self-contained — the minimized case (everything replay
+    needs), the original seed, the per-backend verdicts observed when the
+    case was found, and the diagnostic trail — so a corpus entry is a
+    bug report that re-executes deterministically with
+    [stardustc replay corpus/<file>.json].
+
+    File names are content-addressed ([case_<seed>_<hash8>.json]): the
+    same minimized case found from the same seed lands on the same path,
+    so repeated fuzz runs do not pile up duplicates. *)
+
+module Diag = Stardust_diag.Diag
+
+let default_dir = "corpus"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Corpus: %s exists and is not a directory" dir)
+
+(* A tiny stable content hash (FNV-1a, 64-bit) — only used to make file
+   names unique and reproducible, never for security. *)
+let fnv1a64 (s : string) =
+  let p = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) p)
+    s;
+  !h
+
+let filename (c : Case.t) =
+  let h = fnv1a64 (Json.to_string (Case.to_json c)) in
+  Printf.sprintf "case_%d_%08Lx.json" c.Case.seed
+    (Int64.logand h 0xFFFFFFFFL)
+
+let entry_json ?(diags = []) ~(reports : Runner.report list) (c : Case.t) =
+  Json.Obj
+    [
+      ("case", Case.to_json c);
+      ( "verdicts",
+        Json.Arr
+          (List.map
+             (fun (r : Runner.report) ->
+               Json.Obj
+                 [
+                   ("backend", Json.Str r.Runner.backend);
+                   ( "verdict",
+                     Json.Str (Differ.verdict_to_string r.Runner.verdict) );
+                 ])
+             reports) );
+      ("diags", Json.Arr (List.map (fun d -> Json.Str (Diag.to_string d)) diags));
+    ]
+
+(** Persist a failing case; returns the path written. *)
+let save ?(dir = default_dir) ?diags ~reports (c : Case.t) : string =
+  ensure_dir dir;
+  let path = Filename.concat dir (filename c) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (entry_json ?diags ~reports c));
+      output_string oc "\n");
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Load a corpus entry (or a bare case file) back into a {!Case.t}. *)
+let load path : Case.t =
+  let j = Json.parse (read_file path) in
+  match Json.member "case" j with
+  | Some cj -> Case.of_json cj
+  | None -> Case.of_json j
+
+(** The verdict strings recorded when the entry was saved (informational;
+    replay recomputes fresh ones). *)
+let load_verdicts path : (string * string) list =
+  let j = Json.parse (read_file path) in
+  match Json.member "verdicts" j with
+  | None -> []
+  | Some (Json.Arr l) ->
+      List.filter_map
+        (fun v ->
+          match (Json.member "backend" v, Json.member "verdict" v) with
+          | Some (Json.Str b), Some (Json.Str s) -> Some (b, s)
+          | _ -> None)
+        l
+  | Some _ -> []
+
+let list ?(dir = default_dir) () : string list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)

@@ -1,0 +1,43 @@
+(** The oracle's output comparator and per-backend verdicts.
+
+    A backend's output is compared against the dense reference evaluator
+    with the shared mixed-tolerance comparison
+    ({!Stardust_tensor.Tensor.approx_equal}): the relative term absorbs
+    reassociation differences in long reductions, the absolute term
+    cancellation near zero.  The generator emits quarter-integer values
+    precisely so that genuine divergence lands far outside these
+    tolerances. *)
+
+module Tensor = Stardust_tensor.Tensor
+
+let default_rtol = 1e-6
+let default_atol = 1e-9
+
+(** How one backend fared on one case. *)
+type verdict =
+  | Pass
+  | Mismatch of float  (** disagreed with the reference; max abs difference *)
+  | Crash of string  (** raised an unexpected exception *)
+  | Hang of string  (** simulator watchdog or per-case deadline expired *)
+  | Skip of string
+      (** structured refusal (compile diagnostics, chip capacity):
+          no output to compare, but not a bug signal either *)
+
+(** Verdicts that make a case a failure worth persisting. *)
+let is_failure = function
+  | Mismatch _ | Crash _ | Hang _ -> true
+  | Pass | Skip _ -> false
+
+let compare_result ?(rtol = default_rtol) ?(atol = default_atol) ~expected
+    actual =
+  if Tensor.approx_equal ~rtol ~atol expected actual then Pass
+  else Mismatch (Tensor.max_abs_diff expected actual)
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Mismatch d -> Printf.sprintf "mismatch (max abs diff %g)" d
+  | Crash m -> "crash: " ^ m
+  | Hang m -> "hang: " ^ m
+  | Skip m -> "skip: " ^ m
+
+let pp_verdict ppf v = Fmt.string ppf (verdict_to_string v)

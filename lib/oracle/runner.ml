@@ -1,0 +1,202 @@
+(** Run one case through every applicable backend and diff the outputs.
+
+    The dense reference evaluator is the ground truth; the backends under
+    test are the CIN interpreter (scheduling semantics), the imperative
+    TACO-style CPU interpreter (von Neumann lowering), the Capstan
+    functional simulator (the accelerator path), and the {!Fallback}
+    driver with the full retile→CPU degradation chain (the production
+    entry point).  Each backend runs inside its own exception barrier: a
+    crash or a watchdog trip is that backend's verdict for that case,
+    never the fuzz run's.
+
+    Structured refusals are distinguished from bugs: compile diagnostics
+    and simulator capacity errors make a backend [Skip] (the case asked
+    for more than the stack supports — interesting, but not divergence),
+    while any other exception is a [Crash] and the simulator watchdog is a
+    [Hang]. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Compile = Stardust_core.Compile
+module Sim = Stardust_capstan.Sim
+module Reference = Stardust_vonneumann.Reference
+module Cin_interp = Stardust_vonneumann.Cin_interp
+module Imp = Stardust_vonneumann.Imp_interp
+module Fallback = Stardust_driver.Fallback
+module Diag = Stardust_diag.Diag
+
+(** Raised by a backend to refuse a case with a structured reason. *)
+exception Skip_backend of string
+
+(** A backend: a name and a function from the prepared case to the result
+    tensor.  Tests substitute stubs here to exercise the oracle itself. *)
+type backend = {
+  bname : string;
+  exec : Case.prepared -> Tensor.t;
+}
+
+type report = { backend : string; verdict : Differ.verdict }
+
+type outcome = {
+  case : Case.t;
+  reports : report list;
+  failing : bool;  (** any mismatch, crash, or hang *)
+}
+
+(** Conservative simulator step budget for fuzz-sized cases: generated
+    tensors hold at most a few hundred values, so a case that needs more
+    than a few million interpreter steps is wedged, not working. *)
+let default_watchdog = 5e6
+
+let render_diags ds = String.concat "; " (List.map Diag.to_string ds)
+
+let find_result name results =
+  match List.assoc_opt name results with
+  | Some t -> t
+  | None ->
+      raise
+        (Skip_backend
+           (Printf.sprintf "backend produced no result tensor %s" name))
+
+(** The production backend set.  Compilation is shared (lazily forced once
+    per case); a compile failure skips every compiled backend with the
+    diagnostics as the reason. *)
+let default_backends ?(watchdog = default_watchdog) () : backend list =
+  let compiled = ref None in
+  let force (p : Case.prepared) =
+    match !compiled with
+    | Some r -> r
+    | None ->
+        let r =
+          Compile.compile_result ~name:"fuzz" p.Case.sched
+            ~inputs:p.Case.inputs
+        in
+        compiled := Some r;
+        r
+  in
+  let with_compiled p k =
+    match force p with
+    | Error ds -> raise (Skip_backend ("compile: " ^ render_diags ds))
+    | Ok c -> k c
+  in
+  [
+    {
+      bname = "cin-interp";
+      exec =
+        (fun p ->
+          Cin_interp.run p.Case.sched ~inputs:p.Case.inputs
+            ~result:p.Case.p_result ~result_format:p.Case.p_result_format);
+    };
+    {
+      bname = "imp-interp";
+      exec =
+        (fun p ->
+          with_compiled p (fun c ->
+              let results, _tally, _func =
+                Imp.run c.Compile.plan ~inputs:p.Case.inputs
+              in
+              find_result p.Case.p_result results));
+    };
+    {
+      bname = "capstan-sim";
+      exec =
+        (fun p ->
+          with_compiled p (fun c ->
+              let results, _report = Sim.execute ~watchdog c in
+              find_result p.Case.p_result results));
+    };
+    {
+      bname = "fallback-cpu";
+      exec =
+        (fun p ->
+          with_compiled p (fun c ->
+              match Fallback.run ~policy:Fallback.Cpu ~watchdog c with
+              | Ok o -> find_result p.Case.p_result o.Fallback.results
+              | Error ds ->
+                  raise (Skip_backend ("fallback: " ^ render_diags ds))));
+    };
+  ]
+
+let verdict_of_exec ~rtol ~atol ~expected exec p =
+  match exec p with
+  | actual -> Differ.compare_result ~rtol ~atol ~expected actual
+  | exception Skip_backend m -> Differ.Skip m
+  | exception Sim.Sim_error { kind = Sim.Capacity; message } ->
+      Differ.Skip ("capacity: " ^ message)
+  | exception Sim.Sim_error { kind = Sim.Watchdog; message } ->
+      Differ.Hang message
+  | exception e -> Differ.Crash (Printexc.to_string e)
+
+(** Run a prepared case.  The reference evaluator runs first; if it
+    crashes, the case fails with a single ["reference"] crash report and
+    the backends are skipped (there is nothing sound to diff against). *)
+let run_prepared ?backends ?(watchdog = default_watchdog)
+    ?(rtol = Differ.default_rtol) ?(atol = Differ.default_atol)
+    (p : Case.prepared) : report list =
+  let backends =
+    match backends with
+    | Some bs -> bs
+    | None -> default_backends ~watchdog ()
+  in
+  match
+    Reference.eval p.Case.assign ~inputs:p.Case.inputs
+      ~result_format:p.Case.p_result_format
+  with
+  | exception e ->
+      { backend = "reference"; verdict = Differ.Crash (Printexc.to_string e) }
+      :: List.map
+           (fun b ->
+             { backend = b.bname; verdict = Differ.Skip "no reference output" })
+           backends
+  | expected ->
+      List.map
+        (fun b ->
+          {
+            backend = b.bname;
+            verdict = verdict_of_exec ~rtol ~atol ~expected b.exec p;
+          })
+        backends
+
+(** Run a raw case end to end.  An unpreparable case reports a single
+    ["prepare"] crash (the generator and shrinker treat it as rejected). *)
+let run_case ?backends ?watchdog ?rtol ?atol (case : Case.t) : outcome =
+  let reports =
+    match Case.prepare case with
+    | Error m -> [ { backend = "prepare"; verdict = Differ.Crash m } ]
+    | Ok p -> run_prepared ?backends ?watchdog ?rtol ?atol p
+  in
+  {
+    case;
+    reports;
+    failing = List.exists (fun r -> Differ.is_failure r.verdict) reports;
+  }
+
+(** Diagnostics describing a failing outcome, one per failing backend,
+    tagged with the case's seed (and corpus file when saved). *)
+let diags_of_outcome ?file (o : outcome) : Diag.t list =
+  let ctx =
+    [ ("seed", string_of_int o.case.Case.seed); ("expr", o.case.Case.expr) ]
+    @ match file with Some f -> [ ("file", f) ] | None -> []
+  in
+  List.filter_map
+    (fun r ->
+      let mk code what =
+        Some
+          (Diag.error ~stage:Diag.Oracle ~code
+             ~context:(("backend", r.backend) :: ctx)
+             "backend %s %s on fuzz case %d" r.backend what o.case.Case.seed)
+      in
+      match r.verdict with
+      | Differ.Mismatch d ->
+          mk Diag.code_oracle_mismatch
+            (Printf.sprintf "disagrees with the reference (max abs diff %g)" d)
+      | Differ.Crash m -> mk Diag.code_oracle_crash ("crashed: " ^ m)
+      | Differ.Hang m -> mk Diag.code_oracle_hang ("hung: " ^ m)
+      | Differ.Pass | Differ.Skip _ -> None)
+    o.reports
+
+let pp_outcome ppf (o : outcome) =
+  Fmt.pf ppf "@[<v>%a@,%a@]" Case.pp o.case
+    Fmt.(
+      list ~sep:cut (fun ppf r ->
+          Fmt.pf ppf "  %-14s %a" r.backend Differ.pp_verdict r.verdict))
+    o.reports

@@ -1,0 +1,305 @@
+(** Greedy first-improvement case minimization.
+
+    Given a failing case and a [fails] predicate, repeatedly try the
+    smallest structural edits — in the order that shrinks fastest: drop
+    whole additive terms, drop product factors, shrink index-variable
+    extents, densify one storage level at a time, simplify the schedule
+    point, and finally thin the stored entries — accepting the first edit
+    that keeps the case failing and strictly reduces {!Case.size}, then
+    restarting from the new case.  Strict size decrease plus an
+    evaluation budget bounds the search.
+
+    Every candidate is kept inside the generator's well-formedness
+    envelope (each additive term covers the whole reduction space or none
+    of it, every result variable still appears on the right-hand side),
+    so shrinking cannot wander from the original bug into independently
+    unsupported shapes. *)
+
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Parser = Stardust_ir.Parser
+
+(* ------------------------------------------------------------------ *)
+(* Expression surgery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec mul_factors = function
+  | Ast.Bin (Ast.Mul, a, b) -> mul_factors a @ mul_factors b
+  | e -> [ e ]
+
+let rebuild_product = function
+  | [] -> Ast.const 1.0
+  | f :: rest -> List.fold_left (fun e x -> Ast.Bin (Ast.Mul, e, x)) f rest
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(** The well-formedness envelope the generator guarantees; candidates
+    outside it would fail for reasons unrelated to the bug under
+    minimization. *)
+let well_formed (a : Ast.assign) =
+  let rhs_vars = Ast.indices_of_expr a.Ast.rhs in
+  List.for_all (fun v -> List.mem v rhs_vars) a.Ast.lhs.Ast.indices
+  &&
+  let rvars = Ast.reduction_vars a in
+  List.for_all
+    (fun (_, t) ->
+      let vs = Ast.indices_of_expr t in
+      let covered = List.filter (fun v -> List.mem v vs) rvars in
+      covered = [] || List.length covered = List.length rvars)
+    (Ast.linear_terms a.Ast.rhs)
+
+(** Rebuild a case around an edited assignment: re-render the expression,
+    drop tensor specs no longer accessed, and filter the loop order down
+    to the surviving variables. *)
+let with_assign (c : Case.t) (a : Ast.assign) : Case.t option =
+  if not (well_formed a) then None
+  else
+    let used = Ast.tensors_of_expr a.Ast.rhs in
+    let vars = Ast.all_vars a in
+    Some
+      {
+        c with
+        Case.expr = Ast.assign_to_string a;
+        tensors = List.filter (fun ts -> List.mem ts.Case.tname used) c.Case.tensors;
+        order = List.filter (fun v -> List.mem v vars) c.Case.order;
+      }
+
+let drop_term_candidates c (a : Ast.assign) =
+  let terms = Ast.linear_terms a.Ast.rhs in
+  if List.length terms < 2 then []
+  else
+    List.filter_map
+      (fun i ->
+        with_assign c
+          { a with Ast.rhs = Ast.of_linear_terms (remove_nth i terms) })
+      (List.init (List.length terms) Fun.id)
+
+let drop_factor_candidates c (a : Ast.assign) =
+  let terms = Ast.linear_terms a.Ast.rhs in
+  List.concat
+    (List.mapi
+       (fun ti (neg, term) ->
+         let factors = mul_factors term in
+         if List.length factors < 2 then []
+         else
+           List.filter_map
+             (fun fi ->
+               let term' = rebuild_product (remove_nth fi factors) in
+               let terms' =
+                 List.mapi
+                   (fun i t -> if i = ti then (neg, term') else t)
+                   terms
+               in
+               with_assign c { a with Ast.rhs = Ast.of_linear_terms terms' })
+             (List.init (List.length factors) Fun.id))
+       terms)
+
+(* ------------------------------------------------------------------ *)
+(* Data surgery                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** The index variables a tensor spec is accessed with (first access
+    wins; generated cases use one access per tensor). *)
+let access_vars (a : Ast.assign) tname =
+  List.find_map
+    (fun (acc : Ast.access) ->
+      if acc.Ast.tensor = tname then Some acc.Ast.indices else None)
+    (Ast.accesses_of_expr a.Ast.rhs)
+
+(** Shrink variable [v] to extent [ext] consistently across every tensor
+    dimension indexed by it, dropping out-of-range entries. *)
+let with_extent c (a : Ast.assign) v ext : Case.t option =
+  if ext < 1 then None
+  else
+    let changed = ref false in
+    let tensors =
+      List.map
+        (fun (ts : Case.tensor_spec) ->
+          match access_vars a ts.Case.tname with
+          | None -> ts
+          | Some vars ->
+              let dims =
+                List.map2
+                  (fun var d ->
+                    if var = v && d > ext then (changed := true; ext) else d)
+                  vars ts.Case.dims
+              in
+              if dims = ts.Case.dims then ts
+              else
+                {
+                  ts with
+                  Case.dims;
+                  entries =
+                    List.filter
+                      (fun (coords, _) ->
+                        List.for_all2 (fun cd d -> cd < d) coords dims)
+                      ts.Case.entries;
+                })
+        c.Case.tensors
+    in
+    if !changed then Some { c with Case.tensors } else None
+
+let shrink_dim_candidates c (a : Ast.assign) =
+  let exts =
+    try Hashtbl.fold (fun v e acc -> (v, e) :: acc) (Case.var_extents c a) []
+    with _ -> []
+  in
+  List.concat_map
+    (fun (v, e) ->
+      List.filter_map Fun.id
+        [
+          (if e >= 2 then with_extent c a v (e / 2) else None);
+          (if e >= 2 then with_extent c a v (e - 1) else None);
+        ])
+    (List.sort (fun (_, a) (_, b) -> compare b a) exts)
+
+(* ------------------------------------------------------------------ *)
+(* Format and schedule surgery                                         *)
+(* ------------------------------------------------------------------ *)
+
+let set_level levels l =
+  List.mapi (fun i k -> if i = l then Format.Dense else k) levels
+
+let with_format f levels ~identity_order =
+  let mode_order =
+    if identity_order then List.init (List.length levels) Fun.id
+    else f.Format.mode_order
+  in
+  Format.make ~mode_order ~region:f.Format.region levels
+
+let densify_candidates c =
+  let per_tensor =
+    List.concat
+      (List.mapi
+         (fun ti (ts : Case.tensor_spec) ->
+           let f = ts.Case.fmt in
+           let one_level =
+             List.filter_map
+               (fun l ->
+                 if List.nth f.Format.levels l = Format.Compressed then
+                   Some
+                     {
+                       c with
+                       Case.tensors =
+                         List.mapi
+                           (fun i t ->
+                             if i = ti then
+                               { ts with
+                                 Case.fmt =
+                                   with_format f (set_level f.Format.levels l)
+                                     ~identity_order:false }
+                             else t)
+                           c.Case.tensors;
+                     }
+                 else None)
+               (List.init (Format.order f) Fun.id)
+           in
+           let identity = List.init (Format.order f) Fun.id in
+           let unpermute =
+             if List.equal Int.equal f.Format.mode_order identity then []
+             else
+               [
+                 {
+                   c with
+                   Case.tensors =
+                     List.mapi
+                       (fun i t ->
+                         if i = ti then
+                           { ts with
+                             Case.fmt =
+                               with_format f f.Format.levels
+                                 ~identity_order:true }
+                         else t)
+                       c.Case.tensors;
+                 };
+               ]
+           in
+           one_level @ unpermute)
+         c.Case.tensors)
+  in
+  let result =
+    let f = c.Case.result_format in
+    List.filter_map
+      (fun l ->
+        if List.nth f.Format.levels l = Format.Compressed then
+          Some
+            {
+              c with
+              Case.result_format =
+                with_format f (set_level f.Format.levels l)
+                  ~identity_order:false;
+            }
+        else None)
+      (List.init (Format.order f) Fun.id)
+  in
+  per_tensor @ result
+
+let schedule_candidates c =
+  (if c.Case.order = [] then [] else [ { c with Case.order = [] } ])
+  @ List.mapi
+      (fun i _ ->
+        { c with Case.env = remove_nth i c.Case.env })
+      c.Case.env
+
+let entry_candidates c =
+  List.concat
+    (List.mapi
+       (fun ti (ts : Case.tensor_spec) ->
+         let n = List.length ts.Case.entries in
+         let keep pred =
+           {
+             c with
+             Case.tensors =
+               List.mapi
+                 (fun i t ->
+                   if i = ti then
+                     { ts with
+                       Case.entries = List.filteri pred ts.Case.entries }
+                   else t)
+                 c.Case.tensors;
+           }
+         in
+         if n > 8 then
+           [ keep (fun i _ -> i < n / 2); keep (fun i _ -> i >= n / 2) ]
+         else if n > 0 then
+           List.init (min n 4) (fun d -> keep (fun i _ -> i <> d))
+         else [])
+       c.Case.tensors)
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let candidates (c : Case.t) : Case.t list =
+  let structural =
+    match Parser.parse_assign c.Case.expr with
+    | exception _ -> []
+    | a ->
+        drop_term_candidates c a
+        @ drop_factor_candidates c a
+        @ shrink_dim_candidates c a
+  in
+  structural @ densify_candidates c @ schedule_candidates c
+  @ entry_candidates c
+
+(** [minimize ~fails case] greedily minimizes a failing case.  [fails] is
+    re-evaluated on every candidate (at most [budget] times); candidates
+    that do not strictly reduce {!Case.size} are never evaluated, so the
+    loop terminates.  Returns the smallest still-failing case reached. *)
+let minimize ?(budget = 200) ~fails (case : Case.t) : Case.t =
+  let evals = ref 0 in
+  let rec improve current =
+    let sz = Case.size current in
+    let rec try_next = function
+      | [] -> current
+      | cand :: rest ->
+          if !evals >= budget then current
+          else if Case.size cand < sz then begin
+            incr evals;
+            if fails cand then improve cand else try_next rest
+          end
+          else try_next rest
+    in
+    try_next (candidates current)
+  in
+  improve case

@@ -333,14 +333,28 @@ let rename name t = { t with name }
 (* Comparison and printing                                               *)
 (* -------------------------------------------------------------------- *)
 
-(** Structural value equality up to [tol], independent of format. *)
-let equal_approx ?(tol = 1e-9) a b =
+(** Element-wise closeness with a mixed tolerance, independent of format:
+    same shape and, for every pair of elements,
+    [|x - y| <= atol + rtol * max |x| |y|].  The relative term keeps the
+    comparison meaningful for values far from 1.0 (long reductions), the
+    absolute term for values near 0.0 (cancellation).  This is the one
+    tensor comparison shared by the test suites and the differential
+    oracle's differ. *)
+let approx_equal ?(rtol = 1e-6) ?(atol = 1e-9) a b =
   Array.length a.dims = Array.length b.dims
   && Array.for_all2 ( = ) a.dims b.dims
   &&
   let da = to_dense a and db = to_dense b in
   Array.length da = Array.length db
-  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) da db
+  && Array.for_all2
+       (fun x y ->
+         Float.abs (x -. y)
+         <= atol +. (rtol *. Float.max (Float.abs x) (Float.abs y)))
+       da db
+
+(** Structural value equality up to an absolute [tol] (legacy shim over
+    {!approx_equal}). *)
+let equal_approx ?(tol = 1e-9) a b = approx_equal ~rtol:0.0 ~atol:tol a b
 
 (** Largest absolute element-wise difference. *)
 let max_abs_diff a b =

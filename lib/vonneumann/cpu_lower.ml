@@ -258,16 +258,25 @@ and lower_forall st env v body : stmt list =
     match info.Plan.plan with
     | Coiter.Scan_plan { op; a; b; dense } -> (
         match filter_its [ a; b ] with
-        | [ x; y ] -> Coiter.Scan_plan { op; a = x; b = y; dense }
-        | [ x ] -> Coiter.Pos_plan { lead = x; dense }
-        | _ -> err "all iterators absent at loop %s" v)
+        | [ x; y ] -> Some (Coiter.Scan_plan { op; a = x; b = y; dense })
+        | [ x ] -> Some (Coiter.Pos_plan { lead = x; dense })
+        | _ -> None)
     | Coiter.Pos_plan { lead; dense } -> (
         match filter_its [ lead ] with
-        | [ x ] -> Coiter.Pos_plan { lead = x; dense }
-        | _ -> err "lead iterator absent at loop %s" v)
-    | p -> p
+        | [ x ] -> Some (Coiter.Pos_plan { lead = x; dense })
+        | _ -> None)
+    | p -> Some p
   in
   let parallel = info.Plan.depth = 0 in
+  match plan with
+  | None ->
+      (* Every fiber driving this loop belongs to a tensor that is absent
+         in the current lattice branch: the loop runs zero iterations (an
+         empty intersection, or a union sub-fiber that contributes
+         nothing).  Emit only what an empty loop would have left behind —
+         the result-position finalization. *)
+      pos_finalize st env v
+  | Some plan ->
   match plan with
   | Coiter.Dense_plan _ ->
       let env' = extend_dense st env v (Var v) in

@@ -25,7 +25,7 @@ module Profile = Stardust_vonneumann.Profile
 module D = Stardust_workloads.Datasets
 
 let checkb = Alcotest.check Alcotest.bool
-let close a b = T.max_abs_diff a b < 1e-6
+let close a b = T.approx_equal a b
 
 let contains s sub =
   let n = String.length s and m = String.length sub in

@@ -21,7 +21,7 @@ module Fallback = Stardust_driver.Fallback
 module Ref = Stardust_vonneumann.Reference
 module D = Stardust_workloads.Datasets
 
-let close a b = T.max_abs_diff a b < 1e-6
+let close a b = T.approx_equal a b
 
 let spmv_expr = "y(i) = A(i,j) * x(j)"
 let spmv_formats = [ ("y", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ]

@@ -16,4 +16,5 @@ let () =
       ("properties", Test_properties.suite);
       ("explore", Test_explore.suite);
       ("diag", Test_diag.suite);
+      ("oracle", Test_oracle.suite);
     ]

@@ -1,0 +1,411 @@
+(* Differential-testing oracle: generator well-formedness, corpus
+   round-trips, the shrinker against a seeded bad backend, and hung-worker
+   isolation in the pool. *)
+
+module T = Stardust_tensor.Tensor
+module Ast = Stardust_ir.Ast
+module Parser = Stardust_ir.Parser
+module Legality = Stardust_core.Legality
+module Reference = Stardust_vonneumann.Reference
+module Pool = Stardust_explore.Pool
+module Diag = Stardust_diag.Diag
+module Json = Stardust_oracle.Json
+module Case = Stardust_oracle.Case
+module Gen = Stardust_oracle.Gen
+module Differ = Stardust_oracle.Differ
+module Runner = Stardust_oracle.Runner
+module Shrink = Stardust_oracle.Shrink
+module Corpus = Stardust_oracle.Corpus
+module Fuzz = Stardust_oracle.Fuzz
+module Prng = Stardust_workloads.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Stub backends                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A correct backend: just the reference evaluator again. *)
+let good_backend =
+  {
+    Runner.bname = "good-stub";
+    exec =
+      (fun (p : Case.prepared) ->
+        Reference.eval p.Case.assign ~inputs:p.Case.inputs
+          ~result_format:p.Case.p_result_format);
+  }
+
+(* A deterministically wrong backend: the reference answer with every
+   stored value doubled (and a constant bumped in, so the all-zeros case
+   still diverges). *)
+let bad_backend =
+  {
+    Runner.bname = "bad-stub";
+    exec =
+      (fun (p : Case.prepared) ->
+        let r =
+          Reference.eval p.Case.assign ~inputs:p.Case.inputs
+            ~result_format:p.Case.p_result_format
+        in
+        let entries =
+          List.map
+            (fun (c, v) -> (Array.to_list c, (2.0 *. v) +. 1.0))
+            (T.to_entries r)
+        in
+        let entries =
+          if entries = [] then
+            [ (Array.to_list (Array.map (fun _ -> 0) (T.dims r)), 1.0) ]
+          else entries
+        in
+        T.of_entries ~name:(T.name r) ~format:(T.format r)
+          ~dims:(Array.to_list (T.dims r))
+          entries);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Num 1.0);
+        ("b", Json.Str "x\"y\\z\n");
+        ("c", Json.Arr [ Json.Bool true; Json.Null; Json.Num (-0.25) ]);
+        ("d", Json.Obj [ ("nested", Json.Arr []) ]);
+      ]
+  in
+  Alcotest.(check bool)
+    "print/parse round-trips" true
+    (Json.parse (Json.to_string v) = v);
+  Alcotest.check_raises "trailing garbage rejected"
+    (Json.Parse_error ("trailing garbage after JSON value", 5))
+    (fun () -> ignore (Json.parse "null x"))
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  Alcotest.(check bool)
+    "same seed, same case" true
+    (Case.equal (Gen.gen ~seed:12345) (Gen.gen ~seed:12345));
+  (* different seeds almost surely differ; 3 tries make a flake
+     astronomically unlikely *)
+  Alcotest.(check bool)
+    "different seeds differ" true
+    (List.exists
+       (fun s -> not (Case.equal (Gen.gen ~seed:s) (Gen.gen ~seed:12345)))
+       [ 1; 2; 3 ])
+
+let prop_gen_prepares =
+  QCheck.Test.make ~name:"generated cases prepare and schedule legally"
+    ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let case = Gen.gen ~seed in
+      match Case.prepare case with
+      | Error m -> QCheck.Test.fail_reportf "unpreparable case: %s" m
+      | Ok _ -> (
+          (* the sampled loop order must be one Legality accepts *)
+          let assign = Parser.parse_assign case.Case.expr in
+          match case.Case.order with
+          | [] -> true
+          | order ->
+              let formats =
+                List.map
+                  (fun (ts : Case.tensor_spec) -> (ts.Case.tname, ts.Case.fmt))
+                  case.Case.tensors
+                @ [ (case.Case.result, case.Case.result_format) ]
+              in
+              Legality.respects_levels ~formats assign order))
+
+let prop_gen_agrees_with_itself =
+  QCheck.Test.make ~name:"reference is deterministic across reruns" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let case = Gen.gen ~seed in
+      match Case.prepare case with
+      | Error _ -> false
+      | Ok p ->
+          let e () =
+            Reference.eval p.Case.assign ~inputs:p.Case.inputs
+              ~result_format:p.Case.p_result_format
+          in
+          T.approx_equal (e ()) (e ()))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stardust_corpus_%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun x -> Sys.remove (Filename.concat dir x))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_corpus_roundtrip () =
+  with_temp_dir (fun dir ->
+      let case = Gen.gen ~seed:777 in
+      let reports =
+        [ { Runner.backend = "bad-stub"; verdict = Differ.Mismatch 1.5 } ]
+      in
+      let diags =
+        [
+          Diag.error ~stage:Diag.Oracle ~code:Diag.code_oracle_mismatch
+            "backend bad-stub disagrees";
+        ]
+      in
+      let path = Corpus.save ~dir ~diags ~reports case in
+      Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+      Alcotest.(check bool)
+        "case round-trips" true
+        (Case.equal case (Corpus.load path));
+      Alcotest.(check (list (pair string string)))
+        "verdicts recorded"
+        [ ("bad-stub", "mismatch (max abs diff 1.5)") ]
+        (Corpus.load_verdicts path);
+      Alcotest.(check (list string)) "listed" [ path ] (Corpus.list ~dir ());
+      (* content-addressed names: saving the same case twice is one file *)
+      let path2 = Corpus.save ~dir ~reports case in
+      Alcotest.(check string) "stable filename" path path2;
+      Alcotest.(check int) "no duplicate" 1 (List.length (Corpus.list ~dir ())))
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_verdicts () =
+  let case = Gen.gen ~seed:99 in
+  let crash_backend =
+    { Runner.bname = "crash-stub"; exec = (fun _ -> failwith "boom") }
+  in
+  let o =
+    Runner.run_case ~backends:[ good_backend; bad_backend; crash_backend ]
+      case
+  in
+  let verdict b =
+    (List.find (fun (r : Runner.report) -> r.Runner.backend = b)
+       o.Runner.reports)
+      .Runner.verdict
+  in
+  Alcotest.(check bool) "good passes" true (verdict "good-stub" = Differ.Pass);
+  Alcotest.(check bool)
+    "bad mismatches" true
+    (match verdict "bad-stub" with Differ.Mismatch _ -> true | _ -> false);
+  Alcotest.(check bool)
+    "crash is caught" true
+    (match verdict "crash-stub" with Differ.Crash _ -> true | _ -> false);
+  Alcotest.(check bool) "case fails" true o.Runner.failing;
+  (* one diagnostic per failing backend, none for the pass *)
+  let ds = Runner.diags_of_outcome o in
+  Alcotest.(check int) "two diagnostics" 2 (List.length ds);
+  Alcotest.(check bool)
+    "codes are oracle codes" true
+    (List.for_all
+       (fun (d : Diag.t) ->
+         d.Diag.stage = Diag.Oracle
+         && (d.Diag.code = Diag.code_oracle_mismatch
+             || d.Diag.code = Diag.code_oracle_crash))
+       ds)
+
+let test_default_backends_agree () =
+  (* a couple of fixed seeds through the real backend set *)
+  List.iter
+    (fun seed ->
+      let o = Runner.run_case (Gen.gen ~seed) in
+      if o.Runner.failing then
+        Alcotest.failf "seed %d fails:@.%a" seed Runner.pp_outcome o)
+    [ 0; 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Find a generated case with at least 3 operands to give the shrinker
+   something to chew on. *)
+let rec multi_operand_case seed =
+  let c = Gen.gen ~seed in
+  if Case.num_operands c >= 3 then c else multi_operand_case (seed + 1)
+
+let test_shrink_bad_backend () =
+  let case = multi_operand_case 1000 in
+  let fails c =
+    let o = Runner.run_case ~backends:[ bad_backend ] c in
+    o.Runner.failing
+  in
+  Alcotest.(check bool) "original fails" true (fails case);
+  let min = Shrink.minimize ~fails case in
+  Alcotest.(check bool)
+    "minimized is strictly smaller" true
+    (Case.size min < Case.size case);
+  Alcotest.(check bool) "minimized still fails" true (fails min);
+  (* the bad stub corrupts every case, so shrinking should reach the floor:
+     a single operand *)
+  Alcotest.(check int) "one operand" 1 (Case.num_operands min)
+
+let test_shrink_preserves_specific_failure () =
+  (* a backend that only fails when tensor B participates: the shrinker
+     must keep B while dropping everything else *)
+  let fails_on_b =
+    {
+      Runner.bname = "b-hater";
+      exec =
+        (fun (p : Case.prepared) ->
+          if List.mem_assoc "B" p.Case.inputs then failwith "saw B"
+          else
+            Reference.eval p.Case.assign ~inputs:p.Case.inputs
+              ~result_format:p.Case.p_result_format);
+    }
+  in
+  let fails c = (Runner.run_case ~backends:[ fails_on_b ] c).Runner.failing in
+  (* find a case that mentions B among >= 3 operands *)
+  let rec find seed =
+    let c = Gen.gen ~seed in
+    if
+      Case.num_operands c >= 3
+      && List.exists (fun (ts : Case.tensor_spec) -> ts.Case.tname = "B")
+           c.Case.tensors
+    then c
+    else find (seed + 1)
+  in
+  let case = find 2000 in
+  let min = Shrink.minimize ~fails case in
+  Alcotest.(check bool) "still fails" true (fails min);
+  Alcotest.(check bool)
+    "B survived" true
+    (List.exists (fun (ts : Case.tensor_spec) -> ts.Case.tname = "B")
+       min.Case.tensors);
+  Alcotest.(check bool) "smaller" true (Case.size min < Case.size case)
+
+let test_shrink_budget_respected () =
+  let evals = ref 0 in
+  let fails _ =
+    incr evals;
+    true
+  in
+  let case = multi_operand_case 3000 in
+  ignore (Shrink.minimize ~budget:5 ~fails case);
+  Alcotest.(check bool) "at most 5 evaluations" true (!evals <= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Pool deadlines                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_timeout_isolated () =
+  let stop = Atomic.make false in
+  let task i =
+    if i = 1 then begin
+      while not (Atomic.get stop) do
+        Domain.cpu_relax ()
+      done;
+      -1
+    end
+    else i * 10
+  in
+  let r = Pool.map_result ~timeout:0.2 ~workers:2 task [| 0; 1; 2 |] in
+  Atomic.set stop true;
+  Alcotest.(check bool) "item 0 ok" true (r.(0) = Ok 0);
+  Alcotest.(check bool)
+    "item 1 timed out" true
+    (match r.(1) with
+    | Error (Pool.Failure_timed_out { seconds }) -> seconds = 0.2
+    | _ -> false);
+  Alcotest.(check bool) "item 2 ok" true (r.(2) = Ok 20)
+
+let test_pool_map_raises_worker_timeout () =
+  let stop = Atomic.make false in
+  let task i =
+    if i = 0 then
+      while not (Atomic.get stop) do
+        Domain.cpu_relax ()
+      done;
+    i
+  in
+  Alcotest.check_raises "structured timeout"
+    (Pool.Worker_timeout { index = 0; seconds = 0.2 })
+    (fun () -> ignore (Pool.map ~timeout:0.2 ~workers:1 task [| 0; 1 |]));
+  Atomic.set stop true
+
+let test_fuzz_spinning_backend_costs_one_case () =
+  (* Reproduce the fuzz loop's seed derivation to aim the spin at exactly
+     one of the four cases. *)
+  let master = Prng.create 5 in
+  let seeds = Array.init 4 (fun _ -> 0) in
+  for i = 0 to 3 do
+    seeds.(i) <- Prng.int master 0x3FFFFFFF
+  done;
+  let target = seeds.(2) in
+  let stop = Atomic.make false in
+  let cfg =
+    {
+      Fuzz.default_config with
+      Fuzz.cases = 4;
+      seed = 5;
+      corpus_dir = None;
+      workers = Some 1;
+      case_timeout = Some 0.3;
+      mk_backends =
+        Some
+          (fun () ->
+            [
+              good_backend;
+              {
+                Runner.bname = "spinner";
+                exec =
+                  (fun (p : Case.prepared) ->
+                    (* spin iff this is the targeted case *)
+                    if p.Case.p_seed = target then
+                      while not (Atomic.get stop) do
+                        Domain.cpu_relax ()
+                      done;
+                    Reference.eval p.Case.assign ~inputs:p.Case.inputs
+                      ~result_format:p.Case.p_result_format);
+              };
+            ]);
+      log = ignore;
+    }
+  in
+  let stats = Fuzz.run cfg in
+  Atomic.set stop true;
+  Alcotest.(check int) "exactly one hung case" 1 stats.Fuzz.hung;
+  Alcotest.(check int) "the rest passed" 3 stats.Fuzz.passed;
+  Alcotest.(check int) "no failures" 0 stats.Fuzz.failed;
+  Alcotest.(check bool)
+    "hang reported as E0803" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = Diag.code_oracle_hang)
+       stats.Fuzz.diags)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ("json round-trip", `Quick, test_json_roundtrip);
+    ("generator is deterministic", `Quick, test_gen_deterministic);
+    QCheck_alcotest.to_alcotest prop_gen_prepares;
+    QCheck_alcotest.to_alcotest prop_gen_agrees_with_itself;
+    ("corpus round-trip", `Quick, test_corpus_roundtrip);
+    ("runner verdicts", `Quick, test_runner_verdicts);
+    ("default backends agree", `Quick, test_default_backends_agree);
+    ("shrinker minimizes a bad backend", `Quick, test_shrink_bad_backend);
+    ( "shrinker preserves the failure trigger",
+      `Quick,
+      test_shrink_preserves_specific_failure );
+    ("shrinker respects its budget", `Quick, test_shrink_budget_respected);
+    ("pool timeout isolates one item", `Quick, test_pool_timeout_isolated);
+    ( "pool map raises structured timeout",
+      `Quick,
+      test_pool_map_raises_worker_timeout );
+    ( "spinning backend costs one case",
+      `Quick,
+      test_fuzz_spinning_backend_costs_one_case );
+  ]

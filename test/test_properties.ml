@@ -15,7 +15,7 @@ module Ref = Stardust_vonneumann.Reference
 module Imp = Stardust_vonneumann.Imp_interp
 module D = Stardust_workloads.Datasets
 
-let close a b = T.max_abs_diff a b < 1e-6
+let close a b = T.approx_equal a b
 
 let run_stage spec ~inputs =
   let st = List.hd spec.K.stages in

@@ -26,12 +26,37 @@ let artifacts =
     ("micro", ("Compiler-phase microbenchmarks (Bechamel)", Micro.run));
   ]
 
+(* "a,b,c" -> ["a"; "b"; "c"] *)
+let split_kernels s =
+  List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+
+let usage_suite () =
+  Fmt.epr
+    "usage: bench suite --json PATH [--kernels a,b,c]@.       bench \
+     perf-diff BASELINE NEW@.";
+  exit 2
+
+(* suite --json PATH [--kernels a,b,c]: machine-readable per-kernel
+   numbers for CI's perf-smoke diff *)
+let rec suite_json_cli ?json ?(kernels = []) = function
+  | "--json" :: path :: rest -> suite_json_cli ~json:path ~kernels rest
+  | "--kernels" :: ks :: rest ->
+      suite_json_cli ?json ~kernels:(kernels @ split_kernels ks) rest
+  | [] -> (
+      match json with
+      | Some path -> Report.suite_json ~kernels ~path ()
+      | None -> usage_suite ())
+  | _ -> usage_suite ()
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "list" ] ->
       List.iter (fun (k, (d, _)) -> Fmt.pr "%-10s %s@." k d) artifacts
   | [ "code"; kernel ] -> Tables.listing kernel
+  | "suite" :: rest -> suite_json_cli rest
+  | [ "perf-diff"; base; fresh ] ->
+      exit (if Report.perf_diff base fresh > 0 then 1 else 0)
   | [] ->
       (* default: every paper artifact (micro last; it is the slowest) *)
       List.iter (fun (_, (_, f)) -> f ()) artifacts

@@ -1,0 +1,180 @@
+(** Machine-readable benchmark artifacts.
+
+    [suite_json] runs selected kernels of the paper suite and writes one
+    JSON document with, per kernel/dataset instance: the per-platform
+    model seconds, the deterministic Capstan cycle counters (HBM2E), the
+    per-stage resource counts, and the wall-clock the run took.  All
+    fields except [wall_seconds] come from analytic models and are
+    bit-identical across runs — which is what [perf_diff] relies on to
+    catch cost-model regressions in CI.
+
+    [perf_diff] parses two such documents (with the oracle's own JSON
+    parser — no new dependencies) and compares every deterministic field
+    exactly; wall-clock fields are ignored. *)
+
+module K = Stardust_core.Kernels
+module C = Stardust_core.Compile
+module Sim = Stardust_capstan.Sim
+module Arch = Stardust_capstan.Arch
+module Resources = Stardust_capstan.Resources
+module Json = Stardust_oracle.Json
+module Metrics = Stardust_obs.Metrics
+
+let num = Metrics.number_to_string
+let esc = Stardust_obs.Trace.json_escape
+
+let find_specs names =
+  match names with
+  | [] -> K.all
+  | names ->
+      List.map
+        (fun n ->
+          match K.find n with
+          | Some s -> s
+          | None -> Fmt.failwith "unknown kernel %s (try: bench list)" n)
+        names
+
+(** One instance rendered as a JSON object. *)
+let instance_json (r : Suite.run) ~wall =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"kernel\":\"%s\",\"dataset\":\"%s\""
+       (esc (String.lowercase_ascii r.Suite.spec.K.kname))
+       (esc r.Suite.instance));
+  (* per-platform analytic seconds (all deterministic models) *)
+  Buffer.add_string buf ",\"platform_seconds\":{";
+  List.iteri
+    (fun i (p, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%s" (esc (Suite.platform_name p)) (num s)))
+    r.Suite.seconds;
+  Buffer.add_char buf '}';
+  (* deterministic Capstan (HBM2E) cycle counters, summed over stages *)
+  let reports =
+    List.map (fun c -> Sim.estimate ~config:Sim.default_config c) r.Suite.compiled
+  in
+  let sum f = List.fold_left (fun a (x : Sim.report) -> a +. f x) 0.0 reports in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"cycles\":%s,\"compute_cycles\":%s,\"dram_cycles\":%s,\"streamed_bytes\":%s,\"iterations\":%s"
+       (num (sum (fun x -> x.Sim.cycles)))
+       (num (sum (fun x -> x.Sim.compute_cycles)))
+       (num (sum (fun x -> x.Sim.dram_cycles)))
+       (num (sum (fun x -> x.Sim.streamed_bytes)))
+       (num (sum (fun x -> x.Sim.iterations))));
+  (* per-stage resource counts *)
+  Buffer.add_string buf ",\"resources\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      let u = Resources.count Arch.default c in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"pcu\":%d,\"pmu\":%d,\"mc\":%d,\"shuffle\":%d,\"limiting\":\"%s\"}"
+           u.Resources.pcu u.Resources.pmu u.Resources.mc u.Resources.shuffle
+           (esc u.Resources.limiting)))
+    r.Suite.compiled;
+  Buffer.add_char buf ']';
+  (* wall clock: the one non-deterministic field; perf_diff ignores it *)
+  Buffer.add_string buf (Printf.sprintf ",\"wall_seconds\":%s}" (num wall));
+  Buffer.contents buf
+
+let suite_json ~kernels ~path () =
+  let specs = find_specs kernels in
+  let entries =
+    List.concat_map
+      (fun (spec : K.spec) ->
+        Fmt.epr "bench: %s...@." spec.K.kname;
+        List.map
+          (fun inst ->
+            let t0 = Unix.gettimeofday () in
+            let r = Suite.run_instance spec inst in
+            instance_json r ~wall:(Unix.gettimeofday () -. t0))
+          (Suite.instances spec))
+      specs
+  in
+  let doc =
+    "{\"schema\":\"stardust-bench-suite/1\",\"kernels\":["
+    ^ String.concat "," entries ^ "]}"
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.epr "bench: wrote %s (%d instances)@." path (List.length entries)
+
+(* ------------------------------------------------------------------ *)
+(* perf-diff                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.parse s
+
+(** Deterministic scalar fields compared exactly. *)
+let det_fields =
+  [ "cycles"; "compute_cycles"; "dram_cycles"; "streamed_bytes"; "iterations" ]
+
+let entry_key j =
+  Printf.sprintf "%s/%s"
+    (Json.to_str (Json.member_exn "kernel" j))
+    (Json.to_str (Json.member_exn "dataset" j))
+
+let resources_sig j =
+  String.concat ";"
+    (List.map
+       (fun r ->
+         String.concat ","
+           (List.map
+              (fun f -> num (Json.to_float (Json.member_exn f r)))
+              [ "pcu"; "pmu"; "mc"; "shuffle" ]))
+       (Json.to_list (Json.member_exn "resources" j)))
+
+(** Compare two suite documents; returns the number of mismatches and
+    prints one line per difference.  Wall-clock and platform-seconds
+    fields are not compared (seconds are deterministic too, but cycles
+    subsume them and integer comparison avoids any float-text concern). *)
+let perf_diff base_path new_path =
+  let index doc =
+    List.map (fun e -> (entry_key e, e)) (Json.to_list (Json.member_exn "kernels" doc))
+  in
+  let base = index (load base_path) and fresh = index (load new_path) in
+  let mismatches = ref 0 in
+  let complain fmt = Fmt.epr ("perf-diff: " ^^ fmt ^^ "@.") in
+  List.iter
+    (fun (k, b) ->
+      match List.assoc_opt k fresh with
+      | None ->
+          incr mismatches;
+          complain "%s: present in %s but missing from %s" k base_path new_path
+      | Some f ->
+          List.iter
+            (fun field ->
+              let vb = Json.to_float (Json.member_exn field b)
+              and vf = Json.to_float (Json.member_exn field f) in
+              if vb <> vf then begin
+                incr mismatches;
+                complain "%s: %s changed %s -> %s" k field (num vb) (num vf)
+              end)
+            det_fields;
+          let rb = resources_sig b and rf = resources_sig f in
+          if rb <> rf then begin
+            incr mismatches;
+            complain "%s: resources changed %s -> %s" k rb rf
+          end)
+    base;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k base) then begin
+        incr mismatches;
+        complain "%s: new instance not in baseline %s" k base_path
+      end)
+    fresh;
+  if !mismatches = 0 then
+    Fmt.epr "perf-diff: %s and %s agree on every deterministic counter@."
+      base_path new_path;
+  !mismatches

@@ -33,7 +33,25 @@ module Ocase = Stardust_oracle.Case
 module Space = Stardust_explore.Space
 module Point = Stardust_explore.Point
 module Eval = Stardust_explore.Eval
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
+module Profile = Stardust_obs.Profile
 open Cmdliner
+
+(* --trace FILE: record spans for the whole command and write a Chrome
+   trace_event file on exit.  Saving via [at_exit] survives the [exit]
+   calls the subcommands use for their status codes. *)
+let trace_flag =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace_event file of the run (open in \
+                 chrome://tracing or Perfetto).")
+
+let start_tracing = function
+  | None -> ()
+  | Some path ->
+      Trace.start ();
+      at_exit (fun () -> Trace.save path)
 
 let format_of_string = function
   | "csr" -> F.csr ()
@@ -309,13 +327,19 @@ let run_cmd =
          & info [ "watchdog" ]
              ~doc:"Simulator step budget before the watchdog trips.")
   in
-  let run kname scale expr formats data policy diag_json pmus pcus watchdog =
+  let run kname scale expr formats data policy diag_json pmus pcus watchdog
+      trace =
+    start_tracing trace;
     let arch =
       let a = Arch.default in
       let a = if pmus > 0 then { a with Arch.num_pmu = pmus } else a in
       if pcus > 0 then { a with Arch.num_pcu = pcus } else a
     in
     let config = { Sim.default_config with Sim.arch } in
+    (* Stdout hygiene: with --diag-json, stdout carries only the JSON
+       array, so `stardustc run --diag-json | jq` always parses; human
+       progress moves to stderr. *)
+    let hum_ppf = if diag_json then Fmt.stderr else Fmt.stdout in
     (* every diagnostic the run produces, in emission order *)
     let emitted = ref [] in
     let emit ds = emitted := !emitted @ ds in
@@ -337,14 +361,15 @@ let run_cmd =
               finish 1
           | Ok o ->
               emit o.Fallback.diags;
-              Fmt.pr "%s: ok on %s%a@." label
+              Fmt.pf hum_ppf "%s: ok on %s%a@." label
                 (Fallback.backend_name o.Fallback.backend)
                 Fmt.(
                   option (fun ppf (r : Sim.report) ->
                       Fmt.pf ppf " (%.0f cycles)" r.Sim.cycles))
                 o.Fallback.report;
               List.iter
-                (fun (rname, t) -> Fmt.pr "  %s: %d nnz@." rname (T.nnz t))
+                (fun (rname, t) ->
+                  Fmt.pf hum_ppf "  %s: %d nnz@." rname (T.nnz t))
                 o.Fallback.results;
               pool := o.Fallback.results @ !pool)
     in
@@ -399,7 +424,7 @@ let run_cmd =
        ~doc:"Compile and execute a kernel, degrading gracefully (per \
              $(b,--fallback)) when it exceeds chip capacity.")
     Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ fallback
-          $ diag_json $ pmus $ pcus $ watchdog)
+          $ diag_json $ pmus $ pcus $ watchdog $ trace_flag)
 
 let autotune_cmd =
   let kname_arg =
@@ -462,7 +487,8 @@ let autotune_cmd =
          & info [ "json" ] ~doc:"Emit the result as JSON on stdout.")
   in
   let run kname scale expr formats data strategy workers samples seed splits
-      regions json =
+      regions json trace =
+    start_tracing trace;
     let problem =
       match (kname, expr) with
       | Some name, None -> (
@@ -529,7 +555,159 @@ let autotune_cmd =
        ~doc:"Search the schedule/format/hardware design space of a kernel \
              and print the Pareto frontier over (cycles, chip resources).")
     Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ strategy
-          $ workers $ samples $ seed $ splits $ regions $ json)
+          $ workers $ samples $ seed $ splits $ regions $ json $ trace_flag)
+
+(* ------------------------------------------------------------------ *)
+(* profile: attributed per-loop cycle trees                            *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let kname_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"KERNEL"
+             ~doc:"Paper kernel to profile (or use -e/-f/-d for an \
+                   arbitrary expression).")
+  in
+  let scale =
+    Arg.(value & opt int 32 & info [ "n" ] ~doc:"Scale of the random inputs.")
+  in
+  let expr =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "expr" ] ~docv:"EXPR"
+             ~doc:"Index-notation assignment to profile instead of a named \
+                   kernel.")
+  in
+  let formats =
+    Arg.(value & opt_all string []
+         & info [ "f"; "format" ] ~docv:"NAME=FMT" ~doc:"Tensor format binding.")
+  in
+  let data =
+    Arg.(value & opt_all string []
+         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
+             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the profile (and the deterministic metrics \
+                   snapshot) as JSON on stdout; nothing else is printed \
+                   there.")
+  in
+  let show_metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Also print the metrics registry in Prometheus text \
+                   format.")
+  in
+  let run kname scale expr formats data json show_metrics trace =
+    start_tracing trace;
+    (* stage name, compiled form — multi-stage kernels are executed
+       stage-by-stage so later stages see real intermediates (their trip
+       counts come from the actual tensor statistics) *)
+    let stages : (string * C.compiled) list =
+      match (kname, expr) with
+      | Some name, None -> (
+          match K.find name with
+          | None ->
+              Fmt.epr "unknown kernel %s (try: stardustc list)@." name;
+              exit 1
+          | Some spec ->
+              let pool = ref [] in
+              List.map
+                (fun (st : K.stage) ->
+                  let inputs =
+                    List.map
+                      (fun (tname, t) ->
+                        match List.assoc_opt tname !pool with
+                        | Some prev -> (tname, T.rename tname prev)
+                        | None -> (tname, t))
+                      (stage_random_inputs st scale)
+                  in
+                  let compiled = K.compile_stage spec st ~inputs in
+                  if List.length spec.K.stages > 1 then begin
+                    let results, _ = Sim.execute compiled in
+                    pool := results @ !pool
+                  end;
+                  (st.K.expr, compiled))
+                spec.K.stages)
+      | None, Some e ->
+          let formats =
+            List.map
+              (fun s ->
+                match String.split_on_char '=' s with
+                | [ n; f ] -> (n, format_of_string f)
+                | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
+              formats
+          in
+          let inputs =
+            List.mapi
+              (fun i s ->
+                let name, dims, density = parse_data_spec s in
+                let fmt =
+                  match List.assoc_opt name formats with
+                  | Some f -> f
+                  | None -> Fmt.failwith "no format for tensor %s" name
+                in
+                (name, gen_tensor name fmt dims density (i + 1)))
+              data
+          in
+          [ (e, C.compile_string ~formats ~inputs e) ]
+      | _ ->
+          Fmt.epr "profile: give a KERNEL name or -e EXPR (not both)@.";
+          exit 1
+    in
+    let profiled =
+      List.map
+        (fun (label, compiled) ->
+          let p = Sim.estimate_profiled compiled in
+          (label, p))
+        stages
+    in
+    if json then begin
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\"stages\":[";
+      List.iteri
+        (fun i (label, (p : Sim.profiled)) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"expr\":\"%s\",\"cycles\":%s,\"compute_cycles\":%s,\"dram_cycles\":%s,\"seconds\":%s,\"profile\":%s}"
+               (Trace.json_escape label)
+               (Metrics.number_to_string p.Sim.preport.Sim.cycles)
+               (Metrics.number_to_string p.Sim.preport.Sim.compute_cycles)
+               (Metrics.number_to_string p.Sim.preport.Sim.dram_cycles)
+               (Metrics.number_to_string p.Sim.preport.Sim.seconds)
+               (Profile.to_json p.Sim.ptree)))
+        profiled;
+      Buffer.add_string buf "],\"metrics\":";
+      Buffer.add_string buf (Metrics.snapshot_json ());
+      Buffer.add_char buf '}';
+      print_endline (Buffer.contents buf)
+    end
+    else begin
+      List.iter
+        (fun (label, (p : Sim.profiled)) ->
+          let r = p.Sim.preport in
+          Fmt.pr "=== profile: %s ===@.%s@." label
+            (Profile.to_string p.Sim.ptree);
+          Fmt.pr
+            "total: %.0f cycles (%.3f us) — %s-bound (compute %.0f, dram \
+             %.0f)@.@."
+            r.Sim.cycles (r.Sim.seconds *. 1e6)
+            (if r.Sim.compute_cycles >= r.Sim.dram_cycles then "compute"
+             else "memory")
+            r.Sim.compute_cycles r.Sim.dram_cycles)
+        profiled;
+      if show_metrics then Fmt.pr "%s" (Metrics.render_text ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Attribute a kernel's estimated cycles to its loop nest: \
+             per-loop compute/DRAM breakdown with shares of the kernel \
+             total, from the same analytic model the benchmarks use.")
+    Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ json
+          $ show_metrics $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz / replay: the differential-testing oracle                      *)
@@ -575,7 +753,8 @@ let fuzz_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-case progress.")
   in
-  let run cases seed corpus no_corpus workers timeout watchdog quiet =
+  let run cases seed corpus no_corpus workers timeout watchdog quiet trace =
+    start_tracing trace;
     let cfg =
       {
         Fuzz.default_config with
@@ -602,7 +781,7 @@ let fuzz_cmd =
              both interpreters, the Capstan simulator, and the fallback \
              driver; disagreements are minimized and saved to the corpus.")
     Term.(const run $ cases $ seed $ corpus $ no_corpus $ workers $ timeout
-          $ watchdog $ quiet)
+          $ watchdog $ quiet $ trace_flag)
 
 let replay_cmd =
   let file_arg =
@@ -638,8 +817,8 @@ let () =
   let doc = "the Stardust sparse-tensor-algebra-to-RDA compiler" in
   let group =
     Cmd.group (Cmd.info "stardustc" ~version:"1.0.0" ~doc)
-      [ list_cmd; kernel_cmd; compile_cmd; run_cmd; autotune_cmd; fuzz_cmd;
-        replay_cmd ]
+      [ list_cmd; kernel_cmd; compile_cmd; run_cmd; profile_cmd;
+        autotune_cmd; fuzz_cmd; replay_cmd ]
   in
   (* last-resort structured handler: no input may crash the CLI with a raw
      exception; anything the subcommands did not turn into diagnostics

@@ -27,6 +27,9 @@ module Memory = Stardust_core.Memory
 module Plan = Stardust_core.Plan
 module Compile = Stardust_core.Compile
 module Coiter = Stardust_core.Coiter
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
+module Obs_profile = Stardust_obs.Profile
 open Stardust_spatial.Spatial_ir
 
 (** What went wrong, structurally: callers (the fallback driver, the
@@ -61,7 +64,16 @@ let () =
         Some (Printf.sprintf "Sim_error(%s): %s" (kind_name kind) message)
     | _ -> None)
 
-let err_k kind fmt = Fmt.kstr (fun s -> raise (Sim_error { kind; message = s })) fmt
+let err_k kind fmt =
+  Fmt.kstr
+    (fun s ->
+      (* cheap: only on the raise path, never in the interpreter hot loop *)
+      Metrics.inc
+        (Metrics.counter ~help:"structured simulator errors by kind"
+           ~labels:[ ("kind", error_kind_name kind) ]
+           "sim_errors_total");
+      raise (Sim_error { kind; message = s }))
+    fmt
 let err fmt = err_k Runtime fmt
 let cap fmt = err_k Capacity fmt
 
@@ -593,6 +605,12 @@ let default_watchdog = 1e9
     [Sim_error] with kind [Capacity], never as an unstructured crash. *)
 let execute ?(config = default_config) ?(watchdog = default_watchdog)
     ?(faults = []) (c : Compile.compiled) =
+  Trace.with_span ~cat:"simulate"
+    ~args:[ ("kernel", c.Compile.name) ]
+    ("execute " ^ c.Compile.name)
+  @@ fun () ->
+  Metrics.inc
+    (Metrics.counter ~help:"functional simulator runs" "sim_executes_total");
   let m =
     {
       cfg = config;
@@ -815,12 +833,79 @@ let stmt_exps = function
   | Enq (_, x) -> [ x ]
   | _ -> []
 
-let rec est_stmt e ~execs ~ctx (s : stmt) =
+(* ------------------------------------------------------------------ *)
+(* Per-loop attribution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Raw per-statement charges, kept attached to the program structure
+    instead of collapsed into the run {!tally}.  Mirrors the tally fields
+    that enter the timing model; {!profile_of} converts the raw charges to
+    attributed cycles after the roofline is known. *)
+type prof = {
+  p_label : string;
+  p_kind : string;
+  mutable p_iters : float;
+  mutable p_compute : float;  (** occupancy charged here (pre net-overhead) *)
+  mutable p_bytes : float;
+  mutable p_rand : float;
+  mutable p_bursts : float;
+  mutable p_rev_children : prof list;  (** newest first *)
+}
+
+let fresh_prof label kind =
+  {
+    p_label = label;
+    p_kind = kind;
+    p_iters = 0.;
+    p_compute = 0.;
+    p_bytes = 0.;
+    p_rand = 0.;
+    p_bursts = 0.;
+    p_rev_children = [];
+  }
+
+let prof_child parent label kind =
+  (* re-entering the same statement (a loop body estimated once per
+     enclosing trip class) reuses its node, so the tree mirrors the
+     program, not the walk *)
+  match
+    List.find_opt
+      (fun c -> c.p_label = label && c.p_kind = kind)
+      parent.p_rev_children
+  with
+  | Some c -> c
+  | None ->
+      let c = fresh_prof label kind in
+      parent.p_rev_children <- c :: parent.p_rev_children;
+      c
+
+let trip_kind = function
+  | Trip_const _ -> "const"
+  | Trip_dim _ -> "dense"
+  | Trip_fiber _ -> "fiber"
+  | Trip_coiter { union; _ } -> if union then "union" else "intersect"
+  | Trip_exp -> "exp"
+
+(** Human label detail for a loop's iteration source. *)
+let trip_descr = function
+  | Trip_const n -> string_of_int n
+  | Trip_dim { tensor; dim } -> Printf.sprintf "%s:d%d" tensor dim
+  | Trip_fiber { tensor; level } -> Printf.sprintf "%s.%d" tensor level
+  | Trip_coiter { union; tensors } ->
+      String.concat
+        (if union then " | " else " & ")
+        (List.map (fun (t, l) -> Printf.sprintf "%s.%d" t l) tensors)
+  | Trip_exp -> "?"
+
+let rec est_stmt e ~execs ~ctx ~prof (s : stmt) =
   (* random DRAM reads embedded in expressions *)
   let rand =
     List.fold_left (exp_dram_reads e) 0.0 (stmt_exps s) *. execs
   in
-  if rand > 0.0 then e.e_tally.rand <- e.e_tally.rand +. rand;
+  if rand > 0.0 then begin
+    e.e_tally.rand <- e.e_tally.rand +. rand;
+    prof.p_rand <- prof.p_rand +. rand
+  end;
   let lanes = float_of_int e.e_cfg.arch.Arch.lanes in
   let launch_ii = e.e_cfg.arch.Arch.launch_ii in
   match s with
@@ -829,36 +914,60 @@ let rec est_stmt e ~execs ~ctx (s : stmt) =
       let elems = transfer_total e dst ~execs in
       if Sys.getenv_opt "STARDUST_DEBUG_XFER" <> None then
         Fmt.epr "xfer load %s execs=%.3e elems=%.3e@." dst execs elems;
+      let p = prof_child prof ("load " ^ dst) "burst" in
       e.e_tally.bytes <- e.e_tally.bytes +. (elems *. word_bytes);
       e.e_tally.bursts <- e.e_tally.bursts +. (execs /. ctx);
-      e.e_tally.compute <- e.e_tally.compute +. (elems /. (lanes *. ctx))
+      e.e_tally.compute <- e.e_tally.compute +. (elems /. (lanes *. ctx));
+      p.p_bytes <- p.p_bytes +. (elems *. word_bytes);
+      p.p_bursts <- p.p_bursts +. (execs /. ctx);
+      p.p_compute <- p.p_compute +. (elems /. (lanes *. ctx))
   | Store_burst { src; _ } ->
       let elems = transfer_total e src ~execs in
       if Sys.getenv_opt "STARDUST_DEBUG_XFER" <> None then
         Fmt.epr "xfer store %s execs=%.3e elems=%.3e@." src execs elems;
+      let p = prof_child prof ("store " ^ src) "burst" in
       e.e_tally.bytes <- e.e_tally.bytes +. (elems *. word_bytes);
       e.e_tally.bursts <- e.e_tally.bursts +. (execs /. ctx);
-      e.e_tally.compute <- e.e_tally.compute +. (elems /. (lanes *. ctx))
-  | Gen_bitvector { trip; _ } ->
+      e.e_tally.compute <- e.e_tally.compute +. (elems /. (lanes *. ctx));
+      p.p_bytes <- p.p_bytes +. (elems *. word_bytes);
+      p.p_bursts <- p.p_bursts +. (execs /. ctx);
+      p.p_compute <- p.p_compute +. (elems /. (lanes *. ctx))
+  | Gen_bitvector { bv; trip; _ } ->
       let n = trip_total e ~execs trip in
-      e.e_tally.compute <- e.e_tally.compute +. (n /. (lanes *. ctx))
-  | Foreach { par; body; trip; _ } | Reduce { par; body; trip; _ } ->
+      let p = prof_child prof ("bitvector " ^ bv) "bitvector" in
+      e.e_tally.compute <- e.e_tally.compute +. (n /. (lanes *. ctx));
+      p.p_compute <- p.p_compute +. (n /. (lanes *. ctx))
+  | Foreach { par; body; trip; bind; _ } | Reduce { par; body; trip; bind; _ }
+    ->
       let iters = trip_total e ~execs trip in
       let par = pattern_par e.e_cfg.arch ~sparse:(is_sparse_trip trip) par in
+      let kind_base =
+        match s with Reduce _ -> "reduce" | _ -> "foreach"
+      in
+      let p =
+        prof_child prof
+          (Printf.sprintf "%s (%s)" bind (trip_descr trip))
+          (kind_base ^ "/" ^ trip_kind trip)
+      in
+      let occ =
+        (launch_total e ~execs ~par trip /. ctx)
+        +. (launch_ii *. execs /. ctx)
+      in
       e.e_tally.iters <- e.e_tally.iters +. iters;
-      e.e_tally.compute <-
-        e.e_tally.compute
-        +. (launch_total e ~execs ~par trip /. ctx)
-        +. (launch_ii *. execs /. ctx);
+      e.e_tally.compute <- e.e_tally.compute +. occ;
+      p.p_iters <- p.p_iters +. iters;
+      p.p_compute <- p.p_compute +. occ;
       (match s with
       | Reduce { expr; _ } ->
           let r = exp_dram_reads e 0.0 expr *. iters in
-          e.e_tally.rand <- e.e_tally.rand +. r
+          e.e_tally.rand <- e.e_tally.rand +. r;
+          p.p_rand <- p.p_rand +. r
       | _ -> ());
       List.iter
-        (est_stmt e ~execs:iters ~ctx:(ctx *. float_of_int par))
+        (est_stmt e ~execs:iters ~ctx:(ctx *. float_of_int par) ~prof:p)
         body
-  | Foreach_scan { scan; body; trip; _ } | Reduce_scan { scan; body; trip; _ } ->
+  | Foreach_scan { scan; body; trip; _ } | Reduce_scan { scan; body; trip; _ }
+    ->
       let iters = trip_total e ~execs trip in
       let par = pattern_par e.e_cfg.arch ~sparse:true scan.scan_par in
       let scan_len =
@@ -866,44 +975,111 @@ let rec est_stmt e ~execs ~ctx (s : stmt) =
         | Int n -> float_of_int n
         | _ -> err "estimate: non-constant scan length"
       in
-      e.e_tally.iters <- e.e_tally.iters +. iters;
-      e.e_tally.bits <- e.e_tally.bits +. (scan_len *. execs);
-      e.e_tally.compute <-
-        e.e_tally.compute
-        +. (launch_total e ~execs ~par trip /. ctx)
+      let kind_base =
+        match s with Reduce_scan _ -> "reduce_scan" | _ -> "foreach_scan"
+      in
+      let p =
+        prof_child prof
+          (Printf.sprintf "%s (%s)" scan.bind_coord (trip_descr trip))
+          (kind_base ^ "/" ^ trip_kind trip)
+      in
+      let occ =
+        (launch_total e ~execs ~par trip /. ctx)
         +. (scan_len *. execs
            /. (32.0 *. e.e_cfg.arch.Arch.bv_words_per_cycle *. ctx))
-        +. (launch_ii *. execs /. ctx);
+        +. (launch_ii *. execs /. ctx)
+      in
+      e.e_tally.iters <- e.e_tally.iters +. iters;
+      e.e_tally.bits <- e.e_tally.bits +. (scan_len *. execs);
+      e.e_tally.compute <- e.e_tally.compute +. occ;
+      p.p_iters <- p.p_iters +. iters;
+      p.p_compute <- p.p_compute +. occ;
       (match s with
       | Reduce_scan { expr; _ } ->
           let r = exp_dram_reads e 0.0 expr *. iters in
-          e.e_tally.rand <- e.e_tally.rand +. r
+          e.e_tally.rand <- e.e_tally.rand +. r;
+          p.p_rand <- p.p_rand +. r
       | _ -> ());
       List.iter
-        (est_stmt e ~execs:iters ~ctx:(ctx *. float_of_int par))
+        (est_stmt e ~execs:iters ~ctx:(ctx *. float_of_int par) ~prof:p)
         body
+
+(** Convert the raw per-statement charges to an attributed cycle tree.
+
+    Both cost components decompose exactly over the tree:
+    compute cycles are linear in each node's occupancy
+    ([p_compute x net_overhead]); DRAM cycles are linear in each node's
+    streamed bytes, random accesses, and burst issues
+    ([Dram.transfer_cycles] is linear in its two traffic arguments, and
+    the burst term is [bursts x latency x exposure]).  The one constant
+    term — the single exposed first-word latency — is attributed to the
+    root.  A node's {e attributed} cycles take the component on the
+    kernel's critical path (compute-bound vs memory-bound, decided by the
+    finished report), so attributed self-cycles over the whole tree sum
+    to [report.cycles] exactly. *)
+let profile_of cfg (r : report) root =
+  let compute_bound = r.compute_cycles >= r.dram_cycles in
+  let rec conv ~is_root p =
+    let compute = p.p_compute *. cfg.arch.Arch.net_overhead in
+    let dram =
+      Dram.transfer_cycles cfg.dram ~clock_hz:cfg.arch.Arch.clock_hz
+        ~streamed_bytes:p.p_bytes ~random_accesses:p.p_rand
+      +. (p.p_bursts *. cfg.dram.Dram.latency_cycles
+         *. cfg.arch.Arch.latency_exposure)
+      +. (if is_root then cfg.dram.Dram.latency_cycles else 0.0)
+    in
+    Obs_profile.make ~label:p.p_label ~kind:p.p_kind
+      ~self_cycles:(if compute_bound then compute else dram)
+      ~self_compute_cycles:compute ~self_dram_cycles:dram
+      ~iterations:p.p_iters
+      ~children:(List.rev_map (conv ~is_root:false) p.p_rev_children)
+      ()
+  in
+  conv ~is_root:true root
+
+type profiled = {
+  preport : report;
+  ptree : Obs_profile.node;
+      (** attributed cycle tree; [Obs_profile.total ptree = preport.cycles] *)
+}
+
+(** {!estimate}, additionally keeping every per-statement charge attached
+    to the loop nest as an attributed cycle tree. *)
+let estimate_profiled ?(config = default_config) (c : Compile.compiled) =
+  Trace.with_span ~cat:"simulate"
+    ~args:[ ("kernel", c.Compile.name) ]
+    ("estimate " ^ c.Compile.name)
+    (fun () ->
+      Metrics.inc
+        (Metrics.counter ~help:"analytic cost estimates run"
+           "sim_estimates_total");
+      let mems = Hashtbl.create 32 in
+      List.iter
+        (fun (tensor, bs) ->
+          List.iter
+            (fun (b : Memory.binding) ->
+              Hashtbl.replace mems
+                (Memory.onchip_name tensor b.Memory.array)
+                (tensor, b.Memory.array))
+            bs)
+        c.Compile.plan.Plan.bindings;
+      let e =
+        {
+          e_cfg = config;
+          e_plan = c.Compile.plan;
+          e_src = { tensors = c.Compile.inputs; memo = Hashtbl.create 16 };
+          e_tally = fresh_tally ();
+          e_mems = mems;
+        }
+      in
+      let root = fresh_prof c.Compile.name "kernel" in
+      List.iter
+        (est_stmt e ~execs:1.0 ~ctx:1.0 ~prof:root)
+        c.Compile.program.accel;
+      let preport = finish config e.e_tally in
+      { preport; ptree = profile_of config preport root })
 
 (** Analytically estimate a compiled kernel's report from its trip
     annotations and the input tensors' statistics. *)
-let estimate ?(config = default_config) (c : Compile.compiled) =
-  let mems = Hashtbl.create 32 in
-  List.iter
-    (fun (tensor, bs) ->
-      List.iter
-        (fun (b : Memory.binding) ->
-          Hashtbl.replace mems
-            (Memory.onchip_name tensor b.Memory.array)
-            (tensor, b.Memory.array))
-        bs)
-    c.Compile.plan.Plan.bindings;
-  let e =
-    {
-      e_cfg = config;
-      e_plan = c.Compile.plan;
-      e_src = { tensors = c.Compile.inputs; memo = Hashtbl.create 16 };
-      e_tally = fresh_tally ();
-      e_mems = mems;
-    }
-  in
-  List.iter (est_stmt e ~execs:1.0 ~ctx:1.0) c.Compile.program.accel;
-  finish config e.e_tally
+let estimate ?config (c : Compile.compiled) =
+  (estimate_profiled ?config c).preport

@@ -25,6 +25,17 @@ module Parser = Stardust_ir.Parser
 module Cin = Stardust_ir.Cin
 module Schedule = Stardust_schedule.Schedule
 module Diag = Stardust_diag.Diag
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
+
+(* Span categories follow the [Diag.stage] enum, so trace viewers and
+   diagnostics speak the same stage vocabulary. *)
+let span_cat stage = Diag.stage_name stage
+
+(* Handles are looked up per event rather than cached: registration is a
+   mutex-guarded hashtable hit, and re-resolving keeps the counters live
+   across a [Metrics.reset] (the test suite resets between cases). *)
+let count name help = Metrics.inc (Metrics.counter ~help name)
 
 type compiled = {
   name : string;
@@ -71,16 +82,33 @@ let diag_of_exn ~name (e : exn) : Diag.t =
 let compile_result ?(name = "kernel") ?sram_budget (sched : Schedule.t)
     ~(inputs : (string * Tensor.t) list) :
     (compiled, Diag.t list) result =
+  count "compile_total" "kernels entering the compile driver";
   let c = Diag.Collector.create () in
+  let result =
   match
-    let plan = Plan.build ?sram_budget sched ~inputs in
-    let program = Lower.lower ~name plan in
+    let plan =
+      Trace.with_span ~cat:(span_cat Diag.Plan)
+        ~args:[ ("kernel", name) ]
+        ("plan " ^ name)
+        (fun () -> Plan.build ?sram_budget sched ~inputs)
+    in
+    let program =
+      Trace.with_span ~cat:(span_cat Diag.Lower)
+        ~args:[ ("kernel", name) ]
+        ("lower " ^ name)
+        (fun () -> Lower.lower ~name plan)
+    in
     (plan, program)
   with
   | exception Diag.Fail ds -> Error ds
   | exception e -> Error [ diag_of_exn ~name e ]
   | plan, program -> (
-      match Stardust_spatial.Spatial_ir.validate program with
+      match
+        Trace.with_span ~cat:(span_cat Diag.Codegen)
+          ~args:[ ("kernel", name) ]
+          ("validate " ^ name)
+          (fun () -> Stardust_spatial.Spatial_ir.validate program)
+      with
       | [] -> Ok { name; schedule = sched; plan; program; inputs }
       | errs ->
           (* validation reports every structural defect, not just the
@@ -93,13 +121,26 @@ let compile_result ?(name = "kernel") ?sram_budget (sched : Schedule.t)
                    "generated Spatial program is invalid: %s" m))
             errs;
           Error (Diag.Collector.to_list c))
+  in
+  (match result with
+  | Error _ ->
+      count "compile_errors_total"
+        "compilations that produced error diagnostics"
+  | Ok _ -> ());
+  result
 
 (** Parse an index-notation string into its canonical schedule, reporting
     parse and scheduling failures as located diagnostics. *)
 let schedule_of_string_result ~formats s : (Schedule.t, Diag.t list) result =
-  match Parser.parse_assign s with
+  match
+    Trace.with_span ~cat:(span_cat Diag.Parse) "parse" (fun () ->
+        Parser.parse_assign s)
+  with
   | a -> (
-      match Schedule.of_assign ~formats a with
+      match
+        Trace.with_span ~cat:(span_cat Diag.Schedule) "schedule" (fun () ->
+            Schedule.of_assign ~formats a)
+      with
       | sched -> Ok sched
       | exception e -> Error [ diag_of_exn ~name:"kernel" e ])
   | exception e -> Error [ diag_of_exn ~name:"kernel" e ]

@@ -15,6 +15,8 @@
 
 module Tensor = Stardust_tensor.Tensor
 module Diag = Stardust_diag.Diag
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
 
 type stage_result = {
   stage_expr : string;
@@ -59,6 +61,15 @@ let run_result ?(retries = 0) (spec : Kernels.spec)
     let stages =
       List.mapi
         (fun index (st : Kernels.stage) ->
+         Trace.with_span
+           ~cat:(Diag.stage_name Diag.Driver)
+           ~args:
+             [ ("stage", string_of_int index); ("expr", st.Kernels.expr) ]
+           (Fmt.str "stage %d: %s" index st.Kernels.expr)
+           (fun () ->
+          Metrics.inc
+            (Metrics.counter ~help:"pipeline stages entered"
+               "pipeline_stages_total");
           let fail ds = raise (Stage_failed ds) in
           let stage_inputs =
             List.filter_map
@@ -100,6 +111,9 @@ let run_result ?(retries = 0) (spec : Kernels.spec)
             | outputs -> (outputs, k)
             | exception e ->
                 if k < retries then begin
+                  Metrics.inc
+                    (Metrics.counter ~help:"pipeline stage execution retries"
+                       "pipeline_retries_total");
                   warnings :=
                     Diag.warning ~stage:Diag.Driver ~code:Diag.code_retry
                       ~context:
@@ -127,7 +141,7 @@ let run_result ?(retries = 0) (spec : Kernels.spec)
           List.iter
             (fun (n, t) -> pool := (n, t) :: List.remove_assoc n !pool)
             outputs;
-          { stage_expr = st.Kernels.expr; compiled; outputs; retries_used })
+          { stage_expr = st.Kernels.expr; compiled; outputs; retries_used }))
         spec.Kernels.stages
     in
     Ok { stages; results = !pool; warnings = List.rev !warnings }

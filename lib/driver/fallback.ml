@@ -29,6 +29,9 @@ module Arch = Stardust_capstan.Arch
 module Resources = Stardust_capstan.Resources
 module Imp = Stardust_vonneumann.Imp_interp
 module Diag = Stardust_diag.Diag
+module Metrics = Stardust_obs.Metrics
+
+let count name help = Metrics.inc (Metrics.counter ~help name)
 
 type policy = No_fallback | Retile | Cpu
 
@@ -185,6 +188,8 @@ let run ?(policy = No_fallback) ?(config = Sim.default_config)
       in
       match retile (retile_attempts c) with
       | Some (label, c', results, report) ->
+          count "fallback_retile_total"
+            "kernels degraded to a retiled mapping (W0101)";
           Diag.Collector.add trail
             (Diag.warning ~stage:Diag.Driver ~code:Diag.code_fallback_retile
                ~context:[ ("kernel", name); ("retile", label) ]
@@ -202,6 +207,8 @@ let run ?(policy = No_fallback) ?(config = Sim.default_config)
       | None when policy = Cpu -> (
           match try_cpu c with
           | Ok results ->
+              count "fallback_cpu_total"
+                "kernels degraded to the CPU baseline (W0102)";
               Diag.Collector.add trail
                 (Diag.warning ~stage:Diag.Driver ~code:Diag.code_fallback_cpu
                    ~context:[ ("kernel", name) ]

@@ -131,8 +131,26 @@ let compute (p : problem) (pt : Point.t) : eval =
               }))
 
 (** Memoised evaluation.  [key] is the precomputed {!problem_key} (so the
-    per-problem part is fingerprinted once per search, not per point). *)
+    per-problem part is fingerprinted once per search, not per point).
+
+    Search metrics are counted here — per {e query}, not per cache fill:
+    query counts depend only on the search trajectory, which is
+    deterministic, whereas which worker fills a raced cache key is not. *)
 let evaluate ~(cache : eval Pool.Cache.t) ~key (p : problem) (pt : Point.t) =
-  Pool.Cache.find_or_compute cache
-    (key ^ "|" ^ Point.fingerprint pt)
-    (fun () -> compute p pt)
+  let module Metrics = Stardust_obs.Metrics in
+  Metrics.inc
+    (Metrics.counter ~help:"candidate evaluations queried"
+       "explore_evals_total");
+  let e =
+    Pool.Cache.find_or_compute cache
+      (key ^ "|" ^ Point.fingerprint pt)
+      (fun () -> compute p pt)
+  in
+  (match e.outcome with
+  | Infeasible _ ->
+      Metrics.inc
+        (Metrics.counter
+           ~help:"evaluations rejected by pruning or capacity guards"
+           "explore_pruned_total")
+  | Feasible _ -> ());
+  e

@@ -25,6 +25,26 @@
     hang on a fuzz case. *)
 
 module Diag = Stardust_diag.Diag
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
+
+(* Wall-clock-derived pool metrics (queue wait, busy time, timeouts) are
+   registered volatile: they are real measurements, so they must never
+   appear in the deterministic snapshot that is diffed across runs and
+   worker counts. *)
+let queue_wait_hist () =
+  Metrics.histogram ~volatile:true
+    ~help:"seconds between map submission and an item being picked up"
+    "pool_queue_wait_seconds"
+
+let busy_gauge worker =
+  Metrics.gauge ~volatile:true
+    ~help:"seconds this worker spent applying items in the last map"
+    ~labels:[ ("worker", string_of_int worker) ]
+    "pool_worker_busy_seconds"
+
+let count ?(by = 1.0) ?(volatile = false) name help =
+  Metrics.inc ~by (Metrics.counter ~volatile ~help name)
 
 (** Default worker count: the physical parallelism the runtime recommends,
     bounded to keep domain startup cost below the work saved on small
@@ -130,30 +150,59 @@ let run_slots ?timeout ?workers (f : 'a -> 'b) (items : 'a array) :
     | Some seconds -> apply_timed ~seconds f i x
   in
   let slots : 'b slot array = Array.make n Unfilled in
-  if n = 0 then slots
-  else if workers = 1 || n = 1 then begin
-    Array.iteri (fun i x -> slots.(i) <- apply i x) items;
-    slots
-  end
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          slots.(i) <- apply i items.(i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned =
-      List.init (min (workers - 1) (n - 1)) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join spawned;
-    slots
-  end
+  count ~by:(float_of_int n) "pool_tasks_total"
+    "items submitted to the worker pool";
+  let submitted = Unix.gettimeofday () in
+  (* One span per worker (the calling domain is worker 0), and per-item
+     queue-wait / per-worker busy-time measurements.  All wall-clock, all
+     volatile. *)
+  let worker_body k run =
+    Trace.with_span ~cat:"pool"
+      ~args:[ ("worker", string_of_int k) ]
+      (Printf.sprintf "pool worker %d" k)
+      (fun () ->
+        let busy = ref 0.0 in
+        run (fun i x ->
+            let t0 = Unix.gettimeofday () in
+            Metrics.observe (queue_wait_hist ()) (t0 -. submitted);
+            slots.(i) <- apply i x;
+            busy := !busy +. (Unix.gettimeofday () -. t0));
+        Metrics.set (busy_gauge k) !busy)
+  in
+  (if n = 0 then ()
+   else if workers = 1 || n = 1 then
+     worker_body 0 (fun run -> Array.iteri run items)
+   else begin
+     let next = Atomic.make 0 in
+     let worker k () =
+       worker_body k (fun run ->
+           let rec loop () =
+             let i = Atomic.fetch_and_add next 1 in
+             if i < n then begin
+               run i items.(i);
+               loop ()
+             end
+           in
+           loop ())
+     in
+     let spawned =
+       List.init
+         (min (workers - 1) (n - 1))
+         (fun k -> Domain.spawn (worker (k + 1)))
+     in
+     worker 0 ();
+     List.iter Domain.join spawned
+   end);
+  (* Timeout accounting happens here, scanning the filled slot array in
+     input order, not inside the racing workers. *)
+  Array.iter
+    (function
+      | Timed_out _ ->
+          count ~volatile:true "pool_timeouts_total"
+            "pool items abandoned past their deadline"
+      | _ -> ())
+    slots;
+  slots
 
 (** [map ~workers f items] is [Array.map f items], computed by [workers]
     domains.  Results are returned in input order regardless of worker

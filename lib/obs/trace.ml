@@ -1,0 +1,198 @@
+(** Hierarchical execution tracing with a Chrome [trace_event] exporter.
+
+    A {e span} is one timed region of work — a compiler stage, a pool
+    worker's lifetime, one simulated kernel — recorded as a Chrome
+    "complete" ([ph = "X"]) event: name, category, microsecond start
+    timestamp, duration, and the recording domain's id as the [tid].
+    The exported JSON loads directly in [chrome://tracing] and Perfetto,
+    which reconstruct the nesting per thread from the timestamps.
+
+    Tracing is {b off by default} and costs one boolean load per
+    {!with_span} while off, so instrumentation can stay in hot paths
+    unconditionally.  When on, events are appended to a global
+    mutex-guarded buffer: spans from every domain (pool workers, timed
+    sub-domains) land in the same trace.
+
+    Span balance is exception-safe: a span whose body raises is still
+    recorded (tagged [raised=true]) and the per-domain depth counter is
+    restored, so one failing compile cannot skew every later span's
+    nesting. *)
+
+(** One recorded event.  Timestamps and durations are microseconds
+    relative to the {!start} call (Chrome's native unit). *)
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : string;  (** ["X"] complete span, ["i"] instant *)
+  ev_ts : float;
+  ev_dur : float;  (** 0 for instants *)
+  ev_tid : int;  (** recording domain id *)
+  ev_args : (string * string) list;
+}
+
+type state = {
+  mutable on : bool;
+  mutable t0 : float;  (** wall-clock origin of the trace *)
+  mutable rev_events : event list;
+  lock : Mutex.t;
+}
+
+let st = { on = false; t0 = 0.0; rev_events = []; lock = Mutex.create () }
+
+let enabled () = st.on
+
+(** Enable collection, dropping any previously buffered events and
+    re-anchoring the time origin. *)
+let start () =
+  Mutex.lock st.lock;
+  st.t0 <- Unix.gettimeofday ();
+  st.rev_events <- [];
+  st.on <- true;
+  Mutex.unlock st.lock
+
+(** Stop collecting.  Buffered events stay exportable. *)
+let stop () = st.on <- false
+
+(** Stop and drop everything. *)
+let reset () =
+  Mutex.lock st.lock;
+  st.on <- false;
+  st.rev_events <- [];
+  Mutex.unlock st.lock
+
+let record ev =
+  Mutex.lock st.lock;
+  if st.on then st.rev_events <- ev :: st.rev_events;
+  Mutex.unlock st.lock
+
+let now_us () = (Unix.gettimeofday () -. st.t0) *. 1e6
+let tid () = (Domain.self () :> int)
+
+(* Per-domain span nesting depth: purely observational (Chrome infers
+   nesting from timestamps), but it lets tests assert balance and lets
+   renderers indent live progress. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let depth () = !(Domain.DLS.get depth_key)
+
+(** [with_span ~cat name f] times [f ()] as one span.  The event is
+    recorded even when [f] raises (with an extra [raised=true] argument)
+    and the exception is re-raised unchanged. *)
+let with_span ?(cat = "stardust") ?(args = []) name f =
+  if not st.on then f ()
+  else begin
+    let d = Domain.DLS.get depth_key in
+    incr d;
+    let ts = now_us () in
+    let raised = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        decr d;
+        let args = if !raised then ("raised", "true") :: args else args in
+        record
+          {
+            ev_name = name;
+            ev_cat = cat;
+            ev_ph = "X";
+            ev_ts = ts;
+            ev_dur = now_us () -. ts;
+            ev_tid = tid ();
+            ev_args = args;
+          })
+      (fun () ->
+        try f ()
+        with e ->
+          raised := true;
+          raise e)
+  end
+
+(** Zero-duration marker event. *)
+let instant ?(cat = "stardust") ?(args = []) name =
+  if st.on then
+    record
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ph = "i";
+        ev_ts = now_us ();
+        ev_dur = 0.0;
+        ev_tid = tid ();
+        ev_args = args;
+      }
+
+(** Events in recording order (oldest first). *)
+let events () =
+  Mutex.lock st.lock;
+  let evs = List.rev st.rev_events in
+  Mutex.unlock st.lock;
+  evs
+
+let event_count () =
+  Mutex.lock st.lock;
+  let n = List.length st.rev_events in
+  Mutex.unlock st.lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_event buf (e : event) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+       (json_escape e.ev_name) (json_escape e.ev_cat) (json_escape e.ev_ph)
+       e.ev_ts e.ev_tid);
+  if e.ev_ph = "X" then
+    Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" e.ev_dur);
+  (* instants need a scope for Chrome to render them *)
+  if e.ev_ph = "i" then Buffer.add_string buf ",\"s\":\"t\"";
+  (match e.ev_args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        args;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+(** The whole buffer as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}]), loadable in [chrome://tracing] and
+    Perfetto. *)
+let export_json () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      write_event buf e)
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+(** Write {!export_json} to [path]. *)
+let save path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export_json ()))

@@ -18,6 +18,8 @@ module Format = Stardust_tensor.Format
 module Ast = Stardust_ir.Ast
 module Parser = Stardust_ir.Parser
 module Schedule = Stardust_schedule.Schedule
+module Diag = Stardust_diag.Diag
+module Trace = Stardust_obs.Trace
 
 type tensor_spec = {
   tname : string;
@@ -176,12 +178,18 @@ let var_extents (c : t) (a : Ast.assign) =
     malformed case: [Error reason], never an exception. *)
 let prepare (c : t) : (prepared, string) result =
   match
-    let assign = Parser.parse_assign c.expr in
+    let assign =
+      Trace.with_span ~cat:(Diag.stage_name Diag.Parse) "parse case"
+        (fun () -> Parser.parse_assign c.expr)
+    in
     let formats =
       List.map (fun ts -> (ts.tname, ts.fmt)) c.tensors
       @ [ (c.result, c.result_format) ]
     in
-    let sched = Schedule.of_assign ~formats assign in
+    let sched =
+      Trace.with_span ~cat:(Diag.stage_name Diag.Schedule) "schedule case"
+        (fun () -> Schedule.of_assign ~formats assign)
+    in
     let sched =
       match c.order with
       | [] -> sched

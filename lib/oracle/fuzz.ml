@@ -15,6 +15,13 @@
 module Diag = Stardust_diag.Diag
 module Pool = Stardust_explore.Pool
 module Prng = Stardust_workloads.Prng
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
+
+(* Verdict counters are bumped in the post-join [Array.iteri] over the
+   slot array — deterministic input order — never inside the racing
+   workers. *)
+let count ?(by = 1.0) name help = Metrics.inc ~by (Metrics.counter ~help name)
 
 type config = {
   cases : int;
@@ -157,6 +164,12 @@ let persist_hang cfg seed seconds : string option =
 (** Run the loop.  Returns aggregate statistics; [stats.failures] holds
     every minimized repro in seed order. *)
 let run (cfg : config) : stats =
+  Trace.with_span ~cat:(Diag.stage_name Diag.Oracle)
+    ~args:
+      [ ("cases", string_of_int cfg.cases); ("seed", string_of_int cfg.seed) ]
+    "fuzz run"
+  @@ fun () ->
+  let t_start = Unix.gettimeofday () in
   let seeds = Array.make (max 0 cfg.cases) 0 in
   let master = Prng.create cfg.seed in
   for i = 0 to Array.length seeds - 1 do
@@ -208,6 +221,24 @@ let run (cfg : config) : stats =
           cfg.log (Fmt.str "harness crashed on seed %d" seed))
     results;
   let failures = List.rev !failures in
+  count ~by:(float_of_int cfg.cases) "fuzz_cases_total" "fuzz cases generated";
+  count ~by:(float_of_int !passed) "fuzz_passed_total" "fuzz cases that agreed";
+  count
+    ~by:(float_of_int (List.length failures + !crashed))
+    "fuzz_failed_total" "fuzz cases with disagreements or crashes";
+  count ~by:(float_of_int !crashed) "fuzz_crashed_total"
+    "fuzz cases where the harness itself crashed";
+  count ~by:(float_of_int !hung) "fuzz_hung_total"
+    "fuzz cases abandoned past the case deadline";
+  count ~by:(float_of_int !skips) "fuzz_skips_total"
+    "structured backend refusals across all cases";
+  (let elapsed = Unix.gettimeofday () -. t_start in
+   if elapsed > 0.0 then
+     Metrics.set
+       (Metrics.gauge ~volatile:true
+          ~help:"fuzz throughput of the last run (wall clock)"
+          "fuzz_cases_per_second")
+       (float_of_int cfg.cases /. elapsed));
   {
     total = cfg.cases;
     passed = !passed;

@@ -17,4 +17,5 @@ let () =
       ("explore", Test_explore.suite);
       ("diag", Test_diag.suite);
       ("oracle", Test_oracle.suite);
+      ("obs", Test_obs.suite);
     ]

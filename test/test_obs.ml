@@ -1,0 +1,279 @@
+(* Tests for Stardust_obs and its wiring: span balance under exceptions,
+   Chrome trace-event export well-formedness, metrics determinism across
+   worker counts, attributed profile trees summing to the simulator's
+   report, and pool timeout accounting. *)
+
+module F = Stardust_tensor.Format
+module C = Stardust_core.Compile
+module Sim = Stardust_capstan.Sim
+module D = Stardust_workloads.Datasets
+module Explore = Stardust_explore.Explore
+module Eval = Stardust_explore.Eval
+module Pool = Stardust_explore.Pool
+module Json = Stardust_oracle.Json
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
+module Profile = Stardust_obs.Profile
+
+exception Boom
+
+(* substring containment, for asserting on rendered text *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_balance_under_exceptions () =
+  Trace.reset ();
+  Trace.start ();
+  Alcotest.(check int) "depth starts at 0" 0 (Trace.depth ());
+  Trace.with_span "outer" (fun () ->
+      Alcotest.(check int) "inside a span" 1 (Trace.depth ());
+      try
+        Trace.with_span "inner" (fun () ->
+            Alcotest.(check int) "nested" 2 (Trace.depth ());
+            raise Boom)
+      with Boom -> ());
+  Alcotest.(check int) "depth restored after a raising span" 0 (Trace.depth ());
+  (* the raising span is still recorded, tagged raised=true; the raise
+     re-propagates unchanged *)
+  Alcotest.check_raises "exception propagates" Boom (fun () ->
+      Trace.with_span "raiser" (fun () -> raise Boom));
+  Alcotest.(check int) "depth balanced" 0 (Trace.depth ());
+  let evs = Trace.events () in
+  Alcotest.(check int) "three spans recorded" 3 (List.length evs);
+  let raised =
+    List.filter
+      (fun (e : Trace.event) ->
+        List.mem_assoc "raised" e.Trace.ev_args)
+      evs
+  in
+  Alcotest.(check int) "both raising spans tagged" 2 (List.length raised);
+  Trace.reset ()
+
+let test_disabled_tracing_records_nothing () =
+  Trace.reset ();
+  Trace.with_span "ghost" (fun () -> ());
+  Trace.instant "ghost-marker";
+  Alcotest.(check int) "no events while off" 0 (Trace.event_count ())
+
+(* Chrome export parsed back with the oracle's own JSON parser. *)
+let test_chrome_export_well_formed () =
+  Trace.reset ();
+  Trace.start ();
+  Trace.with_span ~cat:"test" ~args:[ ("kernel", "k\"quoted\"") ] "outer"
+    (fun () ->
+      Trace.with_span ~cat:"test" "inner" (fun () -> ());
+      Trace.instant ~cat:"test" "marker");
+  let doc = Json.parse (Trace.export_json ()) in
+  let evs = Json.to_list (Json.member_exn "traceEvents" doc) in
+  Alcotest.(check int) "all events exported" (Trace.event_count ())
+    (List.length evs);
+  List.iter
+    (fun e ->
+      ignore (Json.to_str (Json.member_exn "name" e));
+      ignore (Json.to_float (Json.member_exn "ts" e));
+      ignore (Json.to_float (Json.member_exn "pid" e));
+      ignore (Json.to_float (Json.member_exn "tid" e));
+      match Json.to_str (Json.member_exn "ph" e) with
+      | "X" -> ignore (Json.to_float (Json.member_exn "dur" e))
+      | "i" -> ignore (Json.to_str (Json.member_exn "s" e))
+      | ph -> Alcotest.failf "unexpected phase %s" ph)
+    evs;
+  (* the quoted arg survived escaping *)
+  let outer =
+    List.find
+      (fun e -> Json.to_str (Json.member_exn "name" e) = "outer")
+      evs
+  in
+  Alcotest.(check string)
+    "args round-trip" "k\"quoted\""
+    (Json.to_str
+       (Json.member_exn "kernel" (Json.member_exn "args" outer)));
+  Trace.reset ()
+
+(* The compiler tags its spans with the Diag stage vocabulary. *)
+let spmv_formats = [ ("y", F.dv ()); ("A", F.csr ()); ("x", F.dv ()) ]
+
+let spmv_inputs seed =
+  let a =
+    D.small_random ~seed ~name:"A" ~format:(F.csr ()) ~dims:[ 24; 24 ]
+      ~density:0.2 ()
+  in
+  [ ("A", a); ("x", D.dense_vector ~seed:(seed + 1) ~name:"x" ~dim:24 ()) ]
+
+let test_compile_spans_tagged_by_stage () =
+  Trace.reset ();
+  Trace.start ();
+  let compiled =
+    C.compile_string ~formats:spmv_formats ~inputs:(spmv_inputs 3)
+      "y(i) = A(i,j) * x(j)"
+  in
+  ignore (Sim.estimate compiled);
+  let cats =
+    List.sort_uniq compare
+      (List.map (fun (e : Trace.event) -> e.Trace.ev_cat) (Trace.events ()))
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Fmt.str "%s span present" c) true
+        (List.mem c cats))
+    [ "parse"; "schedule"; "plan"; "lower"; "codegen"; "simulate" ];
+  Trace.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  Metrics.reset ();
+  let c = Metrics.counter ~help:"test counter" "obs_test_total" in
+  Metrics.inc c;
+  Metrics.inc ~by:2.0 c;
+  Alcotest.(check (float 0.0)) "counter adds" 3.0 (Metrics.value c);
+  let g = Metrics.gauge ~labels:[ ("b", "2"); ("a", "1") ] "obs_test_gauge" in
+  Metrics.set g 7.0;
+  let h = Metrics.histogram ~buckets:[ 0.1; 1.0 ] "obs_test_seconds" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.0;
+  Alcotest.(check (float 0.0)) "histogram count" 3.0 (Metrics.value h);
+  let text = Metrics.render_text () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Fmt.str "render contains %S" needle) true
+        (contains ~affix:needle text))
+    [
+      "# TYPE obs_test_total counter";
+      "obs_test_total 3";
+      (* labels render sorted by key *)
+      "obs_test_gauge{a=\"1\",b=\"2\"} 7";
+      "obs_test_seconds_bucket{le=\"+Inf\"} 3";
+      "obs_test_seconds_count 3";
+    ];
+  (* volatile metrics stay out of the deterministic snapshot *)
+  Metrics.set (Metrics.gauge ~volatile:true "obs_wallclock_seconds") 1.23;
+  let snap = Metrics.snapshot_json () in
+  Alcotest.(check bool) "volatile excluded" false
+    (contains ~affix:"obs_wallclock_seconds" snap);
+  Alcotest.(check bool) "volatile present in full snapshot" true
+    (contains ~affix:"obs_wallclock_seconds"
+       (Metrics.snapshot_json ~deterministic:false ()));
+  ignore (Json.parse snap);
+  (* re-registration with a different kind is rejected *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "metric obs_test_total re-registered as a gauge (was a counter)")
+    (fun () -> ignore (Metrics.gauge "obs_test_total"));
+  Metrics.reset ()
+
+(* The whole deterministic snapshot — compiler, simulator, pool, and
+   search counters included — must be bit-identical across worker
+   counts. *)
+let test_metrics_deterministic_across_workers () =
+  let problem () =
+    Eval.problem ~name:"spmv" ~formats:spmv_formats ~inputs:(spmv_inputs 11)
+      (Stardust_ir.Parser.parse_assign "y(i) = A(i,j) * x(j)")
+  in
+  let snapshot workers =
+    Metrics.reset ();
+    ignore (Explore.run ~workers (problem ()));
+    let s = Metrics.snapshot_json () in
+    Metrics.reset ();
+    s
+  in
+  let s1 = snapshot 1 and s4 = snapshot 4 in
+  Alcotest.(check string) "snapshots identical for 1 vs 4 workers" s1 s4;
+  Alcotest.(check bool) "evals were counted" true
+    (contains ~affix:"explore_evals_total" s1)
+
+(* ------------------------------------------------------------------ *)
+(* Profile trees                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_profile_sums name (compiled : C.compiled) =
+  let p = Sim.estimate_profiled compiled in
+  let r = p.Sim.preport in
+  let close what expect got =
+    let tol = 1e-9 *. Float.max 1.0 (Float.abs expect) in
+    if Float.abs (expect -. got) > tol then
+      Alcotest.failf "%s: %s tree sum %.9g <> report %.9g" name what got
+        expect
+  in
+  close "cycles" r.Sim.cycles (Profile.total p.Sim.ptree);
+  close "compute" r.Sim.compute_cycles (Profile.total_compute p.Sim.ptree);
+  close "dram" r.Sim.dram_cycles (Profile.total_dram p.Sim.ptree);
+  (* the tree mirrors the loop nest: more than just the root *)
+  Alcotest.(check bool)
+    (name ^ " tree has loop nodes")
+    true
+    (Profile.node_count p.Sim.ptree > 1);
+  (* estimate and estimate_profiled agree exactly *)
+  Alcotest.(check (float 0.0))
+    (name ^ " estimate unchanged")
+    (Sim.estimate compiled).Sim.cycles r.Sim.cycles;
+  (* JSON form parses and carries the same total *)
+  let j = Json.parse (Profile.to_json p.Sim.ptree) in
+  close "json total" (Profile.total p.Sim.ptree)
+    (Json.to_float (Json.member_exn "total_cycles" j))
+
+let test_profile_sums_spmv () =
+  check_profile_sums "spmv"
+    (C.compile_string ~formats:spmv_formats ~inputs:(spmv_inputs 7)
+       "y(i) = A(i,j) * x(j)")
+
+let test_profile_sums_sddmm () =
+  (* SDDMM reduces over k into a streaming sparse output, so it needs the
+     kernel's reduction schedule — go through Kernels.compile_stage like
+     the backend tests do instead of the schedule-free compile_string. *)
+  let module K = Stardust_core.Kernels in
+  let spec = K.sddmm in
+  let st = List.hd spec.K.stages in
+  let inputs = List.assoc "SDDMM" Test_backend_data.small_inputs in
+  check_profile_sums "sddmm" (K.compile_stage spec st ~inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Pool accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_timeout_counted () =
+  Metrics.reset ();
+  let stop = Atomic.make false in
+  let task i =
+    if i = 1 then begin
+      while not (Atomic.get stop) do
+        Domain.cpu_relax ()
+      done;
+      -1
+    end
+    else i
+  in
+  let r = Pool.map_result ~timeout:0.2 ~workers:2 task [| 0; 1; 2 |] in
+  Atomic.set stop true;
+  Alcotest.(check bool) "item timed out" true
+    (match r.(1) with Error (Pool.Failure_timed_out _) -> true | _ -> false);
+  Alcotest.(check (float 0.0))
+    "pool_timeouts_total incremented once" 1.0
+    (Metrics.value (Metrics.counter ~volatile:true "pool_timeouts_total"));
+  Alcotest.(check (float 0.0))
+    "pool_tasks_total counted all items" 3.0
+    (Metrics.value (Metrics.counter "pool_tasks_total"));
+  Metrics.reset ()
+
+let suite =
+  [
+    ("span balance under exceptions", `Quick, test_span_balance_under_exceptions);
+    ("disabled tracing records nothing", `Quick, test_disabled_tracing_records_nothing);
+    ("chrome export is well-formed", `Quick, test_chrome_export_well_formed);
+    ("compile spans tagged by stage", `Quick, test_compile_spans_tagged_by_stage);
+    ("metrics registry and rendering", `Quick, test_metrics_registry);
+    ( "metrics deterministic across worker counts",
+      `Quick,
+      test_metrics_deterministic_across_workers );
+    ("profile tree sums to report (spmv)", `Quick, test_profile_sums_spmv);
+    ("profile tree sums to report (sddmm)", `Quick, test_profile_sums_sddmm);
+    ("pool timeouts are counted", `Quick, test_pool_timeout_counted);
+  ]

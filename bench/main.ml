@@ -24,6 +24,9 @@ let artifacts =
     ("ablations", ("Ablations: sparse lanes, bit-vector stream, gather staging, scheduling", Ablations.run));
     ("autotune", ("Design-space exploration: best point per kernel, pool scaling", Autotune.run));
     ("micro", ("Compiler-phase microbenchmarks (Bechamel)", Micro.run));
+    ( "estimate-throughput",
+      ( "Oracle throughput: compile+estimate points/sec, stats cache on/off",
+        Throughput.run ) );
   ]
 
 (* "a,b,c" -> ["a"; "b"; "c"] *)

@@ -94,9 +94,11 @@ let suite_json ~kernels ~path () =
           (Suite.instances spec))
       specs
   in
+  Fmt.epr "bench: estimate-throughput...@.";
+  let throughput = Throughput.rows_json (Throughput.measure ()) in
   let doc =
     "{\"schema\":\"stardust-bench-suite/1\",\"kernels\":["
-    ^ String.concat "," entries ^ "]}"
+    ^ String.concat "," entries ^ "],\"throughput\":[" ^ throughput ^ "]}"
   in
   let oc = open_out path in
   output_string oc doc;
@@ -174,6 +176,53 @@ let perf_diff base_path new_path =
         complain "%s: new instance not in baseline %s" k base_path
       end)
     fresh;
+  (* estimate-throughput section: evaluation and cache hit/miss counts are
+     deterministic (sequential, seeded); wall-clock fields are ignored. *)
+  let tp_det_fields = [ "evaluations"; "cache_hits"; "cache_misses" ] in
+  let tp_index doc =
+    match Json.member "throughput" doc with
+    | None -> None
+    | Some j ->
+        Some
+          (List.map
+             (fun e -> (Json.to_str (Json.member_exn "kernel" e), e))
+             (Json.to_list j))
+  in
+  (match (tp_index (load base_path), tp_index (load new_path)) with
+  | None, None -> ()
+  | Some _, None ->
+      incr mismatches;
+      complain "throughput section missing from %s" new_path
+  | None, Some _ ->
+      incr mismatches;
+      complain "throughput section missing from baseline %s" base_path
+  | Some base_tp, Some fresh_tp ->
+      List.iter
+        (fun (k, b) ->
+          match List.assoc_opt k fresh_tp with
+          | None ->
+              incr mismatches;
+              complain "throughput/%s: missing from %s" k new_path
+          | Some f ->
+              List.iter
+                (fun field ->
+                  let vb = Json.to_float (Json.member_exn field b)
+                  and vf = Json.to_float (Json.member_exn field f) in
+                  if vb <> vf then begin
+                    incr mismatches;
+                    complain "throughput/%s: %s changed %s -> %s" k field
+                      (num vb) (num vf)
+                  end)
+                tp_det_fields)
+        base_tp;
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem_assoc k base_tp) then begin
+            incr mismatches;
+            complain "throughput/%s: new entry not in baseline %s" k
+              base_path
+          end)
+        fresh_tp);
   if !mismatches = 0 then
     Fmt.epr "perf-diff: %s and %s agree on every deterministic counter@."
       base_path new_path;

@@ -53,6 +53,20 @@ let start_tracing = function
       Trace.start ();
       at_exit (fun () -> Trace.save path)
 
+(* --no-stats-cache: escape hatch around the process-wide dataset-
+   statistics cache (every estimate recomputes from the raw tensors).
+   Caching is behavior-invariant, so this only trades speed for memory —
+   useful for isolating suspected cache bugs and for measuring the
+   uncached baseline. *)
+let no_stats_cache_flag =
+  Arg.(value & flag
+       & info [ "no-stats-cache" ]
+           ~doc:"Disable the process-wide dataset-statistics cache \
+                 (recompute statistics for every estimate).")
+
+let apply_stats_cache no_cache =
+  if no_cache then Stardust_tensor.Stats_cache.set_enabled false
+
 let format_of_string = function
   | "csr" -> F.csr ()
   | "csc" -> F.csc ()
@@ -328,8 +342,9 @@ let run_cmd =
              ~doc:"Simulator step budget before the watchdog trips.")
   in
   let run kname scale expr formats data policy diag_json pmus pcus watchdog
-      trace =
+      trace no_stats_cache =
     start_tracing trace;
+    apply_stats_cache no_stats_cache;
     let arch =
       let a = Arch.default in
       let a = if pmus > 0 then { a with Arch.num_pmu = pmus } else a in
@@ -424,7 +439,8 @@ let run_cmd =
        ~doc:"Compile and execute a kernel, degrading gracefully (per \
              $(b,--fallback)) when it exceeds chip capacity.")
     Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ fallback
-          $ diag_json $ pmus $ pcus $ watchdog $ trace_flag)
+          $ diag_json $ pmus $ pcus $ watchdog $ trace_flag
+          $ no_stats_cache_flag)
 
 let autotune_cmd =
   let kname_arg =
@@ -487,8 +503,9 @@ let autotune_cmd =
          & info [ "json" ] ~doc:"Emit the result as JSON on stdout.")
   in
   let run kname scale expr formats data strategy workers samples seed splits
-      regions json trace =
+      regions json trace no_stats_cache =
     start_tracing trace;
+    apply_stats_cache no_stats_cache;
     let problem =
       match (kname, expr) with
       | Some name, None -> (
@@ -555,7 +572,8 @@ let autotune_cmd =
        ~doc:"Search the schedule/format/hardware design space of a kernel \
              and print the Pareto frontier over (cycles, chip resources).")
     Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ strategy
-          $ workers $ samples $ seed $ splits $ regions $ json $ trace_flag)
+          $ workers $ samples $ seed $ splits $ regions $ json $ trace_flag
+          $ no_stats_cache_flag)
 
 (* ------------------------------------------------------------------ *)
 (* profile: attributed per-loop cycle trees                            *)
@@ -753,8 +771,10 @@ let fuzz_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-case progress.")
   in
-  let run cases seed corpus no_corpus workers timeout watchdog quiet trace =
+  let run cases seed corpus no_corpus workers timeout watchdog quiet trace
+      no_stats_cache =
     start_tracing trace;
+    apply_stats_cache no_stats_cache;
     let cfg =
       {
         Fuzz.default_config with
@@ -781,7 +801,7 @@ let fuzz_cmd =
              both interpreters, the Capstan simulator, and the fallback \
              driver; disagreements are minimized and saved to the corpus.")
     Term.(const run $ cases $ seed $ corpus $ no_corpus $ workers $ timeout
-          $ watchdog $ quiet $ trace_flag)
+          $ watchdog $ quiet $ trace_flag $ no_stats_cache_flag)
 
 let replay_cmd =
   let file_arg =

@@ -22,6 +22,7 @@
 
 module Tensor = Stardust_tensor.Tensor
 module Stats = Stardust_tensor.Stats
+module Stats_cache = Stardust_tensor.Stats_cache
 module Format = Stardust_tensor.Format
 module Memory = Stardust_core.Memory
 module Plan = Stardust_core.Plan
@@ -96,6 +97,22 @@ type config = { arch : Arch.t; dram : Dram.t }
 
 let default_config = { arch = Arch.default; dram = Dram.hbm2e }
 let ideal_config = { arch = Arch.ideal_network Arch.default; dram = Dram.ideal }
+
+(** Full textual fingerprint of a machine configuration: every field of
+    the architecture and memory models, floats in lossless hex.  Two
+    configs fingerprint equally iff every modelled parameter is equal —
+    unlike [Hashtbl.hash], which truncates and can collide. *)
+let config_fingerprint (c : config) =
+  let a = c.arch and d = c.dram in
+  Printf.sprintf
+    "pcu%d,pmu%d,mc%d,sh%d,ln%d,sl%d,st%d,bk%d,wb%d,hz%h,no%h,ii%h,lx%h,bv%h|%s,bw%h,lat%h,line%d,rp%h"
+    a.Arch.num_pcu a.Arch.num_pmu a.Arch.num_mc a.Arch.num_shuffle
+    a.Arch.lanes a.Arch.sparse_lanes a.Arch.pcu_stages a.Arch.pmu_banks
+    a.Arch.pmu_words_per_bank a.Arch.clock_hz a.Arch.net_overhead
+    a.Arch.launch_ii a.Arch.latency_exposure a.Arch.bv_words_per_cycle
+    (Dram.show_kind d.Dram.kind)
+    d.Dram.bandwidth_bytes_per_s d.Dram.latency_cycles d.Dram.line_bytes
+    d.Dram.random_penalty
 
 type report = {
   cycles : float;  (** total kernel cycles: max(compute, memory) *)
@@ -684,7 +701,11 @@ let execute_program ?(config = default_config)
 (* ==================================================================== *)
 
 (** Dataset statistics provider: co-iteration cardinalities are computed
-    from the actual input tensors (exact counts, lazily memoised). *)
+    from the actual input tensors (exact counts).  The per-estimate [memo]
+    maps cheap name-based keys to values so one estimate never fingerprints
+    a tensor twice; the computations behind a memo miss go through the
+    process-wide {!Stats_cache}, shared across every point a search
+    evaluates. *)
 type statsrc = {
   tensors : (string * Tensor.t) list;
   memo : (string, float) Hashtbl.t;
@@ -704,7 +725,8 @@ let prefix_coiter_count src ~union a b ~depth =
       in
       let v =
         float_of_int
-          (Stats.prefix_coiter_count ~union (tensor a) (tensor b) ~depth)
+          (Stats_cache.prefix_coiter_count ~union (tensor a) (tensor b)
+             ~depth)
       in
       Hashtbl.add src.memo key v;
       v
@@ -764,7 +786,7 @@ let launch_total e ~execs ~par trip =
       (match Hashtbl.find_opt e.e_src.memo key with
       | Some v -> v
       | None ->
-          let v = Stats.fiber_launch_total ~par (input tensor) level in
+          let v = Stats_cache.fiber_launch_total ~par (input tensor) level in
           Hashtbl.add e.e_src.memo key v;
           v)
   | Trip_coiter { union; tensors = [ (a, la); (b, _) ] } ->
@@ -773,7 +795,8 @@ let launch_total e ~execs ~par trip =
       | Some v -> v
       | None ->
           let v =
-            Stats.coiter_launch_total ~union ~par (input a) (input b) ~depth:la
+            Stats_cache.coiter_launch_total ~union ~par (input a) (input b)
+              ~depth:la
           in
           Hashtbl.add e.e_src.memo key v;
           v)

@@ -10,6 +10,7 @@
 module Format = Stardust_tensor.Format
 module Tensor = Stardust_tensor.Tensor
 module Stats = Stardust_tensor.Stats
+module Stats_cache = Stardust_tensor.Stats_cache
 module Ast = Stardust_ir.Ast
 module Cin = Stardust_ir.Cin
 module Schedule = Stardust_schedule.Schedule
@@ -139,14 +140,18 @@ let infer_extents sched (input_metas : (string * meta) list) stmt =
 (* Metadata                                                              *)
 (* -------------------------------------------------------------------- *)
 
+(* Input metadata comes from the process-wide statistics cache: a search
+   rebuilds the plan for every candidate point, but the inputs are fixed,
+   so the O(nnz) scans behind [Stats.of_tensor] and [max_fiber_len] run
+   once per tensor per process.  The cached arrays are shared, not
+   copied — plan metadata is read-only downstream. *)
 let meta_of_tensor (x : Tensor.t) =
-  let s = Stats.of_tensor x in
-  let n = Array.length s.Stats.dims in
+  let s = Stats_cache.stats x in
   {
     fmt = Tensor.format x;
     dims = s.Stats.dims;
     level_counts = s.Stats.level_positions;
-    max_fiber = Array.init n (Stats.max_fiber_len x);
+    max_fiber = Stats_cache.max_fiber_lens x;
     num_vals = s.Stats.num_vals;
     is_input = true;
   }

@@ -17,6 +17,7 @@
 
 module Tensor = Stardust_tensor.Tensor
 module Format = Stardust_tensor.Format
+module Stats_cache = Stardust_tensor.Stats_cache
 module Ast = Stardust_ir.Ast
 module Parser = Stardust_ir.Parser
 module Schedule = Stardust_schedule.Schedule
@@ -44,7 +45,11 @@ let problem_of_string ?name ?config ~formats ~inputs s =
   problem ?name ?config ~formats ~inputs (Parser.parse_assign s)
 
 (** Canonical fingerprint of everything that determines a cost, except the
-    point: expression, formats, per-tensor dataset statistics, machine. *)
+    point: expression, formats, per-tensor dataset fingerprints (dims,
+    format, nnz, sampled data hash), and the {e full} machine-config
+    fingerprint — [Hashtbl.hash] truncates its input and a collision
+    between two configs sharing a cache would silently alias their
+    costs. *)
 let problem_key (p : problem) =
   let fmts =
     String.concat ","
@@ -55,14 +60,22 @@ let problem_key (p : problem) =
   let data =
     String.concat ","
       (List.map
-         (fun (n, t) ->
-           Fmt.str "%s:%s/%d" n
-             (String.concat "x"
-                (List.map string_of_int (Array.to_list (Tensor.dims t))))
-             (Tensor.nnz t))
+         (fun (n, t) -> Fmt.str "%s:%s" n (Stats_cache.fingerprint t))
          (List.sort (fun (a, _) (b, _) -> compare a b) p.inputs))
   in
-  Fmt.str "%a|%s|%s|%d" Ast.pp_assign p.expr fmts data (Hashtbl.hash p.config)
+  Fmt.str "%a|%s|%s|%s" Ast.pp_assign p.expr fmts data
+    (Sim.config_fingerprint p.config)
+
+(** A problem with its per-search work hoisted: the problem key is
+    fingerprinted once and the inputs' dataset statistics are resolved
+    into the process-wide {!Stats_cache}, so each of the hundreds of
+    points a search visits starts from warm statistics instead of
+    re-deriving them from the raw tensors. *)
+type prepared = { problem : problem; key : string }
+
+let prepare (p : problem) : prepared =
+  List.iter (fun (_, t) -> ignore (Stats_cache.stats t)) p.inputs;
+  { problem = p; key = problem_key p }
 
 type outcome =
   | Feasible of { report : Sim.report; usage : Resources.usage }
@@ -130,13 +143,14 @@ let compute (p : problem) (pt : Point.t) : eval =
                        message);
               }))
 
-(** Memoised evaluation.  [key] is the precomputed {!problem_key} (so the
-    per-problem part is fingerprinted once per search, not per point).
+(** Memoised evaluation of one point of a {!prepared} problem (the
+    per-problem key is fingerprinted once per search, not per point).
 
     Search metrics are counted here — per {e query}, not per cache fill:
     query counts depend only on the search trajectory, which is
     deterministic, whereas which worker fills a raced cache key is not. *)
-let evaluate ~(cache : eval Pool.Cache.t) ~key (p : problem) (pt : Point.t) =
+let evaluate ~(cache : eval Pool.Cache.t) (pre : prepared) (pt : Point.t) =
+  let key = pre.key and p = pre.problem in
   let module Metrics = Stardust_obs.Metrics in
   Metrics.inc
     (Metrics.counter ~help:"candidate evaluations queried"

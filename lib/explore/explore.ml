@@ -143,10 +143,12 @@ let run ?workers ?(strategy = Exhaustive) ?axes ?cache (p : Eval.problem) =
           p.Eval.expr
   in
   let cache = match cache with Some c -> c | None -> Pool.Cache.create () in
-  let key = Eval.problem_key p in
+  (* One prepare per search: problem key fingerprinted once, input
+     statistics warmed into the shared cache before workers fan out. *)
+  let pre = Eval.prepare p in
   let eval_batch pts =
     Array.to_list
-      (Pool.map ~workers (Eval.evaluate ~cache ~key p) (Array.of_list pts))
+      (Pool.map ~workers (Eval.evaluate ~cache pre) (Array.of_list pts))
   in
   let all = Space.points ~formats:p.Eval.formats p.Eval.expr axes in
   let seed_pt = List.hd all in

@@ -4,7 +4,14 @@
     from dataset statistics instead of executing every scalar operation (the
     paper's datasets reach billions of iterations).  This module computes the
     exact counts those estimates need: per-level position counts, fiber
-    lengths, and co-iteration (intersection/union) cardinalities. *)
+    lengths, and co-iteration (intersection/union) cardinalities.
+
+    The co-iteration hot paths linearize coordinate prefixes into single
+    native ints whenever the per-dimension spans fit 62 bits: the merge and
+    grouping loops then run on monotone int arrays with no per-nonzero
+    allocation and no polymorphic [compare].  Tensors whose prefix space
+    overflows an int fall back to the original array/list-keyed paths, which
+    count the exact same quantities. *)
 
 type t = {
   dims : int array;
@@ -15,14 +22,28 @@ type t = {
 }
 
 let of_tensor (x : Tensor.t) =
-  let n = Array.length (Tensor.dims x) in
-  {
-    dims = Tensor.dims x;
-    nnz = Tensor.nnz x;
-    num_vals = Tensor.num_vals x;
-    level_positions = Array.init n (Tensor.num_positions x);
-    density = Tensor.density x;
-  }
+  let dims = Tensor.dims x in
+  let n = Array.length dims in
+  let nnz = Tensor.nnz x in
+  (* One left-to-right pass: each level's position count derives from the
+     level above it (dense levels multiply the parent count by their
+     dimension, compressed levels have one position per crd entry), so the
+     prefix levels are never rescanned per level. *)
+  let level_positions = Array.make n 0 in
+  let parent = ref 1 in
+  for l = 0 to n - 1 do
+    (match x.Tensor.levels.(l) with
+    | Tensor.Dense_level { dim } -> parent := !parent * dim
+    | Tensor.Compressed_level { crd; _ } -> parent := Array.length crd);
+    level_positions.(l) <- !parent
+  done;
+  let density =
+    if n = 0 then 1.0
+    else
+      float_of_int nnz
+      /. Array.fold_left (fun a d -> a *. float_of_int d) 1.0 dims
+  in
+  { dims; nnz; num_vals = Tensor.num_vals x; level_positions; density }
 
 (** Average number of children per position at level [l] (fiber length). *)
 let avg_fiber_len s l =
@@ -38,6 +59,127 @@ let pp ppf s =
     s.level_positions
 
 (* -------------------------------------------------------------------- *)
+(* Coordinate-prefix linearization                                       *)
+(* -------------------------------------------------------------------- *)
+
+(** Is storage order lexicographic over logical coordinates? *)
+let identity_order (x : Tensor.t) =
+  let mo = (Tensor.format x).Format.mode_order in
+  List.for_all2 ( = ) mo (List.init (List.length mo) Fun.id)
+
+(** Per-dimension spans for linearizing logical-coordinate prefixes of
+    length [depth + 1] drawn from either of two tensors into single ints;
+    [None] when a tensor is too short or the prefix space overflows a
+    native int.  Linearization is order-isomorphic to lexicographic
+    comparison of the prefixes, so sorted-key merges count exactly what
+    the array merges count. *)
+let linear_spans (dims_a : int array) (dims_b : int array) ~depth =
+  let k = depth + 1 in
+  if Array.length dims_a < k || Array.length dims_b < k then None
+  else begin
+    let spans = Array.make (max k 1) 1 in
+    let total = ref 1 and ok = ref true in
+    for i = 0 to k - 1 do
+      let s = max 1 (max dims_a.(i) dims_b.(i)) in
+      spans.(i) <- s;
+      if !total > max_int / s then ok := false else total := !total * s
+    done;
+    if !ok then Some spans else None
+  end
+
+(* Growable int buffer: the only allocation of the linearized paths is the
+   (amortized) key array itself. *)
+let push (buf : int array ref) (n : int ref) v =
+  let a = !buf in
+  let cap = Array.length a in
+  if !n = cap then begin
+    let a' = Array.make (2 * cap) 0 in
+    Array.blit a 0 a' 0 cap;
+    buf := a'
+  end;
+  !buf.(!n) <- v;
+  incr n
+
+(** Sorted distinct linearized prefix keys of length [depth + 1].
+    Requires an identity mode order (storage order is then lexicographic,
+    so the key stream is monotone and one comparison dedups it). *)
+let distinct_prefix_keys (t : Tensor.t) ~spans ~depth =
+  let buf = ref (Array.make 64 0) and n = ref 0 in
+  let last = ref 0 in
+  Tensor.iter_nonzeros
+    (fun c _ ->
+      let k = ref 0 in
+      for i = 0 to depth do
+        k := (!k * spans.(i)) + c.(i)
+      done;
+      if !n = 0 || !k <> !last then begin
+        push buf n !k;
+        last := !k
+      end)
+    t;
+  Array.sub !buf 0 !n
+
+(** Linear merge of two sorted distinct key arrays: the co-iteration
+    cardinality ([union = false] counts keys in both, [union = true] keys
+    in either). *)
+let key_merge_count ~union (pa : int array) (pb : int array) =
+  let na = Array.length pa and nb = Array.length pb in
+  let i = ref 0 and j = ref 0 and inter = ref 0 in
+  while !i < na && !j < nb do
+    let a = pa.(!i) and b = pb.(!j) in
+    if a = b then (incr inter; incr i; incr j)
+    else if a < b then incr i
+    else incr j
+  done;
+  if union then na + nb - !inter else !inter
+
+(** Like {!key_merge_count} but charging pipeline occupancy per parent
+    group: surviving keys are grouped by [key / parent_span] (the
+    linearized parent prefix) and a group of [m] keys costs
+    [max m par / par] vector-lane-group cycles. *)
+let key_coiter_launch_total ~union ~par ~parent_span (pa : int array)
+    (pb : int array) =
+  let na = Array.length pa and nb = Array.length pb in
+  let acc = ref 0.0 in
+  let group = ref 0 and m = ref 0 in
+  let flush () =
+    if !m > 0 then
+      acc := !acc +. (float_of_int (max !m par) /. float_of_int par);
+    m := 0
+  in
+  let visit k =
+    let g = k / parent_span in
+    if !m = 0 || g <> !group then begin
+      flush ();
+      group := g
+    end;
+    incr m
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let a = pa.(!i) and b = pb.(!j) in
+    if a = b then begin
+      visit a;
+      incr i;
+      incr j
+    end
+    else if a < b then begin
+      if union then visit a;
+      incr i
+    end
+    else begin
+      if union then visit b;
+      incr j
+    end
+  done;
+  if union then begin
+    while !i < na do visit pa.(!i); incr i done;
+    while !j < nb do visit pb.(!j); incr j done
+  end;
+  flush ();
+  !acc
+
+(* -------------------------------------------------------------------- *)
 (* Co-iteration cardinalities                                            *)
 (* -------------------------------------------------------------------- *)
 
@@ -47,7 +189,7 @@ let sorted_coords (x : Tensor.t) =
   Array.sort compare a;
   a
 
-let count_merge ~keep_both a b =
+let count_merge a b =
   let na = Array.length a and nb = Array.length b in
   let i = ref 0 and j = ref 0 and inter = ref 0 and union = ref 0 in
   while !i < na && !j < nb do
@@ -57,29 +199,90 @@ let count_merge ~keep_both a b =
     else (incr union; incr j)
   done;
   union := !union + (na - !i) + (nb - !j);
-  if keep_both then (!inter, !union) else (!inter, !union)
+  (!inter, !union)
+
+(* Full-coordinate merge counts.  Linearized fast path: collect every
+   nonzero's key, sort (already sorted for identity orders, but sorting is
+   cheap and keeps the path uniform), merge as ints.  The keys of one
+   tensor are distinct (coordinate paths are unique), so the merge counts
+   match the coordinate-array merge exactly. *)
+let full_merge_counts (a : Tensor.t) (b : Tensor.t) =
+  let da = Tensor.dims a and db = Tensor.dims b in
+  let order = Array.length da in
+  if Array.length db <> order then
+    count_merge (sorted_coords a) (sorted_coords b)
+  else
+    match linear_spans da db ~depth:(order - 1) with
+    | None -> count_merge (sorted_coords a) (sorted_coords b)
+    | Some spans ->
+        let keys t =
+          let buf = ref (Array.make 64 0) and n = ref 0 in
+          Tensor.iter_nonzeros
+            (fun c _ ->
+              let k = ref 0 in
+              for i = 0 to order - 1 do
+                k := (!k * spans.(i)) + c.(i)
+              done;
+              push buf n !k)
+            t;
+          let ks = Array.sub !buf 0 !n in
+          Array.sort Int.compare ks;
+          ks
+        in
+        let ka = keys a and kb = keys b in
+        ( key_merge_count ~union:false ka kb,
+          key_merge_count ~union:true ka kb )
 
 (** Number of coordinate paths present in {e both} tensors (the trip count of
     an intersection co-iteration over full coordinates). *)
-let intersection_nnz a b =
-  fst (count_merge ~keep_both:true (sorted_coords a) (sorted_coords b))
+let intersection_nnz a b = fst (full_merge_counts a b)
 
 (** Number of coordinate paths present in {e either} tensor (the trip count
     of a union co-iteration over full coordinates). *)
-let union_nnz a b =
-  snd (count_merge ~keep_both:true (sorted_coords a) (sorted_coords b))
+let union_nnz a b = snd (full_merge_counts a b)
 
 (** Union cardinality of several tensors (e.g. Plus3's three-way add). *)
 let union_nnz_many = function
   | [] -> 0
   | [ x ] -> Tensor.nnz x
-  | x :: rest ->
-      let tbl = Hashtbl.create 1024 in
-      List.iter
-        (fun t ->
-          Tensor.iter_nonzeros (fun c _ -> Hashtbl.replace tbl (Array.to_list c) ()) t)
-        (x :: rest);
-      Hashtbl.length tbl
+  | x :: rest -> (
+      let ts = x :: rest in
+      let order = Array.length (Tensor.dims x) in
+      let spans =
+        if List.for_all (fun t -> Array.length (Tensor.dims t) = order) ts
+        then
+          let dims =
+            List.fold_left
+              (fun acc t -> Array.map2 max acc (Tensor.dims t))
+              (Tensor.dims x) rest
+          in
+          linear_spans dims dims ~depth:(order - 1)
+        else None
+      in
+      match spans with
+      | Some spans ->
+          let tbl = Hashtbl.create 1024 in
+          List.iter
+            (fun t ->
+              Tensor.iter_nonzeros
+                (fun c _ ->
+                  let k = ref 0 in
+                  for i = 0 to order - 1 do
+                    k := (!k * spans.(i)) + c.(i)
+                  done;
+                  Hashtbl.replace tbl !k ())
+                t)
+            ts;
+          Hashtbl.length tbl
+      | None ->
+          let tbl = Hashtbl.create 1024 in
+          List.iter
+            (fun t ->
+              Tensor.iter_nonzeros
+                (fun c _ -> Hashtbl.replace tbl (Array.to_list c) ())
+                t)
+            ts;
+          Hashtbl.length tbl)
 
 (** Rows (leading-dimension slices) with at least one stored nonzero. *)
 let nonempty_rows (x : Tensor.t) =
@@ -87,63 +290,70 @@ let nonempty_rows (x : Tensor.t) =
   Tensor.iter_nonzeros (fun c _ -> Hashtbl.replace seen c.(0) ()) x;
   Hashtbl.length seen
 
+(* Generic prefix table (any mode order): int keys when the prefix space
+   fits an int, coordinate-list keys otherwise. *)
+let prefix_table_counts ~union (a : Tensor.t) (b : Tensor.t) ~depth =
+  match linear_spans (Tensor.dims a) (Tensor.dims b) ~depth with
+  | Some spans ->
+      let prefixes t =
+        let tbl = Hashtbl.create 1024 in
+        Tensor.iter_nonzeros
+          (fun c _ ->
+            let k = ref 0 in
+            for i = 0 to depth do
+              k := (!k * spans.(i)) + c.(i)
+            done;
+            Hashtbl.replace tbl !k ())
+          t;
+        tbl
+      in
+      let pa = prefixes a and pb = prefixes b in
+      let count = ref 0 in
+      if union then begin
+        Hashtbl.iter (fun k () -> if not (Hashtbl.mem pb k) then incr count) pa;
+        !count + Hashtbl.length pb
+      end
+      else begin
+        Hashtbl.iter (fun k () -> if Hashtbl.mem pb k then incr count) pa;
+        !count
+      end
+  | None ->
+      let prefixes t =
+        let tbl = Hashtbl.create 1024 in
+        Tensor.iter_nonzeros
+          (fun c _ ->
+            Hashtbl.replace tbl (Array.to_list (Array.sub c 0 (depth + 1))) ())
+          t;
+        tbl
+      in
+      let pa = prefixes a and pb = prefixes b in
+      let count = ref 0 in
+      if union then begin
+        Hashtbl.iter (fun k () -> if not (Hashtbl.mem pb k) then incr count) pa;
+        !count + Hashtbl.length pb
+      end
+      else begin
+        Hashtbl.iter (fun k () -> if Hashtbl.mem pb k then incr count) pa;
+        !count
+      end
+
 (** [prefix_coiter_count ~union a b ~depth] is the number of distinct
     coordinate prefixes of length [depth + 1] present in both
     ([union = false]) or either ([union = true]) tensor — exactly the total
     number of iterations a depth-[depth] co-iteration loop executes across
     a whole kernel. *)
 let prefix_coiter_count ~union (a : Tensor.t) (b : Tensor.t) ~depth =
-  let identity_order (x : Tensor.t) =
-    let mo = (Tensor.format x).Format.mode_order in
-    List.for_all2 ( = ) mo (List.init (List.length mo) Fun.id)
-  in
-  if identity_order a && identity_order b then begin
-    (* Fast path: storage order is lexicographic, so distinct prefixes can
-       be counted by a linear merge over the sorted nonzero streams. *)
-    let prefixes t =
-      let out = ref [] and n = ref 0 and last = ref [||] in
-      Tensor.iter_nonzeros
-        (fun c _ ->
-          let p = Array.sub c 0 (depth + 1) in
-          if !n = 0 || compare p !last <> 0 then begin
-            out := p :: !out;
-            last := p;
-            incr n
-          end)
-        t;
-      Array.of_list (List.rev !out)
-    in
-    let pa = prefixes a and pb = prefixes b in
-    let na = Array.length pa and nb = Array.length pb in
-    let i = ref 0 and j = ref 0 and inter = ref 0 in
-    while !i < na && !j < nb do
-      let c = compare pa.(!i) pb.(!j) in
-      if c = 0 then (incr inter; incr i; incr j)
-      else if c < 0 then incr i
-      else incr j
-    done;
-    if union then na + nb - !inter else !inter
-  end
-  else begin
-    let prefixes t =
-      let tbl = Hashtbl.create 1024 in
-      Tensor.iter_nonzeros
-        (fun c _ ->
-          Hashtbl.replace tbl (Array.to_list (Array.sub c 0 (depth + 1))) ())
-        t;
-      tbl
-    in
-    let pa = prefixes a and pb = prefixes b in
-    let count = ref 0 in
-    if union then begin
-      Hashtbl.iter (fun k () -> if not (Hashtbl.mem pb k) then incr count) pa;
-      !count + Hashtbl.length pb
-    end
-    else begin
-      Hashtbl.iter (fun k () -> if Hashtbl.mem pb k then incr count) pa;
-      !count
-    end
-  end
+  if identity_order a && identity_order b then
+    match linear_spans (Tensor.dims a) (Tensor.dims b) ~depth with
+    | Some spans ->
+        (* Fast path: storage order is lexicographic, so distinct prefixes
+           arrive as a monotone key stream and one int merge counts the
+           co-iteration. *)
+        key_merge_count ~union
+          (distinct_prefix_keys a ~spans ~depth)
+          (distinct_prefix_keys b ~spans ~depth)
+    | None -> prefix_table_counts ~union a b ~depth
+  else prefix_table_counts ~union a b ~depth
 
 (** [fiber_launch_total ~par x l] is the total pipeline occupancy, in
     vector-lane-group cycles, of iterating every fiber of compressed level
@@ -179,10 +389,10 @@ let sorted_prefixes (t : Tensor.t) ~depth =
     t;
   Array.of_list (List.rev !out)
 
-(** Like {!fiber_launch_total} but for the {e co-iteration} of two tensors
-    at level [depth]: groups the surviving coordinates by their parent
-    prefix and charges [max m par / par] per group of [m]. *)
-let coiter_launch_total ~union ~par (a : Tensor.t) (b : Tensor.t) ~depth =
+(* Original array-merge grouping, kept as the overflow fallback of
+   {!coiter_launch_total}. *)
+let coiter_launch_total_arrays ~union ~par (a : Tensor.t) (b : Tensor.t)
+    ~depth =
   let pa = sorted_prefixes a ~depth and pb = sorted_prefixes b ~depth in
   let na = Array.length pa and nb = Array.length pb in
   let parent p = Array.sub p 0 depth in
@@ -224,6 +434,19 @@ let coiter_launch_total ~union ~par (a : Tensor.t) (b : Tensor.t) ~depth =
   end;
   flush ();
   !acc
+
+(** Like {!fiber_launch_total} but for the {e co-iteration} of two tensors
+    at level [depth]: groups the surviving coordinates by their parent
+    prefix and charges [max m par / par] per group of [m]. *)
+let coiter_launch_total ~union ~par (a : Tensor.t) (b : Tensor.t) ~depth =
+  if identity_order a && identity_order b then
+    match linear_spans (Tensor.dims a) (Tensor.dims b) ~depth with
+    | Some spans ->
+        key_coiter_launch_total ~union ~par ~parent_span:spans.(depth)
+          (distinct_prefix_keys a ~spans ~depth)
+          (distinct_prefix_keys b ~spans ~depth)
+    | None -> coiter_launch_total_arrays ~union ~par a b ~depth
+  else coiter_launch_total_arrays ~union ~par a b ~depth
 
 (** Maximum fiber length at compressed level [l] (worst-case segment). *)
 let max_fiber_len (x : Tensor.t) l =

@@ -9,7 +9,7 @@
     into times. *)
 
 module Tensor = Stardust_tensor.Tensor
-module Stats = Stardust_tensor.Stats
+module Stats_cache = Stardust_tensor.Stats_cache
 module Format = Stardust_tensor.Format
 module Plan = Stardust_core.Plan
 module Coiter = Stardust_core.Coiter
@@ -63,7 +63,7 @@ let loop_totals (plan : Plan.t) ~(inputs : (string * Tensor.t) list) =
     | None ->
         let v =
           float_of_int
-            (Stats.prefix_coiter_count ~union (tensor a.Coiter.tensor)
+            (Stats_cache.prefix_coiter_count ~union (tensor a.Coiter.tensor)
                (tensor b.Coiter.tensor) ~depth:a.Coiter.level)
         in
         Hashtbl.add memo key v;

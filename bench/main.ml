@@ -27,6 +27,9 @@ let artifacts =
     ( "estimate-throughput",
       ( "Oracle throughput: compile+estimate points/sec, stats cache on/off",
         Throughput.run ) );
+    ( "serve-throughput",
+      ( "Compile service: requests/sec and p50/p99 latency at 1-16 clients",
+        Serve_bench.run ) );
   ]
 
 (* "a,b,c" -> ["a"; "b"; "c"] *)
@@ -35,20 +38,32 @@ let split_kernels s =
 
 let usage_suite () =
   Fmt.epr
-    "usage: bench suite --json PATH [--kernels a,b,c]@.       bench \
-     perf-diff BASELINE NEW@.";
+    "usage: bench suite --json PATH [--kernels a,b,c] [--sections \
+     kernels,throughput,serve]@.       bench perf-diff [--sections ...] \
+     BASELINE NEW@.";
   exit 2
 
-(* suite --json PATH [--kernels a,b,c]: machine-readable per-kernel
-   numbers for CI's perf-smoke diff *)
-let rec suite_json_cli ?json ?(kernels = []) = function
-  | "--json" :: path :: rest -> suite_json_cli ~json:path ~kernels rest
+(* suite --json PATH [--kernels a,b,c] [--sections a,b]: machine-readable
+   per-kernel numbers for CI's perf-smoke diff; --sections restricts the
+   document (and the diff) to named sections, so the serve-smoke job can
+   regenerate and pin just the serve counters without re-running the
+   whole kernel suite *)
+let rec suite_json_cli ?json ?(kernels = []) ?sections = function
+  | "--json" :: path :: rest -> suite_json_cli ~json:path ~kernels ?sections rest
   | "--kernels" :: ks :: rest ->
-      suite_json_cli ?json ~kernels:(kernels @ split_kernels ks) rest
+      suite_json_cli ?json ~kernels:(kernels @ split_kernels ks) ?sections rest
+  | "--sections" :: ss :: rest ->
+      suite_json_cli ?json ~kernels ~sections:(split_kernels ss) rest
   | [] -> (
       match json with
-      | Some path -> Report.suite_json ~kernels ~path ()
+      | Some path -> Report.suite_json ~kernels ?sections ~path ()
       | None -> usage_suite ())
+  | _ -> usage_suite ()
+
+let rec perf_diff_cli ?sections = function
+  | "--sections" :: ss :: rest -> perf_diff_cli ~sections:(split_kernels ss) rest
+  | [ base; fresh ] ->
+      exit (if Report.perf_diff ?sections base fresh > 0 then 1 else 0)
   | _ -> usage_suite ()
 
 let () =
@@ -58,8 +73,7 @@ let () =
       List.iter (fun (k, (d, _)) -> Fmt.pr "%-10s %s@." k d) artifacts
   | [ "code"; kernel ] -> Tables.listing kernel
   | "suite" :: rest -> suite_json_cli rest
-  | [ "perf-diff"; base; fresh ] ->
-      exit (if Report.perf_diff base fresh > 0 then 1 else 0)
+  | "perf-diff" :: rest -> perf_diff_cli rest
   | [] ->
       (* default: every paper artifact (micro last; it is the slowest) *)
       List.iter (fun (_, (_, f)) -> f ()) artifacts

@@ -17,7 +17,7 @@ module C = Stardust_core.Compile
 module Sim = Stardust_capstan.Sim
 module Arch = Stardust_capstan.Arch
 module Resources = Stardust_capstan.Resources
-module Json = Stardust_oracle.Json
+module Json = Stardust_json.Json
 module Metrics = Stardust_obs.Metrics
 
 let num = Metrics.number_to_string
@@ -80,31 +80,55 @@ let instance_json (r : Suite.run) ~wall =
   Buffer.add_string buf (Printf.sprintf ",\"wall_seconds\":%s}" (num wall));
   Buffer.contents buf
 
-let suite_json ~kernels ~path () =
-  let specs = find_specs kernels in
-  let entries =
-    List.concat_map
-      (fun (spec : K.spec) ->
-        Fmt.epr "bench: %s...@." spec.K.kname;
-        List.map
-          (fun inst ->
-            let t0 = Unix.gettimeofday () in
-            let r = Suite.run_instance spec inst in
-            instance_json r ~wall:(Unix.gettimeofday () -. t0))
-          (Suite.instances spec))
-      specs
-  in
-  Fmt.epr "bench: estimate-throughput...@.";
-  let throughput = Throughput.rows_json (Throughput.measure ()) in
+let all_sections = [ "kernels"; "throughput"; "serve" ]
+
+let suite_json ~kernels ?(sections = all_sections) ~path () =
+  List.iter
+    (fun s ->
+      if not (List.mem s all_sections) then
+        Fmt.failwith "unknown suite section %s (try: %s)" s
+          (String.concat "/" all_sections))
+    sections;
+  let want s = List.mem s sections in
+  let parts = ref [] in
+  let add fragment = parts := fragment :: !parts in
+  let instances = ref 0 in
+  if want "kernels" then begin
+    let specs = find_specs kernels in
+    let entries =
+      List.concat_map
+        (fun (spec : K.spec) ->
+          Fmt.epr "bench: %s...@." spec.K.kname;
+          List.map
+            (fun inst ->
+              let t0 = Unix.gettimeofday () in
+              let r = Suite.run_instance spec inst in
+              instance_json r ~wall:(Unix.gettimeofday () -. t0))
+            (Suite.instances spec))
+        specs
+    in
+    instances := List.length entries;
+    add ("\"kernels\":[" ^ String.concat "," entries ^ "]")
+  end;
+  if want "throughput" then begin
+    Fmt.epr "bench: estimate-throughput...@.";
+    add ("\"throughput\":[" ^ Throughput.rows_json (Throughput.measure ()) ^ "]")
+  end;
+  if want "serve" then begin
+    Fmt.epr "bench: serve-throughput...@.";
+    add ("\"serve\":[" ^ Serve_bench.rows_json (Serve_bench.measure ()) ^ "]")
+  end;
   let doc =
-    "{\"schema\":\"stardust-bench-suite/1\",\"kernels\":["
-    ^ String.concat "," entries ^ "],\"throughput\":[" ^ throughput ^ "]}"
+    "{\"schema\":\"stardust-bench-suite/1\","
+    ^ String.concat "," (List.rev !parts)
+    ^ "}"
   in
   let oc = open_out path in
   output_string oc doc;
   output_char oc '\n';
   close_out oc;
-  Fmt.epr "bench: wrote %s (%d instances)@." path (List.length entries)
+  Fmt.epr "bench: wrote %s (%d instances, sections %s)@." path !instances
+    (String.concat "," sections)
 
 (* ------------------------------------------------------------------ *)
 (* perf-diff                                                           *)
@@ -140,89 +164,155 @@ let resources_sig j =
     prints one line per difference.  Wall-clock and platform-seconds
     fields are not compared (seconds are deterministic too, but cycles
     subsume them and integer comparison avoids any float-text concern). *)
-let perf_diff base_path new_path =
-  let index doc =
-    List.map (fun e -> (entry_key e, e)) (Json.to_list (Json.member_exn "kernels" doc))
-  in
-  let base = index (load base_path) and fresh = index (load new_path) in
+let perf_diff ?(sections = all_sections) base_path new_path =
+  let base_doc = load base_path and fresh_doc = load new_path in
   let mismatches = ref 0 in
   let complain fmt = Fmt.epr ("perf-diff: " ^^ fmt ^^ "@.") in
-  List.iter
-    (fun (k, b) ->
-      match List.assoc_opt k fresh with
-      | None ->
-          incr mismatches;
-          complain "%s: present in %s but missing from %s" k base_path new_path
-      | Some f ->
-          List.iter
-            (fun field ->
-              let vb = Json.to_float (Json.member_exn field b)
-              and vf = Json.to_float (Json.member_exn field f) in
-              if vb <> vf then begin
-                incr mismatches;
-                complain "%s: %s changed %s -> %s" k field (num vb) (num vf)
-              end)
-            det_fields;
-          let rb = resources_sig b and rf = resources_sig f in
-          if rb <> rf then begin
+  let want s = List.mem s sections in
+  if want "kernels" then begin
+    let index doc =
+      List.map
+        (fun e -> (entry_key e, e))
+        (Json.to_list (Json.member_exn "kernels" doc))
+    in
+    let base = index base_doc and fresh = index fresh_doc in
+    List.iter
+      (fun (k, b) ->
+        match List.assoc_opt k fresh with
+        | None ->
             incr mismatches;
-            complain "%s: resources changed %s -> %s" k rb rf
-          end)
-    base;
-  List.iter
-    (fun (k, _) ->
-      if not (List.mem_assoc k base) then begin
-        incr mismatches;
-        complain "%s: new instance not in baseline %s" k base_path
-      end)
-    fresh;
-  (* estimate-throughput section: evaluation and cache hit/miss counts are
-     deterministic (sequential, seeded); wall-clock fields are ignored. *)
-  let tp_det_fields = [ "evaluations"; "cache_hits"; "cache_misses" ] in
-  let tp_index doc =
-    match Json.member "throughput" doc with
-    | None -> None
-    | Some j ->
-        Some
-          (List.map
-             (fun e -> (Json.to_str (Json.member_exn "kernel" e), e))
-             (Json.to_list j))
-  in
-  (match (tp_index (load base_path), tp_index (load new_path)) with
-  | None, None -> ()
-  | Some _, None ->
-      incr mismatches;
-      complain "throughput section missing from %s" new_path
-  | None, Some _ ->
-      incr mismatches;
-      complain "throughput section missing from baseline %s" base_path
-  | Some base_tp, Some fresh_tp ->
-      List.iter
-        (fun (k, b) ->
-          match List.assoc_opt k fresh_tp with
-          | None ->
+            complain "%s: present in %s but missing from %s" k base_path
+              new_path
+        | Some f ->
+            List.iter
+              (fun field ->
+                let vb = Json.to_float (Json.member_exn field b)
+                and vf = Json.to_float (Json.member_exn field f) in
+                if vb <> vf then begin
+                  incr mismatches;
+                  complain "%s: %s changed %s -> %s" k field (num vb) (num vf)
+                end)
+              det_fields;
+            let rb = resources_sig b and rf = resources_sig f in
+            if rb <> rf then begin
               incr mismatches;
-              complain "throughput/%s: missing from %s" k new_path
-          | Some f ->
-              List.iter
-                (fun field ->
-                  let vb = Json.to_float (Json.member_exn field b)
-                  and vf = Json.to_float (Json.member_exn field f) in
-                  if vb <> vf then begin
-                    incr mismatches;
-                    complain "throughput/%s: %s changed %s -> %s" k field
-                      (num vb) (num vf)
-                  end)
-                tp_det_fields)
-        base_tp;
-      List.iter
-        (fun (k, _) ->
-          if not (List.mem_assoc k base_tp) then begin
-            incr mismatches;
-            complain "throughput/%s: new entry not in baseline %s" k
-              base_path
-          end)
-        fresh_tp);
+              complain "%s: resources changed %s -> %s" k rb rf
+            end)
+      base;
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem_assoc k base) then begin
+          incr mismatches;
+          complain "%s: new instance not in baseline %s" k base_path
+        end)
+      fresh
+  end;
+  (* Counter tables — keyed entries whose listed fields are exact
+     deterministic counts (wall-clock fields are never compared):
+     - throughput: evaluation and stats-cache hit/miss counts
+       (sequential, seeded);
+     - serve: request and plan-cache counts (single-flight fills make
+       them independent of client interleaving). *)
+  let diff_counter_section ~section ~key_field ~fields =
+    let index doc =
+      match Json.member section doc with
+      | None -> None
+      | Some j ->
+          Some
+            (List.map
+               (fun e ->
+                 ( num (Json.to_float (Json.member_exn key_field e)),
+                   e ))
+               (Json.to_list j))
+    in
+    match (index base_doc, index fresh_doc) with
+    | None, None -> ()
+    | Some _, None ->
+        incr mismatches;
+        complain "%s section missing from %s" section new_path
+    | None, Some _ ->
+        incr mismatches;
+        complain "%s section missing from baseline %s" section base_path
+    | Some base_tp, Some fresh_tp ->
+        List.iter
+          (fun (k, b) ->
+            match List.assoc_opt k fresh_tp with
+            | None ->
+                incr mismatches;
+                complain "%s/%s: missing from %s" section k new_path
+            | Some f ->
+                List.iter
+                  (fun field ->
+                    let vb = Json.to_float (Json.member_exn field b)
+                    and vf = Json.to_float (Json.member_exn field f) in
+                    if vb <> vf then begin
+                      incr mismatches;
+                      complain "%s/%s: %s changed %s -> %s" section k field
+                        (num vb) (num vf)
+                    end)
+                  fields)
+          base_tp;
+        List.iter
+          (fun (k, _) ->
+            if not (List.mem_assoc k base_tp) then begin
+              incr mismatches;
+              complain "%s/%s: new entry not in baseline %s" section k
+                base_path
+            end)
+          fresh_tp
+  in
+  if want "throughput" then begin
+    (* throughput entries are keyed by kernel name (a string field) *)
+    let index doc =
+      match Json.member "throughput" doc with
+      | None -> None
+      | Some j ->
+          Some
+            (List.map
+               (fun e -> (Json.to_str (Json.member_exn "kernel" e), e))
+               (Json.to_list j))
+    in
+    let tp_det_fields = [ "evaluations"; "cache_hits"; "cache_misses" ] in
+    match (index base_doc, index fresh_doc) with
+    | None, None -> ()
+    | Some _, None ->
+        incr mismatches;
+        complain "throughput section missing from %s" new_path
+    | None, Some _ ->
+        incr mismatches;
+        complain "throughput section missing from baseline %s" base_path
+    | Some base_tp, Some fresh_tp ->
+        List.iter
+          (fun (k, b) ->
+            match List.assoc_opt k fresh_tp with
+            | None ->
+                incr mismatches;
+                complain "throughput/%s: missing from %s" k new_path
+            | Some f ->
+                List.iter
+                  (fun field ->
+                    let vb = Json.to_float (Json.member_exn field b)
+                    and vf = Json.to_float (Json.member_exn field f) in
+                    if vb <> vf then begin
+                      incr mismatches;
+                      complain "throughput/%s: %s changed %s -> %s" k field
+                        (num vb) (num vf)
+                    end)
+                  tp_det_fields)
+          base_tp;
+        List.iter
+          (fun (k, _) ->
+            if not (List.mem_assoc k base_tp) then begin
+              incr mismatches;
+              complain "throughput/%s: new entry not in baseline %s" k
+                base_path
+            end)
+          fresh_tp
+  end;
+  if want "serve" then
+    diff_counter_section ~section:"serve" ~key_field:"clients"
+      ~fields:
+        [ "requests"; "plan_cache_hits"; "plan_cache_misses" ];
   if !mismatches = 0 then
     Fmt.epr "perf-diff: %s and %s agree on every deterministic counter@."
       base_path new_path;

@@ -1,0 +1,137 @@
+(** Serve-throughput benchmark: requests/sec and latency percentiles of
+    the compile service under concurrent clients.
+
+    Each level spins up a fresh in-process {!Stardust_serve.Service}
+    and [clients] caller domains; every client issues the same fixed
+    request script (compile/estimate/stats over two kernels at two
+    scales) and records per-request wall-clock.  The script cycles
+    through [distinct] unique requests, so with the plan cache's
+    single-flight fills the level's hit/miss counters are a pure
+    function of the request multiset: [misses = distinct],
+    [hits = requests - distinct], no matter how the clients interleave.
+    Those counts (plus [clients] and [requests]) are the deterministic
+    fields CI's perf-diff pins; rps/p50/p99 are wall-clock truth and
+    are reported but never compared. *)
+
+module Json = Stardust_json.Json
+module Service = Stardust_serve.Service
+module Pool = Stardust_explore.Pool
+module Plan_cache = Stardust_serve.Plan_cache
+
+let levels = [ 1; 4; 16 ]
+let rounds = 2  (** times each client replays the script *)
+
+(* The request script: a mix of cacheable operations over distinct
+   (op, kernel, scale) keys.  Kept tiny — after the first round
+   everything is a cache hit, which is exactly the serving regime the
+   bench is about. *)
+let script =
+  let req op kernel n =
+    Json.Obj
+      [
+        ("op", Json.Str op); ("kernel", Json.Str kernel);
+        ("n", Json.Num (float_of_int n));
+      ]
+  in
+  [
+    req "estimate" "spmv" 16;
+    req "estimate" "spmv" 32;
+    req "estimate" "plus3" 16;
+    req "estimate" "plus3" 32;
+    req "compile" "spmv" 16;
+    req "compile" "spmv" 32;
+    req "compile" "plus3" 16;
+    req "stats" "spmv" 16;
+  ]
+
+let distinct = List.length script
+
+type level = {
+  clients : int;
+  requests : int;  (** total across all clients (deterministic) *)
+  plan_hits : int;  (** deterministic: requests - distinct *)
+  plan_misses : int;  (** deterministic: distinct *)
+  wall_seconds : float;
+  rps : float;
+  p50 : float;
+  p99 : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (q * n / 100))
+
+let run_level clients =
+  (* concurrency comes from the caller domains; the service's own pool
+     only serves batches/autotune, which this script never issues *)
+  let svc = Service.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () ->
+      let client _k =
+        let lats = ref [] in
+        for _ = 1 to rounds do
+          List.iter
+            (fun req ->
+              let t0 = Unix.gettimeofday () in
+              let resp = Service.handle_request svc req in
+              let dt = Unix.gettimeofday () -. t0 in
+              (match Json.member "ok" resp with
+              | Some (Json.Bool true) -> ()
+              | _ ->
+                  Fmt.failwith "serve bench: request failed: %s"
+                    (Json.to_string resp));
+              lats := dt :: !lats)
+            script
+        done;
+        Array.of_list !lats
+      in
+      let t0 = Unix.gettimeofday () in
+      let per_client =
+        Pool.map ~workers:clients client (Array.init clients Fun.id)
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let lats = Array.concat (Array.to_list per_client) in
+      Array.sort compare lats;
+      let c = Plan_cache.counters (Service.plan_cache svc) in
+      let requests = Array.length lats in
+      {
+        clients;
+        requests;
+        plan_hits = c.Plan_cache.hits;
+        plan_misses = c.Plan_cache.misses;
+        wall_seconds = wall;
+        rps = (if wall > 0.0 then float_of_int requests /. wall else 0.0);
+        p50 = percentile lats 50;
+        p99 = percentile lats 99;
+      })
+
+let measure () = List.map run_level levels
+
+(** JSON fragment for the suite document: one object per concurrency
+    level.  [clients]/[requests]/[plan_cache_hits]/[plan_cache_misses]
+    are the deterministic fields; the latency fields are wall-clock. *)
+let rows_json rows =
+  let num = Stardust_obs.Metrics.number_to_string in
+  String.concat ","
+    (List.map
+       (fun r ->
+         Printf.sprintf
+           "{\"clients\":%d,\"requests\":%d,\"plan_cache_hits\":%d,\"plan_cache_misses\":%d,\"wall_seconds\":%s,\"rps\":%s,\"p50_seconds\":%s,\"p99_seconds\":%s}"
+           r.clients r.requests r.plan_hits r.plan_misses
+           (num r.wall_seconds) (num r.rps) (num r.p50) (num r.p99))
+       rows)
+
+(** Standalone [bench serve-throughput]: human-readable table. *)
+let run () =
+  let rows = measure () in
+  Fmt.pr "@.== Serve throughput (%d distinct plans, %d requests/client) ==@."
+    distinct
+    (rounds * distinct);
+  Fmt.pr "%-8s %10s %12s %12s %12s %8s@." "clients" "requests" "req/s"
+    "p50 (us)" "p99 (us)" "hits";
+  List.iter
+    (fun r ->
+      Fmt.pr "%-8d %10d %12.1f %12.1f %12.1f %7d@." r.clients r.requests
+        r.rps (r.p50 *. 1e6) (r.p99 *. 1e6) r.plan_hits)
+    rows

@@ -67,66 +67,14 @@ let no_stats_cache_flag =
 let apply_stats_cache no_cache =
   if no_cache then Stardust_tensor.Stats_cache.set_enabled false
 
-let format_of_string = function
-  | "csr" -> F.csr ()
-  | "csc" -> F.csc ()
-  | "dv" -> F.dv ()
-  | "sv" -> F.sv ()
-  | "rm" | "dense" -> F.rm ()
-  | "cm" -> F.cm ()
-  | "csf2" -> F.csf 2
-  | "csf3" | "csf" -> F.csf 3
-  | "ucc" -> F.ucc ()
-  | "scalar" -> F.make []
-  | s -> Fmt.failwith "unknown format %S (try csr csc dv sv rm cm csf ucc scalar)" s
+(* Input construction (format names, "A=8x8@0.3" data specs, the
+   paper-shaped random inputs for a named kernel stage) is shared with
+   the compile service: one grammar, one seeding discipline, so a CLI
+   invocation and a serve request over the same spec build the same
+   tensors — and therefore the same plan-cache fingerprint. *)
+module W = Stardust_serve.Workload
 
-(* "A=8x8@0.3" or "x=8" (dense when no density given) *)
-let parse_data_spec s =
-  match String.split_on_char '=' s with
-  | [ name; rest ] ->
-      let dims_s, density =
-        match String.split_on_char '@' rest with
-        | [ d ] -> (d, None)
-        | [ d; dens ] -> (d, Some (float_of_string dens))
-        | _ -> Fmt.failwith "bad data spec %S" s
-      in
-      let dims = List.map int_of_string (String.split_on_char 'x' dims_s) in
-      (name, dims, density)
-  | _ -> Fmt.failwith "bad data spec %S (want NAME=DIMSxDIMS[@DENSITY])" s
-
-let gen_tensor name fmt dims density seed =
-  match density with
-  | Some d -> D.small_random ~seed ~name ~format:fmt ~dims ~density:d ()
-  | None -> (
-      match dims with
-      | [ n ] -> D.dense_vector ~seed ~name ~dim:n ()
-      | [ r; c ] when F.is_fully_dense fmt ->
-          D.dense_matrix ~seed ~name ~format:fmt ~rows:r ~cols:c ()
-      | _ -> D.small_random ~seed ~name ~format:fmt ~dims ~density:1.0 ())
-
-(** Paper-shaped random inputs for one kernel stage at scale [n] (shared
-    by the [kernel] and [autotune] subcommands). *)
-let stage_random_inputs (st : K.stage) n =
-  List.filter_map
-    (fun (tname, fmt) ->
-      if tname = st.K.result || (String.length tname > 0 && tname.[0] = '_')
-      then None
-      else
-        let order = F.order fmt in
-        let dims = List.init order (fun _ -> n) in
-        let t =
-          if F.is_fully_dense fmt then
-            if order = 1 then D.dense_vector ~name:tname ~dim:n ()
-            else if order = 2 then
-              D.dense_matrix ~name:tname ~format:fmt ~rows:n ~cols:n ()
-            else D.small_random ~name:tname ~format:fmt ~dims ~density:1.0 ()
-          else
-            D.small_random
-              ~seed:(Hashtbl.hash tname)
-              ~name:tname ~format:fmt ~dims ~density:0.1 ()
-        in
-        Some (tname, t))
-    st.K.formats
+let stage_random_inputs = W.stage_random_inputs
 
 (* ------------------------------------------------------------------ *)
 (* Output sections                                                      *)
@@ -246,25 +194,11 @@ let compile_cmd =
   in
   let run expr formats data cin code res sim est cpu dot =
     let formats =
-      List.map
-        (fun s ->
-          match String.split_on_char '=' s with
-          | [ n; f ] -> (n, format_of_string f)
-          | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
-        formats
+      List.map W.parse_format_binding formats
     in
     let sched = C.schedule_of_string ~formats expr in
     let inputs =
-      List.mapi
-        (fun i s ->
-          let name, dims, density = parse_data_spec s in
-          let fmt =
-            match List.assoc_opt name formats with
-            | Some f -> f
-            | None -> Fmt.failwith "no format for tensor %s" name
-          in
-          (name, gen_tensor name fmt dims density (i + 1)))
-        data
+      W.inputs_of_specs ~formats data
     in
     let compiled = C.compile sched ~inputs in
     let any = cin || code || res || sim || est || cpu || dot in
@@ -409,24 +343,10 @@ let run_cmd =
               spec.K.stages)
     | None, Some e ->
         let formats =
-          List.map
-            (fun s ->
-              match String.split_on_char '=' s with
-              | [ n; f ] -> (n, format_of_string f)
-              | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
-            formats
+          List.map W.parse_format_binding formats
         in
         let inputs =
-          List.mapi
-            (fun i s ->
-              let name, dims, density = parse_data_spec s in
-              let fmt =
-                match List.assoc_opt name formats with
-                | Some f -> f
-                | None -> Fmt.failwith "no format for tensor %s" name
-              in
-              (name, gen_tensor name fmt dims density (i + 1)))
-            data
+          W.inputs_of_specs ~formats data
         in
         run_stage e (C.compile_string_result ~formats ~inputs e)
     | _ ->
@@ -525,24 +445,10 @@ let autotune_cmd =
                 ~formats:st.K.formats ~inputs st.K.expr)
       | None, Some expr ->
           let formats =
-            List.map
-              (fun s ->
-                match String.split_on_char '=' s with
-                | [ n; f ] -> (n, format_of_string f)
-                | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
-              formats
+            List.map W.parse_format_binding formats
           in
           let inputs =
-            List.mapi
-              (fun i s ->
-                let name, dims, density = parse_data_spec s in
-                let fmt =
-                  match List.assoc_opt name formats with
-                  | Some f -> f
-                  | None -> Fmt.failwith "no format for tensor %s" name
-                in
-                (name, gen_tensor name fmt dims density (i + 1)))
-              data
+            W.inputs_of_specs ~formats data
           in
           Eval.problem_of_string ~name:"custom" ~formats ~inputs expr
       | _ ->
@@ -650,24 +556,10 @@ let profile_cmd =
                 spec.K.stages)
       | None, Some e ->
           let formats =
-            List.map
-              (fun s ->
-                match String.split_on_char '=' s with
-                | [ n; f ] -> (n, format_of_string f)
-                | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s)
-              formats
+            List.map W.parse_format_binding formats
           in
           let inputs =
-            List.mapi
-              (fun i s ->
-                let name, dims, density = parse_data_spec s in
-                let fmt =
-                  match List.assoc_opt name formats with
-                  | Some f -> f
-                  | None -> Fmt.failwith "no format for tensor %s" name
-                in
-                (name, gen_tensor name fmt dims density (i + 1)))
-              data
+            W.inputs_of_specs ~formats data
           in
           [ (e, C.compile_string ~formats ~inputs e) ]
       | _ ->
@@ -726,6 +618,62 @@ let profile_cmd =
              total, from the same analytic model the benchmarks use.")
     Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ json
           $ show_metrics $ trace_flag)
+
+(* ------------------------------------------------------------------ *)
+(* serve: the persistent compile service                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve NDJSON requests on a Unix-domain socket at $(docv) \
+                   instead of stdin/stdout.")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ]
+             ~doc:"Domain worker pool size (0 = one per available core); \
+                   request batches and autotune searches fan out on it.")
+  in
+  let plan_cap =
+    Arg.(value & opt int Stardust_serve.Plan_cache.default_capacity
+         & info [ "plan-cache-capacity" ] ~docv:"N"
+             ~doc:"LRU bound on cached plans (compiled results, estimates, \
+                   autotune frontiers).")
+  in
+  let stats_cap =
+    Arg.(value & opt int 0
+         & info [ "stats-cache-capacity" ] ~docv:"N"
+             ~doc:"LRU bound on the dataset-statistics cache (0 = default).")
+  in
+  let run socket workers plan_cap stats_cap trace no_stats_cache =
+    start_tracing trace;
+    apply_stats_cache no_stats_cache;
+    if stats_cap > 0 then Stardust_tensor.Stats_cache.set_capacity stats_cap;
+    let svc =
+      Stardust_serve.Service.create
+        ?workers:(if workers <= 0 then None else Some workers)
+        ~plan_cache_capacity:plan_cap ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Stardust_serve.Service.shutdown svc)
+      (fun () ->
+        match socket with
+        | None -> Stardust_serve.Server.serve_channels svc stdin stdout
+        | Some path ->
+            Fmt.epr "stardustc serve: listening on %s@." path;
+            Stardust_serve.Server.serve_unix_socket svc path)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent compile service: newline-delimited JSON \
+             requests (compile/estimate/autotune/stats/metrics) over \
+             stdin/stdout or a Unix socket, answered from a \
+             content-addressed plan cache with the same stable \
+             diagnostic codes as $(b,run --diag-json).")
+    Term.(const run $ socket $ workers $ plan_cap $ stats_cap $ trace_flag
+          $ no_stats_cache_flag)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz / replay: the differential-testing oracle                      *)
@@ -838,7 +786,7 @@ let () =
   let group =
     Cmd.group (Cmd.info "stardustc" ~version:"1.0.0" ~doc)
       [ list_cmd; kernel_cmd; compile_cmd; run_cmd; profile_cmd;
-        autotune_cmd; fuzz_cmd; replay_cmd ]
+        autotune_cmd; serve_cmd; fuzz_cmd; replay_cmd ]
   in
   (* last-resort structured handler: no input may crash the CLI with a raw
      exception; anything the subcommands did not turn into diagnostics

@@ -27,6 +27,7 @@ type stage =
   | Io         (** tensor file input/output *)
   | Driver     (** host orchestration: compile driver, pipeline, fallback *)
   | Oracle     (** differential-testing oracle: cross-backend fuzzing *)
+  | Serve      (** compile service: request protocol and dispatch *)
 
 (** Half-open character range [start, stop) into the source string. *)
 type span = { start : int; stop : int }
@@ -66,6 +67,10 @@ type t = {
                            on the target chip, [E0904] internal invariant
                            violated (a bug in Stardust itself), [E0905] a
                            worker-pool task exceeded its deadline
+    - E10xx serve        — [E1001] request line is not valid JSON,
+                           [E1002] request JSON is malformed (unknown op,
+                           missing or ill-typed field), [E1003] a request
+                           handler died on an unhandled exception
     - W01xx degradation  — [W0101] fell back to a retiled schedule,
                            [W0102] fell back to the CPU baseline,
                            [W0103] pipeline stage retried *)
@@ -88,6 +93,9 @@ let code_pipeline_stage = "E0902"
 let code_infeasible = "E0903"
 let code_internal = "E0904"
 let code_worker_timeout = "E0905"
+let code_serve_parse = "E1001"
+let code_serve_request = "E1002"
+let code_serve_internal = "E1003"
 let code_fallback_retile = "W0101"
 let code_fallback_cpu = "W0102"
 let code_retry = "W0103"
@@ -129,6 +137,7 @@ let stage_name = function
   | Io -> "io"
   | Driver -> "driver"
   | Oracle -> "oracle"
+  | Serve -> "serve"
 
 (** One-line form: [error[E0301][plan] message (key=value, ...)]. *)
 let pp ppf d =

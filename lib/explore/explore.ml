@@ -130,10 +130,17 @@ let greedy ~eval_batch ~(axes : Space.axes) (start : Point.t) =
 (** Search the design space of [problem].  [axes] defaults to
     {!Space.default_axes} for the problem's expression and formats;
     [workers] to {!Pool.default_workers}; [cache] to a fresh memo table
-    (pass one in to share memoised evaluations across related runs). *)
-let run ?workers ?(strategy = Exhaustive) ?axes ?cache (p : Eval.problem) =
+    (pass one in to share memoised evaluations across related runs).
+    With [?pool] the evaluation batches run on a persistent
+    {!Pool.create}d handle — the compile service reuses one pool across
+    every request instead of re-spawning domains per search. *)
+let run ?workers ?pool ?(strategy = Exhaustive) ?axes ?cache
+    (p : Eval.problem) =
   let workers =
-    match workers with Some w -> max 1 w | None -> Pool.default_workers ()
+    match (pool, workers) with
+    | Some pl, _ -> Pool.size pl
+    | None, Some w -> max 1 w
+    | None, None -> Pool.default_workers ()
   in
   let axes =
     match axes with
@@ -148,7 +155,7 @@ let run ?workers ?(strategy = Exhaustive) ?axes ?cache (p : Eval.problem) =
   let pre = Eval.prepare p in
   let eval_batch pts =
     Array.to_list
-      (Pool.map ~workers (Eval.evaluate ~cache pre) (Array.of_list pts))
+      (Pool.map ~workers ?pool (Eval.evaluate ~cache pre) (Array.of_list pts))
   in
   let all = Space.points ~formats:p.Eval.formats p.Eval.expr axes in
   let seed_pt = List.hd all in

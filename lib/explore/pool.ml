@@ -136,12 +136,168 @@ let apply_timed ~seconds f i x =
       in
       wait ()
 
+(* ------------------------------------------------------------------ *)
+(* Persistent pool handles                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A reusable pool: [p_size - 1] long-lived worker domains parked on a
+    condition variable, plus the submitting caller (worker 0).  One-shot
+    {!map} spawns and joins domains per call, which is fine for a single
+    search but wasteful for a daemon answering thousands of requests;
+    a handle created once with {!create} amortizes domain startup across
+    every batch of the process lifetime.
+
+    Protocol: {!create} parks the workers; each submitted batch is a
+    self-scheduling closure published under [p_lock] with a fresh
+    sequence number ([p_work] broadcast wakes the workers, and the
+    sequence number stops a worker from re-entering a batch it already
+    ran); the worker that completes the batch's last item clears it and
+    broadcasts [p_done], on which the submitter waits.  [p_submit]
+    serializes submitters, so concurrent callers' batches queue rather
+    than interleave.  {!shutdown} is a graceful drain: it waits for the
+    in-flight batch, then wakes every worker to exit and joins them. *)
+type t = {
+  p_size : int;  (** total workers, including the submitting caller *)
+  p_lock : Mutex.t;
+  p_work : Condition.t;  (** new batch published, or shutdown *)
+  p_done : Condition.t;  (** current batch completed *)
+  p_submit : Mutex.t;  (** serializes batch submitters *)
+  mutable p_alive : bool;
+  mutable p_seq : int;  (** sequence number of the latest batch *)
+  mutable p_done_seq : int;  (** sequence number of the latest completed *)
+  mutable p_batch : (int -> unit) option;  (** batch body, by worker id *)
+  mutable p_domains : unit Domain.t list;
+}
+
+let size t = t.p_size
+
+(* Domain-local "currently running a pooled batch item" flag.  A nested
+   submission from inside a batch item — e.g. the compile service
+   dispatches a request batch on the pool and one request is an autotune
+   whose search maps on the same pool — would deadlock: the outer
+   submitter holds [p_submit] until its batch drains, and the batch
+   cannot drain while one of its items is parked waiting for [p_submit].
+   With the flag set, {!exec_pooled} runs the nested batch inline in the
+   current domain instead (sequential, but deterministic and safe). *)
+let in_pooled_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+let in_pooled_task () = !(Domain.DLS.get in_pooled_key)
+
+let mark_pooled body k =
+  let flag = Domain.DLS.get in_pooled_key in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) (fun () -> body k)
+
+let rec worker_loop t k last_seen =
+  Mutex.lock t.p_lock;
+  let rec await () =
+    if t.p_alive && (t.p_batch = None || t.p_seq = last_seen) then begin
+      Condition.wait t.p_work t.p_lock;
+      await ()
+    end
+  in
+  await ();
+  if not t.p_alive then Mutex.unlock t.p_lock
+  else begin
+    let seq = t.p_seq in
+    let body = Option.get t.p_batch in
+    Mutex.unlock t.p_lock;
+    body k;
+    worker_loop t k seq
+  end
+
+(** Create a persistent pool of [workers] total workers (the caller
+    counts as one; [workers - 1] domains are spawned). *)
+let create ?workers () =
+  let p_size =
+    match workers with Some w -> max 1 w | None -> default_workers ()
+  in
+  let t =
+    {
+      p_size;
+      p_lock = Mutex.create ();
+      p_work = Condition.create ();
+      p_done = Condition.create ();
+      p_submit = Mutex.create ();
+      p_alive = true;
+      p_seq = 0;
+      p_done_seq = 0;
+      p_batch = None;
+      p_domains = [];
+    }
+  in
+  t.p_domains <-
+    List.init (p_size - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop t (k + 1) 0));
+  count ~volatile:true "pool_created_total" "persistent pools created";
+  t
+
+(** Graceful drain: wait for any in-flight batch, park further
+    submissions, then wake every worker to exit and join them.
+    Idempotent; a map submitted to a shut-down pool runs inline in the
+    caller. *)
+let shutdown t =
+  Mutex.lock t.p_submit;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.p_submit)
+    (fun () ->
+      Mutex.lock t.p_lock;
+      t.p_alive <- false;
+      Condition.broadcast t.p_work;
+      Mutex.unlock t.p_lock;
+      List.iter Domain.join t.p_domains;
+      t.p_domains <- [])
+
+(** Run one batch body on the persistent pool: publish it, participate as
+    worker 0, then wait for the completion broadcast (the caller's own
+    share may not be the batch's last item). *)
+let exec_pooled_fresh t (body : on_all_done:(unit -> unit) -> int -> unit) =
+  Mutex.lock t.p_submit;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.p_submit)
+    (fun () ->
+      if not t.p_alive then body ~on_all_done:ignore 0
+      else begin
+        Mutex.lock t.p_lock;
+        t.p_seq <- t.p_seq + 1;
+        let seq = t.p_seq in
+        let on_all_done () =
+          Mutex.lock t.p_lock;
+          t.p_done_seq <- seq;
+          t.p_batch <- None;
+          Condition.broadcast t.p_done;
+          Mutex.unlock t.p_lock
+        in
+        let batch = mark_pooled (body ~on_all_done) in
+        t.p_batch <- Some batch;
+        Condition.broadcast t.p_work;
+        Mutex.unlock t.p_lock;
+        batch 0;
+        Mutex.lock t.p_lock;
+        while t.p_done_seq < seq do
+          Condition.wait t.p_done t.p_lock
+        done;
+        Mutex.unlock t.p_lock
+      end)
+
+(** Submit one batch to the pool — unless the current domain is itself
+    executing a pooled batch item, in which case the nested batch runs
+    inline here (see {!in_pooled_task} for why). *)
+let exec_pooled t (body : on_all_done:(unit -> unit) -> int -> unit) =
+  if in_pooled_task () then body ~on_all_done:ignore 0
+  else exec_pooled_fresh t body
+
 (** The self-scheduling core: one slot per item, each filled exactly once
-    with how that item's application ended. *)
-let run_slots ?timeout ?workers (f : 'a -> 'b) (items : 'a array) :
+    with how that item's application ended.  With [?pool] the batch runs
+    on the persistent handle's parked domains; otherwise [workers - 1]
+    domains are spawned for this call and joined before it returns. *)
+let run_slots ?timeout ?workers ?pool (f : 'a -> 'b) (items : 'a array) :
     'b slot array =
   let workers =
-    match workers with Some w -> max 1 w | None -> default_workers ()
+    match (pool, workers) with
+    | Some p, _ -> p.p_size
+    | None, Some w -> max 1 w
+    | None, None -> default_workers ()
   in
   let n = Array.length items in
   let apply i x =
@@ -153,46 +309,48 @@ let run_slots ?timeout ?workers (f : 'a -> 'b) (items : 'a array) :
   count ~by:(float_of_int n) "pool_tasks_total"
     "items submitted to the worker pool";
   let submitted = Unix.gettimeofday () in
-  (* One span per worker (the calling domain is worker 0), and per-item
-     queue-wait / per-worker busy-time measurements.  All wall-clock, all
-     volatile. *)
-  let worker_body k run =
+  (* One span per participating worker (the calling domain is worker 0),
+     and per-item queue-wait / per-worker busy-time measurements.  All
+     wall-clock, all volatile.  Workers pull indices from the shared
+     atomic counter; the worker that finishes the last item reports batch
+     completion (one-shot execution ignores it and relies on joins). *)
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let body ~on_all_done k =
     Trace.with_span ~cat:"pool"
       ~args:[ ("worker", string_of_int k) ]
       (Printf.sprintf "pool worker %d" k)
       (fun () ->
         let busy = ref 0.0 in
-        run (fun i x ->
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
             let t0 = Unix.gettimeofday () in
             Metrics.observe (queue_wait_hist ()) (t0 -. submitted);
-            slots.(i) <- apply i x;
-            busy := !busy +. (Unix.gettimeofday () -. t0));
+            slots.(i) <- apply i items.(i);
+            busy := !busy +. (Unix.gettimeofday () -. t0);
+            if 1 + Atomic.fetch_and_add completed 1 = n then on_all_done ();
+            loop ()
+          end
+        in
+        loop ();
         Metrics.set (busy_gauge k) !busy)
   in
   (if n = 0 then ()
-   else if workers = 1 || n = 1 then
-     worker_body 0 (fun run -> Array.iteri run items)
-   else begin
-     let next = Atomic.make 0 in
-     let worker k () =
-       worker_body k (fun run ->
-           let rec loop () =
-             let i = Atomic.fetch_and_add next 1 in
-             if i < n then begin
-               run i items.(i);
-               loop ()
-             end
+   else
+     match pool with
+     | Some p -> exec_pooled p body
+     | None ->
+         if workers = 1 || n = 1 then body ~on_all_done:ignore 0
+         else begin
+           let spawned =
+             List.init
+               (min (workers - 1) (n - 1))
+               (fun k -> Domain.spawn (fun () -> body ~on_all_done:ignore (k + 1)))
            in
-           loop ())
-     in
-     let spawned =
-       List.init
-         (min (workers - 1) (n - 1))
-         (fun k -> Domain.spawn (worker (k + 1)))
-     in
-     worker 0 ();
-     List.iter Domain.join spawned
-   end);
+           body ~on_all_done:ignore 0;
+           List.iter Domain.join spawned
+         end);
   (* Timeout accounting happens here, scanning the filled slot array in
      input order, not inside the racing workers. *)
   Array.iter
@@ -210,9 +368,11 @@ let run_slots ?timeout ?workers (f : 'a -> 'b) (items : 'a array) :
     re-raised in the calling domain after all workers join: exceptions are
     wrapped in {!Worker_error} with the worker's backtrace preserved, and
     with [?timeout] set a blown deadline raises {!Worker_timeout}.  Callers
-    that need per-item failure isolation use {!map_result} instead. *)
-let map ?timeout ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
-  let slots = run_slots ?timeout ?workers f items in
+    that need per-item failure isolation use {!map_result} instead; callers
+    with a persistent {!create}d pool pass it as [?pool] to reuse its
+    parked domains instead of spawning per call. *)
+let map ?timeout ?workers ?pool (f : 'a -> 'b) (items : 'a array) : 'b array =
+  let slots = run_slots ?timeout ?workers ?pool f items in
   Array.iteri
     (fun i s ->
       match s with
@@ -231,9 +391,9 @@ let map ?timeout ?workers (f : 'a -> 'b) (items : 'a array) : 'b array =
     isolation: every item yields [Ok value] or [Error failure], and one
     crashing or hung application never poisons the others.  This is the
     entry point the differential oracle drives fuzz cases through. *)
-let map_result ?timeout ?workers (f : 'a -> 'b) (items : 'a array) :
+let map_result ?timeout ?workers ?pool (f : 'a -> 'b) (items : 'a array) :
     ('b, failure) result array =
-  let slots = run_slots ?timeout ?workers f items in
+  let slots = run_slots ?timeout ?workers ?pool f items in
   Array.map
     (function
       | Value v -> Ok v

@@ -1,9 +1,11 @@
 (** A minimal JSON value type with a printer and a recursive-descent
-    parser — just enough for the oracle's corpus files, so the corpus
-    format stays tool-friendly without pulling a JSON dependency into the
-    build.  Numbers are floats (corpus files only carry small integers and
-    tensor values); strings support the escapes {!Stardust_diag.Diag}'s
-    renderer emits. *)
+    parser, shared by every Stardust tool that reads or writes JSON —
+    the oracle's corpus files, the benchmark suite's perf-diff documents,
+    and the compile service's request/response protocol — so none of
+    them pulls a JSON dependency into the build or re-implements
+    encoding.  Numbers are floats (the documents only carry small
+    integers and tensor values); strings support the escapes
+    {!Stardust_diag.Diag}'s renderer emits. *)
 
 type t =
   | Null

@@ -13,6 +13,7 @@
     applied, packed tensors); an unpreparable case is reported as a
     malformed case, never a backend verdict. *)
 
+module Json = Stardust_json.Json
 module Tensor = Stardust_tensor.Tensor
 module Format = Stardust_tensor.Format
 module Ast = Stardust_ir.Ast

@@ -10,6 +10,7 @@
     same minimized case found from the same seed lands on the same path,
     so repeated fuzz runs do not pile up duplicates. *)
 
+module Json = Stardust_json.Json
 module Diag = Stardust_diag.Diag
 
 let default_dir = "corpus"

@@ -1,0 +1,25 @@
+(** Minimal NDJSON client for the compile service: one connection, one
+    request-response exchange per call.  Used by the test suite and the
+    CI smoke session; it is deliberately tiny — any language that can
+    write a JSON line to a Unix socket is a full client. *)
+
+module Json = Stardust_json.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(** Send one raw request line and read one response line. *)
+let rpc_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc;
+  input_line c.ic
+
+(** Send one request value and parse the response. *)
+let rpc c (j : Json.t) : Json.t = Json.parse (rpc_line c (Json.to_string j))

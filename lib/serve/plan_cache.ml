@@ -1,0 +1,225 @@
+(** Content-addressed plan cache: the compile service's memo of whole
+    request results — compiled plans, simulation reports, autotune
+    frontiers — keyed by a fingerprint of everything that determines the
+    answer (expression, formats, per-tensor dataset fingerprints,
+    schedule, chip configuration, and the request options that shape the
+    payload).  The {!Stats_cache} below it memoises per-tensor
+    statistics {e within} a compilation; this cache skips the
+    compilation entirely: a hit returns the byte-identical result
+    payload of the cold request without re-running any stage.
+
+    {2 Single-flight fills}
+
+    Fills are {e single-flight}: the first requester of a missing key
+    inserts a pending marker and computes outside the lock; concurrent
+    requesters of the same key park on a condition variable and are
+    served the filled value when it lands (counted as hits — they never
+    recompute).  Beyond avoiding duplicate work, single-flight makes the
+    hit/miss counters a pure function of the request multiset — each
+    distinct key costs exactly one miss no matter how clients interleave
+    or how many domains serve them — which is why, unlike the racy
+    {!Stats_cache} counters, these are registered as {e deterministic}
+    metrics and appear in the snapshot the service's tests and CI diff
+    across worker counts.
+
+    {2 Bounds}
+
+    Capacity is a per-entry LRU bound ({!set_capacity}): an insert past
+    the bound sheds least-recently-used {e ready} entries (pending fills
+    are never evicted — a waiter must always find its filler's result).
+    Every eviction is counted. *)
+
+module Json = Stardust_json.Json
+module Metrics = Stardust_obs.Metrics
+
+type slot =
+  | Ready of { value : Json.t; mutable last_used : int }
+  | Pending  (** a filler is computing; waiters park on [cond] *)
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;  (** broadcast whenever a pending fill resolves *)
+  table : (string, slot) Hashtbl.t;
+  mutable capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_capacity = 512
+
+(* Deterministic on purpose: see the module doc.  Shared by every cache
+   instance (the registry is process-global); the service creates one
+   cache per process, so instance and process counters coincide.
+   Looked up per use (registration is idempotent) so the counters
+   reappear after a [Metrics.reset] instead of going stale. *)
+let m_hits () =
+  Metrics.counter ~help:"plan-cache lookups served without recompiling"
+    "plan_cache_hits_total"
+
+let m_misses () =
+  Metrics.counter ~help:"plan-cache lookups that compiled from scratch"
+    "plan_cache_misses_total"
+
+let m_evict () =
+  Metrics.counter ~help:"plan-cache entries shed by the LRU bound"
+    "plan_cache_evictions_total"
+
+let create ?(capacity = default_capacity) () =
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Caller holds [t.lock].  Count ready entries (pending fills are not
+   evictable and do not count against the bound). *)
+let ready_count_locked t =
+  Hashtbl.fold
+    (fun _ s acc -> match s with Ready _ -> acc + 1 | Pending -> acc)
+    t.table 0
+
+(* Caller holds [t.lock].  Shed LRU ready entries until within bound;
+   returns how many were evicted. *)
+let evict_lru_locked t =
+  let evicted = ref 0 in
+  let continue = ref (ready_count_locked t > t.capacity) in
+  while !continue do
+    let victim =
+      Hashtbl.fold
+        (fun k s acc ->
+          match (s, acc) with
+          | Pending, _ -> acc
+          | Ready { last_used; _ }, Some (_, stamp) when stamp <= last_used ->
+              acc
+          | Ready { last_used; _ }, _ -> Some (k, last_used))
+        t.table None
+    in
+    (match victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.table k;
+        t.evictions <- t.evictions + 1;
+        incr evicted
+    | None -> ());
+    continue := victim <> None && ready_count_locked t > t.capacity
+  done;
+  !evicted
+
+(** [find_or_compute t key compute] returns [(value, hit)].  On a miss
+    the calling domain computes (outside the lock) and fills; concurrent
+    callers of the same key wait for that fill and count as hits.  If the
+    filler raises, the pending marker is withdrawn (waiters retry, one
+    becoming the new filler) and the exception propagates. *)
+let rec find_or_compute t key (compute : unit -> Json.t) : Json.t * bool =
+  let decision =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some (Ready r) ->
+            t.tick <- t.tick + 1;
+            r.last_used <- t.tick;
+            t.hits <- t.hits + 1;
+            `Hit r.value
+        | Some Pending ->
+            (* park until the filler resolves (or withdraws) *)
+            let rec wait () =
+              match Hashtbl.find_opt t.table key with
+              | Some Pending ->
+                  Condition.wait t.cond t.lock;
+                  wait ()
+              | Some (Ready r) ->
+                  t.tick <- t.tick + 1;
+                  r.last_used <- t.tick;
+                  t.hits <- t.hits + 1;
+                  `Hit r.value
+              | None -> `Retry (* the filler failed; contend again *)
+            in
+            wait ()
+        | None ->
+            Hashtbl.add t.table key Pending;
+            t.misses <- t.misses + 1;
+            `Fill)
+  in
+  match decision with
+  | `Hit v ->
+      Metrics.inc (m_hits ());
+      (v, true)
+  | `Retry -> find_or_compute t key compute
+  | `Fill ->
+      Metrics.inc (m_misses ());
+      let value =
+        try compute ()
+        with e ->
+          locked t (fun () ->
+              Hashtbl.remove t.table key;
+              Condition.broadcast t.cond);
+          raise e
+      in
+      let evicted =
+        locked t (fun () ->
+            t.tick <- t.tick + 1;
+            Hashtbl.replace t.table key (Ready { value; last_used = t.tick });
+            Condition.broadcast t.cond;
+            evict_lru_locked t)
+      in
+      if evicted > 0 then
+        Metrics.inc ~by:(float_of_int evicted) (m_evict ());
+      (value, false)
+
+(** Shrink or grow the LRU bound; shrinking evicts immediately. *)
+let set_capacity t n =
+  let evicted =
+    locked t (fun () ->
+        t.capacity <- max 1 n;
+        evict_lru_locked t)
+  in
+  if evicted > 0 then
+    Metrics.inc ~by:(float_of_int evicted) (m_evict ())
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let counters t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = ready_count_locked t;
+        capacity = t.capacity;
+      })
+
+(** Drop every entry and zero the instance counters (the process-global
+    Metrics counters keep accumulating; tests reset the registry). *)
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.tick <- 0;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      Condition.broadcast t.cond)
+
+let counters_json (c : counters) =
+  Json.Obj
+    [
+      ("hits", Json.Num (float_of_int c.hits));
+      ("misses", Json.Num (float_of_int c.misses));
+      ("evictions", Json.Num (float_of_int c.evictions));
+      ("entries", Json.Num (float_of_int c.entries));
+      ("capacity", Json.Num (float_of_int c.capacity));
+    ]

@@ -1,0 +1,269 @@
+(** Wire protocol of the compile service: newline-delimited JSON.
+
+    Each request line is one JSON object (or an array of objects — a
+    batch, answered by an array in the same order):
+
+    {v
+    {"id": 1, "op": "compile", "kernel": "spmv", "n": 64}
+    {"id": 2, "op": "estimate",
+     "expr": "y(i) = A(i,j) * x(j)",
+     "formats": {"A": "csr", "x": "dv", "y": "dv"},
+     "data": ["A=64x64@0.05", "x=64"]}
+    {"id": 3, "op": "metrics"}
+    {"id": 4, "op": "shutdown"}
+    v}
+
+    Every response echoes the request [id] (null when absent), names the
+    [op], and carries either [{"ok": true, "result": ...}] or
+    [{"ok": false, "error": {"code": ..., "diagnostics": [...]}}] where
+    the diagnostics are exactly the stable-coded objects
+    [stardustc run --diag-json] emits.  Cacheable operations add
+    ["cached": true|false] — whether the plan cache answered without
+    recompiling.
+
+    Protocol failures use the serve code range: a line that is not valid
+    JSON is [E1001], a request whose shape is wrong (unknown op, missing
+    or ill-typed field) is [E1002], and a handler that dies on an
+    unhandled exception is [E1003].  None of them crash the service. *)
+
+module Json = Stardust_json.Json
+module Diag = Stardust_diag.Diag
+
+type op =
+  | Ping  (** liveness probe; answers ["pong"] *)
+  | Compile  (** lower to Spatial; result carries the requested sections *)
+  | Estimate  (** compile + analytic cycle estimate *)
+  | Autotune  (** design-space search on the service's worker pool *)
+  | Stats  (** per-tensor dataset statistics and fingerprints *)
+  | Metrics  (** metrics snapshot + cache counters *)
+  | Shutdown  (** answer, then stop the service loop *)
+
+let op_name = function
+  | Ping -> "ping"
+  | Compile -> "compile"
+  | Estimate -> "estimate"
+  | Autotune -> "autotune"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
+
+let op_of_string = function
+  | "ping" -> Some Ping
+  | "compile" -> Some Compile
+  | "estimate" -> Some Estimate
+  | "autotune" -> Some Autotune
+  | "stats" -> Some Stats
+  | "metrics" -> Some Metrics
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+(** The problem a request addresses, still textual: either a named paper
+    kernel at a scale, or an expression with format bindings and data
+    specs (the same [NAME=FMT] / [NAME=DIMS\@DENSITY] grammar as the
+    CLI).  Resolution to tensors happens in the service so that a
+    resolution failure is an [E1002] response, not a parse failure. *)
+type spec = {
+  kernel : string option;
+  scale : int;  (** random-input scale for kernel mode *)
+  expr : string option;
+  formats : (string * string) list;
+  data : string list;
+}
+
+type request = {
+  id : Json.t;  (** echoed verbatim in the response; [Null] when absent *)
+  op : op;
+  spec : spec;
+  emit : string list;  (** compile sections: subset of cin/code/resources *)
+  strategy : string;  (** autotune: grid | greedy | random *)
+  samples : int;  (** autotune --strategy random *)
+  seed : int;  (** autotune --strategy random *)
+  pmus : int;  (** chip override; 0 = default *)
+  pcus : int;  (** chip override; 0 = default *)
+  dram : string;  (** hbm2e | ddr4 | ideal *)
+  volatile : bool;  (** metrics: include volatile series *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bad fmt = Diag.error ~stage:Diag.Serve ~code:Diag.code_serve_request fmt
+
+exception Invalid of Diag.t
+
+let invalid fmt = Fmt.kstr (fun m -> raise (Invalid (bad "%s" m))) fmt
+
+(** [parse_line s] is the JSON value of one request line, or the [E1001]
+    diagnostic for a line that is not JSON (with the failing offset as
+    its span, so clients can caret it). *)
+let parse_line s : (Json.t, Diag.t list) result =
+  match Json.parse s with
+  | j -> Ok j
+  | exception Json.Parse_error (msg, pos) ->
+      Error
+        [
+          Diag.error ~stage:Diag.Serve ~code:Diag.code_serve_parse
+            ~span:{ Diag.start = pos; stop = pos + 1 }
+            "request line is not valid JSON: %s" msg;
+        ]
+
+(** Request [id]s must be null, a number, or a string — anything the
+    client can correlate on; structured ids are rejected so responses
+    stay greppable. *)
+let id_of j =
+  match j with
+  | Json.Obj fields -> (
+      match List.assoc_opt "id" fields with
+      | Some (Json.(Null | Num _ | Str _) as id) -> id
+      | Some _ | None -> Json.Null)
+  | _ -> Json.Null
+
+let str_field obj name ~default =
+  match List.assoc_opt name obj with
+  | None -> default
+  | Some (Json.Str s) -> s
+  | Some _ -> invalid "field %S must be a string" name
+
+let opt_str_field obj name =
+  match List.assoc_opt name obj with
+  | None | Some Json.Null -> None
+  | Some (Json.Str s) -> Some s
+  | Some _ -> invalid "field %S must be a string" name
+
+let int_field obj name ~default =
+  match List.assoc_opt name obj with
+  | None -> default
+  | Some (Json.Num f) when Float.is_integer f -> int_of_float f
+  | Some _ -> invalid "field %S must be an integer" name
+
+let bool_field obj name ~default =
+  match List.assoc_opt name obj with
+  | None -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> invalid "field %S must be a boolean" name
+
+let str_list_field obj name ~default =
+  match List.assoc_opt name obj with
+  | None -> default
+  | Some (Json.Arr items) ->
+      List.map
+        (function
+          | Json.Str s -> s
+          | _ -> invalid "field %S must be an array of strings" name)
+        items
+  | Some _ -> invalid "field %S must be an array of strings" name
+
+let str_obj_field obj name =
+  match List.assoc_opt name obj with
+  | None -> []
+  | Some (Json.Obj fields) ->
+      List.map
+        (fun (k, v) ->
+          match v with
+          | Json.Str s -> (k, s)
+          | _ -> invalid "field %S must map names to strings" name)
+        fields
+  | Some _ -> invalid "field %S must be an object" name
+
+let enum_field obj name ~default ~allowed =
+  let v = str_field obj name ~default in
+  if List.mem v allowed then v
+  else
+    invalid "field %S must be one of %s" name (String.concat "/" allowed)
+
+let all_sections = [ "cin"; "code"; "resources" ]
+
+(** [request_of_json j] validates one request object.  Shape errors are
+    [E1002] diagnostics; field values that need the tensor layer (format
+    names, data specs, kernel names) are validated later by the service
+    under the same code. *)
+let request_of_json (j : Json.t) : (request, Diag.t list) result =
+  try
+    let obj =
+      match j with
+      | Json.Obj fields -> fields
+      | _ -> invalid "request must be a JSON object"
+    in
+    let op =
+      match opt_str_field obj "op" with
+      | None -> invalid "request needs an \"op\" field"
+      | Some name -> (
+          match op_of_string name with
+          | Some op -> op
+          | None ->
+              invalid "unknown op %S (try ping/compile/estimate/autotune/stats/metrics/shutdown)"
+                name)
+    in
+    let emit = str_list_field obj "emit" ~default:[ "code"; "resources" ] in
+    List.iter
+      (fun s ->
+        if not (List.mem s all_sections) then
+          invalid "unknown emit section %S (try cin/code/resources)" s)
+      emit;
+    Ok
+      {
+        id = id_of j;
+        op;
+        spec =
+          {
+            kernel = opt_str_field obj "kernel";
+            scale = int_field obj "n" ~default:32;
+            expr = opt_str_field obj "expr";
+            formats = str_obj_field obj "formats";
+            data = str_list_field obj "data" ~default:[];
+          };
+        emit;
+        strategy =
+          enum_field obj "strategy" ~default:"grid"
+            ~allowed:[ "grid"; "greedy"; "random" ];
+        samples = int_field obj "samples" ~default:64;
+        seed = int_field obj "seed" ~default:42;
+        pmus = int_field obj "pmus" ~default:0;
+        pcus = int_field obj "pcus" ~default:0;
+        dram =
+          enum_field obj "dram" ~default:"hbm2e"
+            ~allowed:[ "hbm2e"; "ddr4"; "ideal" ];
+        volatile = bool_field obj "volatile" ~default:false;
+      }
+  with Invalid d -> Error [ d ]
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Diagnostics rendered through the same [Diag.to_json] the CLI's
+    [--diag-json] uses, re-parsed into the tree so they nest in the
+    response (the round-trip is loss-free: both ends are our own
+    renderer). *)
+let diags_json ds = Json.parse (Diag.list_to_json ds)
+
+let ok_body result = Json.Obj [ ("ok", Json.Bool true); ("result", result) ]
+
+let error_body ds =
+  let code =
+    match List.find_opt Diag.is_error ds with
+    | Some d -> d.Diag.code
+    | None -> Diag.code_serve_internal
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.Str code); ("diagnostics", diags_json ds) ] );
+    ]
+
+(** Wrap a body ([ok_body] or [error_body]) into the response envelope:
+    [id] first, then [op], then — for cacheable operations — whether the
+    plan cache answered. *)
+let envelope ~id ~op ?cached body =
+  let fields =
+    match body with
+    | Json.Obj fields -> fields
+    | j -> [ ("ok", Json.Bool true); ("result", j) ]
+  in
+  let cached_field =
+    match cached with None -> [] | Some c -> [ ("cached", Json.Bool c) ]
+  in
+  Json.Obj ((("id", id) :: ("op", Json.Str op) :: cached_field) @ fields)

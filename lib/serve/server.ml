@@ -1,0 +1,73 @@
+(** Transport layer of the compile service: newline-delimited JSON over
+    stdin/stdout or a Unix-domain socket.
+
+    One request per line; a line holding a JSON array is a batch,
+    dispatched across the service's worker pool and answered by an
+    array in request order on a single line.  Blank lines are ignored.
+    A line that is not valid JSON is answered with an [E1001] error
+    response (never a crash or a dropped connection).
+
+    The socket listener accepts connections sequentially — the
+    parallelism budget lives inside the service (batches and autotune
+    searches fan out on the domain pool), not in concurrent
+    connections.  A [shutdown] request is answered, then the current
+    connection and the listener close. *)
+
+module Json = Stardust_json.Json
+module P = Protocol
+
+(** Answer one request line.  Returns the response line (no trailing
+    newline). *)
+let handle_line t line : string =
+  match P.parse_line line with
+  | Error ds -> Json.to_string (P.envelope ~id:Json.Null ~op:"invalid" (P.error_body ds))
+  | Ok (Json.Arr items) ->
+      Json.to_string (Json.Arr (Service.handle_batch t items))
+  | Ok j -> Json.to_string (Service.handle_request t j)
+
+(** Serve NDJSON requests from [ic] to [oc] until EOF or a [shutdown]
+    request.  Responses are flushed per line, so interactive clients
+    (and the CI's scripted sessions) can pipeline. *)
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | "" -> loop ()
+    | line ->
+        output_string oc (handle_line t line);
+        output_char oc '\n';
+        flush oc;
+        if not (Service.stopping t) then loop ()
+  in
+  loop ()
+
+(** Bind [path], accept connections one at a time, and serve each until
+    its EOF; returns after a [shutdown] request.  A stale socket file
+    from a dead daemon is unlinked before binding. *)
+let serve_unix_socket t path =
+  (match Sys.file_exists path with
+  | true -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | false -> ());
+  (* a client that disconnects mid-response must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      let rec accept_loop () =
+        if not (Service.stopping t) then begin
+          let conn, _ = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr conn in
+          let oc = Unix.out_channel_of_descr conn in
+          (try serve_channels t ic oc
+           with Sys_error _ | Unix.Unix_error _ -> ());
+          (try Unix.close conn with Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ())

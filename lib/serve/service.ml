@@ -1,0 +1,405 @@
+(** The compile service: request dispatch, the plan cache, and the
+    shared worker pool.
+
+    One {!t} lives for the whole daemon: it owns a persistent
+    {!Pool.create}d domain pool (autotune searches and request batches
+    run on it instead of re-spawning domains per request) and a
+    {!Plan_cache.t} addressed by everything that determines an answer —
+    operation, kernel/expression, format signature, per-tensor dataset
+    fingerprints, chip configuration, and the options that shape the
+    payload.  A repeated request is answered from the cache
+    byte-identically with no recompilation; the [cached] bit in the
+    response and the deterministic [plan_cache_*] counters make that
+    observable to clients, tests, and CI.
+
+    Every request is wrapped in a [serve.<op>] trace span and counted in
+    the metrics registry: [serve_requests_total{op}] (deterministic),
+    [serve_request_seconds{op}] latency histograms and the
+    [serve_inflight_requests] gauge (volatile — wall-clock truth, never
+    part of the deterministic snapshot).
+
+    Handlers never raise: anything a handler throws becomes a
+    stable-coded diagnostic in an [ok: false] response ([E1003] if no
+    stage produced a better code). *)
+
+module Json = Stardust_json.Json
+module Diag = Stardust_diag.Diag
+module Trace = Stardust_obs.Trace
+module Metrics = Stardust_obs.Metrics
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module Stats_cache = Stardust_tensor.Stats_cache
+module Cin = Stardust_ir.Cin
+module S = Stardust_schedule.Schedule
+module C = Stardust_core.Compile
+module K = Stardust_core.Kernels
+module Arch = Stardust_capstan.Arch
+module Dram = Stardust_capstan.Dram
+module Sim = Stardust_capstan.Sim
+module Resources = Stardust_capstan.Resources
+module Pool = Stardust_explore.Pool
+module Explore = Stardust_explore.Explore
+module Eval = Stardust_explore.Eval
+module P = Protocol
+
+type t = {
+  pool : Pool.t;
+  cache : Plan_cache.t;
+  mutable stop : bool;  (** a shutdown request was answered *)
+}
+
+let create ?workers ?plan_cache_capacity () =
+  {
+    pool = Pool.create ?workers ();
+    cache = Plan_cache.create ?capacity:plan_cache_capacity ();
+    stop = false;
+  }
+
+let stopping t = t.stop
+let plan_cache t = t.cache
+let workers t = Pool.size t.pool
+
+(** Graceful drain: joins the pool's worker domains.  Idempotent; the
+    handle still answers requests afterwards (inline, single-domain). *)
+let shutdown t = Pool.shutdown t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Request metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let m_requests op =
+  Metrics.counter ~help:"requests handled by the compile service"
+    ~labels:[ ("op", op) ]
+    "serve_requests_total"
+
+let m_latency op =
+  Metrics.histogram ~volatile:true
+    ~help:"wall-clock seconds spent handling a request"
+    ~labels:[ ("op", op) ]
+    "serve_request_seconds"
+
+let inflight = Atomic.make 0
+
+let m_inflight () =
+  Metrics.gauge ~volatile:true ~help:"requests currently being handled"
+    "serve_inflight_requests"
+
+(* ------------------------------------------------------------------ *)
+(* Spec resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A request's problem, resolved to tensors.  Kernel mode keeps the
+    kernel spec and stage so compilation applies the stage's
+    paper-specific schedule (same as [stardustc kernel]); expression
+    mode compiles the heuristic schedule (same as [stardustc compile]). *)
+type resolved = {
+  rname : string;
+  rstage : (K.spec * K.stage) option;
+  rexpr : string;  (** expression text; ["-"] for data-only stats *)
+  rformats : (string * F.t) list;
+  rinputs : (string * T.t) list;
+}
+
+let resolve_spec (r : P.request) : (resolved, Diag.t list) result =
+  let bad fmt = Fmt.kstr (fun m -> Error [ P.bad "%s" m ]) fmt in
+  let sp = r.P.spec in
+  try
+    match (sp.P.kernel, sp.P.expr) with
+    | Some _, Some _ -> bad "give \"kernel\" or \"expr\", not both"
+    | Some name, None -> (
+        match K.find name with
+        | None -> bad "unknown kernel %S (op \"list\" is the CLI's)" name
+        | Some spec ->
+            let st = List.hd spec.K.stages in
+            Ok
+              {
+                rname = String.lowercase_ascii spec.K.kname;
+                rstage = Some (spec, st);
+                rexpr = st.K.expr;
+                rformats = st.K.formats;
+                rinputs = Workload.stage_random_inputs st sp.P.scale;
+              })
+    | None, Some e ->
+        let formats =
+          List.map
+            (fun (n, f) -> (n, Workload.format_of_string f))
+            sp.P.formats
+        in
+        Ok
+          {
+            rname = "custom";
+            rstage = None;
+            rexpr = e;
+            rformats = formats;
+            rinputs = Workload.inputs_of_specs ~formats sp.P.data;
+          }
+    | None, None ->
+        if r.P.op = P.Stats && sp.P.data <> [] then
+          let formats =
+            List.map
+              (fun (n, f) -> (n, Workload.format_of_string f))
+              sp.P.formats
+          in
+          Ok
+            {
+              rname = "custom";
+              rstage = None;
+              rexpr = "-";
+              rformats = formats;
+              rinputs = Workload.inputs_of_specs ~formats sp.P.data;
+            }
+        else bad "request needs a \"kernel\" or an \"expr\""
+  with Failure msg -> Error [ P.bad "%s" msg ]
+
+let config_of_request (r : P.request) =
+  let a = Arch.default in
+  let a = if r.P.pmus > 0 then { a with Arch.num_pmu = r.P.pmus } else a in
+  let a = if r.P.pcus > 0 then { a with Arch.num_pcu = r.P.pcus } else a in
+  let dram =
+    match r.P.dram with
+    | "ddr4" -> Dram.ddr4
+    | "ideal" -> Dram.ideal
+    | _ -> Dram.hbm2e
+  in
+  { Sim.arch = a; dram }
+
+(** The plan-cache address of a request: the same fingerprint discipline
+    as {!Eval.problem_key} — formats by short name, inputs by their
+    sampled {!Stats_cache.fingerprint}, the chip by the full
+    {!Sim.config_fingerprint} — plus the operation, the kernel name
+    (kernel stages carry paper-specific schedules, so [spmv] and its
+    bare expression are distinct plans), and the options that shape the
+    payload.  Two requests with equal keys are answered by one
+    compilation. *)
+let request_key ~opts (r : P.request) (rs : resolved) config =
+  let fmts =
+    String.concat ","
+      (List.map
+         (fun (n, f) -> Fmt.str "%s:%s" n (F.short_name f))
+         (List.sort compare rs.rformats))
+  in
+  let data =
+    String.concat ","
+      (List.map
+         (fun (n, t) -> Fmt.str "%s:%s" n (Stats_cache.fingerprint t))
+         (List.sort (fun (a, _) (b, _) -> compare a b) rs.rinputs))
+  in
+  Fmt.str "%s|%s|%s|%s|%s|%s|%s" (P.op_name r.P.op) rs.rname rs.rexpr fmts
+    data
+    (Sim.config_fingerprint config)
+    opts
+
+(* ------------------------------------------------------------------ *)
+(* Result payloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let num f = Json.Num f
+let int_ n = Json.Num (float_of_int n)
+
+let usage_json (u : Resources.usage) =
+  Json.Obj
+    [
+      ("pcu", int_ u.Resources.pcu);
+      ("pmu", int_ u.Resources.pmu);
+      ("mc", int_ u.Resources.mc);
+      ("shuffle", int_ u.Resources.shuffle);
+      ("limiting", Json.Str u.Resources.limiting);
+      ("feasible", Json.Bool u.Resources.feasible);
+    ]
+
+let report_json (r : Sim.report) =
+  Json.Obj
+    [
+      ("cycles", num r.Sim.cycles);
+      ("compute_cycles", num r.Sim.compute_cycles);
+      ("dram_cycles", num r.Sim.dram_cycles);
+      ("streamed_bytes", num r.Sim.streamed_bytes);
+      ("random_accesses", num r.Sim.random_accesses);
+      ("iterations", num r.Sim.iterations);
+      ("scan_bits", num r.Sim.scan_bits);
+      ("seconds", num r.Sim.seconds);
+    ]
+
+let compile_resolved (rs : resolved) : (C.compiled, Diag.t list) result =
+  match rs.rstage with
+  | Some (spec, st) -> K.compile_stage_result spec st ~inputs:rs.rinputs
+  | None ->
+      C.compile_string_result ~name:rs.rname ~formats:rs.rformats
+        ~inputs:rs.rinputs rs.rexpr
+
+let handle_compile (r : P.request) (rs : resolved) config =
+  match compile_resolved rs with
+  | Error ds -> P.error_body ds
+  | Ok compiled ->
+      let section name mk = if List.mem name r.P.emit then [ (name, mk ()) ] else [] in
+      P.ok_body
+        (Json.Obj
+           (section "cin" (fun () ->
+                Json.Str (Fmt.str "%a" Cin.pp (S.stmt compiled.C.schedule)))
+           @ section "code" (fun () -> Json.Str (C.spatial_code compiled))
+           @ section "resources" (fun () ->
+                 usage_json (Resources.count config.Sim.arch compiled))))
+
+let handle_estimate (rs : resolved) config =
+  match compile_resolved rs with
+  | Error ds -> P.error_body ds
+  | Ok compiled ->
+      let report = Sim.estimate ~config compiled in
+      P.ok_body
+        (Json.Obj
+           [
+             ("report", report_json report);
+             ("resources", usage_json (Resources.count config.Sim.arch compiled));
+           ])
+
+let handle_autotune t (r : P.request) (rs : resolved) config =
+  let problem =
+    Eval.problem_of_string ~name:rs.rname ~config ~formats:rs.rformats
+      ~inputs:rs.rinputs rs.rexpr
+  in
+  let strategy =
+    match r.P.strategy with
+    | "greedy" -> Explore.Greedy
+    | "random" -> Explore.Random { samples = r.P.samples; seed = r.P.seed }
+    | _ -> Explore.Exhaustive
+  in
+  let result = Explore.run ~pool:t.pool ~strategy problem in
+  P.ok_body (Json.parse (Explore.to_json result))
+
+let handle_stats (rs : resolved) =
+  let tensor_json (name, tensor) =
+    let dims = Array.to_list (T.dims tensor) in
+    let total =
+      List.fold_left (fun acc d -> acc *. float_of_int d) 1.0 dims
+    in
+    let nnz = T.nnz tensor in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("dims", Json.Arr (List.map int_ dims));
+        ("nnz", int_ nnz);
+        ( "density",
+          num (if total > 0.0 then float_of_int nnz /. total else 0.0) );
+        ("fingerprint", Json.Str (Stats_cache.fingerprint tensor));
+      ]
+  in
+  P.ok_body
+    (Json.Obj [ ("tensors", Json.Arr (List.map tensor_json rs.rinputs)) ])
+
+let stats_cache_json () =
+  let c = Stats_cache.counters () in
+  Json.Obj
+    [
+      ("hits", int_ c.Stats_cache.hits);
+      ("misses", int_ c.Stats_cache.misses);
+      ("evictions", int_ c.Stats_cache.evictions);
+      ("entries", int_ (Stats_cache.size ()));
+      ("capacity", int_ (Stats_cache.capacity ()));
+    ]
+
+let handle_metrics t (r : P.request) =
+  P.ok_body
+    (Json.Obj
+       [
+         ( "metrics",
+           Json.parse
+             (Metrics.snapshot_json ~deterministic:(not r.P.volatile) ()) );
+         ("plan_cache", Plan_cache.counters_json (Plan_cache.counters t.cache));
+         ("stats_cache", stats_cache_json ());
+         ("workers", int_ (workers t));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Compute one request's body.  Returns the body and, for cacheable
+    operations, whether the plan cache answered it. *)
+let dispatch t (r : P.request) : Json.t * bool option =
+  let resolved_or k =
+    match resolve_spec r with Error ds -> (P.error_body ds, None) | Ok rs -> k rs
+  in
+  let via_cache ~opts rs compute =
+    let config = config_of_request r in
+    let key = request_key ~opts r rs config in
+    let body, hit =
+      Plan_cache.find_or_compute t.cache key (fun () -> compute config)
+    in
+    (body, Some hit)
+  in
+  match r.P.op with
+  | P.Ping -> (P.ok_body (Json.Str "pong"), None)
+  | P.Shutdown ->
+      t.stop <- true;
+      (P.ok_body (Json.Str "bye"), None)
+  | P.Metrics -> (handle_metrics t r, None)
+  | P.Compile ->
+      resolved_or (fun rs ->
+          via_cache ~opts:(String.concat "," r.P.emit) rs (fun config ->
+              handle_compile r rs config))
+  | P.Estimate ->
+      resolved_or (fun rs ->
+          via_cache ~opts:"" rs (fun config -> handle_estimate rs config))
+  | P.Autotune ->
+      resolved_or (fun rs ->
+          via_cache
+            ~opts:
+              (Fmt.str "%s/%d/%d" r.P.strategy r.P.samples r.P.seed)
+            rs
+            (fun config -> handle_autotune t r rs config))
+  | P.Stats -> resolved_or (fun rs -> via_cache ~opts:"" rs (fun _ -> handle_stats rs))
+
+(** Handle one request value end to end: validate, count, trace, time,
+    dispatch, and envelope.  Never raises. *)
+let handle_request t (j : Json.t) : Json.t =
+  match P.request_of_json j with
+  | Error ds -> P.envelope ~id:(P.id_of j) ~op:"invalid" (P.error_body ds)
+  | Ok r ->
+      let opname = P.op_name r.P.op in
+      Metrics.inc (m_requests opname);
+      Metrics.set (m_inflight ()) (float_of_int (1 + Atomic.fetch_and_add inflight 1));
+      let t0 = Unix.gettimeofday () in
+      let finish () =
+        Metrics.observe (m_latency opname) (Unix.gettimeofday () -. t0);
+        Metrics.set (m_inflight ())
+          (float_of_int (Atomic.fetch_and_add inflight (-1) - 1))
+      in
+      Fun.protect ~finally:finish (fun () ->
+          Trace.with_span ~cat:"serve"
+            ~args:[ ("op", opname) ]
+            ("serve." ^ opname)
+            (fun () ->
+              let body, cached =
+                try dispatch t r with
+                | Diag.Fail ds -> (P.error_body ds, None)
+                | Sim.Sim_error { kind; message } ->
+                    let code =
+                      match kind with
+                      | Sim.Runtime -> Diag.code_sim_runtime
+                      | Sim.Capacity -> Diag.code_sim_capacity
+                      | Sim.Watchdog -> Diag.code_sim_watchdog
+                      | Sim.Fault -> Diag.code_sim_fault
+                    in
+                    ( P.error_body
+                        [ Diag.error ~stage:Diag.Simulate ~code "%s" message ],
+                      None )
+                | e ->
+                    ( P.error_body
+                        [
+                          Diag.error ~stage:Diag.Serve
+                            ~code:Diag.code_serve_internal
+                            ~context:
+                              [ ("exception", Printexc.to_string e) ]
+                            "request handler failed";
+                        ],
+                      None )
+              in
+              P.envelope ~id:r.P.id ~op:opname ?cached body))
+
+(** Handle a batch (a JSON-array request line) on the worker pool:
+    order-preserving, one response per request.  A nested pool use from
+    inside a handler — an autotune in the batch — degrades to an inline
+    run (see {!Pool.in_pooled_task}). *)
+let handle_batch t (items : Json.t list) : Json.t list =
+  Array.to_list
+    (Pool.map ~pool:t.pool (handle_request t) (Array.of_list items))

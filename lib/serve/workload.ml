@@ -1,0 +1,98 @@
+(** Request-input construction shared by the CLI driver and the compile
+    service: format names, ["A=64x64@0.05"] data specs, and the
+    paper-shaped random inputs for a named kernel stage.  Input
+    generation is fully deterministic — the same spec always produces
+    the same tensor — which is what makes request fingerprints
+    content-addressed: two clients sending the same request text hit the
+    same plan-cache entry. *)
+
+module F = Stardust_tensor.Format
+module T = Stardust_tensor.Tensor
+module K = Stardust_core.Kernels
+module D = Stardust_workloads.Datasets
+
+let format_of_string = function
+  | "csr" -> F.csr ()
+  | "csc" -> F.csc ()
+  | "dv" -> F.dv ()
+  | "sv" -> F.sv ()
+  | "rm" | "dense" -> F.rm ()
+  | "cm" -> F.cm ()
+  | "csf2" -> F.csf 2
+  | "csf3" | "csf" -> F.csf 3
+  | "ucc" -> F.ucc ()
+  | "scalar" -> F.make []
+  | s ->
+      Fmt.failwith "unknown format %S (try csr csc dv sv rm cm csf ucc scalar)"
+        s
+
+(** Parse one ["NAME=FMT"] binding. *)
+let parse_format_binding s =
+  match String.split_on_char '=' s with
+  | [ n; f ] -> (n, format_of_string f)
+  | _ -> Fmt.failwith "bad format binding %S (want NAME=FMT)" s
+
+(** Parse one data spec: ["A=8x8@0.3"] or ["x=8"] (dense when no density
+    given). *)
+let parse_data_spec s =
+  match String.split_on_char '=' s with
+  | [ name; rest ] ->
+      let dims_s, density =
+        match String.split_on_char '@' rest with
+        | [ d ] -> (d, None)
+        | [ d; dens ] -> (d, Some (float_of_string dens))
+        | _ -> Fmt.failwith "bad data spec %S" s
+      in
+      let dims = List.map int_of_string (String.split_on_char 'x' dims_s) in
+      (name, dims, density)
+  | _ -> Fmt.failwith "bad data spec %S (want NAME=DIMSxDIMS[@DENSITY])" s
+
+let gen_tensor name fmt dims density seed =
+  match density with
+  | Some d -> D.small_random ~seed ~name ~format:fmt ~dims ~density:d ()
+  | None -> (
+      match dims with
+      | [ n ] -> D.dense_vector ~seed ~name ~dim:n ()
+      | [ r; c ] when F.is_fully_dense fmt ->
+          D.dense_matrix ~seed ~name ~format:fmt ~rows:r ~cols:c ()
+      | _ -> D.small_random ~seed ~name ~format:fmt ~dims ~density:1.0 ())
+
+(** Build the inputs of a list of ["NAME=DIMS[@DENSITY]"] specs against
+    format bindings; seeds are positional, matching the CLI's historical
+    behavior, so spec lists are reproducible verbatim. *)
+let inputs_of_specs ~formats specs =
+  List.mapi
+    (fun i s ->
+      let name, dims, density = parse_data_spec s in
+      let fmt =
+        match List.assoc_opt name formats with
+        | Some f -> f
+        | None -> Fmt.failwith "no format for tensor %s" name
+      in
+      (name, gen_tensor name fmt dims density (i + 1)))
+    specs
+
+(** Paper-shaped random inputs for one kernel stage at scale [n] (shared
+    by the CLI's [kernel]/[run]/[autotune]/[profile] subcommands and the
+    service's kernel-mode requests). *)
+let stage_random_inputs (st : K.stage) n =
+  List.filter_map
+    (fun (tname, fmt) ->
+      if tname = st.K.result || (String.length tname > 0 && tname.[0] = '_')
+      then None
+      else
+        let order = F.order fmt in
+        let dims = List.init order (fun _ -> n) in
+        let t =
+          if F.is_fully_dense fmt then
+            if order = 1 then D.dense_vector ~name:tname ~dim:n ()
+            else if order = 2 then
+              D.dense_matrix ~name:tname ~format:fmt ~rows:n ~cols:n ()
+            else D.small_random ~name:tname ~format:fmt ~dims ~density:1.0 ()
+          else
+            D.small_random
+              ~seed:(Hashtbl.hash tname)
+              ~name:tname ~format:fmt ~dims ~density:0.1 ()
+        in
+        Some (tname, t))
+    st.K.formats

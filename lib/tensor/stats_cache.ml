@@ -17,8 +17,10 @@
     with equal shape but different data hash differently with
     overwhelming probability; tensors are immutable once packed, so
     there is no invalidation — entries stay valid for the process
-    lifetime and eviction is purely a size cap ({!max_entries}), cleared
-    wholesale when exceeded.
+    lifetime and eviction is purely a capacity bound ({!set_capacity},
+    default {!default_capacity}) shed least-recently-used first, so a
+    long-lived daemon keeps its working set warm while dead tensors age
+    out.
 
     {2 Locking discipline}
 
@@ -107,18 +109,27 @@ type value =
   | Keys of int array  (** sorted distinct linearized prefix keys *)
   | Ints of int array  (** per-level scalars, e.g. max fiber lengths *)
 
-(** Size cap: beyond this many entries the whole table is dropped (the
-    fuzzer generates fresh tensors per case, so without a cap the table
-    would grow for the process lifetime).  Searches touch a handful of
-    tensors each; 8192 entries is far above any single search's working
-    set, so the cap only sheds long-dead fuzz tensors. *)
-let max_entries = 8192
+(** Capacity bound with LRU eviction: every entry carries a last-use
+    stamp (a logical tick bumped on each table access), and an insert
+    that pushes the table past the capacity evicts the least-recently
+    used entries one at a time until it fits again.  The default is far
+    above any single search's working set, so in a one-shot CLI run the
+    bound never bites; in a long-lived daemon (the compile service, the
+    fuzzer) it is what keeps dead tensors — fuzz cases, disconnected
+    clients' datasets — from accumulating for the process lifetime.
+    {!set_capacity} tunes the bound at runtime. *)
+let default_capacity = 8192
+
+type entry = { e_value : value; mutable e_last_used : int }
 
 let lock = Mutex.create ()
-let table : (string, value) Hashtbl.t = Hashtbl.create 256
+let table : (string, entry) Hashtbl.t = Hashtbl.create 256
+let capacity_bound = ref default_capacity
+let tick = ref 0
 let enabled_flag = ref true
 let hit_count = ref 0
 let miss_count = ref 0
+let evict_count = ref 0
 let fill_secs = ref 0.0
 
 let locked f =
@@ -188,7 +199,7 @@ let m_fill =
 let m_evict =
   lazy
     (Metrics.counter ~volatile:true
-       ~help:"whole-table evictions on reaching the size cap"
+       ~help:"entries evicted by the LRU capacity bound"
        "stats_cache_evictions_total")
 
 (** Disable to force every query back to a raw computation (the
@@ -205,13 +216,61 @@ let set_enabled b =
 
 let is_enabled () = locked (fun () -> !enabled_flag)
 
-type counters = { hits : int; misses : int; fill_seconds : float }
+(* Caller holds [lock].  Evict least-recently-used entries until the
+   table fits the capacity bound again; returns how many were shed.  The
+   scan is O(n) per victim, but it only runs when an insert overflows
+   the bound, and the bound keeps n small by construction. *)
+let evict_lru_locked () =
+  let evicted = ref 0 in
+  while Hashtbl.length table > !capacity_bound do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.e_last_used -> acc
+          | _ -> Some (k, e.e_last_used))
+        table None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove table k;
+        incr evict_count;
+        incr evicted
+    | None -> ()
+  done;
+  !evicted
+
+(** Bound the table to [n] entries (clamped to at least 1), evicting
+    least-recently-used entries immediately if it is already over. *)
+let set_capacity n =
+  let evicted =
+    locked (fun () ->
+        capacity_bound := max 1 n;
+        evict_lru_locked ())
+  in
+  if evicted > 0 then
+    Metrics.inc ~by:(float_of_int evicted) (Lazy.force m_evict)
+
+let capacity () = locked (fun () -> !capacity_bound)
+let size () = locked (fun () -> Hashtbl.length table)
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  fill_seconds : float;
+}
 
 (** Deterministic counter view for sequential consumers (benches, tests);
     under racing domains prefer the volatile Metrics counters' trends. *)
 let counters () =
   locked (fun () ->
-      { hits = !hit_count; misses = !miss_count; fill_seconds = !fill_secs })
+      {
+        hits = !hit_count;
+        misses = !miss_count;
+        evictions = !evict_count;
+        fill_seconds = !fill_secs;
+      })
 
 (** Drop every entry and zero the counters (tests and benchmarks). *)
 let reset () =
@@ -219,8 +278,10 @@ let reset () =
       Hashtbl.reset table;
       Hashtbl.reset fp_memo;
       fp_memo_size := 0;
+      tick := 0;
       hit_count := 0;
       miss_count := 0;
+      evict_count := 0;
       fill_secs := 0.0)
 
 let note_hit () =
@@ -244,28 +305,41 @@ let timed_raw compute =
 
 (* Double-checked fill (see the module doc for the discipline).  Callers
    check [enabled_flag] before building keys — disabled queries must not
-   pay for fingerprinting. *)
+   pay for fingerprinting.  Every table access stamps the entry with a
+   fresh logical tick so eviction is LRU, not arbitrary. *)
 let find_or_fill key compute =
-  match locked (fun () -> Hashtbl.find_opt table key) with
-    | Some v ->
-        note_hit ();
-        v
-    | None ->
-        let t0 = Unix.gettimeofday () in
-        let v = compute () in
-        note_miss (Unix.gettimeofday () -. t0);
-        let v, evicted =
-          locked (fun () ->
-              match Hashtbl.find_opt table key with
-              | Some v' -> (v', false) (* raced: another domain filled first *)
-              | None ->
-                  let evict = Hashtbl.length table >= max_entries in
-                  if evict then Hashtbl.reset table;
-                  Hashtbl.add table key v;
-                  (v, evict))
-        in
-        if evicted then Metrics.inc (Lazy.force m_evict);
-        v
+  let found =
+    locked (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e ->
+            incr tick;
+            e.e_last_used <- !tick;
+            Some e.e_value
+        | None -> None)
+  in
+  match found with
+  | Some v ->
+      note_hit ();
+      v
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let v = compute () in
+      note_miss (Unix.gettimeofday () -. t0);
+      let v, evicted =
+        locked (fun () ->
+            incr tick;
+            match Hashtbl.find_opt table key with
+            | Some e ->
+                (* raced: another domain filled first *)
+                e.e_last_used <- !tick;
+                (e.e_value, 0)
+            | None ->
+                Hashtbl.add table key { e_value = v; e_last_used = !tick };
+                (v, evict_lru_locked ()))
+      in
+      if evicted > 0 then
+        Metrics.inc ~by:(float_of_int evicted) (Lazy.force m_evict);
+      v
 
 let wrong_kind key = invalid_arg ("Stats_cache: wrong entry kind for " ^ key)
 

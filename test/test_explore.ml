@@ -111,6 +111,42 @@ let test_pool_map_exception () =
           Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
     [ 1; 4 ]
 
+(* Persistent pool lifecycle: a created handle serves many maps on the
+   same parked domains, keeps the one-shot ordering guarantee, degrades
+   to inline execution after shutdown, and runs nested submissions from
+   inside a batch item inline instead of deadlocking. *)
+let test_pool_lifecycle () =
+  let pool = Pool.create ~workers:3 () in
+  Alcotest.(check int) "size reports total workers" 3 (Pool.size pool);
+  let xs = Array.init 50 (fun i -> i) in
+  let expect = Array.map (fun i -> i + 1) xs in
+  for round = 1 to 3 do
+    Alcotest.(check (array int))
+      (Fmt.str "round %d reuses the parked domains" round)
+      expect
+      (Pool.map ~pool (fun i -> i + 1) xs)
+  done;
+  (* a nested map from inside a batch item runs inline, not deadlocked *)
+  let nested =
+    Pool.map ~pool
+      (fun i ->
+        Alcotest.(check bool)
+          "inside a pooled item the flag is set" true
+          (Pool.in_pooled_task ());
+        Array.fold_left ( + ) 0
+          (Pool.map ~pool (fun j -> i * j) (Array.init 4 (fun j -> j))))
+      (Array.init 6 (fun i -> i))
+  in
+  Alcotest.(check (array int))
+    "nested results correct" [| 0; 6; 12; 18; 24; 30 |] nested;
+  Alcotest.(check bool)
+    "flag cleared outside pooled items" false (Pool.in_pooled_task ());
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.(check (array int))
+    "map after shutdown degrades to inline" expect
+    (Pool.map ~pool (fun i -> i + 1) xs)
+
 let test_pool_cache () =
   let cache : int Pool.Cache.t = Pool.Cache.create () in
   let calls = ref 0 in
@@ -273,6 +309,8 @@ let suite =
     Alcotest.test_case "pool: exceptions propagate" `Quick
       test_pool_map_exception;
     Alcotest.test_case "pool: memo cache" `Quick test_pool_cache;
+    Alcotest.test_case "pool: persistent lifecycle" `Quick
+      test_pool_lifecycle;
     Alcotest.test_case "pareto frontier" `Quick test_pareto;
     Alcotest.test_case "search: worker-count determinism" `Quick
       test_determinism;

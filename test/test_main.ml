@@ -19,4 +19,5 @@ let () =
       ("diag", Test_diag.suite);
       ("oracle", Test_oracle.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -10,7 +10,7 @@ module D = Stardust_workloads.Datasets
 module Explore = Stardust_explore.Explore
 module Eval = Stardust_explore.Eval
 module Pool = Stardust_explore.Pool
-module Json = Stardust_oracle.Json
+module Json = Stardust_json.Json
 module Trace = Stardust_obs.Trace
 module Metrics = Stardust_obs.Metrics
 module Profile = Stardust_obs.Profile

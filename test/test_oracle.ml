@@ -9,7 +9,7 @@ module Legality = Stardust_core.Legality
 module Reference = Stardust_vonneumann.Reference
 module Pool = Stardust_explore.Pool
 module Diag = Stardust_diag.Diag
-module Json = Stardust_oracle.Json
+module Json = Stardust_json.Json
 module Case = Stardust_oracle.Case
 module Gen = Stardust_oracle.Gen
 module Differ = Stardust_oracle.Differ

@@ -1,0 +1,380 @@
+(* Compile-service tests: protocol round-trips, stable error codes for
+   malformed requests, plan-cache hit/eviction semantics, worker-count
+   determinism of the metrics snapshot, the nested-pool (batched
+   autotune) guard, and a Unix-socket client session. *)
+
+module Json = Stardust_json.Json
+module Pool = Stardust_explore.Pool
+module Plan_cache = Stardust_serve.Plan_cache
+module Protocol = Stardust_serve.Protocol
+module Service = Stardust_serve.Service
+module Server = Stardust_serve.Server
+module Client = Stardust_serve.Client
+module Metrics = Stardust_obs.Metrics
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* Small requests: paper kernels at tiny scales so a whole suite run
+   costs a few compilations, not a benchmark. *)
+let req ?(extra = []) ?id op fields =
+  let id = match id with None -> [] | Some i -> [ ("id", Json.Num (float_of_int i)) ] in
+  Json.Obj (id @ [ ("op", Json.Str op) ] @ fields @ extra)
+
+let kernel_req ?extra ?id op kernel n =
+  req ?extra ?id op
+    [ ("kernel", Json.Str kernel); ("n", Json.Num (float_of_int n)) ]
+
+let field name resp = Json.member_exn name resp
+let is_ok resp = field "ok" resp = Json.Bool true
+let cached_bit resp = field "cached" resp = Json.Bool true
+let error_code resp = Json.to_str (field "code" (field "error" resp))
+
+let with_service ?workers f =
+  let svc = Service.create ?workers ~plan_cache_capacity:64 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Every operation answered ok, with the request id and op echoed in the
+   envelope; shutdown flips the service's stopping flag last. *)
+let test_roundtrip_ops () =
+  with_service ~workers:1 (fun svc ->
+      let ask i r =
+        let resp = Service.handle_request svc r in
+        check Alcotest.string
+          (Fmt.str "request %d echoes its id" i)
+          (Json.to_string (Json.Num (float_of_int i)))
+          (Json.to_string (field "id" resp));
+        resp
+      in
+      let ping = ask 1 (req ~id:1 "ping" []) in
+      checkb "ping ok" true (is_ok ping);
+      checks "ping op echoed" "ping" (Json.to_str (field "op" ping));
+      checks "ping pongs" "pong" (Json.to_str (field "result" ping));
+      let compile = ask 2 (kernel_req ~id:2 "compile" "spmv" 8) in
+      checkb "compile ok" true (is_ok compile);
+      checkb "compile result has code" true
+        (Json.member "code" (field "result" compile) <> None);
+      checkb "compile result has resources" true
+        (Json.member "resources" (field "result" compile) <> None);
+      let estimate = ask 3 (kernel_req ~id:3 "estimate" "spmv" 8) in
+      checkb "estimate ok" true (is_ok estimate);
+      checkb "estimate reports cycles" true
+        (Json.to_float
+           (field "cycles" (field "report" (field "result" estimate)))
+        > 0.0);
+      let stats = ask 4 (kernel_req ~id:4 "stats" "spmv" 8) in
+      checkb "stats ok" true (is_ok stats);
+      checki "stats covers both spmv inputs" 2
+        (List.length (Json.to_list (field "tensors" (field "result" stats))));
+      let autotune =
+        ask 5
+          (kernel_req ~id:5 "autotune" "spmv" 8
+             ~extra:[ ("strategy", Json.Str "greedy") ])
+      in
+      checkb "autotune ok" true (is_ok autotune);
+      checkb "autotune reports a frontier" true
+        (Json.member "frontier" (field "result" autotune) <> None);
+      let metrics = ask 6 (req ~id:6 "metrics" []) in
+      checkb "metrics ok" true (is_ok metrics);
+      checkb "metrics reports the plan cache" true
+        (Json.member "plan_cache" (field "result" metrics) <> None);
+      let bye = ask 7 (req ~id:7 "shutdown" []) in
+      checkb "shutdown ok" true (is_ok bye);
+      checkb "shutdown stops the service" true (Service.stopping svc))
+
+(* Expression mode: the same NAME=FMT / NAME=DIMS@DENSITY grammar as the
+   CLI, resolved inside the service. *)
+let test_expr_mode () =
+  with_service ~workers:1 (fun svc ->
+      let r =
+        req "estimate"
+          [
+            ("expr", Json.Str "y(i) = A(i,j) * x(j)");
+            ( "formats",
+              Json.Obj
+                [
+                  ("y", Json.Str "dv"); ("A", Json.Str "csr");
+                  ("x", Json.Str "dv");
+                ] );
+            ("data", Json.Arr [ Json.Str "A=16x16@0.2"; Json.Str "x=16" ]);
+          ]
+      in
+      let resp = Service.handle_request svc r in
+      checkb "expression estimate ok" true (is_ok resp);
+      (* a different dram answers from a different plan-cache key *)
+      let ddr4 =
+        Service.handle_request svc
+          (match r with
+          | Json.Obj fields -> Json.Obj (("dram", Json.Str "ddr4") :: fields)
+          | _ -> assert false)
+      in
+      checkb "ddr4 estimate ok" true (is_ok ddr4);
+      checkb "ddr4 is a distinct plan (cold)" false (cached_bit ddr4);
+      checkb "estimates differ across dram models" false
+        (Json.to_string (field "result" resp)
+        = Json.to_string (field "result" ddr4)))
+
+(* ------------------------------------------------------------------ *)
+(* Malformed requests: stable codes, never a crash                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_malformed () =
+  with_service ~workers:1 (fun svc ->
+      let answer line = Json.parse (Server.handle_line svc line) in
+      let not_json = answer "{nope" in
+      checkb "non-JSON line answered" true (not (is_ok not_json));
+      checks "non-JSON line is E1001" "E1001" (error_code not_json);
+      checks "non-JSON op is invalid" "invalid"
+        (Json.to_str (field "op" not_json));
+      let bad code name line =
+        let resp = answer line in
+        checkb (name ^ " answered, not crashed") true (not (is_ok resp));
+        checks (name ^ " code") code (error_code resp)
+      in
+      bad "E1002" "unknown op" {|{"op": "frobnicate"}|};
+      bad "E1002" "missing op" {|{"kernel": "spmv"}|};
+      bad "E1002" "ill-typed field" {|{"op": "compile", "kernel": "spmv", "n": "big"}|};
+      bad "E1002" "unknown kernel" {|{"op": "compile", "kernel": "nosuch"}|};
+      bad "E1002" "kernel and expr together"
+        {|{"op": "compile", "kernel": "spmv", "expr": "y(i) = x(i)"}|};
+      bad "E1002" "no problem at all" {|{"op": "compile"}|};
+      bad "E1002" "bad emit section"
+        {|{"op": "compile", "kernel": "spmv", "emit": ["asm"]}|};
+      bad "E1002" "bad data spec"
+        {|{"op": "stats", "data": ["A=banana"]}|};
+      (* a syntactically broken expression flows through as the
+         compiler's own stable parse code, not a serve code *)
+      let parse_err =
+        answer {|{"op": "compile", "expr": "y(i = x(i)", "data": ["x=8"], "formats": {"x": "dv", "y": "dv"}}|}
+      in
+      checkb "broken expr answered" true (not (is_ok parse_err));
+      checks "broken expr keeps the compiler's code" "E0101"
+        (error_code parse_err);
+      (* the service survived all of the above *)
+      checkb "service still answers" true
+        (is_ok (Service.handle_request svc (req "ping" []))))
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole's acceptance bit: a repeated compile is answered from
+   the plan cache bit-identically, with no recompilation. *)
+let test_plan_cache_hit_identical () =
+  with_service ~workers:1 (fun svc ->
+      let r = kernel_req "compile" "spmv" 8 ~extra:[ ("emit", Json.Arr [ Json.Str "cin"; Json.Str "code"; Json.Str "resources" ]) ] in
+      let cold = Service.handle_request svc r in
+      let warm = Service.handle_request svc r in
+      checkb "cold miss" false (cached_bit cold);
+      checkb "warm hit" true (cached_bit warm);
+      let strip_cached = function
+        | Json.Obj fields ->
+            Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+        | j -> j
+      in
+      checks "hit is bit-identical to the cold compile"
+        (Json.to_string (strip_cached cold))
+        (Json.to_string (strip_cached warm));
+      let c = Plan_cache.counters (Service.plan_cache svc) in
+      checki "one compilation" 1 c.Plan_cache.misses;
+      checki "one cache answer" 1 c.Plan_cache.hits;
+      (* error payloads are deterministic and cached too *)
+      let broken = kernel_req "compile" "nosuch" 8 in
+      let e1 = Service.handle_request svc broken in
+      let e2 = Service.handle_request svc broken in
+      checks "failed requests answered identically" (Json.to_string e1)
+        (Json.to_string e2))
+
+let test_plan_cache_lru () =
+  let pc = Plan_cache.create ~capacity:2 () in
+  let calls = Hashtbl.create 8 in
+  let get k =
+    Plan_cache.find_or_compute pc k (fun () ->
+        Hashtbl.replace calls k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt calls k));
+        Json.Str k)
+  in
+  List.iter (fun k -> ignore (get k)) [ "a"; "b"; "c" ];
+  let c = Plan_cache.counters pc in
+  checki "entries bounded to capacity" 2 c.Plan_cache.entries;
+  checki "overflow evicted the LRU entry" 1 c.Plan_cache.evictions;
+  let _, hit_b = get "b" in
+  checkb "recently-filled b survives" true hit_b;
+  ignore (get "d");
+  let _, hit_b2 = get "b" in
+  checkb "touched b survives the next eviction" true hit_b2;
+  let _, hit_c = get "c" in
+  checkb "LRU c was the victim" false hit_c;
+  checki "c recomputed after eviction" 2 (Hashtbl.find calls "c");
+  checki "b computed exactly once" 1 (Hashtbl.find calls "b");
+  (* shrinking the bound evicts immediately *)
+  Plan_cache.set_capacity pc 1;
+  let c = Plan_cache.counters pc in
+  checki "shrink evicts down to the new bound" 1 c.Plan_cache.entries
+
+(* Four domains racing on one missing key: single-flight means exactly
+   one computation, three waiters counted as hits, all values shared. *)
+let test_plan_cache_single_flight () =
+  let pc = Plan_cache.create () in
+  let computes = Atomic.make 0 in
+  let results =
+    Pool.map ~workers:4
+      (fun _ ->
+        Plan_cache.find_or_compute pc "shared" (fun () ->
+            Atomic.incr computes;
+            Unix.sleepf 0.02;
+            Json.Str "value"))
+      (Array.init 4 Fun.id)
+  in
+  checki "computed exactly once" 1 (Atomic.get computes);
+  Array.iter
+    (fun (v, _) -> checkb "every caller sees the filled value" true (v = Json.Str "value"))
+    results;
+  let c = Plan_cache.counters pc in
+  checki "one miss for the filler" 1 c.Plan_cache.misses;
+  checki "three hits for the waiters" 3 c.Plan_cache.hits
+
+(* A failing fill withdraws the pending marker: the next caller retries
+   and becomes the new filler instead of caching the crash. *)
+let test_plan_cache_failed_fill () =
+  let pc = Plan_cache.create () in
+  (match Plan_cache.find_or_compute pc "k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the fill exception to propagate"
+  | exception Failure m -> checks "original exception" "boom" m);
+  let v, hit = Plan_cache.find_or_compute pc "k" (fun () -> Json.Str "ok") in
+  checkb "retry recomputes" false hit;
+  checkb "retry fills" true (v = Json.Str "ok")
+
+(* ------------------------------------------------------------------ *)
+(* Worker-count determinism                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The same batches through services at 1 and 4 workers must produce
+   identical response lists and an identical deterministic metrics
+   snapshot: single-flight fills keep even the cached bits and the
+   plan-cache counters independent of scheduling. *)
+let test_worker_determinism () =
+  let batch_a =
+    [
+      kernel_req ~id:1 "estimate" "spmv" 8;
+      kernel_req ~id:2 "compile" "spmv" 8;
+      kernel_req ~id:3 "stats" "spmv" 8;
+      kernel_req ~id:4 "estimate" "plus3" 8;
+      req ~id:5 "ping" [];
+    ]
+  in
+  let batch_b = batch_a (* replay: every cacheable request hits *) in
+  let drive workers =
+    Metrics.reset ();
+    with_service ~workers (fun svc ->
+        let r1 = Service.handle_batch svc batch_a in
+        let r2 = Service.handle_batch svc batch_b in
+        ( List.map Json.to_string (r1 @ r2),
+          Metrics.snapshot_json ~deterministic:true () ))
+  in
+  let responses1, snapshot1 = drive 1 in
+  let responses4, snapshot4 = drive 4 in
+  checkb "response lists identical at 1 vs 4 workers" true
+    (responses1 = responses4);
+  checks "deterministic metrics snapshot identical at 1 vs 4 workers"
+    snapshot1 snapshot4;
+  (* the replayed batch really was served from the cache *)
+  List.iteri
+    (fun i line ->
+      let resp = Json.parse line in
+      match Json.member "cached" resp with
+      | Some (Json.Bool c) ->
+          checkb (Fmt.str "replayed request %d cached" i) true c
+      | _ -> ())
+    (List.filteri (fun i _ -> i >= List.length batch_a) responses1)
+
+(* A batch whose item itself maps on the pool (autotune) must degrade to
+   an inline nested run, not deadlock on the batch submitter's lock. *)
+let test_batch_autotune_no_deadlock () =
+  with_service ~workers:2 (fun svc ->
+      let batch =
+        [
+          kernel_req ~id:1 "autotune" "spmv" 8
+            ~extra:[ ("strategy", Json.Str "greedy") ];
+          req ~id:2 "ping" [];
+          kernel_req ~id:3 "estimate" "spmv" 8;
+        ]
+      in
+      let responses = Service.handle_batch svc batch in
+      checki "every batch item answered" 3 (List.length responses);
+      List.iter
+        (fun r -> checkb "batch item ok" true (is_ok r))
+        responses)
+
+(* ------------------------------------------------------------------ *)
+(* Socket transport                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_unix_socket_session () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "stardust-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  with_service ~workers:1 (fun svc ->
+      let listener = Domain.spawn (fun () -> Server.serve_unix_socket svc path) in
+      let rec wait_for_socket n =
+        if not (Sys.file_exists path) && n > 0 then begin
+          Unix.sleepf 0.01;
+          wait_for_socket (n - 1)
+        end
+      in
+      wait_for_socket 500;
+      let c = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let ping = Client.rpc c (req ~id:1 "ping" []) in
+          checkb "socket ping ok" true (is_ok ping);
+          let cold = Client.rpc c (kernel_req ~id:2 "compile" "spmv" 8) in
+          let warm = Client.rpc c (kernel_req ~id:3 "compile" "spmv" 8) in
+          checkb "socket cold compile ok" true (is_ok cold);
+          checkb "socket warm compile cached" true (cached_bit warm);
+          (* a batch line comes back as one array in request order *)
+          let batch =
+            Client.rpc c
+              (Json.Arr [ req ~id:4 "ping" []; kernel_req ~id:5 "estimate" "spmv" 8 ])
+          in
+          (match batch with
+          | Json.Arr [ a; b ] ->
+              checkb "batch ping ok" true (is_ok a);
+              checkb "batch estimate ok" true (is_ok b)
+          | _ -> Alcotest.fail "expected a two-element response array");
+          let bye = Client.rpc c (req ~id:6 "shutdown" []) in
+          checkb "socket shutdown ok" true (is_ok bye));
+      Domain.join listener;
+      checkb "socket file unlinked on exit" false (Sys.file_exists path))
+
+let suite =
+  [
+    Alcotest.test_case "protocol: every op round-trips" `Quick
+      test_roundtrip_ops;
+    Alcotest.test_case "protocol: expression mode and dram keys" `Quick
+      test_expr_mode;
+    Alcotest.test_case "protocol: malformed requests get stable codes"
+      `Quick test_malformed;
+    Alcotest.test_case "plan cache: repeat answered bit-identically" `Quick
+      test_plan_cache_hit_identical;
+    Alcotest.test_case "plan cache: LRU eviction under a tiny bound" `Quick
+      test_plan_cache_lru;
+    Alcotest.test_case "plan cache: single-flight fills" `Quick
+      test_plan_cache_single_flight;
+    Alcotest.test_case "plan cache: failed fill withdraws" `Quick
+      test_plan_cache_failed_fill;
+    Alcotest.test_case "service: workers 1 vs 4 deterministic" `Quick
+      test_worker_determinism;
+    Alcotest.test_case "service: batched autotune does not deadlock" `Quick
+      test_batch_autotune_no_deadlock;
+    Alcotest.test_case "server: unix-socket client session" `Quick
+      test_unix_socket_session;
+  ]

@@ -156,6 +156,55 @@ let no_cache_round_trip () =
   checkb "re-enabled results identical" true (s1 = s5)
 
 (* ------------------------------------------------------------------ *)
+(* LRU capacity bound                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Shrink the bound to 2 entries and query 3 distinct tensors: the table
+   stays bounded, evictions are counted, an evicted entry recomputes
+   (bit-identically), and a kept entry still hits. *)
+let lru_eviction () =
+  let tensor seed =
+    D.small_random ~seed ~name:(Printf.sprintf "T%d" seed)
+      ~format:(F.csr ()) ~dims:[ 12; 12 ] ~density:0.3 ()
+  in
+  let orig_capacity = Stats_cache.capacity () in
+  Fun.protect
+    ~finally:(fun () -> Stats_cache.set_capacity orig_capacity)
+    (fun () ->
+      Stats_cache.set_enabled true;
+      Stats_cache.reset ();
+      Stats_cache.set_capacity 2;
+      checki "capacity reports the bound" 2 (Stats_cache.capacity ());
+      let a = tensor 31 and b = tensor 32 and c = tensor 33 in
+      let sa = Stats_cache.stats a in
+      let _ = Stats_cache.stats b in
+      let _ = Stats_cache.stats c in
+      checkb "table bounded to capacity" true (Stats_cache.size () <= 2);
+      let after_fill = Stats_cache.counters () in
+      checkb "overflow evicted at least one entry" true
+        (after_fill.Stats_cache.evictions >= 1);
+      (* [a] is the least recently used entry, so it was the victim;
+         re-querying recomputes the same stats *)
+      let sa' = Stats_cache.stats a in
+      let after_requery = Stats_cache.counters () in
+      checki "evicted entry recomputes (a miss)"
+        (after_fill.Stats_cache.misses + 1)
+        after_requery.Stats_cache.misses;
+      checkb "recomputed stats bit-identical" true (sa = sa');
+      (* [a] is now the most recent entry and must hit *)
+      let _ = Stats_cache.stats a in
+      checki "refilled entry hits"
+        (after_requery.Stats_cache.hits + 1)
+        (Stats_cache.counters ()).Stats_cache.hits;
+      (* growing the bound back stops eviction *)
+      Stats_cache.set_capacity 64;
+      let grown = (Stats_cache.counters ()).Stats_cache.evictions in
+      let _ = Stats_cache.stats b in
+      let _ = Stats_cache.stats c in
+      checki "no eviction under a roomy bound" grown
+        (Stats_cache.counters ()).Stats_cache.evictions)
+
+(* ------------------------------------------------------------------ *)
 (* Search integration                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -241,6 +290,7 @@ let suite =
       fingerprint_discriminates;
     Alcotest.test_case "no-stats-cache round-trip" `Quick
       no_cache_round_trip;
+    Alcotest.test_case "LRU eviction under a tiny bound" `Quick lru_eviction;
     Alcotest.test_case "pool workers 1 vs 4 deterministic" `Quick
       pool_determinism;
     Alcotest.test_case "grid search >=10x fewer raw computations" `Quick

@@ -30,6 +30,9 @@ let artifacts =
     ( "serve-throughput",
       ( "Compile service: requests/sec and p50/p99 latency at 1-16 clients",
         Serve_bench.run ) );
+    ( "serve-soak",
+      ( "Compile service: chaos soak over a live socket (informational)",
+        Serve_bench.soak ) );
   ]
 
 (* "a,b,c" -> ["a"; "b"; "c"] *)

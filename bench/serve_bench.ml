@@ -135,3 +135,54 @@ let run () =
       Fmt.pr "%-8d %10d %12.1f %12.1f %12.1f %7d@." r.clients r.requests
         r.rps (r.p50 *. 1e6) (r.p99 *. 1e6) r.plan_hits)
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Soak: the chaos harness as an informational benchmark               *)
+(* ------------------------------------------------------------------ *)
+
+(** Standalone [bench serve-soak]: boot a real socket daemon in-process
+    and storm it with the chaos harness — well-formed clients concurrent
+    with garbage/half-line/oversized/slow-loris/disconnect adversaries.
+    Informational only (wall-clock and retry counts depend on the
+    machine); the pinned serve numbers stay with [serve-throughput]. *)
+let soak () =
+  let module Server = Stardust_serve.Server in
+  let module Chaos = Stardust_serve.Chaos in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stardust-soak-%d.sock" (Unix.getpid ()))
+  in
+  let svc = Service.create () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () ->
+      let listener =
+        Domain.spawn (fun () ->
+            Server.serve_unix_socket ~max_connections:8 svc path)
+      in
+      let rec wait n =
+        if (not (Sys.file_exists path)) && n > 0 then begin
+          Unix.sleepf 0.01;
+          wait (n - 1)
+        end
+      in
+      wait 500;
+      let cfg =
+        {
+          (Chaos.default_config ~socket:path) with
+          Chaos.clients = 8;
+          requests_per_client = 40;
+          adversaries = 4;
+          attacks_per_adversary = 20;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let report = Chaos.run cfg in
+      let wall = Unix.gettimeofday () -. t0 in
+      Stardust_serve.Service.request_stop svc;
+      Domain.join listener;
+      Fmt.pr "@.== Serve soak (chaos harness, seed %d) ==@." cfg.Chaos.seed;
+      Fmt.pr "%a@." Chaos.pp_report report;
+      Fmt.pr "wall: %.2fs (%.1f well-formed req/s under attack)@." wall
+        (float_of_int report.Chaos.wellformed_answered /. wall);
+      if report.Chaos.failures <> [] then exit 1)

@@ -647,23 +647,114 @@ let serve_cmd =
          & info [ "stats-cache-capacity" ] ~docv:"N"
              ~doc:"LRU bound on the dataset-statistics cache (0 = default).")
   in
-  let run socket workers plan_cap stats_cap trace no_stats_cache =
+  let max_conns =
+    Arg.(value & opt int Stardust_serve.Server.default_max_connections
+         & info [ "max-connections" ] ~docv:"N"
+             ~doc:"Concurrent connection bound for $(b,--socket) mode; \
+                   connections beyond it are shed with a one-line stable \
+                   E1004 response instead of queuing.")
+  in
+  let request_timeout =
+    Arg.(value & opt float 0.0
+         & info [ "request-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request deadline (0 = none): a request that blows \
+                   it is abandoned and answered with E1005 while the \
+                   daemon keeps serving.  Requests may tighten it with a \
+                   $(i,deadline_ms) field.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Spill the plan cache to $(docv) (content-addressed, \
+                   atomically written) and warm-start from it on boot: a \
+                   restarted daemon answers repeats from disk \
+                   bit-identically.  Corrupt entries are skipped with a \
+                   W0104 warning.")
+  in
+  let max_line_bytes =
+    Arg.(value & opt int Stardust_serve.Server.default_max_line_bytes
+         & info [ "max-line-bytes" ] ~docv:"BYTES"
+             ~doc:"Request-line length bound; longer lines are drained \
+                   and answered with E1006.")
+  in
+  let chaos =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Boot the daemon on $(b,--socket), run the chaos \
+                   harness against it (well-formed clients concurrent \
+                   with garbage/half-line/oversized/slow-loris/disconnect \
+                   adversaries), print the report and the deterministic \
+                   metrics snapshot, and exit non-zero on any failure.")
+  in
+  let chaos_clients =
+    Arg.(value & opt int 4
+         & info [ "chaos-clients" ] ~docv:"N"
+             ~doc:"Chaos harness: well-formed client threads.")
+  in
+  let chaos_requests =
+    Arg.(value & opt int 25
+         & info [ "chaos-requests" ] ~docv:"N"
+             ~doc:"Chaos harness: requests per well-formed client.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 42
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Chaos harness: PRNG seed (same seed, same schedule).")
+  in
+  let run socket workers plan_cap stats_cap max_conns request_timeout
+      cache_dir max_line_bytes chaos chaos_clients chaos_requests chaos_seed
+      trace no_stats_cache =
     start_tracing trace;
     apply_stats_cache no_stats_cache;
     if stats_cap > 0 then Stardust_tensor.Stats_cache.set_capacity stats_cap;
+    let module Serve = Stardust_serve in
     let svc =
-      Stardust_serve.Service.create
+      Serve.Service.create
         ?workers:(if workers <= 0 then None else Some workers)
-        ~plan_cache_capacity:plan_cap ()
+        ~plan_cache_capacity:plan_cap
+        ?request_timeout:
+          (if request_timeout > 0.0 then Some request_timeout else None)
+        ?cache_dir ()
     in
+    List.iter
+      (fun d -> Fmt.epr "%a@." Diag.pp d)
+      (Serve.Service.boot_diags svc);
+    Serve.Server.install_stop_signals svc;
     Fun.protect
-      ~finally:(fun () -> Stardust_serve.Service.shutdown svc)
+      ~finally:(fun () -> Serve.Service.shutdown svc)
       (fun () ->
-        match socket with
-        | None -> Stardust_serve.Server.serve_channels svc stdin stdout
-        | Some path ->
+        match (chaos, socket) with
+        | true, None ->
+            Fmt.epr "stardustc serve: --chaos needs --socket@.";
+            Stdlib.exit 2
+        | true, Some path ->
+            let listener =
+              Thread.create
+                (fun () ->
+                  Serve.Server.serve_unix_socket ~max_connections:max_conns
+                    ~max_line_bytes svc path)
+                ()
+            in
+            let cfg =
+              {
+                (Serve.Chaos.default_config ~socket:path) with
+                Serve.Chaos.seed = chaos_seed;
+                clients = chaos_clients;
+                requests_per_client = chaos_requests;
+                max_line_bytes;
+              }
+            in
+            let report = Serve.Chaos.run cfg in
+            Fmt.pr "%a@." Serve.Chaos.pp_report report;
+            Fmt.pr "%s@." (Metrics.snapshot_json ~deterministic:true ());
+            Serve.Service.request_stop svc;
+            Thread.join listener;
+            if report.Serve.Chaos.failures <> [] then Stdlib.exit 1
+        | false, None -> Serve.Server.serve_channels ~max_line_bytes svc stdin stdout
+        | false, Some path ->
             Fmt.epr "stardustc serve: listening on %s@." path;
-            Stardust_serve.Server.serve_unix_socket svc path)
+            Serve.Server.serve_unix_socket ~max_connections:max_conns
+              ~max_line_bytes svc path)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -671,8 +762,14 @@ let serve_cmd =
              requests (compile/estimate/autotune/stats/metrics) over \
              stdin/stdout or a Unix socket, answered from a \
              content-addressed plan cache with the same stable \
-             diagnostic codes as $(b,run --diag-json).")
-    Term.(const run $ socket $ workers $ plan_cap $ stats_cap $ trace_flag
+             diagnostic codes as $(b,run --diag-json).  Socket mode \
+             serves connections concurrently up to \
+             $(b,--max-connections), sheds beyond it, survives client \
+             disconnects, honors per-request deadlines, and can persist \
+             its plan cache across restarts with $(b,--cache-dir).")
+    Term.(const run $ socket $ workers $ plan_cap $ stats_cap $ max_conns
+          $ request_timeout $ cache_dir $ max_line_bytes $ chaos
+          $ chaos_clients $ chaos_requests $ chaos_seed $ trace_flag
           $ no_stats_cache_flag)
 
 (* ------------------------------------------------------------------ *)

@@ -70,10 +70,17 @@ type t = {
     - E10xx serve        — [E1001] request line is not valid JSON,
                            [E1002] request JSON is malformed (unknown op,
                            missing or ill-typed field), [E1003] a request
-                           handler died on an unhandled exception
+                           handler died on an unhandled exception,
+                           [E1004] the daemon is at its connection bound
+                           and shed the request instead of queuing it,
+                           [E1005] the request exceeded its deadline and
+                           was abandoned, [E1006] the request line
+                           exceeded the daemon's line-length bound
     - W01xx degradation  — [W0101] fell back to a retiled schedule,
                            [W0102] fell back to the CPU baseline,
-                           [W0103] pipeline stage retried *)
+                           [W0103] pipeline stage retried,
+                           [W0104] a corrupt plan-cache spill entry was
+                           skipped at warm start *)
 
 let code_parse = "E0101"
 let code_schedule = "E0201"
@@ -96,9 +103,13 @@ let code_worker_timeout = "E0905"
 let code_serve_parse = "E1001"
 let code_serve_request = "E1002"
 let code_serve_internal = "E1003"
+let code_serve_overloaded = "E1004"
+let code_serve_deadline = "E1005"
+let code_serve_line_too_long = "E1006"
 let code_fallback_retile = "W0101"
 let code_fallback_cpu = "W0102"
 let code_retry = "W0103"
+let code_cache_corrupt = "W0104"
 
 (* ------------------------------------------------------------------ *)
 (* Constructors                                                        *)

@@ -188,6 +188,59 @@ let mark_pooled body k =
   flag := true;
   Fun.protect ~finally:(fun () -> flag := saved) (fun () -> body k)
 
+(** [with_deadline ~seconds f] runs [f ()] in a dedicated sub-domain and
+    polls for completion against a wall-clock deadline — the same
+    machinery as [?timeout] on {!map}, packaged for a single call.  On
+    completion the result (or the original exception, with the raising
+    domain's backtrace) propagates; past the deadline the sub-domain is
+    {e abandoned} (OCaml domains cannot be killed — a runaway keeps its
+    core until the process exits) and [Error seconds] is returned,
+    counted in [pool_timeouts_total].
+
+    The caller's "inside a pooled batch item" flag is propagated into
+    the sub-domain, so a nested pool submission under a deadline — the
+    compile service bounding a request that autotunes, inside a batch —
+    still degrades to an inline run instead of deadlocking on the batch
+    submitter's lock.  If no domain can be spawned (budget exhausted by
+    abandoned tasks), [f] runs inline with no deadline — forward
+    progress over isolation. *)
+let with_deadline ~seconds (f : unit -> 'a) : ('a, float) result =
+  let pooled = in_pooled_task () in
+  let cell = Atomic.make None in
+  let task () =
+    if pooled then Domain.DLS.get in_pooled_key := true;
+    let r =
+      match f () with
+      | v -> Value v
+      | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+    in
+    Atomic.set cell (Some r)
+  in
+  match Domain.spawn task with
+  | exception _ -> Ok (f ())
+  | d ->
+      let deadline = Unix.gettimeofday () +. seconds in
+      let rec wait () =
+        match Atomic.get cell with
+        | Some (Value v) ->
+            Domain.join d;
+            Ok v
+        | Some (Raised (e, bt)) ->
+            Domain.join d;
+            Printexc.raise_with_backtrace e bt
+        | Some (Unfilled | Timed_out _) | None ->
+            if Unix.gettimeofday () >= deadline then begin
+              count ~volatile:true "pool_timeouts_total"
+                "pool items abandoned past their deadline";
+              Error seconds
+            end
+            else begin
+              Unix.sleepf 0.001;
+              wait ()
+            end
+      in
+      wait ()
+
 let rec worker_loop t k last_seen =
   Mutex.lock t.p_lock;
   let rec await () =
@@ -234,9 +287,16 @@ let create ?workers () =
 
 (** Graceful drain: wait for any in-flight batch, park further
     submissions, then wake every worker to exit and join them.
-    Idempotent; a map submitted to a shut-down pool runs inline in the
-    caller. *)
+    Idempotent — a second shutdown finds no domains to join and returns
+    immediately — and a map submitted to a shut-down pool runs inline in
+    the caller (structured degradation, never a hang).  Calling it from
+    {e inside} a pooled batch item would deadlock on the batch
+    submitter's lock, so that is refused with a structured E0904
+    diagnostic instead. *)
 let shutdown t =
+  if in_pooled_task () then
+    internal_error ~where:"Pool.shutdown"
+      "shutdown requested from inside a pooled task";
   Mutex.lock t.p_submit;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.p_submit)

@@ -23,3 +23,49 @@ let rpc_line c line =
 
 (** Send one request value and parse the response. *)
 let rpc c (j : Json.t) : Json.t = Json.parse (rpc_line c (Json.to_string j))
+
+(* ------------------------------------------------------------------ *)
+(* Failure-tolerant variants (chaos harness, soak clients)             *)
+(* ------------------------------------------------------------------ *)
+
+(** [connect_retry ?attempts ?delay path] keeps trying to connect —
+    covering both a daemon still booting (ECONNREFUSED / ENOENT on the
+    socket path) and one momentarily at its accept backlog. *)
+let connect_retry ?(attempts = 50) ?(delay = 0.02) path =
+  let rec go n =
+    match connect path with
+    | c -> Ok c
+    | exception Unix.Unix_error (e, _, _) ->
+        if n <= 1 then Error (Unix.error_message e)
+        else begin
+          Unix.sleepf delay;
+          go (n - 1)
+        end
+  in
+  go (max 1 attempts)
+
+(** [try_rpc c j] is [rpc] that turns a dropped or shed connection into
+    [Error] instead of an exception: [Error `Closed] when the daemon (or
+    the wire) went away mid-exchange, [Error (`Bad_response msg)] when
+    the answer line is not JSON. *)
+let try_rpc c (j : Json.t) :
+    (Json.t, [ `Closed | `Bad_response of string ]) result =
+  match rpc_line c (Json.to_string j) with
+  | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+      Error `Closed
+  | line -> (
+      match Json.parse line with
+      | r -> Ok r
+      | exception Json.Parse_error (msg, _) -> Error (`Bad_response msg))
+
+(** The [error.code] of a response, if it is an error response. *)
+let error_code (r : Json.t) : string option =
+  match r with
+  | Json.Obj fields -> (
+      match List.assoc_opt "error" fields with
+      | Some (Json.Obj err) -> (
+          match List.assoc_opt "code" err with
+          | Some (Json.Str c) -> Some c
+          | _ -> None)
+      | _ -> None)
+  | _ -> None

@@ -27,9 +27,27 @@
     Capacity is a per-entry LRU bound ({!set_capacity}): an insert past
     the bound sheds least-recently-used {e ready} entries (pending fills
     are never evicted — a waiter must always find its filler's result).
-    Every eviction is counted. *)
+    Every eviction is counted.
+
+    {2 Crash-safe persistence}
+
+    With [?dir] set, every filled entry is also spilled to disk as a
+    content-addressed JSON file ([plan_<hash16>.json] of the key, the
+    same scheme as the fuzz corpus), written to a temp name and
+    [rename]d into place so a crash mid-write never leaves a torn
+    entry visible.  {!create} warm-starts from the directory:
+    well-formed entries load as ready (a repeated request against a
+    restarted daemon is answered bit-identically from disk, counted as
+    a hit, with no recompilation), and a truncated or garbage file is
+    skipped with a [W0104] diagnostic in {!boot_diags} — corruption is
+    never a crash.  The directory mirrors the in-memory LRU: an evicted
+    entry's spill file is removed with it, so disk use is bounded by
+    the same capacity.  Spills happen at fill time, which is what makes
+    the scheme crash-safe: there is no write-back queue to flush, so
+    [kill -9] after a response loses nothing. *)
 
 module Json = Stardust_json.Json
+module Diag = Stardust_diag.Diag
 module Metrics = Stardust_obs.Metrics
 
 type slot =
@@ -40,6 +58,8 @@ type t = {
   lock : Mutex.t;
   cond : Condition.t;  (** broadcast whenever a pending fill resolves *)
   table : (string, slot) Hashtbl.t;
+  dir : string option;  (** spill directory; [None] = memory-only *)
+  mutable boot_diags : Diag.t list;  (** warm-start skips, oldest first *)
   mutable capacity : int;
   mutable tick : int;
   mutable hits : int;
@@ -66,31 +86,124 @@ let m_evict () =
   Metrics.counter ~help:"plan-cache entries shed by the LRU bound"
     "plan_cache_evictions_total"
 
-let create ?(capacity = default_capacity) () =
-  {
-    lock = Mutex.create ();
-    cond = Condition.create ();
-    table = Hashtbl.create 64;
-    capacity = max 1 capacity;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-  }
+(* Disk-state metrics are wall-clock truth (they depend on what a
+   previous process left behind), so they are volatile: never part of
+   the deterministic snapshot. *)
+let m_loaded () =
+  Metrics.counter ~volatile:true
+    ~help:"plan-cache entries warm-started from the spill directory"
+    "plan_cache_loaded_total"
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let m_corrupt () =
+  Metrics.counter ~volatile:true
+    ~help:"corrupt plan-cache spill entries skipped at warm start"
+    "plan_cache_corrupt_total"
 
-(* Caller holds [t.lock].  Count ready entries (pending fills are not
-   evictable and do not count against the bound). *)
+let m_spill_errors () =
+  Metrics.counter ~volatile:true
+    ~help:"plan-cache spill writes that failed (entry stays memory-only)"
+    "plan_cache_spill_errors_total"
+
+(* ------------------------------------------------------------------ *)
+(* Spill files                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let spill_version = 1
+
+(* Tiny stable content hash (FNV-1a, 64-bit) — the same scheme the fuzz
+   corpus uses for its file names: reproducible, never security. *)
+let fnv1a64 (s : string) =
+  let p = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) p)
+    s;
+  !h
+
+let spill_filename key = Printf.sprintf "plan_%016Lx.json" (fnv1a64 key)
+let spill_path dir key = Filename.concat dir (spill_filename key)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg
+      (Printf.sprintf "Plan_cache: %s exists and is not a directory" dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic spill: write a temp file (unique per pid so two daemons on one
+   directory never tear each other's writes) then rename into place.  A
+   failed write is shed with a volatile counter, never an exception — a
+   full disk degrades the daemon to memory-only caching. *)
+let spill_entry dir key value =
+  try
+    ensure_dir dir;
+    let path = spill_path dir key in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("version", Json.Num (float_of_int spill_version));
+                  ("key", Json.Str key);
+                  ("value", value);
+                ]));
+        output_string oc "\n");
+    Sys.rename tmp path
+  with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ ->
+    Metrics.inc (m_spill_errors ())
+
+let remove_spill dir key =
+  try Sys.remove (spill_path dir key) with Sys_error _ -> ()
+
+(* Corruption-tolerant load of one spill file: anything short of a
+   well-formed (version, key, value) triple — torn JSON, a truncated
+   rename victim, the wrong version, a hash-named file whose key went
+   missing — is skipped with a W0104 diagnostic, never a crash. *)
+let load_entry path : (string * Json.t, Diag.t) result =
+  let corrupt fmt =
+    Fmt.kstr
+      (fun m ->
+        Error
+          (Diag.warning ~stage:Diag.Serve ~code:Diag.code_cache_corrupt
+             ~context:[ ("file", path) ]
+             "skipping corrupt plan-cache entry: %s" m))
+      fmt
+  in
+  match Json.parse (read_file path) with
+  | exception Json.Parse_error (msg, _) -> corrupt "not valid JSON: %s" msg
+  | exception Sys_error msg -> corrupt "unreadable: %s" msg
+  | j -> (
+      match (Json.member "version" j, Json.member "key" j, Json.member "value" j) with
+      | Some (Json.Num v), Some (Json.Str key), Some value
+        when int_of_float v = spill_version ->
+          Ok (key, value)
+      | Some (Json.Num v), _, _ when int_of_float v <> spill_version ->
+          corrupt "unsupported spill version %g" v
+      | _ -> corrupt "missing version/key/value fields")
+
+(* Caller holds [t.lock] (or has exclusive access, as in [create]).
+   Count ready entries: pending fills are not evictable and do not count
+   against the bound. *)
 let ready_count_locked t =
   Hashtbl.fold
     (fun _ s acc -> match s with Ready _ -> acc + 1 | Pending -> acc)
     t.table 0
 
-(* Caller holds [t.lock].  Shed LRU ready entries until within bound;
-   returns how many were evicted. *)
+(* Caller holds [t.lock].  Shed LRU ready entries until within bound —
+   spill files go with their entries, so the directory stays bounded
+   too; returns how many were evicted. *)
 let evict_lru_locked t =
   let evicted = ref 0 in
   let continue = ref (ready_count_locked t > t.capacity) in
@@ -108,12 +221,70 @@ let evict_lru_locked t =
     (match victim with
     | Some (k, _) ->
         Hashtbl.remove t.table k;
+        Option.iter (fun d -> remove_spill d k) t.dir;
         t.evictions <- t.evictions + 1;
         incr evicted
     | None -> ());
     continue := victim <> None && ready_count_locked t > t.capacity
   done;
   !evicted
+
+let create ?(capacity = default_capacity) ?dir () =
+  let t =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      table = Hashtbl.create 64;
+      dir;
+      boot_diags = [];
+      capacity = max 1 capacity;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
+  (match dir with
+  | None -> ()
+  | Some d when not (Sys.file_exists d) -> ()
+  | Some d ->
+      let files =
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 5
+               && String.sub f 0 5 = "plan_"
+               && Filename.check_suffix f ".json")
+        |> List.sort compare
+      in
+      let diags = ref [] in
+      List.iter
+        (fun f ->
+          match load_entry (Filename.concat d f) with
+          | Ok (key, value) ->
+              t.tick <- t.tick + 1;
+              Hashtbl.replace t.table key
+                (Ready { value; last_used = t.tick });
+              Metrics.inc (m_loaded ())
+          | Error diag ->
+              diags := diag :: !diags;
+              Metrics.inc (m_corrupt ()))
+        files;
+      t.boot_diags <- List.rev !diags;
+      (* a directory larger than the bound trims to the most recently
+         loaded entries (load order is the sorted file list, so the trim
+         is deterministic); instance/metric eviction counters stay zero
+         for warm-start trims — they count runtime shedding *)
+      let trimmed = evict_lru_locked t in
+      t.evictions <- t.evictions - trimmed);
+  t
+
+(** Warm-start diagnostics: one [W0104] per corrupt spill entry skipped
+    while loading [?dir] (empty for a memory-only cache). *)
+let boot_diags t = t.boot_diags
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (** [find_or_compute t key compute] returns [(value, hit)].  On a miss
     the calling domain computes (outside the lock) and fills; concurrent
@@ -164,6 +335,9 @@ let rec find_or_compute t key (compute : unit -> Json.t) : Json.t * bool =
               Condition.broadcast t.cond);
           raise e
       in
+      (* spill before publishing: once waiters (or a restarted daemon)
+         can see the entry, its disk copy is already durable *)
+      Option.iter (fun d -> spill_entry d key value) t.dir;
       let evicted =
         locked t (fun () ->
             t.tick <- t.tick + 1;
@@ -203,10 +377,17 @@ let counters t =
         capacity = t.capacity;
       })
 
-(** Drop every entry and zero the instance counters (the process-global
-    Metrics counters keep accumulating; tests reset the registry). *)
+(** Drop every entry — spill files included — and zero the instance
+    counters (the process-global Metrics counters keep accumulating;
+    tests reset the registry). *)
 let reset t =
   locked t (fun () ->
+      (match t.dir with
+      | Some d ->
+          Hashtbl.iter
+            (fun k s -> match s with Ready _ -> remove_spill d k | Pending -> ())
+            t.table
+      | None -> ());
       Hashtbl.reset t.table;
       t.tick <- 0;
       t.hits <- 0;

@@ -23,8 +23,14 @@
 
     Protocol failures use the serve code range: a line that is not valid
     JSON is [E1001], a request whose shape is wrong (unknown op, missing
-    or ill-typed field) is [E1002], and a handler that dies on an
-    unhandled exception is [E1003].  None of them crash the service. *)
+    or ill-typed field) is [E1002], a handler that dies on an unhandled
+    exception is [E1003] (with the daemon-side backtrace in the
+    diagnostic context when [OCAMLRUNPARAM=b] records one), a connection
+    shed at the daemon's [--max-connections] bound is [E1004], a request
+    that blows its deadline ([--request-timeout] or a per-request
+    ["deadline_ms"] field) is [E1005], and a request line longer than
+    the daemon's line bound is [E1006].  None of them crash the
+    service. *)
 
 module Json = Stardust_json.Json
 module Diag = Stardust_diag.Diag
@@ -82,6 +88,7 @@ type request = {
   pcus : int;  (** chip override; 0 = default *)
   dram : string;  (** hbm2e | ddr4 | ideal *)
   volatile : bool;  (** metrics: include volatile series *)
+  deadline_ms : int;  (** per-request deadline; 0 = the daemon's default *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -225,6 +232,9 @@ let request_of_json (j : Json.t) : (request, Diag.t list) result =
           enum_field obj "dram" ~default:"hbm2e"
             ~allowed:[ "hbm2e"; "ddr4"; "ideal" ];
         volatile = bool_field obj "volatile" ~default:false;
+        deadline_ms =
+          (let d = int_field obj "deadline_ms" ~default:0 in
+           if d < 0 then invalid "field \"deadline_ms\" must be >= 0" else d);
       }
   with Invalid d -> Error [ d ]
 
@@ -267,3 +277,40 @@ let envelope ~id ~op ?cached body =
     match cached with None -> [] | Some c -> [ ("cached", Json.Bool c) ]
   in
   Json.Obj ((("id", id) :: ("op", Json.Str op) :: cached_field) @ fields)
+
+(** The one-line answer a connection shed at the daemon's connection
+    bound receives before its socket closes: a stable [E1004] so clients
+    can tell overload (retry later) from a malformed request (don't). *)
+let overloaded_response ~max_connections =
+  envelope ~id:Json.Null ~op:"overloaded"
+    (error_body
+       [
+         Diag.error ~stage:Diag.Serve ~code:Diag.code_serve_overloaded
+           ~context:[ ("max_connections", string_of_int max_connections) ]
+           "daemon at its connection bound; request shed, retry later";
+       ])
+
+(** [E1005] body for a request that blew through its deadline: the
+    computation has been abandoned on the pool's timeout machinery
+    ([E0905] — the runaway domain is parked, the daemon keeps serving). *)
+let deadline_body ~seconds =
+  error_body
+    [
+      Diag.error ~stage:Diag.Serve ~code:Diag.code_serve_deadline
+        ~context:
+          [
+            ("deadline_s", Fmt.str "%g" seconds);
+            ("pool_timeout_code", Diag.code_worker_timeout);
+          ]
+        "request exceeded its deadline and was abandoned";
+    ]
+
+(** [E1006] body for a request line past the daemon's length bound (the
+    offending prefix has been drained, the connection stays usable). *)
+let line_too_long_body ~limit =
+  error_body
+    [
+      Diag.error ~stage:Diag.Serve ~code:Diag.code_serve_line_too_long
+        ~context:[ ("max_line_bytes", string_of_int limit) ]
+        "request line exceeds the daemon's line-length bound";
+    ]

@@ -5,16 +5,73 @@
     dispatched across the service's worker pool and answered by an
     array in request order on a single line.  Blank lines are ignored.
     A line that is not valid JSON is answered with an [E1001] error
-    response (never a crash or a dropped connection).
+    response, and a line longer than the transport's bound is drained
+    and answered with [E1006] (never a crash, a dropped connection, or
+    unbounded buffering against a slow-loris writer).
 
-    The socket listener accepts connections sequentially — the
-    parallelism budget lives inside the service (batches and autotune
-    searches fan out on the domain pool), not in concurrent
-    connections.  A [shutdown] request is answered, then the current
-    connection and the listener close. *)
+    {2 Concurrency model}
+
+    The socket listener accepts connections concurrently: each accepted
+    connection is served by its own thread, bounded by
+    [?max_connections].  Threads (not domains) carry connections
+    because a connection handler is I/O-shaped — it blocks on reads
+    from its client, releasing the runtime lock — while the CPU-shaped
+    parallelism budget stays where it was: request batches and autotune
+    searches fan out on the service's domain pool.  A slow, idle, or
+    malicious client therefore costs one thread blocked on a read,
+    never the accept loop or another client's request.
+
+    Beyond the bound the daemon {e sheds}: the excess connection is
+    answered with a one-line stable [E1004] response and closed instead
+    of queuing unboundedly.  [serve_connections_active] and
+    [serve_shed_total] track the bound; a client that disconnects
+    mid-request or mid-response is counted in [serve_disconnects_total]
+    and never takes the daemon down.
+
+    {2 Shutdown}
+
+    A [shutdown] request — or a SIGTERM/SIGINT after
+    {!install_stop_signals} — flips the service's stop flag; the accept
+    loop (which polls the flag between accepts) stops taking
+    connections, waits up to [?drain_grace] seconds for in-flight
+    connections to finish, then force-closes stragglers (an idle client
+    parked on a read would otherwise hold the drain forever).  The plan
+    cache spills at fill time, so there is nothing to flush: a drained
+    daemon — or a [kill -9]'d one — restarts warm from [--cache-dir]. *)
 
 module Json = Stardust_json.Json
+module Metrics = Stardust_obs.Metrics
 module P = Protocol
+
+let default_max_connections = 16
+let default_max_line_bytes = 1 lsl 20
+let default_drain_grace = 5.0
+
+(* Connection-level metrics are wall-clock truth — how clients arrive
+   and leave depends on scheduling — so all of them are volatile: never
+   part of the deterministic snapshot the tests and CI diff. *)
+let m_active () =
+  Metrics.gauge ~volatile:true ~help:"connections currently being served"
+    "serve_connections_active"
+
+let m_accepted () =
+  Metrics.counter ~volatile:true ~help:"connections accepted by the listener"
+    "serve_connections_total"
+
+let m_shed () =
+  Metrics.counter ~volatile:true
+    ~help:"connections shed at the --max-connections bound (E1004)"
+    "serve_shed_total"
+
+let m_disconnects () =
+  Metrics.counter ~volatile:true
+    ~help:"clients that disconnected mid-request or mid-response"
+    "serve_disconnects_total"
+
+let m_oversized () =
+  Metrics.counter ~volatile:true
+    ~help:"request lines rejected at the line-length bound (E1006)"
+    "serve_oversized_total"
 
 (** Answer one request line.  Returns the response line (no trailing
     newline). *)
@@ -25,49 +82,202 @@ let handle_line t line : string =
       Json.to_string (Json.Arr (Service.handle_batch t items))
   | Ok j -> Json.to_string (Service.handle_request t j)
 
+(* ------------------------------------------------------------------ *)
+(* Bounded line reading                                                *)
+(* ------------------------------------------------------------------ *)
+
+type read_line = Line of string | Too_long | Eof
+
+(** Read one newline-terminated line from [ic], refusing to buffer more
+    than [max_line_bytes]: past the bound the rest of the line is
+    drained (bounded memory even against a byte-at-a-time writer that
+    never sends a newline) and [Too_long] is returned, leaving the
+    channel positioned at the next line. *)
+let read_line_bounded ic ~max_line_bytes : read_line =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with
+    | exception End_of_file -> ()
+    | '\n' -> ()
+    | _ -> drain ()
+  in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= max_line_bytes then begin
+          drain ();
+          Too_long
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ()
+
 (** Serve NDJSON requests from [ic] to [oc] until EOF or a [shutdown]
     request.  Responses are flushed per line, so interactive clients
     (and the CI's scripted sessions) can pipeline. *)
-let serve_channels t ic oc =
+let serve_channels ?(max_line_bytes = default_max_line_bytes) t ic oc =
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | "" -> loop ()
-    | line ->
-        output_string oc (handle_line t line);
-        output_char oc '\n';
-        flush oc;
-        if not (Service.stopping t) then loop ()
+    if not (Service.stopping t) then
+      match read_line_bounded ic ~max_line_bytes with
+      | Eof -> ()
+      | Line "" -> loop ()
+      | Too_long ->
+          Metrics.inc (m_oversized ());
+          respond
+            (Json.to_string
+               (P.envelope ~id:Json.Null ~op:"invalid"
+                  (P.line_too_long_body ~limit:max_line_bytes)));
+          loop ()
+      | Line line ->
+          respond (handle_line t line);
+          loop ()
   in
   loop ()
 
-(** Bind [path], accept connections one at a time, and serve each until
-    its EOF; returns after a [shutdown] request.  A stale socket file
-    from a dead daemon is unlinked before binding. *)
-let serve_unix_socket t path =
+(* ------------------------------------------------------------------ *)
+(* Unix-socket listener                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Install SIGTERM/SIGINT handlers that request a graceful stop (drain
+    in-flight work, then return from the serve loop).  Handlers only
+    flip the service's stop flag — async-signal-safe by construction. *)
+let install_stop_signals t =
+  let stop = Sys.Signal_handle (fun _ -> Service.request_stop t) in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s stop with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+(* Open connections, keyed by an id, so the drain can force-close
+   clients parked on reads.  Guarded by one mutex; handlers remove
+   themselves on exit. *)
+type registry = {
+  reg_lock : Mutex.t;
+  reg : (int, Unix.file_descr) Hashtbl.t;
+  mutable reg_next : int;
+}
+
+let reg_add rg fd =
+  Mutex.lock rg.reg_lock;
+  let id = rg.reg_next in
+  rg.reg_next <- id + 1;
+  Hashtbl.replace rg.reg id fd;
+  Mutex.unlock rg.reg_lock;
+  id
+
+let reg_remove rg id =
+  Mutex.lock rg.reg_lock;
+  Hashtbl.remove rg.reg id;
+  Mutex.unlock rg.reg_lock
+
+let reg_close_all rg =
+  Mutex.lock rg.reg_lock;
+  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) rg.reg [] in
+  Hashtbl.reset rg.reg;
+  Mutex.unlock rg.reg_lock;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds
+
+(* Best-effort one-line E1004 to a connection shed at the bound: a
+   single non-blocking write, then close — a shed client that refuses
+   to read must not be able to block the accept loop. *)
+let shed_connection ~max_connections conn =
+  Metrics.inc (m_shed ());
+  let line = Json.to_string (P.overloaded_response ~max_connections) ^ "\n" in
+  (try
+     Unix.set_nonblock conn;
+     ignore (Unix.write_substring conn line 0 (String.length line))
+   with Unix.Unix_error _ -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+(** Bind [path] and serve connections concurrently (one thread each, at
+    most [max_connections] at a time; excess connections are shed with
+    [E1004]); returns after a [shutdown] request or a stop signal, once
+    in-flight connections have drained.  A stale socket file from a
+    dead daemon is unlinked before binding. *)
+let serve_unix_socket ?(max_connections = default_max_connections)
+    ?(max_line_bytes = default_max_line_bytes)
+    ?(drain_grace = default_drain_grace) t path =
   (match Sys.file_exists path with
   | true -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | false -> ());
   (* a client that disconnects mid-response must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  let max_connections = max 1 max_connections in
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let active = Atomic.make 0 in
+  let rg = { reg_lock = Mutex.create (); reg = Hashtbl.create 16; reg_next = 0 } in
+  let handle_connection id conn =
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    (try serve_channels ~max_line_bytes t ic oc with
+    | Sys_error _ | End_of_file | Unix.Unix_error _ ->
+        (* mid-request/mid-response disconnect (EPIPE, ECONNRESET, a
+           half-written line, or our own drain closing the fd): count
+           it — unless the daemon itself is stopping — and keep serving
+           everyone else *)
+        if not (Service.stopping t) then Metrics.inc (m_disconnects ()));
+    reg_remove rg id;
+    (try Unix.close conn with Unix.Unix_error _ -> ());
+    Metrics.set (m_active ()) (float_of_int (Atomic.fetch_and_add active (-1) - 1))
+  in
+  let drain () =
+    (* grace for in-flight connections to finish their current request
+       and notice the stop flag *)
+    let deadline = Unix.gettimeofday () +. drain_grace in
+    while Atomic.get active > 0 && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.02
+    done;
+    (* stragglers are parked on reads (idle clients, slow-loris): close
+       their fds out from under them and give the threads a beat to
+       unwind *)
+    reg_close_all rg;
+    let hard = Unix.gettimeofday () +. 1.0 in
+    while Atomic.get active > 0 && Unix.gettimeofday () < hard do
+      Unix.sleepf 0.02
+    done
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 16;
+      Unix.listen sock (max_connections + 16);
       let rec accept_loop () =
         if not (Service.stopping t) then begin
-          let conn, _ = Unix.accept sock in
-          let ic = Unix.in_channel_of_descr conn in
-          let oc = Unix.out_channel_of_descr conn in
-          (try serve_channels t ic oc
-           with Sys_error _ | Unix.Unix_error _ -> ());
-          (try Unix.close conn with Unix.Unix_error _ -> ());
-          accept_loop ()
+          (* select with a short timeout so a stop flag flipped by a
+             signal or a shutdown request on some connection is noticed
+             without another client having to connect *)
+          match Unix.select [ sock ] [] [] 0.1 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | [], _, _ -> accept_loop ()
+          | _ -> (
+              match Unix.accept sock with
+              | exception Unix.Unix_error _ -> accept_loop ()
+              | conn, _ ->
+                  Metrics.inc (m_accepted ());
+                  if Atomic.get active >= max_connections then
+                    shed_connection ~max_connections conn
+                  else begin
+                    Metrics.set (m_active ())
+                      (float_of_int (1 + Atomic.fetch_and_add active 1));
+                    let id = reg_add rg conn in
+                    ignore (Thread.create (fun () -> handle_connection id conn) ())
+                  end;
+                  accept_loop ())
         end
       in
-      accept_loop ())
+      accept_loop ();
+      drain ())

@@ -45,18 +45,37 @@ module P = Protocol
 type t = {
   pool : Pool.t;
   cache : Plan_cache.t;
-  mutable stop : bool;  (** a shutdown request was answered *)
+  request_timeout : float option;
+      (** default per-request deadline in seconds; a request's own
+          [deadline_ms] tightens (never loosens) it *)
+  mutable stop : bool;
+      (** a shutdown request was answered, or a stop signal arrived *)
 }
 
-let create ?workers ?plan_cache_capacity () =
+let create ?workers ?plan_cache_capacity ?request_timeout ?cache_dir () =
   {
     pool = Pool.create ?workers ();
-    cache = Plan_cache.create ?capacity:plan_cache_capacity ();
+    cache = Plan_cache.create ?capacity:plan_cache_capacity ?dir:cache_dir ();
+    request_timeout =
+      (match request_timeout with
+      | Some s when s > 0.0 -> Some s
+      | Some _ | None -> None);
     stop = false;
   }
 
 let stopping t = t.stop
+
+(** Ask the service to stop: the transports' loops check {!stopping}
+    after each request/accept and drain.  Safe from a signal handler —
+    it only flips a flag. *)
+let request_stop t = t.stop <- true
+
 let plan_cache t = t.cache
+
+(** Plan-cache warm-start diagnostics (corrupt spill entries skipped);
+    the CLI renders them as warnings on boot. *)
+let boot_diags t = Plan_cache.boot_diags t.cache
+
 let workers t = Pool.size t.pool
 
 (** Graceful drain: joins the pool's worker domains.  Idempotent; the
@@ -83,6 +102,13 @@ let inflight = Atomic.make 0
 let m_inflight () =
   Metrics.gauge ~volatile:true ~help:"requests currently being handled"
     "serve_inflight_requests"
+
+(* Deadline expiries are wall-clock truth (whether a request blows its
+   budget depends on machine load), so the counter is volatile. *)
+let m_deadlines () =
+  Metrics.counter ~volatile:true
+    ~help:"requests abandoned past their deadline (E1005)"
+    "serve_deadlines_total"
 
 (* ------------------------------------------------------------------ *)
 (* Spec resolution                                                     *)
@@ -349,6 +375,25 @@ let dispatch t (r : P.request) : Json.t * bool option =
             (fun config -> handle_autotune t r rs config))
   | P.Stats -> resolved_or (fun rs -> via_cache ~opts:"" rs (fun _ -> handle_stats rs))
 
+(** The deadline a request runs under: the tighter of the daemon's
+    [--request-timeout] and the request's own ["deadline_ms"], if either
+    is set.  Ping/metrics/shutdown are exempt — they cannot hang (no
+    compilation, no search), and exempting them keeps the
+    deadline-runner's sub-domain spawn off the daemon's cheapest
+    liveness path. *)
+let effective_deadline t (r : P.request) : float option =
+  match r.P.op with
+  | P.Ping | P.Metrics | P.Shutdown -> None
+  | P.Compile | P.Estimate | P.Autotune | P.Stats -> (
+      let requested =
+        if r.P.deadline_ms > 0 then Some (float_of_int r.P.deadline_ms /. 1000.0)
+        else None
+      in
+      match (t.request_timeout, requested) with
+      | None, None -> None
+      | Some s, None | None, Some s -> Some s
+      | Some a, Some b -> Some (Float.min a b))
+
 (** Handle one request value end to end: validate, count, trace, time,
     dispatch, and envelope.  Never raises. *)
 let handle_request t (j : Json.t) : Json.t =
@@ -369,7 +414,10 @@ let handle_request t (j : Json.t) : Json.t =
             ~args:[ ("op", opname) ]
             ("serve." ^ opname)
             (fun () ->
-              let body, cached =
+              (* [compute] never raises: every failure mode below is a
+                 structured body, which is what lets the deadline wrapper
+                 treat any [Error] strictly as a blown budget. *)
+              let compute () =
                 try dispatch t r with
                 | Diag.Fail ds -> (P.error_body ds, None)
                 | Sim.Sim_error { kind; message } ->
@@ -384,15 +432,38 @@ let handle_request t (j : Json.t) : Json.t =
                         [ Diag.error ~stage:Diag.Simulate ~code "%s" message ],
                       None )
                 | e ->
+                    (* capture here, before any further calls overwrite
+                       it: with OCAMLRUNPARAM=b this puts the daemon-side
+                       crash site in the client's diagnostic context *)
+                    let bt = Printexc.get_raw_backtrace () in
+                    let context =
+                      ("exception", Printexc.to_string e)
+                      ::
+                      (if Printexc.backtrace_status () then
+                         match
+                           String.trim (Printexc.raw_backtrace_to_string bt)
+                         with
+                         | "" -> []
+                         | s -> [ ("backtrace", s) ]
+                       else [])
+                    in
                     ( P.error_body
                         [
                           Diag.error ~stage:Diag.Serve
-                            ~code:Diag.code_serve_internal
-                            ~context:
-                              [ ("exception", Printexc.to_string e) ]
+                            ~code:Diag.code_serve_internal ~context
                             "request handler failed";
                         ],
                       None )
+              in
+              let body, cached =
+                match effective_deadline t r with
+                | None -> compute ()
+                | Some seconds -> (
+                    match Pool.with_deadline ~seconds compute with
+                    | Ok v -> v
+                    | Error s ->
+                        Metrics.inc (m_deadlines ());
+                        (P.deadline_body ~seconds:s, None))
               in
               P.envelope ~id:r.P.id ~op:opname ?cached body))
 

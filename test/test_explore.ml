@@ -147,6 +147,59 @@ let test_pool_lifecycle () =
     "map after shutdown degrades to inline" expect
     (Pool.map ~pool (fun i -> i + 1) xs)
 
+(* Shutdown degradation is structured, never a hang or an assert:
+   double shutdown is a no-op, submit-after-shutdown computes inline
+   with correct values, and a shutdown from inside a pooled task is
+   refused with a stable diagnostic instead of deadlocking the pool. *)
+let test_pool_shutdown_edges () =
+  let pool = Pool.create ~workers:2 () in
+  (* shutdown requested from inside a pooled task: refused, stable code *)
+  let results =
+    Pool.map ~pool
+      (fun i ->
+        match Pool.shutdown pool with
+        | () -> Alcotest.fail "expected shutdown-from-task to be refused"
+        | exception Stardust_diag.Diag.Fail ds ->
+            Alcotest.(check string)
+              "refusal carries the internal-invariant code"
+              Stardust_diag.Diag.code_internal
+              (List.hd ds).Stardust_diag.Diag.code;
+            i * 2)
+      (Array.init 4 (fun i -> i))
+  in
+  Alcotest.(check (array int))
+    "batch completes despite the refused shutdown" [| 0; 2; 4; 6 |] results;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent, any number of times *);
+  Alcotest.(check (array int))
+    "submit after shutdown answers inline, right values" [| 1; 2; 3 |]
+    (Pool.map ~pool (fun i -> i + 1) [| 0; 1; 2 |])
+
+(* The deadline wrapper: timely work returns Ok, slow work is abandoned
+   with the elapsed budget, and exceptions propagate unwrapped. *)
+let test_pool_with_deadline () =
+  (match Pool.with_deadline ~seconds:30.0 (fun () -> 6 * 7) with
+  | Ok v -> Alcotest.(check int) "timely work returns its value" 42 v
+  | Error _ -> Alcotest.fail "timely work must not be abandoned");
+  (match
+     Pool.with_deadline ~seconds:0.05 (fun () ->
+         (* spin, don't sleep: abandonment must not depend on the
+            workload yielding *)
+         let rec spin deadline =
+           if Unix.gettimeofday () < deadline then spin deadline
+         in
+         spin (Unix.gettimeofday () +. 10.0);
+         0)
+   with
+  | Ok _ -> Alcotest.fail "spinning work must be abandoned"
+  | Error seconds ->
+      Alcotest.(check (float 0.001)) "abandoned with its budget" 0.05 seconds);
+  match Pool.with_deadline ~seconds:30.0 (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure m ->
+      Alcotest.(check string) "exception propagates unwrapped" "boom" m
+
 let test_pool_cache () =
   let cache : int Pool.Cache.t = Pool.Cache.create () in
   let calls = ref 0 in
@@ -311,6 +364,10 @@ let suite =
     Alcotest.test_case "pool: memo cache" `Quick test_pool_cache;
     Alcotest.test_case "pool: persistent lifecycle" `Quick
       test_pool_lifecycle;
+    Alcotest.test_case "pool: shutdown edges are structured" `Quick
+      test_pool_shutdown_edges;
+    Alcotest.test_case "pool: with_deadline abandons slow work" `Quick
+      test_pool_with_deadline;
     Alcotest.test_case "pareto frontier" `Quick test_pareto;
     Alcotest.test_case "search: worker-count determinism" `Quick
       test_determinism;

@@ -1,15 +1,20 @@
 (* Compile-service tests: protocol round-trips, stable error codes for
    malformed requests, plan-cache hit/eviction semantics, worker-count
    determinism of the metrics snapshot, the nested-pool (batched
-   autotune) guard, and a Unix-socket client session. *)
+   autotune) guard, a Unix-socket client session, and the hardening
+   layer: request deadlines (E1005), connection shedding (E1004),
+   oversized-line rejection (E1006), abrupt-disconnect survival,
+   crash-safe plan-cache persistence, and an in-process chaos storm. *)
 
 module Json = Stardust_json.Json
 module Pool = Stardust_explore.Pool
+module Diag = Stardust_diag.Diag
 module Plan_cache = Stardust_serve.Plan_cache
 module Protocol = Stardust_serve.Protocol
 module Service = Stardust_serve.Service
 module Server = Stardust_serve.Server
 module Client = Stardust_serve.Client
+module Chaos = Stardust_serve.Chaos
 module Metrics = Stardust_obs.Metrics
 
 let check = Alcotest.check
@@ -355,6 +360,263 @@ let test_unix_socket_session () =
       Domain.join listener;
       checkb "socket file unlinked on exit" false (Sys.file_exists path))
 
+(* ------------------------------------------------------------------ *)
+(* Hardening: deadlines, shedding, disconnects, oversized lines        *)
+(* ------------------------------------------------------------------ *)
+
+(* A request that blows its deadline_ms is abandoned with a stable
+   E1005 — and the service keeps answering afterwards. *)
+let test_deadline () =
+  with_service ~workers:1 (fun svc ->
+      let heavy =
+        kernel_req ~id:1 "autotune" "mttkrp" 96
+          ~extra:
+            [
+              ("strategy", Json.Str "random");
+              ("samples", Json.Num 4000.0);
+              ("deadline_ms", Json.Num 1.0);
+            ]
+      in
+      let resp = Service.handle_request svc heavy in
+      checkb "deadline blown answered, not hung" true (not (is_ok resp));
+      checks "deadline code" "E1005" (error_code resp);
+      (* the daemon is still alive and still fast *)
+      let ping = Service.handle_request svc (req ~id:2 "ping" []) in
+      checkb "service survives an abandoned request" true (is_ok ping);
+      (* a generous deadline does not get in the way *)
+      let light =
+        kernel_req ~id:3 "estimate" "spmv" 8
+          ~extra:[ ("deadline_ms", Json.Num 60000.0) ]
+      in
+      checkb "request under its deadline ok" true
+        (is_ok (Service.handle_request svc light));
+      (* a daemon-wide default applies where the request sets none *)
+      let svc2 = Service.create ~workers:1 ~request_timeout:0.001 () in
+      Fun.protect
+        ~finally:(fun () -> Service.shutdown svc2)
+        (fun () ->
+          let r =
+            Service.handle_request svc2
+              (kernel_req ~id:4 "autotune" "mttkrp" 96
+                 ~extra:
+                   [
+                     ("strategy", Json.Str "random");
+                     ("samples", Json.Num 4000.0);
+                   ])
+          in
+          checkb "daemon default deadline fires" true (not (is_ok r));
+          checks "daemon default deadline code" "E1005" (error_code r)))
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Fmt.str "stardust-%s-%d" name (Unix.getpid ()))
+
+let with_listener ?max_connections ?max_line_bytes svc path f =
+  let listener =
+    Domain.spawn (fun () ->
+        Server.serve_unix_socket ?max_connections ?max_line_bytes svc path)
+  in
+  let rec wait n =
+    if (not (Sys.file_exists path)) && n > 0 then begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  Fun.protect
+    ~finally:(fun () ->
+      Service.request_stop svc;
+      Domain.join listener)
+    f
+
+(* Beyond --max-connections the daemon sheds with a one-line E1004 and
+   keeps serving the connections it already accepted. *)
+let test_shed_at_bound () =
+  let path = tmp_path "shed.sock" in
+  with_service ~workers:1 (fun svc ->
+      with_listener ~max_connections:1 svc path (fun () ->
+          let held = Client.connect path in
+          Fun.protect
+            ~finally:(fun () -> Client.close held)
+            (fun () ->
+              (* occupy the only slot with a real exchange *)
+              checkb "held connection serves" true
+                (is_ok (Client.rpc held (req ~id:1 "ping" [])));
+              (* the next connection is shed with E1004 *)
+              let shed = Client.connect path in
+              let line = input_line shed.Client.ic in
+              Client.close shed;
+              let resp = Json.parse line in
+              checks "shed connection answered E1004" "E1004"
+                (error_code resp);
+              checks "shed op" "overloaded" (Json.to_str (field "op" resp));
+              (* the held connection is unaffected *)
+              checkb "held connection still serves" true
+                (is_ok (Client.rpc held (req ~id:2 "ping" []))))))
+
+(* An abrupt client disconnect — mid-request and mid-response — never
+   takes the daemon down. *)
+let test_abrupt_disconnect () =
+  let path = tmp_path "disc.sock" in
+  with_service ~workers:1 (fun svc ->
+      with_listener svc path (fun () ->
+          (* half-written line, then slam the socket *)
+          let c1 = Client.connect path in
+          output_string c1.Client.oc "{\"op\": \"comp";
+          flush c1.Client.oc;
+          Client.close c1;
+          (* full request, slam before reading the response *)
+          let c2 = Client.connect path in
+          output_string c2.Client.oc
+            "{\"op\": \"compile\", \"kernel\": \"spmv\", \"n\": 8}\n";
+          flush c2.Client.oc;
+          Client.close c2;
+          (* daemon still answers a fresh connection *)
+          Unix.sleepf 0.1;
+          let c3 = Client.connect path in
+          Fun.protect
+            ~finally:(fun () -> Client.close c3)
+            (fun () ->
+              checkb "daemon survives abrupt disconnects" true
+                (is_ok (Client.rpc c3 (req ~id:1 "ping" []))))))
+
+(* A line past the bound is answered E1006 and the connection stays
+   usable for the next request. *)
+let test_oversized_line () =
+  let path = tmp_path "long.sock" in
+  with_service ~workers:1 (fun svc ->
+      with_listener ~max_line_bytes:256 svc path (fun () ->
+          let c = Client.connect path in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let resp =
+                Json.parse (Client.rpc_line c (String.make 4096 'x'))
+              in
+              checks "oversized line answered E1006" "E1006" (error_code resp);
+              checkb "connection survives the oversized line" true
+                (is_ok (Client.rpc c (req ~id:1 "ping" []))))))
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe persistence                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* The acceptance bit: a daemon restarted over the same --cache-dir
+   answers a repeat from disk, bit-identically, as a cache hit. *)
+let test_persistence_restart () =
+  let dir = tmp_path "pcache" in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let r = kernel_req ~id:1 "compile" "spmv" 8 in
+      let strip_cached = function
+        | Json.Obj fields ->
+            Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+        | j -> j
+      in
+      (* first daemon: compile once, spill at fill time *)
+      let svc1 = Service.create ~workers:1 ~cache_dir:dir () in
+      let cold =
+        Fun.protect
+          ~finally:(fun () -> Service.shutdown svc1)
+          (fun () -> Service.handle_request svc1 r)
+      in
+      checkb "cold compile ok" true (is_ok cold);
+      checkb "cold compile is a miss" false (cached_bit cold);
+      checkb "fill spilled to disk" true
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".json")
+           (Sys.readdir dir));
+      (* second daemon: warm-starts from the spill *)
+      let svc2 = Service.create ~workers:1 ~cache_dir:dir () in
+      Fun.protect
+        ~finally:(fun () -> Service.shutdown svc2)
+        (fun () ->
+          checkb "clean spill loads without warnings" true
+            (Service.boot_diags svc2 = []);
+          let warm = Service.handle_request svc2 r in
+          checkb "restarted daemon answers the repeat as a hit" true
+            (cached_bit warm);
+          checks "restart answer is bit-identical"
+            (Json.to_string (strip_cached cold))
+            (Json.to_string (strip_cached warm));
+          let c = Plan_cache.counters (Service.plan_cache svc2) in
+          checki "no recompilation after restart" 0 c.Plan_cache.misses;
+          checki "the repeat was a cache hit" 1 c.Plan_cache.hits))
+
+(* A corrupted spill entry is skipped with a W0104 warning; the daemon
+   boots and the poisoned key just recompiles. *)
+let test_persistence_corrupt () =
+  let dir = tmp_path "pcache-corrupt" in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Unix.mkdir dir 0o755;
+      (* a truncated write and outright garbage *)
+      let put name bytes =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc bytes;
+        close_out oc
+      in
+      put "plan_0000000000000001.json" "{\"version\": 1, \"key\"";
+      put "plan_0000000000000002.json" "not json at all";
+      put "plan_0000000000000003.json" "{\"version\": 99, \"key\": \"k\", \"value\": 1}";
+      let svc = Service.create ~workers:1 ~cache_dir:dir () in
+      Fun.protect
+        ~finally:(fun () -> Service.shutdown svc)
+        (fun () ->
+          let ds = Service.boot_diags svc in
+          checki "every corrupt entry warned" 3 (List.length ds);
+          List.iter
+            (fun d ->
+              checks "corrupt entry code" Diag.code_cache_corrupt d.Diag.code;
+              checkb "corrupt warning names the file" true
+                (List.mem_assoc "file" d.Diag.context))
+            ds;
+          (* the daemon is fine; a compile fills and spills fresh *)
+          let r = Service.handle_request svc (kernel_req ~id:1 "compile" "spmv" 8) in
+          checkb "daemon serves after corrupt boot" true (is_ok r)))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the storm as a unit test                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A small in-process storm: garbage, half-lines, oversized lines,
+   slow-loris, and mid-response disconnects concurrent with well-formed
+   clients.  Zero failures means: never crashed, every well-formed
+   request answered. *)
+let test_chaos_storm () =
+  let path = tmp_path "chaos.sock" in
+  with_service ~workers:2 (fun svc ->
+      with_listener ~max_connections:8 ~max_line_bytes:4096 svc path
+        (fun () ->
+          let cfg =
+            {
+              (Chaos.default_config ~socket:path) with
+              Chaos.clients = 3;
+              requests_per_client = 8;
+              adversaries = 2;
+              attacks_per_adversary = 5;
+              max_line_bytes = 4096;
+            }
+          in
+          let report = Chaos.run cfg in
+          checks "chaos storm has zero failures" ""
+            (String.concat "; " report.Chaos.failures);
+          checki "every well-formed request answered"
+            report.Chaos.wellformed_sent report.Chaos.wellformed_answered;
+          checki "every attack ran" 10 report.Chaos.attacks_run))
+
 let suite =
   [
     Alcotest.test_case "protocol: every op round-trips" `Quick
@@ -377,4 +639,18 @@ let suite =
       test_batch_autotune_no_deadlock;
     Alcotest.test_case "server: unix-socket client session" `Quick
       test_unix_socket_session;
+    Alcotest.test_case "hardening: deadlines answered E1005" `Quick
+      test_deadline;
+    Alcotest.test_case "hardening: shed at --max-connections with E1004"
+      `Quick test_shed_at_bound;
+    Alcotest.test_case "hardening: abrupt disconnects survived" `Quick
+      test_abrupt_disconnect;
+    Alcotest.test_case "hardening: oversized lines answered E1006" `Quick
+      test_oversized_line;
+    Alcotest.test_case "persistence: restart answers repeats from disk"
+      `Quick test_persistence_restart;
+    Alcotest.test_case "persistence: corrupt spill skipped with W0104"
+      `Quick test_persistence_corrupt;
+    Alcotest.test_case "chaos: in-process storm, zero failures" `Quick
+      test_chaos_storm;
   ]

@@ -660,7 +660,9 @@ let serve_cmd =
              ~doc:"Per-request deadline (0 = none): a request that blows \
                    it is abandoned and answered with E1005 while the \
                    daemon keeps serving.  Requests may tighten it with a \
-                   $(i,deadline_ms) field.")
+                   $(i,deadline_ms) field.  If too many abandoned \
+                   runaways are still live, deadline-bearing requests \
+                   are refused with E1007 until the pool reaps them.")
   in
   let cache_dir =
     Arg.(value & opt (some string) None
@@ -682,9 +684,10 @@ let serve_cmd =
          & info [ "chaos" ]
              ~doc:"Boot the daemon on $(b,--socket), run the chaos \
                    harness against it (well-formed clients concurrent \
-                   with garbage/half-line/oversized/slow-loris/disconnect \
-                   adversaries), print the report and the deterministic \
-                   metrics snapshot, and exit non-zero on any failure.")
+                   with garbage/half-line/oversized/slow-loris/\
+                   deep-nesting/disconnect adversaries), print the \
+                   report and the deterministic metrics snapshot, and \
+                   exit non-zero on any failure.")
   in
   let chaos_clients =
     Arg.(value & opt int 4

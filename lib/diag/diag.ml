@@ -106,6 +106,7 @@ let code_serve_internal = "E1003"
 let code_serve_overloaded = "E1004"
 let code_serve_deadline = "E1005"
 let code_serve_line_too_long = "E1006"
+let code_serve_degraded = "E1007"
 let code_fallback_retile = "W0101"
 let code_fallback_cpu = "W0102"
 let code_retry = "W0103"

@@ -18,11 +18,16 @@
     while the worker polls for its completion against a wall-clock
     deadline.  A task that exceeds the deadline is {e abandoned} — OCaml
     domains cannot be killed, so the runaway domain keeps spinning until
-    the process exits, but the pool records a structured timeout for that
-    item and moves on to the next one.  One wedged task therefore costs
-    exactly one slot (plus one burned core), never the whole map.  The
-    differential-testing oracle leans on this to survive backends that
-    hang on a fuzz case. *)
+    its computation ends, but the pool records a structured timeout for
+    that item and moves on to the next one.  One wedged task therefore
+    costs exactly one slot (plus one burned core), never the whole map.
+    The differential-testing oracle leans on this to survive backends
+    that hang on a fuzz case.  Abandoned domains are accounted for:
+    each is registered with a completion probe, later deadline-bearing
+    calls {e reap} (join) the ones whose computations have finished,
+    and the live count is capped so the runtime's domain budget can
+    never be silently exhausted — see the abandoned-domain accounting
+    below and {!with_deadline}'s [Deadline_unenforceable]. *)
 
 module Diag = Stardust_diag.Diag
 module Trace = Stardust_obs.Trace
@@ -110,16 +115,82 @@ let apply_plain f i x =
       let bt = Printexc.get_raw_backtrace () in
       Raised (Worker_error { index = i; exn = e }, bt)
 
+(* ------------------------------------------------------------------ *)
+(* Abandoned-domain accounting                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* OCaml domains cannot be killed, so a blown deadline {e abandons} its
+   sub-domain.  An abandoned domain is a leak until its computation
+   finishes: it holds one of the runtime's ~128 domain slots, and once
+   enough accumulate [Domain.spawn] fails for everyone — which, left
+   unaccounted, would silently strip every future deadline.  So every
+   runaway is registered here with a completion probe; each new
+   deadline-bearing call first {e reaps} (joins) the runaways whose
+   computations have since finished, reclaiming their slots, and the
+   count of still-live runaways is capped at [abandoned_budget] — well
+   under the runtime's limit, so deadline spawns keep succeeding and
+   the degraded state is an explicit, observable refusal
+   ({!Deadline_unenforceable}), never a silent loss of enforcement.
+   [pool_abandoned_domains] tracks the live count. *)
+
+let abandoned_budget = 64
+
+type runaway = {
+  r_domain : unit Domain.t;
+  r_done : unit -> bool;  (** the abandoned computation has finished *)
+}
+
+let runaways_lock = Mutex.create ()
+let runaways : runaway list ref = ref []
+
+let abandoned_gauge n =
+  Metrics.set
+    (Metrics.gauge ~volatile:true
+       ~help:"deadline sub-domains abandoned and not yet reclaimed"
+       "pool_abandoned_domains")
+    (float_of_int n)
+
+(** Join every abandoned domain whose computation has finished (the
+    join is then immediate) and return how many are still running. *)
+let reap_abandoned () =
+  Mutex.lock runaways_lock;
+  let finished, live = List.partition (fun r -> r.r_done ()) !runaways in
+  runaways := live;
+  Mutex.unlock runaways_lock;
+  List.iter (fun r -> Domain.join r.r_domain) finished;
+  let n = List.length live in
+  abandoned_gauge n;
+  n
+
+let abandon d ~is_done =
+  Mutex.lock runaways_lock;
+  runaways := { r_domain = d; r_done = is_done } :: !runaways;
+  let n = List.length !runaways in
+  Mutex.unlock runaways_lock;
+  abandoned_gauge n
+
+(* A deadline-bearing call that could not spawn its sub-domain ran
+   inline with NO deadline (forward progress over isolation).  Rare —
+   the abandoned budget keeps domain slots available — but when it
+   happens it must be visible, not a silent degradation. *)
+let count_deadline_fallback () =
+  count ~volatile:true "pool_deadline_fallbacks_total"
+    "deadline-bearing calls that ran inline because no sub-domain could \
+     be spawned"
+
 (** Run one application in a dedicated sub-domain and poll for completion
     against a wall-clock deadline.  On timeout the sub-domain is abandoned
-    (never joined): its eventual result, if any, is discarded.  If no
-    domain can be spawned (the runtime's domain budget is exhausted by
-    abandoned tasks), the application degrades to running inline without a
-    deadline — forward progress over isolation. *)
+    (registered for later reaping; see the accounting above): its eventual
+    result, if any, is discarded.  If no domain can be spawned, the
+    application degrades to running inline without a deadline — forward
+    progress over isolation, counted in [pool_deadline_fallbacks_total]. *)
 let apply_timed ~seconds f i x =
+  ignore (reap_abandoned () : int);
   let cell = Atomic.make None in
   match Domain.spawn (fun () -> Atomic.set cell (Some (apply_plain f i x))) with
-  | exception _ -> apply_plain f i x
+  | exception _ ->
+      count_deadline_fallback ();
+      apply_plain f i x
   | d ->
       let deadline = Unix.gettimeofday () +. seconds in
       let rec wait () =
@@ -128,7 +199,10 @@ let apply_timed ~seconds f i x =
             Domain.join d;
             r
         | None ->
-            if Unix.gettimeofday () >= deadline then Timed_out seconds
+            if Unix.gettimeofday () >= deadline then begin
+              abandon d ~is_done:(fun () -> Atomic.get cell <> None);
+              Timed_out seconds
+            end
             else begin
               Unix.sleepf 0.001;
               wait ()
@@ -188,58 +262,88 @@ let mark_pooled body k =
   flag := true;
   Fun.protect ~finally:(fun () -> flag := saved) (fun () -> body k)
 
+(** Why {!with_deadline} produced no value. *)
+type deadline_failure =
+  | Deadline_expired of float
+      (** the call blew its budget; the runaway sub-domain has been
+          abandoned (and registered for reaping) *)
+  | Deadline_unenforceable of { abandoned : int }
+      (** refused before running: [abandoned] runaway domains are still
+          live, the [abandoned_budget] is spent, and running without a
+          deadline would silently lose enforcement — the caller must
+          surface the degraded state instead *)
+
 (** [with_deadline ~seconds f] runs [f ()] in a dedicated sub-domain and
     polls for completion against a wall-clock deadline — the same
     machinery as [?timeout] on {!map}, packaged for a single call.  On
     completion the result (or the original exception, with the raising
     domain's backtrace) propagates; past the deadline the sub-domain is
     {e abandoned} (OCaml domains cannot be killed — a runaway keeps its
-    core until the process exits) and [Error seconds] is returned,
-    counted in [pool_timeouts_total].
+    core until its computation ends, when the reaper reclaims the slot)
+    and [Error (Deadline_expired seconds)] is returned, counted in
+    [pool_timeouts_total].
+
+    When the abandoned-domain budget is already spent — [abandoned_budget]
+    runaways still live — the call is {e refused} with
+    [Error (Deadline_unenforceable _)] before [f] runs, counted in
+    [pool_deadline_refusals_total]: a visible, structured degradation
+    instead of a daemon that silently stops enforcing deadlines.  (If
+    [Domain.spawn] itself fails for some other reason, [f] runs inline
+    with no deadline — forward progress over isolation — counted in
+    [pool_deadline_fallbacks_total].)
 
     The caller's "inside a pooled batch item" flag is propagated into
     the sub-domain, so a nested pool submission under a deadline — the
     compile service bounding a request that autotunes, inside a batch —
     still degrades to an inline run instead of deadlocking on the batch
-    submitter's lock.  If no domain can be spawned (budget exhausted by
-    abandoned tasks), [f] runs inline with no deadline — forward
-    progress over isolation. *)
-let with_deadline ~seconds (f : unit -> 'a) : ('a, float) result =
-  let pooled = in_pooled_task () in
-  let cell = Atomic.make None in
-  let task () =
-    if pooled then Domain.DLS.get in_pooled_key := true;
-    let r =
-      match f () with
-      | v -> Value v
-      | exception e -> Raised (e, Printexc.get_raw_backtrace ())
-    in
-    Atomic.set cell (Some r)
-  in
-  match Domain.spawn task with
-  | exception _ -> Ok (f ())
-  | d ->
-      let deadline = Unix.gettimeofday () +. seconds in
-      let rec wait () =
-        match Atomic.get cell with
-        | Some (Value v) ->
-            Domain.join d;
-            Ok v
-        | Some (Raised (e, bt)) ->
-            Domain.join d;
-            Printexc.raise_with_backtrace e bt
-        | Some (Unfilled | Timed_out _) | None ->
-            if Unix.gettimeofday () >= deadline then begin
-              count ~volatile:true "pool_timeouts_total"
-                "pool items abandoned past their deadline";
-              Error seconds
-            end
-            else begin
-              Unix.sleepf 0.001;
-              wait ()
-            end
+    submitter's lock. *)
+let with_deadline ~seconds (f : unit -> 'a) : ('a, deadline_failure) result =
+  let live = reap_abandoned () in
+  if live >= abandoned_budget then begin
+    count ~volatile:true "pool_deadline_refusals_total"
+      "deadline-bearing calls refused because the abandoned-domain \
+       budget is spent";
+    Error (Deadline_unenforceable { abandoned = live })
+  end
+  else
+    let pooled = in_pooled_task () in
+    let cell = Atomic.make None in
+    let task () =
+      if pooled then Domain.DLS.get in_pooled_key := true;
+      let r =
+        match f () with
+        | v -> Value v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
       in
-      wait ()
+      Atomic.set cell (Some r)
+    in
+    match Domain.spawn task with
+    | exception _ ->
+        count_deadline_fallback ();
+        Ok (f ())
+    | d ->
+        let deadline = Unix.gettimeofday () +. seconds in
+        let rec wait () =
+          match Atomic.get cell with
+          | Some (Value v) ->
+              Domain.join d;
+              Ok v
+          | Some (Raised (e, bt)) ->
+              Domain.join d;
+              Printexc.raise_with_backtrace e bt
+          | Some (Unfilled | Timed_out _) | None ->
+              if Unix.gettimeofday () >= deadline then begin
+                count ~volatile:true "pool_timeouts_total"
+                  "pool items abandoned past their deadline";
+                abandon d ~is_done:(fun () -> Atomic.get cell <> None);
+                Error (Deadline_expired seconds)
+              end
+              else begin
+                Unix.sleepf 0.001;
+                wait ()
+              end
+        in
+        wait ()
 
 let rec worker_loop t k last_seen =
   Mutex.lock t.p_lock;

@@ -17,6 +17,16 @@ type t =
 
 exception Parse_error of string * int  (** message, character offset *)
 
+(** Maximum container-nesting depth the parser accepts.  The parser is
+    recursive-descent, so its stack use is proportional to the input's
+    nesting; past this bound it raises {!Parse_error} instead of
+    letting a hostile line like [\[\[\[\[…] run the OCaml stack out
+    ([Stack_overflow] escapes exception filters tuned for I/O errors —
+    the compile service in particular must see a parse error here,
+    never an asynchronous-looking crash).  512 levels is far beyond any
+    document our own printers emit. *)
+let max_depth = 512
+
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -167,7 +177,13 @@ let parse (s : string) : t =
       | Some f -> f
       | None -> fail "malformed number"
   in
-  let rec parse_value () =
+  let too_deep depth =
+    (* [depth] counts enclosing containers; a container opening at the
+       bound would nest its children one past it *)
+    if depth >= max_depth then
+      fail (Printf.sprintf "nesting deeper than %d levels" max_depth)
+  in
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -176,17 +192,18 @@ let parse (s : string) : t =
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
     | Some '[' ->
+        too_deep depth;
         advance ();
         skip_ws ();
         if peek () = Some ']' then (advance (); Arr [])
         else begin
-          let items = ref [ parse_value () ] in
+          let items = ref [ parse_value (depth + 1) ] in
           let rec go () =
             skip_ws ();
             match peek () with
             | Some ',' ->
                 advance ();
-                items := parse_value () :: !items;
+                items := parse_value (depth + 1) :: !items;
                 go ()
             | Some ']' -> advance ()
             | _ -> fail "expected ',' or ']'"
@@ -195,6 +212,7 @@ let parse (s : string) : t =
           Arr (List.rev !items)
         end
     | Some '{' ->
+        too_deep depth;
         advance ();
         skip_ws ();
         if peek () = Some '}' then (advance (); Obj [])
@@ -203,7 +221,7 @@ let parse (s : string) : t =
             skip_ws ();
             let k = parse_string () in
             expect ':';
-            (k, parse_value ())
+            (k, parse_value (depth + 1))
           in
           let items = ref [ member () ] in
           let rec go () =
@@ -221,7 +239,7 @@ let parse (s : string) : t =
         end
     | Some _ -> Num (parse_number ())
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage after JSON value";
   v

@@ -18,11 +18,13 @@
     Attacks, all derived from one seeded PRNG so a run is reproducible:
     garbage bytes, a half-written line followed by an abrupt close, a
     line past the daemon's [--max-line-bytes] bound (expects [E1006]),
-    a slow-loris writer dripping a valid [ping] one byte at a time, and
-    a valid-JSON/invalid-shape request whose sender slams the socket
-    shut without reading the response (mid-response [EPIPE] on the
-    daemon).  Everything is driven over threads, like the server's own
-    connection handlers. *)
+    a slow-loris writer dripping a valid [ping] one byte at a time,
+    deeply nested JSON within the line bound (a stack-smashing attempt
+    on the recursive parser; expects [E1001] from the nesting bound),
+    and a valid-JSON/invalid-shape request whose sender slams the
+    socket shut without reading the response (mid-response [EPIPE] on
+    the daemon).  Everything is driven over threads, like the server's
+    own connection handlers. *)
 
 module Json = Stardust_json.Json
 
@@ -311,14 +313,38 @@ let attack_send_and_slam socket =
   with_conn socket (fun c ->
       send_raw c "{\"op\": \"no-such-op\", \"id\": \"slam\"}\n")
 
+(** Deeply nested JSON within the line bound: a stack-smashing attempt
+    on the recursive-descent parser.  The parser's nesting bound must
+    turn it into a structured [E1001] — a [Stack_overflow] would escape
+    I/O-shaped exception filters and kill the handler (leaking its
+    connection slot), which is exactly the failure mode this attack
+    regresses against. *)
+let attack_deep_nesting sink socket ~max_line_bytes =
+  let depth = min 100_000 ((max_line_bytes - 64) / 2) in
+  with_conn socket (fun c ->
+      send_raw c (String.make depth '[');
+      send_raw c (String.make depth ']');
+      send_raw c "\n";
+      match read_response c with
+      | None -> ()
+      | Some r -> (
+          match Client.error_code r with
+          | Some ("E1001" | "E1004") -> ()
+          | Some other ->
+              fail sink "deep nesting answered with %s, wanted E1001" other
+          | None -> fail sink "deep nesting answered ok"))
+
 let run_adversary cfg sink ~attacks ~retries idx =
   let st = ref (Int64.of_int ((cfg.seed * 7_368_787) + idx)) in
   for _ = 1 to cfg.attacks_per_adversary do
-    (match rand_int st 5 with
+    (match rand_int st 6 with
     | 0 -> attack_garbage sink cfg.socket
     | 1 -> attack_half_line cfg.socket
     | 2 -> attack_oversized sink cfg.socket ~max_line_bytes:cfg.max_line_bytes
     | 3 -> attack_slow_loris sink cfg.socket ~retries
+    | 4 ->
+        attack_deep_nesting sink cfg.socket
+          ~max_line_bytes:cfg.max_line_bytes
     | _ -> attack_send_and_slam cfg.socket);
     Atomic.incr attacks
   done

@@ -28,9 +28,12 @@
     diagnostic context when [OCAMLRUNPARAM=b] records one), a connection
     shed at the daemon's [--max-connections] bound is [E1004], a request
     that blows its deadline ([--request-timeout] or a per-request
-    ["deadline_ms"] field) is [E1005], and a request line longer than
-    the daemon's line bound is [E1006].  None of them crash the
-    service. *)
+    ["deadline_ms"] field) is [E1005], a request line longer than
+    the daemon's line bound is [E1006], and a deadline-bearing request
+    refused because too many earlier runaways are still holding the
+    pool's abandoned-domain budget is [E1007] (degraded but honest:
+    the daemon never pretends to enforce a deadline it cannot).  None
+    of them crash the service. *)
 
 module Json = Stardust_json.Json
 module Diag = Stardust_diag.Diag
@@ -303,6 +306,23 @@ let deadline_body ~seconds =
             ("pool_timeout_code", Diag.code_worker_timeout);
           ]
         "request exceeded its deadline and was abandoned";
+    ]
+
+(** [E1007] body for a deadline-bearing request refused because the
+    daemon's abandoned-domain budget is spent: too many earlier requests
+    blew their deadlines and their runaway computations are still
+    holding domain slots, so enforcing a new deadline is impossible and
+    running without one would be a silent lie.  The context carries the
+    live runaway count; the budget self-heals as runaways finish (the
+    pool reaps them), so clients may retry later or resend without a
+    deadline. *)
+let deadline_unenforceable_body ~abandoned =
+  error_body
+    [
+      Diag.error ~stage:Diag.Serve ~code:Diag.code_serve_degraded
+        ~context:[ ("abandoned_domains", string_of_int abandoned) ]
+        "deadline enforcement unavailable: the daemon's abandoned-request \
+         budget is spent; retry later or without a deadline";
     ]
 
 (** [E1006] body for a request line past the daemon's length bound (the

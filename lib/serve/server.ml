@@ -34,8 +34,12 @@
     {!install_stop_signals} — flips the service's stop flag; the accept
     loop (which polls the flag between accepts) stops taking
     connections, waits up to [?drain_grace] seconds for in-flight
-    connections to finish, then force-closes stragglers (an idle client
-    parked on a read would otherwise hold the drain forever).  The plan
+    connections to finish, then shuts stragglers' sockets down (an
+    idle client parked on a read would otherwise hold the drain
+    forever; [shutdown] wakes the blocked reader, and the handler
+    thread itself performs its fd's single close).  In stdin mode the
+    flag is only checked between lines — see
+    {!install_stop_signals}.  The plan
     cache spills at fill time, so there is nothing to flush: a drained
     daemon — or a [kill -9]'d one — restarts warm from [--cache-dir]. *)
 
@@ -151,7 +155,15 @@ let serve_channels ?(max_line_bytes = default_max_line_bytes) t ic oc =
 
 (** Install SIGTERM/SIGINT handlers that request a graceful stop (drain
     in-flight work, then return from the serve loop).  Handlers only
-    flip the service's stop flag — async-signal-safe by construction. *)
+    flip the service's stop flag — async-signal-safe by construction.
+
+    Socket mode notices the flag within the accept loop's 100 ms select
+    tick.  Stdin mode checks it {e between} lines: OCaml's buffered
+    channels retry [EINTR], so a signal that arrives while the daemon
+    is blocked reading stdin takes effect only once the client sends
+    its next line (or EOF).  Deployments that need prompt termination
+    of an idle stdin daemon should close its stdin — or use the socket
+    transport, which is the production path. *)
 let install_stop_signals t =
   let stop = Sys.Signal_handle (fun _ -> Service.request_stop t) in
   List.iter
@@ -159,9 +171,17 @@ let install_stop_signals t =
       try Sys.set_signal s stop with Invalid_argument _ | Sys_error _ -> ())
     [ Sys.sigterm; Sys.sigint ]
 
-(* Open connections, keyed by an id, so the drain can force-close
+(* Open connections, keyed by an id, so the drain can force-disconnect
    clients parked on reads.  Guarded by one mutex; handlers remove
-   themselves on exit. *)
+   themselves (under the lock, before closing their fd) on exit.
+
+   Ownership discipline: the handler thread owns its fd's one and only
+   [Unix.close].  The drain never closes — it calls [Unix.shutdown],
+   which wakes a thread blocked in [read] (a bare [close] does not, on
+   Linux) and cannot invalidate a reused descriptor number: the
+   shutdown happens while the registry lock is held, and a handler can
+   only close after its [reg_remove] has taken that same lock, so a
+   registered fd is always still the connection it was registered as. *)
 type registry = {
   reg_lock : Mutex.t;
   reg : (int, Unix.file_descr) Hashtbl.t;
@@ -181,12 +201,14 @@ let reg_remove rg id =
   Hashtbl.remove rg.reg id;
   Mutex.unlock rg.reg_lock
 
-let reg_close_all rg =
+let reg_shutdown_all rg =
   Mutex.lock rg.reg_lock;
-  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) rg.reg [] in
+  Hashtbl.iter
+    (fun _ fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    rg.reg;
   Hashtbl.reset rg.reg;
-  Mutex.unlock rg.reg_lock;
-  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds
+  Mutex.unlock rg.reg_lock
 
 (* Best-effort one-line E1004 to a connection shed at the bound: a
    single non-blocking write, then close — a shed client that refuses
@@ -221,16 +243,29 @@ let serve_unix_socket ?(max_connections = default_max_connections)
   let handle_connection id conn =
     let ic = Unix.in_channel_of_descr conn in
     let oc = Unix.out_channel_of_descr conn in
-    (try serve_channels ~max_line_bytes t ic oc with
-    | Sys_error _ | End_of_file | Unix.Unix_error _ ->
-        (* mid-request/mid-response disconnect (EPIPE, ECONNRESET, a
-           half-written line, or our own drain closing the fd): count
-           it — unless the daemon itself is stopping — and keep serving
-           everyone else *)
-        if not (Service.stopping t) then Metrics.inc (m_disconnects ()));
-    reg_remove rg id;
-    (try Unix.close conn with Unix.Unix_error _ -> ());
-    Metrics.set (m_active ()) (float_of_int (Atomic.fetch_and_add active (-1) - 1))
+    (* The cleanup must run no matter what escapes the serve loop —
+       losing it leaks the [active] slot and the fd permanently, and
+       enough leaks shed every future connection.  [reg_remove] comes
+       before the close (see the registry's ownership discipline). *)
+    Fun.protect
+      ~finally:(fun () ->
+        reg_remove rg id;
+        (try Unix.close conn with Unix.Unix_error _ -> ());
+        Metrics.set (m_active ())
+          (float_of_int (Atomic.fetch_and_add active (-1) - 1)))
+      (fun () ->
+        try serve_channels ~max_line_bytes t ic oc with
+        | Sys_error _ | End_of_file | Unix.Unix_error _ ->
+            (* mid-request/mid-response disconnect (EPIPE, ECONNRESET, a
+               half-written line, or our own drain shutting the socket
+               down): count it — unless the daemon itself is stopping —
+               and keep serving everyone else *)
+            if not (Service.stopping t) then Metrics.inc (m_disconnects ())
+        | _ ->
+            (* anything else — e.g. an asynchronous exception such as
+               [Out_of_memory] surfacing in this thread — must not kill
+               the cleanup; drop the connection and keep the daemon up *)
+            if not (Service.stopping t) then Metrics.inc (m_disconnects ()))
   in
   let drain () =
     (* grace for in-flight connections to finish their current request
@@ -239,10 +274,11 @@ let serve_unix_socket ?(max_connections = default_max_connections)
     while Atomic.get active > 0 && Unix.gettimeofday () < deadline do
       Unix.sleepf 0.02
     done;
-    (* stragglers are parked on reads (idle clients, slow-loris): close
-       their fds out from under them and give the threads a beat to
-       unwind *)
-    reg_close_all rg;
+    (* stragglers are parked on reads (idle clients, slow-loris): shut
+       their sockets down — which wakes a blocked reader with EOF,
+       where a close would not — and give the threads a beat to unwind
+       and run their own cleanup (including the fd's single close) *)
+    reg_shutdown_all rg;
     let hard = Unix.gettimeofday () +. 1.0 in
     while Atomic.get active > 0 && Unix.gettimeofday () < hard do
       Unix.sleepf 0.02

@@ -110,6 +110,13 @@ let m_deadlines () =
     ~help:"requests abandoned past their deadline (E1005)"
     "serve_deadlines_total"
 
+let m_degraded () =
+  Metrics.counter ~volatile:true
+    ~help:
+      "deadline-bearing requests refused because the abandoned-domain \
+       budget is spent (E1007)"
+    "serve_degraded_total"
+
 (* ------------------------------------------------------------------ *)
 (* Spec resolution                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -461,9 +468,12 @@ let handle_request t (j : Json.t) : Json.t =
                 | Some seconds -> (
                     match Pool.with_deadline ~seconds compute with
                     | Ok v -> v
-                    | Error s ->
+                    | Error (Pool.Deadline_expired s) ->
                         Metrics.inc (m_deadlines ());
-                        (P.deadline_body ~seconds:s, None))
+                        (P.deadline_body ~seconds:s, None)
+                    | Error (Pool.Deadline_unenforceable { abandoned }) ->
+                        Metrics.inc (m_degraded ());
+                        (P.deadline_unenforceable_body ~abandoned, None))
               in
               P.envelope ~id:r.P.id ~op:opname ?cached body))
 

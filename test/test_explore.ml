@@ -193,12 +193,46 @@ let test_pool_with_deadline () =
          0)
    with
   | Ok _ -> Alcotest.fail "spinning work must be abandoned"
-  | Error seconds ->
-      Alcotest.(check (float 0.001)) "abandoned with its budget" 0.05 seconds);
+  | Error (Pool.Deadline_expired seconds) ->
+      Alcotest.(check (float 0.001)) "abandoned with its budget" 0.05 seconds
+  | Error (Pool.Deadline_unenforceable _) ->
+      Alcotest.fail "one runaway must not spend the abandoned budget");
   match Pool.with_deadline ~seconds:30.0 (fun () -> failwith "boom") with
   | _ -> Alcotest.fail "expected the exception to propagate"
   | exception Failure m ->
       Alcotest.(check string) "exception propagates unwrapped" "boom" m
+
+(* Abandoned-domain accounting: runaways whose computations finish are
+   reaped (joined) by later deadline-bearing calls, so a burst of
+   short-lived timeouts never degrades deadline enforcement. *)
+let test_pool_abandon_reap () =
+  (* earlier tests may have left their own runaways (the with_deadline
+     test's 10 s spinner); only this test's six must be reaped *)
+  let baseline = Pool.reap_abandoned () in
+  (* pile up several abandoned-but-finite runaways: each blows a 1 ms
+     deadline, then finishes on its own ~50 ms later *)
+  let spin_for seconds () =
+    let stop = Unix.gettimeofday () +. seconds in
+    let rec spin () = if Unix.gettimeofday () < stop then spin () in
+    spin ();
+    0
+  in
+  for _ = 1 to 6 do
+    match Pool.with_deadline ~seconds:0.001 (spin_for 0.05) with
+    | Ok _ -> Alcotest.fail "a 50ms spin must blow a 1ms deadline"
+    | Error (Pool.Deadline_expired _) -> ()
+    | Error (Pool.Deadline_unenforceable _) ->
+        Alcotest.fail "six short runaways must not spend the budget"
+  done;
+  (* once the runaways have finished, the next call reaps them all and
+     deadline enforcement is fully available again *)
+  Unix.sleepf 0.2;
+  (match Pool.with_deadline ~seconds:30.0 (fun () -> 21 * 2) with
+  | Ok v -> Alcotest.(check int) "post-reap call succeeds" 42 v
+  | Error _ -> Alcotest.fail "post-reap call must not be refused");
+  Alcotest.(check bool)
+    "every finished runaway reaped" true
+    (Pool.reap_abandoned () <= baseline)
 
 let test_pool_cache () =
   let cache : int Pool.Cache.t = Pool.Cache.create () in
@@ -368,6 +402,8 @@ let suite =
       test_pool_shutdown_edges;
     Alcotest.test_case "pool: with_deadline abandons slow work" `Quick
       test_pool_with_deadline;
+    Alcotest.test_case "pool: abandoned domains are reaped" `Quick
+      test_pool_abandon_reap;
     Alcotest.test_case "pareto frontier" `Quick test_pareto;
     Alcotest.test_case "search: worker-count determinism" `Quick
       test_determinism;

@@ -81,6 +81,41 @@ let test_json_roundtrip () =
     (Json.Parse_error ("trailing garbage after JSON value", 5))
     (fun () -> ignore (Json.parse "null x"))
 
+(* The recursive-descent parser is depth-bounded: a hostile
+   [[[[…-nesting line raises a structured Parse_error, never
+   Stack_overflow (which would escape I/O-shaped exception filters —
+   the compile service's connection handlers in particular). *)
+let test_json_depth_bound () =
+  let deep d = String.make d '[' ^ String.make d ']' in
+  (* nesting at the bound parses fine *)
+  (match Json.parse (deep Json.max_depth) with
+  | Json.Arr _ -> ()
+  | _ -> Alcotest.fail "nesting at the bound should parse to an array"
+  | exception Json.Parse_error (m, _) ->
+      Alcotest.failf "nesting at the bound rejected: %s" m);
+  (* one past the bound is a parse error *)
+  (match Json.parse (deep (Json.max_depth + 1)) with
+  | _ -> Alcotest.fail "nesting past the bound must be rejected"
+  | exception Json.Parse_error (m, _) ->
+      Alcotest.(check string)
+        "error names the nesting bound"
+        (Printf.sprintf "nesting deeper than %d levels" Json.max_depth)
+        m);
+  (* far past the bound — the attack shape — still a parse error, with
+     objects nesting the same way *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | _ -> Alcotest.fail "deep nesting must be rejected"
+      | exception Json.Parse_error _ -> ())
+    [
+      deep 100_000;
+      String.make 100_000 '[' (* unterminated, same recursion *);
+      String.concat "" (List.init 2_000 (fun _ -> "{\"k\":"))
+      ^ "null"
+      ^ String.make 2_000 '}';
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Generator                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -390,6 +425,7 @@ let test_fuzz_spinning_backend_costs_one_case () =
 let suite =
   [
     ("json round-trip", `Quick, test_json_roundtrip);
+    ("json nesting depth bounded", `Quick, test_json_depth_bound);
     ("generator is deterministic", `Quick, test_gen_deterministic);
     QCheck_alcotest.to_alcotest prop_gen_prepares;
     QCheck_alcotest.to_alcotest prop_gen_agrees_with_itself;

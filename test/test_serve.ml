@@ -480,6 +480,42 @@ let test_abrupt_disconnect () =
               checkb "daemon survives abrupt disconnects" true
                 (is_ok (Client.rpc c3 (req ~id:1 "ping" []))))))
 
+(* Deeply nested JSON — the stack-smashing attack on the recursive
+   parser — is answered with a structured E1001 on both transports, the
+   connection stays usable, and the daemon never leaks its connection
+   slot (the review-found failure mode: a Stack_overflow escaping the
+   handler's I/O-shaped exception filter skipped the cleanup, leaking
+   one slot per hit until every future connection was shed). *)
+let test_deep_nesting () =
+  let deep d = String.make d '[' ^ String.make d ']' in
+  (* stdin-shaped path: handle_line answers, never raises *)
+  with_service ~workers:1 (fun svc ->
+      let resp = Json.parse (Server.handle_line svc (deep 100_000)) in
+      checks "deep line answered E1001" "E1001" (error_code resp));
+  (* socket path: repeat the attack more times than --max-connections —
+     a leaked slot per hit would shed the liveness probe at the end *)
+  let path = tmp_path "deep.sock" in
+  with_service ~workers:1 (fun svc ->
+      with_listener ~max_connections:4 svc path (fun () ->
+          for _ = 1 to 8 do
+            let c = Client.connect path in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let resp = Json.parse (Client.rpc_line c (deep 100_000)) in
+                checks "socket deep line answered E1001" "E1001"
+                  (error_code resp);
+                checkb "connection survives the deep line" true
+                  (is_ok (Client.rpc c (req ~id:1 "ping" []))))
+          done;
+          (* no slots leaked: a fresh connection still gets served *)
+          let c = Client.connect path in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              checkb "no connection slots leaked" true
+                (is_ok (Client.rpc c (req ~id:2 "ping" []))))))
+
 (* A line past the bound is answered E1006 and the connection stays
    usable for the next request. *)
 let test_oversized_line () =
@@ -647,6 +683,8 @@ let suite =
       test_abrupt_disconnect;
     Alcotest.test_case "hardening: oversized lines answered E1006" `Quick
       test_oversized_line;
+    Alcotest.test_case "hardening: deep nesting answered E1001, no leak"
+      `Quick test_deep_nesting;
     Alcotest.test_case "persistence: restart answers repeats from disk"
       `Quick test_persistence_restart;
     Alcotest.test_case "persistence: corrupt spill skipped with W0104"

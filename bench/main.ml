@@ -30,6 +30,9 @@ let artifacts =
     ( "serve-throughput",
       ( "Compile service: requests/sec and p50/p99 latency at 1-16 clients",
         Serve_bench.run ) );
+    ( "ingest-throughput",
+      ( "Dataset ingestion: streaming-reader MB/s and out-of-core tile plans",
+        Ingest_bench.run ) );
     ( "serve-soak",
       ( "Compile service: chaos soak over a live socket (informational)",
         Serve_bench.soak ) );
@@ -42,8 +45,8 @@ let split_kernels s =
 let usage_suite () =
   Fmt.epr
     "usage: bench suite --json PATH [--kernels a,b,c] [--sections \
-     kernels,throughput,serve]@.       bench perf-diff [--sections ...] \
-     BASELINE NEW@.";
+     kernels,throughput,serve,ingest]@.       bench perf-diff [--sections \
+     ...] BASELINE NEW@.";
   exit 2
 
 (* suite --json PATH [--kernels a,b,c] [--sections a,b]: machine-readable

@@ -80,7 +80,7 @@ let instance_json (r : Suite.run) ~wall =
   Buffer.add_string buf (Printf.sprintf ",\"wall_seconds\":%s}" (num wall));
   Buffer.contents buf
 
-let all_sections = [ "kernels"; "throughput"; "serve" ]
+let all_sections = [ "kernels"; "throughput"; "serve"; "ingest" ]
 
 let suite_json ~kernels ?(sections = all_sections) ~path () =
   List.iter
@@ -117,6 +117,10 @@ let suite_json ~kernels ?(sections = all_sections) ~path () =
   if want "serve" then begin
     Fmt.epr "bench: serve-throughput...@.";
     add ("\"serve\":[" ^ Serve_bench.rows_json (Serve_bench.measure ()) ^ "]")
+  end;
+  if want "ingest" then begin
+    Fmt.epr "bench: ingest-throughput...@.";
+    add ("\"ingest\":[" ^ Ingest_bench.rows_json (Ingest_bench.measure ()) ^ "]")
   end;
   let doc =
     "{\"schema\":\"stardust-bench-suite/1\","
@@ -313,6 +317,11 @@ let perf_diff ?(sections = all_sections) base_path new_path =
     diff_counter_section ~section:"serve" ~key_field:"clients"
       ~fields:
         [ "requests"; "plan_cache_hits"; "plan_cache_misses" ];
+  if want "ingest" then
+    (* streaming-reader byte/entry tallies and the out-of-core planner's
+       tile counts are pure functions of the seeded generator *)
+    diff_counter_section ~section:"ingest" ~key_field:"target_nnz"
+      ~fields:[ "entries"; "bytes"; "tiles"; "tile0_cycles" ];
   if !mismatches = 0 then
     Fmt.epr "perf-diff: %s and %s agree on every deterministic counter@."
       base_path new_path;

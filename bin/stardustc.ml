@@ -73,8 +73,42 @@ let apply_stats_cache no_cache =
    invocation and a serve request over the same spec build the same
    tensors — and therefore the same plan-cache fingerprint. *)
 module W = Stardust_serve.Workload
+module Ingest = Stardust_ingest.Ingest
+module Ingest_fuzz = Stardust_ingest.Ingest_fuzz
 
 let stage_random_inputs = W.stage_random_inputs
+
+(* Real-dataset ingestion flags, shared by every command that accepts -d
+   specs: "NAME=@PATH" file specs resolve inside the --data-root sandbox
+   and stream through Stardust_ingest under the hard budgets. *)
+let data_root_flag =
+  Arg.(value & opt (some string) None
+       & info [ "data-root" ] ~docv:"DIR"
+           ~doc:"Sandbox directory for $(b,NAME=@PATH) file data specs; \
+                 file specs are refused without it, and may not be \
+                 absolute or traverse with \"..\".")
+
+let max_nnz_flag =
+  Arg.(value & opt int 0
+       & info [ "max-nnz" ] ~docv:"N"
+           ~doc:"Refuse ingested files with more than $(docv) entries \
+                 (0 = unlimited); exceeding it is a stable E0214.")
+
+let max_ingest_bytes_flag =
+  Arg.(value & opt int 0
+       & info [ "max-ingest-bytes" ] ~docv:"BYTES"
+           ~doc:"Refuse reading more than $(docv) bytes per ingested file \
+                 (0 = unlimited); exceeding it is a stable E0214.")
+
+let budget_of max_nnz max_bytes =
+  Ingest.budget
+    ?max_nnz:(if max_nnz > 0 then Some max_nnz else None)
+    ?max_bytes:(if max_bytes > 0 then Some max_bytes else None)
+    ()
+
+let data_doc =
+  "Input data spec: random, e.g. A=64x64@0.05 or x=64, or a real \
+   dataset file under $(b,--data-root), e.g. A=@bcsstk.mtx."
 
 (* ------------------------------------------------------------------ *)
 (* Output sections                                                      *)
@@ -189,16 +223,17 @@ let compile_cmd =
   in
   let data =
     Arg.(value & opt_all string []
-         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
-             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+         & info [ "d"; "data" ] ~docv:"NAME=SPEC" ~doc:data_doc)
   in
-  let run expr formats data cin code res sim est cpu dot =
+  let run expr formats data data_root max_nnz max_bytes cin code res sim est
+      cpu dot =
     let formats =
       List.map W.parse_format_binding formats
     in
     let sched = C.schedule_of_string ~formats expr in
     let inputs =
-      W.inputs_of_specs ~formats data
+      W.inputs_of_specs ?data_root ~budget:(budget_of max_nnz max_bytes)
+        ~formats data
     in
     let compiled = C.compile sched ~inputs in
     let any = cin || code || res || sim || est || cpu || dot in
@@ -208,7 +243,8 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Compile an arbitrary index-notation expression to Spatial.")
-    Term.(const run $ expr $ formats $ data $ flag_cin $ flag_code $ flag_res
+    Term.(const run $ expr $ formats $ data $ data_root_flag $ max_nnz_flag
+          $ max_ingest_bytes_flag $ flag_cin $ flag_code $ flag_res
           $ flag_sim $ flag_est $ flag_cpu $ flag_dot)
 
 (* ------------------------------------------------------------------ *)
@@ -236,8 +272,7 @@ let run_cmd =
   in
   let data =
     Arg.(value & opt_all string []
-         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
-             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+         & info [ "d"; "data" ] ~docv:"NAME=SPEC" ~doc:data_doc)
   in
   let fallback =
     Arg.(value
@@ -245,13 +280,16 @@ let run_cmd =
              (enum
                 [ ("none", Fallback.No_fallback);
                   ("retile", Fallback.Retile);
+                  ("tiled", Fallback.Tiled);
                   ("cpu", Fallback.Cpu) ])
              Fallback.No_fallback
          & info [ "fallback" ] ~docv:"POLICY"
              ~doc:"Degradation policy when the kernel exceeds chip capacity: \
                    $(b,none) fails with diagnostics, $(b,retile) retries \
-                   progressively gentler mappings, $(b,cpu) additionally \
-                   falls back to the von Neumann CPU baseline.")
+                   progressively gentler mappings, $(b,tiled) additionally \
+                   permits out-of-core coordinate tiling when the data is \
+                   what does not fit, $(b,cpu) additionally falls back to \
+                   the von Neumann CPU baseline.")
   in
   let diag_json =
     Arg.(value & flag
@@ -275,8 +313,8 @@ let run_cmd =
          & info [ "watchdog" ]
              ~doc:"Simulator step budget before the watchdog trips.")
   in
-  let run kname scale expr formats data policy diag_json pmus pcus watchdog
-      trace no_stats_cache =
+  let run kname scale expr formats data data_root max_nnz max_bytes policy
+      diag_json pmus pcus watchdog trace no_stats_cache =
     start_tracing trace;
     apply_stats_cache no_stats_cache;
     let arch =
@@ -345,8 +383,17 @@ let run_cmd =
         let formats =
           List.map W.parse_format_binding formats
         in
+        (* ingestion failures (malformed files, budgets, sandbox refusals)
+           reach --diag-json consumers structurally, like any other stage *)
         let inputs =
-          W.inputs_of_specs ~formats data
+          match
+            W.inputs_of_specs ?data_root ~budget:(budget_of max_nnz max_bytes)
+              ~formats data
+          with
+          | inputs -> inputs
+          | exception Diag.Fail ds ->
+              emit ds;
+              finish 1
         in
         run_stage e (C.compile_string_result ~formats ~inputs e)
     | _ ->
@@ -358,7 +405,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Compile and execute a kernel, degrading gracefully (per \
              $(b,--fallback)) when it exceeds chip capacity.")
-    Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ fallback
+    Term.(const run $ kname_arg $ scale $ expr $ formats $ data
+          $ data_root_flag $ max_nnz_flag $ max_ingest_bytes_flag $ fallback
           $ diag_json $ pmus $ pcus $ watchdog $ trace_flag
           $ no_stats_cache_flag)
 
@@ -384,8 +432,7 @@ let autotune_cmd =
   in
   let data =
     Arg.(value & opt_all string []
-         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
-             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+         & info [ "d"; "data" ] ~docv:"NAME=SPEC" ~doc:data_doc)
   in
   let strategy =
     Arg.(value
@@ -422,8 +469,8 @@ let autotune_cmd =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the result as JSON on stdout.")
   in
-  let run kname scale expr formats data strategy workers samples seed splits
-      regions json trace no_stats_cache =
+  let run kname scale expr formats data data_root max_nnz max_bytes strategy
+      workers samples seed splits regions json trace no_stats_cache =
     start_tracing trace;
     apply_stats_cache no_stats_cache;
     let problem =
@@ -448,7 +495,8 @@ let autotune_cmd =
             List.map W.parse_format_binding formats
           in
           let inputs =
-            W.inputs_of_specs ~formats data
+            W.inputs_of_specs ?data_root ~budget:(budget_of max_nnz max_bytes)
+              ~formats data
           in
           Eval.problem_of_string ~name:"custom" ~formats ~inputs expr
       | _ ->
@@ -477,7 +525,8 @@ let autotune_cmd =
     (Cmd.info "autotune"
        ~doc:"Search the schedule/format/hardware design space of a kernel \
              and print the Pareto frontier over (cycles, chip resources).")
-    Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ strategy
+    Term.(const run $ kname_arg $ scale $ expr $ formats $ data
+          $ data_root_flag $ max_nnz_flag $ max_ingest_bytes_flag $ strategy
           $ workers $ samples $ seed $ splits $ regions $ json $ trace_flag
           $ no_stats_cache_flag)
 
@@ -507,8 +556,7 @@ let profile_cmd =
   in
   let data =
     Arg.(value & opt_all string []
-         & info [ "d"; "data" ] ~docv:"NAME=DIMS[@DENSITY]"
-             ~doc:"Random input data spec, e.g. A=64x64\\@0.05 or x=64.")
+         & info [ "d"; "data" ] ~docv:"NAME=SPEC" ~doc:data_doc)
   in
   let json =
     Arg.(value & flag
@@ -523,7 +571,8 @@ let profile_cmd =
              ~doc:"Also print the metrics registry in Prometheus text \
                    format.")
   in
-  let run kname scale expr formats data json show_metrics trace =
+  let run kname scale expr formats data data_root max_nnz max_bytes json
+      show_metrics trace =
     start_tracing trace;
     (* stage name, compiled form — multi-stage kernels are executed
        stage-by-stage so later stages see real intermediates (their trip
@@ -559,7 +608,8 @@ let profile_cmd =
             List.map W.parse_format_binding formats
           in
           let inputs =
-            W.inputs_of_specs ~formats data
+            W.inputs_of_specs ?data_root ~budget:(budget_of max_nnz max_bytes)
+              ~formats data
           in
           [ (e, C.compile_string ~formats ~inputs e) ]
       | _ ->
@@ -616,7 +666,8 @@ let profile_cmd =
        ~doc:"Attribute a kernel's estimated cycles to its loop nest: \
              per-loop compute/DRAM breakdown with shares of the kernel \
              total, from the same analytic model the benchmarks use.")
-    Term.(const run $ kname_arg $ scale $ expr $ formats $ data $ json
+    Term.(const run $ kname_arg $ scale $ expr $ formats $ data
+          $ data_root_flag $ max_nnz_flag $ max_ingest_bytes_flag $ json
           $ show_metrics $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -705,8 +756,8 @@ let serve_cmd =
              ~doc:"Chaos harness: PRNG seed (same seed, same schedule).")
   in
   let run socket workers plan_cap stats_cap max_conns request_timeout
-      cache_dir max_line_bytes chaos chaos_clients chaos_requests chaos_seed
-      trace no_stats_cache =
+      cache_dir data_root max_nnz max_bytes max_line_bytes chaos
+      chaos_clients chaos_requests chaos_seed trace no_stats_cache =
     start_tracing trace;
     apply_stats_cache no_stats_cache;
     if stats_cap > 0 then Stardust_tensor.Stats_cache.set_capacity stats_cap;
@@ -717,7 +768,8 @@ let serve_cmd =
         ~plan_cache_capacity:plan_cap
         ?request_timeout:
           (if request_timeout > 0.0 then Some request_timeout else None)
-        ?cache_dir ()
+        ?cache_dir ?data_root
+        ~ingest_budget:(budget_of max_nnz max_bytes) ()
     in
     List.iter
       (fun d -> Fmt.epr "%a@." Diag.pp d)
@@ -771,7 +823,8 @@ let serve_cmd =
              disconnects, honors per-request deadlines, and can persist \
              its plan cache across restarts with $(b,--cache-dir).")
     Term.(const run $ socket $ workers $ plan_cap $ stats_cap $ max_conns
-          $ request_timeout $ cache_dir $ max_line_bytes $ chaos
+          $ request_timeout $ cache_dir $ data_root_flag $ max_nnz_flag
+          $ max_ingest_bytes_flag $ max_line_bytes $ chaos
           $ chaos_clients $ chaos_requests $ chaos_seed $ trace_flag
           $ no_stats_cache_flag)
 
@@ -819,10 +872,29 @@ let fuzz_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-case progress.")
   in
-  let run cases seed corpus no_corpus workers timeout watchdog quiet trace
-      no_stats_cache =
+  let ingest =
+    Arg.(value & flag
+         & info [ "ingest" ]
+             ~doc:"Fuzz the dataset readers instead of the backends: \
+                   byte-wise mutations of well-formed .mtx/.tns files \
+                   (plus injected faults) must always land inside the \
+                   structured E021x envelope — no raw exceptions, no \
+                   leaked file descriptors.")
+  in
+  let run cases seed corpus no_corpus workers timeout watchdog quiet ingest
+      trace no_stats_cache =
     start_tracing trace;
     apply_stats_cache no_stats_cache;
+    if ingest then begin
+      let stats =
+        Ingest_fuzz.run ~cases ~seed
+          ~log:(if quiet then ignore else prerr_endline)
+          ()
+      in
+      Fmt.pr "%a@." Ingest_fuzz.pp_stats stats;
+      List.iter (Fmt.epr "%s@.") stats.Ingest_fuzz.failures;
+      exit (if stats.Ingest_fuzz.failures <> [] then 1 else 0)
+    end;
     let cfg =
       {
         Fuzz.default_config with
@@ -849,7 +921,7 @@ let fuzz_cmd =
              both interpreters, the Capstan simulator, and the fallback \
              driver; disagreements are minimized and saved to the corpus.")
     Term.(const run $ cases $ seed $ corpus $ no_corpus $ workers $ timeout
-          $ watchdog $ quiet $ trace_flag $ no_stats_cache_flag)
+          $ watchdog $ quiet $ ingest $ trace_flag $ no_stats_cache_flag)
 
 let replay_cmd =
   let file_arg =
@@ -893,6 +965,11 @@ let () =
      themselves becomes an E0901 here *)
   match Cmd.eval ~catch:false group with
   | code -> exit code
+  | exception Diag.Fail ds ->
+      (* already-structured failures (e.g. ingestion rejects from commands
+         without their own --diag-json plumbing) print as themselves *)
+      List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) ds;
+      exit 1
   | exception e ->
       let d =
         Diag.error ~stage:Diag.Driver ~code:Diag.code_unexpected

@@ -2,34 +2,42 @@
 
    Run with:  dune exec examples/from_file.exe [matrix.mtx]
 
-   Loads a SuiteSparse-style .mtx file (or writes and reloads a synthetic
-   one when no path is given), auto-schedules SpMV on it, and simulates.
-   This is the path for running the benchmark suite on the paper's
-   original inputs when they are available. *)
+   Loads a SuiteSparse-style .mtx file (the committed bcsstk_small.mtx
+   example when no path is given) through the streaming ingestion layer
+   — single bounded-memory pass, explicit entry/byte budgets, stable
+   E02xx diagnostics on malformed input — then auto-schedules SpMV on it
+   and simulates.  This is the path for running the benchmark suite on
+   the paper's original inputs when they are available. *)
 
 module F = Stardust_tensor.Format
 module T = Stardust_tensor.Tensor
-module Io = Stardust_tensor.Tensor_io
 module Auto = Stardust_core.Autoschedule
 module Sim = Stardust_capstan.Sim
 module Ref = Stardust_vonneumann.Reference
 module D = Stardust_workloads.Datasets
+module Ingest = Stardust_ingest.Ingest
+module Diag = Stardust_diag.Diag
+
+let default_path = "examples/data/bcsstk_small.mtx"
 
 let () =
-  let path, cleanup =
-    if Array.length Sys.argv > 1 then (Sys.argv.(1), false)
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
     else begin
-      (* no input given: write a synthetic matrix and read it back *)
-      let t = D.trefethen_like ~dim:512 ~format:(F.csr ()) () in
-      let path = Filename.temp_file "stardust_demo" ".mtx" in
-      Io.write_matrix_market t path;
-      Fmt.pr "(no input file given; wrote a synthetic Trefethen matrix to %s)@."
-        path;
-      (path, true)
+      Fmt.pr "(no input file given; using the committed %s)@." default_path;
+      default_path
     end
   in
-  let a = T.rename "A" (Io.read_matrix_market ~name:"A" ~format:(F.csr ()) path) in
-  if cleanup then Sys.remove path;
+  (* Real files are untrusted: cap what one load may cost, and render
+     the structured E02xx diagnostics a damaged file produces. *)
+  let budget = Ingest.budget ~max_nnz:5_000_000 ~max_bytes:200_000_000 () in
+  let a =
+    match Ingest.read_file_result ~name:"A" ~budget ~format:(F.csr ()) path with
+    | Ok t -> t
+    | Error ds ->
+        List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) ds;
+        exit 1
+  in
   let dims = T.dims a in
   Fmt.pr "loaded %s: %dx%d, %d nonzeros (%.2e dense)@." path dims.(0) dims.(1)
     (T.nnz a) (T.density a);

@@ -25,6 +25,7 @@ type stage =
   | Codegen    (** Spatial program validation / emission *)
   | Simulate   (** Capstan functional simulation or estimation *)
   | Io         (** tensor file input/output *)
+  | Ingest     (** streaming dataset ingestion and out-of-core tiling *)
   | Driver     (** host orchestration: compile driver, pipeline, fallback *)
   | Oracle     (** differential-testing oracle: cross-backend fuzzing *)
   | Serve      (** compile service: request protocol and dispatch *)
@@ -57,6 +58,14 @@ type t = {
     - E06xx simulate     — [E0601] runtime fault, [E0602] capacity
                            overflow, [E0603] watchdog expired,
                            [E0604] injected fault surfaced
+    - E02xx ingest       — streaming dataset ingestion starts at [E0210]
+                           (the E020x block below E0210 belongs to the
+                           schedule stage): [E0210] unreadable path,
+                           [E0211] missing or truncated header,
+                           [E0212] malformed or out-of-range entry,
+                           [E0213] duplicate entry, [E0214] resource
+                           budget exceeded, [E0215] file truncated before
+                           the declared entry count
     - E07xx io           — [E0701] malformed tensor file
     - E08xx oracle       — [E0801] backends disagree on a fuzz case,
                            [E0802] a backend crashed on a fuzz case,
@@ -80,7 +89,9 @@ type t = {
                            [W0102] fell back to the CPU baseline,
                            [W0103] pipeline stage retried,
                            [W0104] a corrupt plan-cache spill entry was
-                           skipped at warm start *)
+                           skipped at warm start,
+                           [W0105] degraded to out-of-core coordinate
+                           tiling *)
 
 let code_parse = "E0101"
 let code_schedule = "E0201"
@@ -92,6 +103,12 @@ let code_sim_capacity = "E0602"
 let code_sim_watchdog = "E0603"
 let code_sim_fault = "E0604"
 let code_io = "E0701"
+let code_ingest_unreadable = "E0210"
+let code_ingest_header = "E0211"
+let code_ingest_entry = "E0212"
+let code_ingest_duplicate = "E0213"
+let code_ingest_budget = "E0214"
+let code_ingest_truncated = "E0215"
 let code_oracle_mismatch = "E0801"
 let code_oracle_crash = "E0802"
 let code_oracle_hang = "E0803"
@@ -111,6 +128,7 @@ let code_fallback_retile = "W0101"
 let code_fallback_cpu = "W0102"
 let code_retry = "W0103"
 let code_cache_corrupt = "W0104"
+let code_fallback_tiled = "W0105"
 
 (* ------------------------------------------------------------------ *)
 (* Constructors                                                        *)
@@ -147,6 +165,7 @@ let stage_name = function
   | Codegen -> "codegen"
   | Simulate -> "simulate"
   | Io -> "io"
+  | Ingest -> "ingest"
   | Driver -> "driver"
   | Oracle -> "oracle"
   | Serve -> "serve"

@@ -8,6 +8,11 @@
 
     {ol
     {- {b Capstan} — the kernel as scheduled.}
+    {- {b Tiled} — when the {e data} is what does not fit, shard the
+       iteration space into coordinate-range tiles
+       ({!Stardust_ingest.Tile}), simulate each tile independently, and
+       reduce the partials.  Preserves on-chip locality, unlike forcing
+       everything to DRAM.}
     {- {b Retile} — recompile with every gatherable region forced
        off-chip ([sram_budget = 0]) and progressively shrunk
        parallelization factors: smaller replication means fewer PMU/PCU
@@ -16,9 +21,13 @@
        the same plan on the host.  Always feasible; the kernel still
        produces its result, just not on the accelerator.}}
 
-    How far the chain walks is the caller's [policy]:
-    [No_fallback] reports the first failure as structured diagnostics,
-    [Retile] stops after step 2, [Cpu] walks to the end. *)
+    How far the chain walks is the caller's [policy], ordered by how much
+    degradation it permits: [No_fallback] reports the first failure as
+    structured diagnostics, [Retile] permits only the retile rung,
+    [Tiled] additionally permits out-of-core tiling, [Cpu] walks to the
+    end.  The tiled rung runs {e before} retiling (it keeps data on-chip)
+    but only when {!Stardust_ingest.Tile.plan} judges the failure a data
+    capacity problem rather than a structural one. *)
 
 module Tensor = Stardust_tensor.Tensor
 module Schedule = Stardust_schedule.Schedule
@@ -28,32 +37,38 @@ module Sim = Stardust_capstan.Sim
 module Arch = Stardust_capstan.Arch
 module Resources = Stardust_capstan.Resources
 module Imp = Stardust_vonneumann.Imp_interp
+module Tile = Stardust_ingest.Tile
 module Diag = Stardust_diag.Diag
 module Metrics = Stardust_obs.Metrics
 
 let count name help = Metrics.inc (Metrics.counter ~help name)
 
-type policy = No_fallback | Retile | Cpu
+type policy = No_fallback | Retile | Tiled | Cpu
 
 let policy_name = function
   | No_fallback -> "none"
   | Retile -> "retile"
+  | Tiled -> "tiled"
   | Cpu -> "cpu"
 
 let policy_of_string = function
   | "none" -> Some No_fallback
   | "retile" -> Some Retile
+  | "tiled" -> Some Tiled
   | "cpu" -> Some Cpu
   | _ -> None
 
 (** Which rung of the chain actually ran the kernel. *)
 type backend =
   | Capstan  (** as scheduled *)
+  | Capstan_tiled of string
+      (** description of the coordinate tiling that fit *)
   | Capstan_retiled of string  (** description of the retile that fit *)
   | Cpu_baseline
 
 let backend_name = function
   | Capstan -> "capstan"
+  | Capstan_tiled d -> "capstan-tiled(" ^ d ^ ")"
   | Capstan_retiled d -> "capstan-retiled(" ^ d ^ ")"
   | Cpu_baseline -> "cpu"
 
@@ -172,6 +187,42 @@ let run ?(policy = No_fallback) ?(config = Sim.default_config)
   | Error ds -> (
       (* record why Capstan was abandoned, demoted to notes *)
       Diag.Collector.add_all trail (List.map demote ds);
+      let tiled =
+        (* before retiling: if the failure is a data-capacity problem,
+           coordinate tiling keeps each slice on-chip instead of forcing
+           everything to DRAM *)
+        if policy <> Tiled && policy <> Cpu then None
+        else
+          match Tile.attempt ~config ~watchdog ~faults c with
+          | Ok o -> Some o
+          | Error ds ->
+              Diag.Collector.add_all trail (List.map demote ds);
+              None
+      in
+      match tiled with
+      | Some o ->
+          count "fallback_tiled_total"
+            "kernels degraded to out-of-core coordinate tiling (W0105)";
+          let desc = Fmt.str "%s x %d" o.Tile.shard_var o.Tile.tiles in
+          Diag.Collector.add_all trail o.Tile.notes;
+          Diag.Collector.add trail
+            (Diag.warning ~stage:Diag.Driver ~code:Diag.code_fallback_tiled
+               ~context:
+                 [ ("kernel", name);
+                   ("shard", o.Tile.shard_var);
+                   ("tiles", string_of_int o.Tile.tiles) ]
+               "kernel %s does not fit on chip as one piece; degraded to \
+                out-of-core tiling (%d tiles over %s)"
+               name o.Tile.tiles o.Tile.shard_var);
+          Ok
+            {
+              backend = Capstan_tiled desc;
+              compiled = c;
+              results = o.Tile.results;
+              report = None;
+              diags = Diag.Collector.to_list trail;
+            }
+      | None ->
       let rec retile = function
         | [] -> None
         | (label, ip, op) :: rest -> (

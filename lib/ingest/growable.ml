@@ -1,0 +1,69 @@
+(** Growable typed arrays for streaming ingestion.
+
+    The streaming readers parse coordinate files in a single pass without
+    knowing the entry count up front (FROSTT [.tns] files have no size
+    header).  These buffers amortize growth by doubling, hold unboxed
+    [int]/[float] payloads, and hand back a right-sized [Array] copy at
+    finalization — no intermediate lists, no per-entry boxing. *)
+
+module Ints = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 1024) () =
+    { data = Array.make (max 1 capacity) 0; len = 0 }
+
+  let length t = t.len
+
+  let ensure t n =
+    if n > Array.length t.data then begin
+      let cap = ref (Array.length t.data) in
+      while n > !cap do
+        cap := !cap * 2
+      done;
+      let data = Array.make !cap 0 in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end
+
+  let push t v =
+    ensure t (t.len + 1);
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Growable.Ints.get";
+    t.data.(i)
+
+  let to_array t = Array.sub t.data 0 t.len
+end
+
+module Floats = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create ?(capacity = 1024) () =
+    { data = Array.make (max 1 capacity) 0.0; len = 0 }
+
+  let length t = t.len
+
+  let ensure t n =
+    if n > Array.length t.data then begin
+      let cap = ref (Array.length t.data) in
+      while n > !cap do
+        cap := !cap * 2
+      done;
+      let data = Array.make !cap 0.0 in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end
+
+  let push t v =
+    ensure t (t.len + 1);
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Growable.Floats.get";
+    t.data.(i)
+
+  let to_array t = Array.sub t.data 0 t.len
+end

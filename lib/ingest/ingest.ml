@@ -1,0 +1,599 @@
+(** Streaming dataset ingestion.
+
+    The paper's evaluation runs on real SuiteSparse/FROSTT datasets; this
+    module is the hardened path those files come in through.  Unlike the
+    legacy {!Stardust_tensor.Tensor_io} readers (kept for their
+    exception-style API), these readers
+
+    - parse in a {b single bounded-memory pass}: each line is tokenized
+      with a hand-rolled splitter into {!Growable} typed arrays or
+      directly into a {!Stardust_tensor.Coo} builder — no intermediate
+      lists, no [List.nth] scans;
+    - enforce {b hard resource budgets} ([max_nnz], [max_bytes]) so a
+      hostile or mislabeled file cannot OOM the process;
+    - map {b every} malformed-input path to a stable [E021x]
+      {!Stardust_diag.Diag} code carrying the file, line number and a
+      byte-offset span, so [run --diag-json] reports ingestion failures
+      structurally instead of dying on a stringly exception;
+    - support {b fault injection} (truncation, byte corruption, denied
+      opens) mirroring [Sim.execute ?faults], so the degradation path is
+      testable without hand-corrupting files on disk;
+    - account for themselves through [ingest_*] metrics and trace spans,
+      including an open-fd gauge that a leak audit can assert returns to
+      zero. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Coo = Stardust_tensor.Coo
+module Format = Stardust_tensor.Format
+module Diag = Stardust_diag.Diag
+module Metrics = Stardust_obs.Metrics
+module Trace = Stardust_obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and faults                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Hard resource ceilings for one ingestion.  [None] means unlimited. *)
+type budget = { max_nnz : int option; max_bytes : int option }
+
+let no_budget = { max_nnz = None; max_bytes = None }
+let budget ?max_nnz ?max_bytes () = { max_nnz; max_bytes }
+
+(** Injected file-level adversities, mirroring [Sim.execute ?faults]:
+    the reader behaves exactly as if the file on disk were damaged. *)
+type fault =
+  | Truncate_at of int
+      (** the file appears to end after this many bytes *)
+  | Corrupt_byte of { at : int; value : char }
+      (** the byte at this offset reads back as [value] *)
+  | Deny_open
+      (** opening the file fails as if permission were denied *)
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* metric handles are looked up per use so [Metrics.reset] (tests, fresh
+   CLI runs) never leaves this module holding a detached ref *)
+let count ?(by = 1.0) name help = Metrics.inc ~by (Metrics.counter ~help name)
+
+let fd_gauge () =
+  Metrics.gauge
+    ~help:
+      "file descriptors currently held by the streaming readers; a leak \
+       audit asserts this returns to zero"
+    "ingest_open_fds"
+
+(** Current reader-held fd count — the fuzzer's leak audit asserts this
+    returns to zero after every case. *)
+let open_fds () = int_of_float (Metrics.value (fd_gauge ()))
+
+(* ------------------------------------------------------------------ *)
+(* Structured failure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Reject of Diag.t
+
+let reject ?span ~path ~line ~code fmt =
+  Fmt.kstr
+    (fun m ->
+      raise
+        (Reject
+           (Diag.make ~severity:Diag.Error ?span ~stage:Diag.Ingest ~code
+              ~context:
+                [ ("file", path); ("line", string_of_int line) ]
+              m)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Faulting line source                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** A line-oriented reader over an [in_channel] that tracks byte offsets
+    and line numbers, applies injected faults, and enforces the byte
+    budget.  All reads go through {!next_line}; the channel is closed by
+    the caller's [Fun.protect]. *)
+type source = {
+  path : string;
+  ic : in_channel;
+  faults : fault list;
+  max_bytes : int option;
+  mutable offset : int;  (** bytes consumed so far *)
+  mutable lineno : int;  (** 1-based line of the most recent {!next_line} *)
+  mutable line_start : int;  (** byte offset where that line began *)
+  mutable truncated : bool;  (** a [Truncate_at] fault has fired *)
+}
+
+let truncate_point faults =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Truncate_at n -> Some (match acc with Some m -> min m n | None -> n)
+      | _ -> acc)
+    None faults
+
+let corrupt_line src line =
+  let start = src.line_start in
+  let len = String.length line in
+  let patched = ref None in
+  List.iter
+    (fun f ->
+      match f with
+      | Corrupt_byte { at; value } when at >= start && at < start + len ->
+          let b =
+            match !patched with
+            | Some b -> b
+            | None ->
+                let b = Bytes.of_string line in
+                patched := Some b;
+                b
+          in
+          Bytes.set b (at - start) value
+      | _ -> ())
+    src.faults;
+  match !patched with Some b -> Bytes.to_string b | None -> line
+
+(** Next line, or [None] at (possibly injected) end of file.  Raises
+    {!Reject} with [E0214] when the byte budget is exceeded. *)
+let next_line src =
+  if src.truncated then None
+  else
+    match input_line src.ic with
+    | exception End_of_file -> None
+    | line ->
+        src.lineno <- src.lineno + 1;
+        src.line_start <- src.offset;
+        let consumed = String.length line + 1 in
+        src.offset <- src.offset + consumed;
+        let line =
+          match truncate_point src.faults with
+          | Some n when src.line_start >= n ->
+              src.truncated <- true;
+              ""
+          | Some n when src.offset > n ->
+              src.truncated <- true;
+              String.sub line 0 (n - src.line_start)
+          | _ -> line
+        in
+        if src.truncated && line = "" then None
+        else begin
+          (match src.max_bytes with
+          | Some b when src.offset > b ->
+              reject ~path:src.path ~line:src.lineno
+                ~span:{ Diag.start = src.line_start; stop = src.offset }
+                ~code:Diag.code_ingest_budget
+                "byte budget exceeded: read %d bytes of a %d-byte allowance"
+                src.offset b
+          | _ -> ());
+          Some (corrupt_line src line)
+        end
+
+let line_span src =
+  { Diag.start = src.line_start; stop = src.offset }
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizing                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\r'
+
+(** Split [line] on runs of whitespace without building lists of empty
+    fields; at most [max_fields + 1] tokens are returned so ragged lines
+    are detectable without unbounded allocation. *)
+let tokenize ?(max_fields = 64) line =
+  let n = String.length line in
+  let fields = ref [] and count = ref 0 in
+  let i = ref 0 in
+  while !i < n && !count <= max_fields do
+    while !i < n && is_ws line.[!i] do
+      incr i
+    done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && not (is_ws line.[!i]) do
+        incr i
+      done;
+      fields := String.sub line start (!i - start) :: !fields;
+      incr count
+    end
+  done;
+  Array.of_list (List.rev !fields)
+
+let is_comment line =
+  let n = String.length line in
+  let rec first i = if i < n && is_ws line.[i] then first (i + 1) else i in
+  let i = first 0 in
+  i >= n || line.[i] = '%' || line.[i] = '#'
+
+let parse_int src what s =
+  match int_of_string s with
+  | v -> v
+  | exception _ ->
+      reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+        ~code:Diag.code_ingest_entry "%s is not an integer: %S" what s
+
+let parse_value src s =
+  match float_of_string s with
+  | v -> v
+  | exception _ ->
+      reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+        ~code:Diag.code_ingest_entry "value is not a number: %S" s
+
+let parse_coord src ~mode ~dim s =
+  let c = parse_int src (Fmt.str "coordinate (mode %d)" mode) s in
+  if c < 1 then
+    reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+      ~code:Diag.code_ingest_entry "coordinate %d (mode %d) is not positive" c
+      mode;
+  if dim > 0 && c > dim then
+    reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+      ~code:Diag.code_ingest_entry
+      "coordinate %d (mode %d) exceeds the declared dimension %d" c mode dim;
+  c - 1
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate detection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Duplicate keys are packed into a single [int] when the coordinate
+    space fits 62 bits (virtually always); otherwise a string key keeps
+    correctness at some allocation cost. *)
+type dedup =
+  | Packed of (int, unit) Hashtbl.t * int array  (** multipliers *)
+  | Keyed of (string, unit) Hashtbl.t
+
+let dedup_create dims =
+  let fits =
+    Array.fold_left
+      (fun acc d ->
+        match acc with
+        | None -> None
+        | Some p ->
+            if d <= 0 || p > max_int / d then None else Some (p * d))
+      (Some 1) dims
+  in
+  match fits with
+  | Some _ -> Packed (Hashtbl.create 1024, dims)
+  | None -> Keyed (Hashtbl.create 1024)
+
+(** [true] when the coordinate was fresh (and is now recorded). *)
+let dedup_add d coords =
+  match d with
+  | Packed (tbl, dims) ->
+      let key = ref 0 in
+      Array.iteri (fun m c -> key := (!key * dims.(m)) + c) coords;
+      if Hashtbl.mem tbl !key then false
+      else begin
+        Hashtbl.add tbl !key ();
+        true
+      end
+  | Keyed tbl ->
+      let key =
+        String.concat "," (Array.to_list (Array.map string_of_int coords))
+      in
+      if Hashtbl.mem tbl key then false
+      else begin
+        Hashtbl.add tbl key ();
+        true
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Reader scaffolding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a file whose order disagrees with the requested format must be a
+   structured reject, not an Invalid_argument out of [Tensor.of_coo] *)
+let check_format_order src ~format ~order =
+  let fo = Format.order format in
+  if fo <> order then
+    reject ~path:src.path ~line:src.lineno
+      ~code:Diag.code_ingest_entry
+      "file holds an order-%d tensor but the requested format has order %d"
+      order fo
+
+let check_nnz_budget src ~budget n =
+  match budget.max_nnz with
+  | Some b when n > b ->
+      reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+        ~code:Diag.code_ingest_budget
+        "entry budget exceeded: %d entries over a max-nnz allowance of %d" n b
+  | _ -> ()
+
+(** Open [path], run [f] over a faulting source, and guarantee the
+    channel is closed and the fd gauge rebalanced on every exit path. *)
+let with_source ?(budget = no_budget) ?(faults = []) path f =
+  if List.mem Deny_open faults then
+    raise
+      (Reject
+         (Diag.error ~stage:Diag.Ingest ~code:Diag.code_ingest_unreadable
+            ~context:[ ("file", path); ("line", "0") ]
+            "cannot open %s: permission denied (injected fault)" path));
+  match open_in path with
+  | exception Sys_error m ->
+      raise
+        (Reject
+           (Diag.error ~stage:Diag.Ingest ~code:Diag.code_ingest_unreadable
+              ~context:[ ("file", path); ("line", "0") ]
+              "cannot open %s: %s" path m))
+  | ic ->
+      Metrics.inc (fd_gauge ());
+      Fun.protect
+        ~finally:(fun () ->
+          close_in_noerr ic;
+          Metrics.inc ~by:(-1.0) (fd_gauge ()))
+        (fun () ->
+          let src =
+            {
+              path;
+              ic;
+              faults;
+              max_bytes = budget.max_bytes;
+              offset = 0;
+              lineno = 0;
+              line_start = 0;
+              truncated = false;
+            }
+          in
+          let r = f src in
+          count ~by:(float_of_int src.offset) "ingest_bytes_total"
+            "bytes consumed by the streaming readers";
+          r)
+
+let run_reader name f =
+  Trace.with_span ~cat:"ingest" name (fun () ->
+      match f () with
+      | t ->
+          count "ingest_files_total" "files ingested successfully";
+          count
+            ~by:(float_of_int (Tensor.num_vals t))
+            "ingest_entries_total" "coordinate entries ingested";
+          Ok t
+      | exception Reject d ->
+          count "ingest_rejects_total"
+            "ingestions rejected with a structured E021x code";
+          Error [ d ]
+      | exception Diag.Fail ds ->
+          count "ingest_rejects_total"
+            "ingestions rejected with a structured E021x code";
+          Error ds)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix Market                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type mm_header = { symmetric : bool; pattern : bool }
+
+let parse_mm_header src =
+  match next_line src with
+  | None ->
+      reject ~path:src.path ~line:1 ~code:Diag.code_ingest_header
+        "unexpected end of file: missing MatrixMarket header"
+  | Some line ->
+      let fields = tokenize (String.lowercase_ascii line) in
+      if
+        Array.length fields < 1
+        || fields.(0) <> "%%matrixmarket"
+      then
+        reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+          ~code:Diag.code_ingest_header
+          "missing MatrixMarket header (first line must start with \
+           %%%%MatrixMarket)";
+      if Array.length fields < 5 then
+        reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+          ~code:Diag.code_ingest_header
+          "truncated MatrixMarket header: want object format field symmetry";
+      let mem s = Array.exists (String.equal s) fields in
+      if not (mem "matrix" && mem "coordinate") then
+        reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+          ~code:Diag.code_ingest_header
+          "unsupported MatrixMarket header %S: only coordinate matrices are \
+           supported"
+          line;
+      if not (mem "real" || mem "integer" || mem "pattern") then
+        reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+          ~code:Diag.code_ingest_header
+          "unsupported MatrixMarket field in %S: want real, integer or \
+           pattern"
+          line;
+      if not (mem "general" || mem "symmetric") then
+        reject ~path:src.path ~line:src.lineno ~span:(line_span src)
+          ~code:Diag.code_ingest_header
+          "unsupported MatrixMarket symmetry in %S: want general or symmetric"
+          line;
+      { symmetric = mem "symmetric"; pattern = mem "pattern" }
+
+let rec next_data_line src =
+  match next_line src with
+  | None -> None
+  | Some l when is_comment l -> next_data_line src
+  | Some l -> Some l
+
+(** Streaming Matrix Market reader.  One pass: header, size line, then
+    [nnz] entries straight into a {!Coo} builder created from the size
+    line — duplicate detection (including mirrored symmetric duplicates)
+    happens inline. *)
+let read_matrix_market_result ?(name = "mtx") ?(budget = no_budget)
+    ?(faults = []) ~format path =
+  run_reader ("ingest.mtx " ^ path) @@ fun () ->
+  with_source ~budget ~faults path @@ fun src ->
+  let hdr = parse_mm_header src in
+  let rows, cols, nnz =
+    match next_data_line src with
+    | None ->
+        reject ~path ~line:src.lineno ~code:Diag.code_ingest_header
+          "unexpected end of file: missing size line"
+    | Some line -> (
+        match tokenize line with
+        | [| r; c; n |] ->
+            let r = parse_int src "row count" r
+            and c = parse_int src "column count" c
+            and n = parse_int src "entry count" n in
+            if r < 1 || c < 1 || n < 0 then
+              reject ~path ~line:src.lineno ~span:(line_span src)
+                ~code:Diag.code_ingest_header
+                "bad size line: %d x %d with %d entries" r c n;
+            (r, c, n)
+        | _ ->
+            reject ~path ~line:src.lineno ~span:(line_span src)
+              ~code:Diag.code_ingest_header
+              "bad size line %S: want ROWS COLS NNZ" line)
+  in
+  check_nnz_budget src ~budget nnz;
+  check_format_order src ~format ~order:2;
+  let dims = [| rows; cols |] in
+  let coo = Coo.create dims in
+  let dedup = dedup_create dims in
+  let add_checked i j v =
+    if not (dedup_add dedup [| i; j |]) then
+      reject ~path ~line:src.lineno ~span:(line_span src)
+        ~code:Diag.code_ingest_duplicate "duplicate entry (%d, %d)" (i + 1)
+        (j + 1);
+    Coo.add coo [| i; j |] v
+  in
+  let seen = ref 0 in
+  let rec entries () =
+    match next_data_line src with
+    | None ->
+        if !seen < nnz then
+          reject ~path ~line:src.lineno ~span:(line_span src)
+            ~code:Diag.code_ingest_truncated
+            "truncated file: %d of %d entries" !seen nnz
+    | Some line ->
+        if !seen >= nnz then
+          reject ~path ~line:src.lineno ~span:(line_span src)
+            ~code:Diag.code_ingest_entry "trailing garbage after %d entries"
+            nnz;
+        let fields = tokenize line in
+        let want = if hdr.pattern then 2 else 3 in
+        if Array.length fields <> want then
+          (if hdr.pattern && Array.length fields > 2 then
+             reject ~path ~line:src.lineno ~span:(line_span src)
+               ~code:Diag.code_ingest_entry
+               "pattern entry carries a value: %S" line
+           else
+             reject ~path ~line:src.lineno ~span:(line_span src)
+               ~code:Diag.code_ingest_entry
+               "malformed entry %S: want %d fields" line want);
+        let i = parse_coord src ~mode:0 ~dim:rows fields.(0) in
+        let j = parse_coord src ~mode:1 ~dim:cols fields.(1) in
+        let v = if hdr.pattern then 1.0 else parse_value src fields.(2) in
+        add_checked i j v;
+        if hdr.symmetric && i <> j then add_checked j i v;
+        incr seen;
+        entries ()
+  in
+  entries ();
+  Tensor.of_coo ~name ~format coo
+
+(* ------------------------------------------------------------------ *)
+(* FROSTT .tns                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Streaming FROSTT reader.  [.tns] files carry no size header, so the
+    single pass accumulates coordinates and values into {!Growable}
+    arrays (inferring the order from the first entry and the dimensions
+    from coordinate maxima unless [dims] pins them), then builds the
+    tensor once the extent is known. *)
+let read_tns_result ?(name = "tns") ?dims ?(budget = no_budget)
+    ?(faults = []) ~format path =
+  run_reader ("ingest.tns " ^ path) @@ fun () ->
+  with_source ~budget ~faults path @@ fun src ->
+  let declared = Option.map Array.of_list dims in
+  let order = ref (match declared with Some d -> Array.length d | None -> 0) in
+  let coords = Growable.Ints.create () in
+  let vals = Growable.Floats.create () in
+  let maxima = ref [||] in
+  let rec entries () =
+    match next_data_line src with
+    | None -> ()
+    | Some line ->
+        let fields = tokenize line in
+        let nf = Array.length fields in
+        if !order = 0 then begin
+          if nf < 2 then
+            reject ~path ~line:src.lineno ~span:(line_span src)
+              ~code:Diag.code_ingest_entry
+              "malformed entry %S: want COORDS.. VALUE" line;
+          order := nf - 1;
+          maxima := Array.make !order 0
+        end
+        else if Array.length !maxima = 0 then maxima := Array.make !order 0;
+        if nf <> !order + 1 then
+          reject ~path ~line:src.lineno ~span:(line_span src)
+            ~code:Diag.code_ingest_entry
+            "ragged entry %S: want %d coordinates and a value" line !order;
+        for m = 0 to !order - 1 do
+          let dim =
+            match declared with Some d -> d.(m) | None -> 0
+          in
+          let c = parse_coord src ~mode:m ~dim fields.(m) in
+          !maxima.(m) <- max !maxima.(m) (c + 1);
+          Growable.Ints.push coords c
+        done;
+        Growable.Floats.push vals (parse_value src fields.(!order));
+        check_nnz_budget src ~budget (Growable.Floats.length vals);
+        entries ()
+  in
+  entries ();
+  let n = Growable.Floats.length vals in
+  if n = 0 then
+    reject ~path ~line:src.lineno ~code:Diag.code_ingest_truncated
+      "no entries in %s" path;
+  (match declared with
+  | Some d when Array.length d <> !order ->
+      reject ~path ~line:src.lineno ~code:Diag.code_ingest_entry
+        "entries have %d modes but dims declares %d" !order (Array.length d)
+  | _ -> ());
+  check_format_order src ~format ~order:!order;
+  let dims = match declared with Some d -> d | None -> !maxima in
+  let dedup = dedup_create dims in
+  let coo = Coo.create dims in
+  let entry = Array.make !order 0 in
+  let dup = ref None in
+  (try
+     for e = 0 to n - 1 do
+       for m = 0 to !order - 1 do
+         entry.(m) <- Growable.Ints.get coords ((e * !order) + m)
+       done;
+       if not (dedup_add dedup entry) then begin
+         dup := Some (Array.copy entry);
+         raise Exit
+       end;
+       Coo.add coo entry (Growable.Floats.get vals e)
+     done
+   with Exit -> ());
+  (match !dup with
+  | Some c ->
+      reject ~path ~line:src.lineno ~code:Diag.code_ingest_duplicate
+        "duplicate entry %s"
+        (String.concat " "
+           (Array.to_list (Array.map (fun c -> string_of_int (c + 1)) c)))
+  | None -> ());
+  Tensor.of_coo ~name ~format coo
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch and raising shims                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Read a tensor file, dispatching on its extension ([.mtx] vs
+    [.tns]). *)
+let read_file_result ?name ?dims ?budget ?faults ~format path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".mtx" | ".mm" -> read_matrix_market_result ?name ?budget ?faults ~format path
+  | ".tns" -> read_tns_result ?name ?dims ?budget ?faults ~format path
+  | ext ->
+      count "ingest_rejects_total"
+        "ingestions rejected with a structured E021x code";
+      Error
+        [
+          Diag.error ~stage:Diag.Ingest ~code:Diag.code_ingest_unreadable
+            ~context:[ ("file", path); ("line", "0") ]
+            "unknown tensor file extension %S (want .mtx or .tns)" ext;
+        ]
+
+(** Raising shim over {!read_file_result} for callers already speaking
+    {!Diag.Fail}. *)
+let read_file ?name ?dims ?budget ?faults ~format path =
+  match read_file_result ?name ?dims ?budget ?faults ~format path with
+  | Ok t -> t
+  | Error ds -> Diag.fail ds

@@ -1,0 +1,393 @@
+(** Out-of-core coordinate tiling.
+
+    Capstan's on-chip capacity is hard: 200 PMUs of 16 x 4096 words
+    (paper Table 5).  A real SuiteSparse matrix routinely exceeds that
+    footprint, and no retiled mapping can fix it — the data itself does
+    not fit.  This module implements the degradation the paper's memory
+    analysis implies: shard the iteration space on the result's outermost
+    free index variable into coordinate-range tiles, restrict {e every}
+    tensor indexed by that variable to each range, compile and simulate
+    every tile independently on the {!Stardust_explore.Pool}, and reduce
+    the per-tile partial results back into one tensor.
+
+    Sharding a {e free} variable partitions the iteration space, so the
+    reduction is exact for any expression — multiplicative terms see
+    disjoint coordinate ranges and additive terms never cross tiles; a
+    scalar result (the variable is then a reduction variable) reduces by
+    summation, which the {!Stardust_tensor.Coo} builder's
+    duplicate-summing finalize provides for free. *)
+
+module Tensor = Stardust_tensor.Tensor
+module Coo = Stardust_tensor.Coo
+module Format = Stardust_tensor.Format
+module Ast = Stardust_ir.Ast
+module Cin = Stardust_ir.Cin
+module Schedule = Stardust_schedule.Schedule
+module Compile = Stardust_core.Compile
+module Sim = Stardust_capstan.Sim
+module Arch = Stardust_capstan.Arch
+module Resources = Stardust_capstan.Resources
+module Pool = Stardust_explore.Pool
+module Diag = Stardust_diag.Diag
+module Metrics = Stardust_obs.Metrics
+module Trace = Stardust_obs.Trace
+
+let count ?(by = 1.0) name help = Metrics.inc ~by (Metrics.counter ~help name)
+
+(* ------------------------------------------------------------------ *)
+(* Footprint model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Words of storage a tensor occupies on chip: every value plus the
+    pos/crd metadata of each compressed level (one 32-bit word each,
+    matching {!Resources}'s SRAM accounting). *)
+let footprint_words t =
+  let fmt = Tensor.format t in
+  let meta = ref 0 in
+  for l = 0 to Tensor.order t - 1 do
+    if Format.level_kind fmt l = Format.Compressed then
+      meta :=
+        !meta
+        + Array.length (Tensor.pos_array t l)
+        + Array.length (Tensor.crd_array t l)
+  done;
+  !meta + Tensor.num_vals t
+
+(** Total on-chip SRAM of the chip, in words. *)
+let budget_words (arch : Arch.t) = Arch.pmu_words arch * arch.Arch.num_pmu
+
+(* ------------------------------------------------------------------ *)
+(* Shard analysis                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** How one kernel shards: the index variable to slice, its extent, the
+    result mode it maps to (if any), and the modes it pins in each input
+    tensor. *)
+type shard = {
+  var : string;
+  extent : int;
+  result : string;
+  result_mode : int option;
+      (** [None] for a scalar result: partials are summed instead of
+          concatenated *)
+  tensor_modes : (string * int list) list;
+      (** input tensors restricted per tile, with the modes sliced *)
+}
+
+(** Modes of [access] bound to [var]. *)
+let modes_of access var =
+  List.mapi (fun m v -> (m, v)) access.Ast.indices
+  |> List.filter_map (fun (m, v) -> if v = var then Some m else None)
+
+(** Decide whether (and how) [c] can shard.  [Error reason] is
+    human-readable and becomes a note in the fallback trail. *)
+let shard_of (c : Compile.compiled) : (shard, string) result =
+  match Cin.assignments (Schedule.stmt c.Compile.schedule) with
+  | [] -> Error "schedule has no assignment"
+  | _ :: _ :: _ -> Error "multi-assignment schedules (precompute) do not tile"
+  | [ a ] -> (
+      let rhs_accesses = Ast.accesses_of_expr a.Ast.rhs in
+      let var =
+        match a.Ast.lhs.Ast.indices with
+        | v :: _ -> Some v
+        | [] -> (
+            match Ast.indices_of_expr a.Ast.rhs with
+            | v :: _ -> Some v
+            | [] -> None)
+      in
+      match var with
+      | None -> Error "kernel has no index variable to shard"
+      | Some var ->
+          if not (List.exists (fun ac -> List.mem var ac.Ast.indices) rhs_accesses)
+          then Error (Fmt.str "shard variable %s is never read" var)
+          else
+            (* every access of a tensor must pin [var] to the same modes,
+               or slicing that tensor would corrupt the other access *)
+            let per_tensor = Hashtbl.create 8 in
+            let consistent = ref true in
+            List.iter
+              (fun ac ->
+                let ms = modes_of ac var in
+                match Hashtbl.find_opt per_tensor ac.Ast.tensor with
+                | None -> Hashtbl.add per_tensor ac.Ast.tensor ms
+                | Some ms' -> if ms <> ms' then consistent := false)
+              rhs_accesses;
+            if not !consistent then
+              Error
+                (Fmt.str
+                   "tensor accessed with inconsistent %s placement; cannot \
+                    slice"
+                   var)
+            else
+              let tensor_modes =
+                Hashtbl.fold
+                  (fun t ms acc -> if ms = [] then acc else (t, ms) :: acc)
+                  per_tensor []
+                |> List.sort compare
+              in
+              let extent =
+                List.fold_left
+                  (fun acc (tname, ms) ->
+                    match (acc, List.assoc_opt tname c.Compile.inputs) with
+                    | Some e, _ -> Some e
+                    | None, Some t -> Some (Tensor.dim t (List.hd ms))
+                    | None, None -> None)
+                  None tensor_modes
+              in
+              (match extent with
+              | None -> Error "no input tensor binds the shard variable"
+              | Some extent when extent < 2 ->
+                  Error (Fmt.str "extent of %s is %d; nothing to shard" var extent)
+              | Some extent ->
+                  let result = a.Ast.lhs.Ast.tensor in
+                  let result_mode =
+                    match modes_of a.Ast.lhs var with
+                    | m :: _ -> Some m
+                    | [] -> None
+                  in
+                  if result_mode = None && a.Ast.lhs.Ast.indices <> [] then
+                    Error
+                      (Fmt.str
+                         "result does not index the shard variable %s" var)
+                  else Ok { var; extent; result; result_mode; tensor_modes }))
+
+(** Even coordinate ranges covering [0, extent). *)
+let ranges ~extent ~tiles =
+  let tiles = max 1 (min tiles extent) in
+  List.init tiles (fun k ->
+      let lo = k * extent / tiles and hi = (k + 1) * extent / tiles in
+      (lo, hi))
+  |> List.filter (fun (lo, hi) -> hi > lo)
+
+(** The tile plan: how many coordinate slices bring the sharded data
+    under the chip's SRAM budget.  [None] when the kernel's whole
+    footprint already fits — tiling cannot help a structural
+    infeasibility, only a capacity one. *)
+let plan (arch : Arch.t) (c : Compile.compiled) =
+  match shard_of c with
+  | Error reason -> Error reason
+  | Ok shard ->
+      let budget = budget_words arch in
+      let total =
+        List.fold_left
+          (fun acc (_, t) -> acc + footprint_words t)
+          0 c.Compile.inputs
+      in
+      if total <= budget then
+        Error
+          (Fmt.str
+             "inputs fit on chip (%d of %d words); infeasibility is \
+              structural, not capacity"
+             total budget)
+      else
+        let sharded, fixed =
+          List.fold_left
+            (fun (s, f) (name, t) ->
+              if List.mem_assoc name shard.tensor_modes then
+                (s + footprint_words t, f)
+              else (s, f + footprint_words t))
+            (0, 0) c.Compile.inputs
+        in
+        if sharded = 0 then
+          Error "the oversized data is not indexed by the shard variable"
+        else
+          let headroom = max 1 (budget - fixed) in
+          let tiles = (sharded + headroom - 1) / headroom in
+          let tiles = max 2 (min tiles (min shard.extent 64)) in
+          Ok (shard, ranges ~extent:shard.extent ~tiles)
+
+(* ------------------------------------------------------------------ *)
+(* Slicing and reduction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Restrict [t] to coordinates [lo <= c < hi] on [modes], remapping the
+    sliced modes to a [hi - lo] extent. *)
+let restrict t ~modes ~lo ~hi =
+  let dims = Tensor.dims t in
+  List.iter (fun m -> dims.(m) <- hi - lo) modes;
+  let coo = Coo.create dims in
+  Tensor.iter_nonzeros
+    (fun coords v ->
+      if List.for_all (fun m -> coords.(m) >= lo && coords.(m) < hi) modes
+      then begin
+        let c = Array.copy coords in
+        List.iter (fun m -> c.(m) <- c.(m) - lo) modes;
+        Coo.add coo c v
+      end)
+    t;
+  Tensor.of_coo ~name:(Tensor.name t) ~format:(Tensor.format t) coo
+
+let tile_inputs shard (c : Compile.compiled) ~lo ~hi =
+  List.map
+    (fun (name, t) ->
+      match List.assoc_opt name shard.tensor_modes with
+      | Some modes -> (name, restrict t ~modes ~lo ~hi)
+      | None -> (name, t))
+    c.Compile.inputs
+
+(** Merge per-tile partial results into the full-extent result tensor. *)
+let reduce shard ~partials =
+  match shard.result_mode with
+  | None ->
+      (* scalar result: the shard variable was a reduction variable *)
+      let sum =
+        List.fold_left
+          (fun acc (_, _, t) -> acc +. Tensor.scalar_value t)
+          0.0 partials
+      in
+      Tensor.rename shard.result (Tensor.scalar sum)
+  | Some p ->
+      let _, _, first = List.hd partials in
+      let dims = Tensor.dims first in
+      dims.(p) <- shard.extent;
+      let coo = Coo.create dims in
+      List.iter
+        (fun (lo, _, t) ->
+          Tensor.iter_nonzeros
+            (fun coords v ->
+              if v <> 0.0 then begin
+                let c = Array.copy coords in
+                c.(p) <- c.(p) + lo;
+                Coo.add coo c v
+              end)
+            t)
+        partials;
+      Tensor.of_coo ~name:shard.result ~format:(Tensor.format first) coo
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  tiles : int;
+  shard_var : string;
+  results : (string * Tensor.t) list;
+  notes : Diag.t list;  (** per-tile provenance, demoted to notes *)
+}
+
+let diag_of_sim_error ~name kind message =
+  let code =
+    match (kind : Sim.error_kind) with
+    | Sim.Capacity -> Diag.code_sim_capacity
+    | Sim.Watchdog -> Diag.code_sim_watchdog
+    | Sim.Fault -> Diag.code_sim_fault
+    | Sim.Runtime -> Diag.code_sim_runtime
+  in
+  Diag.error ~stage:Diag.Simulate ~code ~context:[ ("kernel", name) ] "%s"
+    message
+
+(** Compile and simulate one coordinate tile.  Raises {!Diag.Fail} on any
+    structured failure so the pool's per-item isolation can carry it. *)
+let run_tile ~config ~watchdog ~faults shard (c : Compile.compiled) (k, lo, hi)
+    =
+  let name = Fmt.str "%s[%s:%d..%d)" c.Compile.name shard.var lo hi in
+  Trace.with_span ~cat:"ingest" ("tile " ^ name) @@ fun () ->
+  count "tiling_tiles_total" "coordinate tiles simulated";
+  let inputs = tile_inputs shard c ~lo ~hi in
+  match
+    Compile.compile_result ~name:c.Compile.name c.Compile.schedule ~inputs
+  with
+  | Error ds -> Diag.fail ds
+  | Ok c' -> (
+      let u = Resources.count config.Sim.arch c' in
+      if not u.Resources.feasible then
+        Diag.fail
+          [
+            Diag.error ~stage:Diag.Driver ~code:Diag.code_infeasible
+              ~context:
+                [ ("kernel", name); ("limiting", u.Resources.limiting) ]
+              "tile %d does not fit the chip: %a" k Resources.pp u;
+          ]
+      else
+        match Sim.execute ~config ~watchdog ~faults c' with
+        | results, _report -> (
+            match List.assoc_opt shard.result results with
+            | Some t -> (lo, hi, t)
+            | None ->
+                Diag.fail
+                  [
+                    Diag.error ~stage:Diag.Driver ~code:Diag.code_internal
+                      ~context:[ ("kernel", name) ]
+                      "tile produced no result tensor %S" shard.result;
+                  ])
+        | exception Sim.Sim_error { kind; message } ->
+            Diag.fail [ diag_of_sim_error ~name kind message ])
+
+let diags_of_failure shard ~kernel (k, lo, hi) = function
+  | Pool.Failure_raised { exn = Diag.Fail ds; _ } -> ds
+  | Pool.Failure_raised { exn; _ } ->
+      [
+        Diag.error ~stage:Diag.Driver ~code:Diag.code_unexpected
+          ~context:
+            [ ("kernel", kernel);
+              ("tile", Fmt.str "%d:%s=%d..%d" k shard.var lo hi) ]
+          "tile execution died: %s" (Printexc.to_string exn);
+      ]
+  | Pool.Failure_timed_out { seconds } ->
+      [
+        Diag.error ~stage:Diag.Driver ~code:Diag.code_worker_timeout
+          ~context:
+            [ ("kernel", kernel);
+              ("tile", Fmt.str "%d:%s=%d..%d" k shard.var lo hi) ]
+          "tile exceeded its %.1fs deadline" seconds;
+      ]
+
+(** Attempt the out-of-core tiling rung: plan, simulate every tile on the
+    pool, reduce.  All-or-nothing — one failed tile fails the attempt
+    (with its diagnostics), because a partial result would be silently
+    wrong. *)
+let attempt ?workers ?timeout ?(config = Sim.default_config)
+    ?(watchdog = Sim.default_watchdog) ?(faults = []) (c : Compile.compiled)
+    : (outcome, Diag.t list) result =
+  count "tiling_attempts_total" "out-of-core tiling attempts";
+  match plan config.Sim.arch c with
+  | Error reason ->
+      Error
+        [
+          Diag.note ~stage:Diag.Ingest ~code:Diag.code_infeasible
+            ~context:[ ("kernel", c.Compile.name) ]
+            "tiling not applicable: %s" reason;
+        ]
+  | Ok (shard, rs) -> (
+      let items =
+        Array.of_list (List.mapi (fun k (lo, hi) -> (k, lo, hi)) rs)
+      in
+      let slots =
+        Pool.map_result ?timeout ?workers
+          (run_tile ~config ~watchdog ~faults shard c)
+          items
+      in
+      let failures = ref [] and partials = ref [] in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Ok p -> partials := p :: !partials
+          | Error f ->
+              failures :=
+                diags_of_failure shard ~kernel:c.Compile.name items.(i) f
+                :: !failures)
+        slots;
+      if !failures <> [] then Error (List.concat (List.rev !failures))
+      else begin
+          count "tiling_success_total" "kernels completed via tiling";
+          let partials =
+            List.sort (fun (a, _, _) (b, _, _) -> compare a b) !partials
+          in
+          let result = reduce shard ~partials in
+          Ok
+            {
+              tiles = List.length rs;
+              shard_var = shard.var;
+              results = [ (shard.result, result) ];
+              notes =
+                [
+                  Diag.note ~stage:Diag.Ingest ~code:Diag.code_fallback_tiled
+                    ~context:
+                      [ ("kernel", c.Compile.name);
+                        ("shard", shard.var);
+                        ("tiles", string_of_int (List.length rs)) ]
+                    "kernel %s simulated as %d coordinate tiles over %s"
+                    c.Compile.name (List.length rs) shard.var;
+                ];
+            }
+      end)

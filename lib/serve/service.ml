@@ -48,11 +48,17 @@ type t = {
   request_timeout : float option;
       (** default per-request deadline in seconds; a request's own
           [deadline_ms] tightens (never loosens) it *)
+  data_root : string option;
+      (** sandbox for ["NAME=@path"] file data specs; [None] refuses
+          them, so the daemon cannot be used as a file-read oracle *)
+  ingest_budget : Stardust_ingest.Ingest.budget;
+      (** nnz/byte ceilings applied to every file data spec *)
   mutable stop : bool;
       (** a shutdown request was answered, or a stop signal arrived *)
 }
 
-let create ?workers ?plan_cache_capacity ?request_timeout ?cache_dir () =
+let create ?workers ?plan_cache_capacity ?request_timeout ?cache_dir
+    ?data_root ?(ingest_budget = Stardust_ingest.Ingest.no_budget) () =
   {
     pool = Pool.create ?workers ();
     cache = Plan_cache.create ?capacity:plan_cache_capacity ?dir:cache_dir ();
@@ -60,6 +66,8 @@ let create ?workers ?plan_cache_capacity ?request_timeout ?cache_dir () =
       (match request_timeout with
       | Some s when s > 0.0 -> Some s
       | Some _ | None -> None);
+    data_root;
+    ingest_budget;
     stop = false;
   }
 
@@ -133,7 +141,11 @@ type resolved = {
   rinputs : (string * T.t) list;
 }
 
-let resolve_spec (r : P.request) : (resolved, Diag.t list) result =
+let resolve_spec ?data_root ?ingest_budget (r : P.request) :
+    (resolved, Diag.t list) result =
+  let inputs_of_specs ~formats specs =
+    Workload.inputs_of_specs ?data_root ?budget:ingest_budget ~formats specs
+  in
   let bad fmt = Fmt.kstr (fun m -> Error [ P.bad "%s" m ]) fmt in
   let sp = r.P.spec in
   try
@@ -164,7 +176,7 @@ let resolve_spec (r : P.request) : (resolved, Diag.t list) result =
             rstage = None;
             rexpr = e;
             rformats = formats;
-            rinputs = Workload.inputs_of_specs ~formats sp.P.data;
+            rinputs = inputs_of_specs ~formats sp.P.data;
           }
     | None, None ->
         if r.P.op = P.Stats && sp.P.data <> [] then
@@ -179,7 +191,7 @@ let resolve_spec (r : P.request) : (resolved, Diag.t list) result =
               rstage = None;
               rexpr = "-";
               rformats = formats;
-              rinputs = Workload.inputs_of_specs ~formats sp.P.data;
+              rinputs = inputs_of_specs ~formats sp.P.data;
             }
         else bad "request needs a \"kernel\" or an \"expr\""
   with Failure msg -> Error [ P.bad "%s" msg ]
@@ -350,7 +362,11 @@ let handle_metrics t (r : P.request) =
     operations, whether the plan cache answered it. *)
 let dispatch t (r : P.request) : Json.t * bool option =
   let resolved_or k =
-    match resolve_spec r with Error ds -> (P.error_body ds, None) | Ok rs -> k rs
+    match
+      resolve_spec ?data_root:t.data_root ~ingest_budget:t.ingest_budget r
+    with
+    | Error ds -> (P.error_body ds, None)
+    | Ok rs -> k rs
   in
   let via_cache ~opts rs compute =
     let config = config_of_request r in

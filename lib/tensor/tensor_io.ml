@@ -132,7 +132,15 @@ let read_matrix_market ?(name = "mtx") ~format path =
           line_err r "duplicate entry (%d, %d)" (i + 1) (j + 1);
         Hashtbl.add seen (i, j) ();
         Coo.add coo [| i; j |] v;
-        if symmetric && i <> j then Coo.add coo [| j; i |] v
+        if symmetric && i <> j then begin
+          (* a symmetric file listing both (i,j) and (j,i) would silently
+             double-add the mirrored entry; record the mirror so the
+             explicit twin is rejected like any other duplicate *)
+          if Hashtbl.mem seen (j, i) then
+            line_err r "duplicate entry (%d, %d)" (i + 1) (j + 1);
+          Hashtbl.add seen (j, i) ();
+          Coo.add coo [| j; i |] v
+        end
     | _ -> line_err r "bad entry %S (want I J [VALUE])" l
   done;
   (* trailing garbage: anything after the declared entries except
@@ -174,16 +182,22 @@ let read_tns ?(name = "tns") ?dims ~format path =
   Fun.protect ~finally:(fun () -> close_in_noerr r.ic) @@ fun () ->
   let declared = Option.map Array.of_list dims in
   let entries = ref [] in
-  let seen = Hashtbl.create 64 in
+  (* duplicate keys are coordinates packed into one int ([shift] bits per
+     mode); the rare coordinate too large to pack falls back to a string
+     key — both schemes are injective, so no false duplicates *)
+  let seen_packed : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seen_keyed : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let order = ref 0 in
+  let shift = ref 0 in
+  let maxima = ref [||] in
   let rec loop () =
     match next_line r with
     | None -> ()
     | Some l ->
         let l = String.trim l in
         if l <> "" && l.[0] <> '#' then begin
-          let fields = split_ws l in
-          let n = List.length fields - 1 in
+          let fields = Array.of_list (split_ws l) in
+          let n = Array.length fields - 1 in
           if n < 1 then line_err r "bad line %S (want I1 .. IN VALUE)" l;
           if !order = 0 then begin
             (match declared with
@@ -191,24 +205,44 @@ let read_tns ?(name = "tns") ?dims ~format path =
                 line_err r "entry has %d modes but dims declares %d" n
                   (Array.length d)
             | _ -> ());
-            order := n
+            order := n;
+            shift := 62 / n;
+            maxima := Array.make n 0
           end
           else if !order <> n then
             line_err r "ragged entry %S: %d modes, expected %d" l n !order;
           let coords =
-            List.filteri (fun i _ -> i < n) fields
-            |> List.mapi (fun mode s ->
-                   let dim =
-                     match declared with Some d -> d.(mode) | None -> 0
-                   in
-                   parse_coord r ~mode ~dim s)
+            Array.init n (fun mode ->
+                let dim =
+                  match declared with Some d -> d.(mode) | None -> 0
+                in
+                let c = parse_coord r ~mode ~dim fields.(mode) in
+                !maxima.(mode) <- max !maxima.(mode) (c + 1);
+                c)
           in
-          let v = parse_float r "value" (List.nth fields n) in
-          if Hashtbl.mem seen coords then
+          let v = parse_float r "value" fields.(n) in
+          let duplicate =
+            if Array.for_all (fun c -> c < 1 lsl !shift) coords then begin
+              let key =
+                Array.fold_left (fun k c -> (k lsl !shift) lor c) 0 coords
+              in
+              Hashtbl.mem seen_packed key
+              || (Hashtbl.add seen_packed key (); false)
+            end
+            else begin
+              let key =
+                String.concat ","
+                  (Array.to_list (Array.map string_of_int coords))
+              in
+              Hashtbl.mem seen_keyed key
+              || (Hashtbl.add seen_keyed key (); false)
+            end
+          in
+          if duplicate then
             line_err r "duplicate entry %s"
               (String.concat " "
-                 (List.map (fun c -> string_of_int (c + 1)) coords));
-          Hashtbl.add seen coords ();
+                 (Array.to_list
+                    (Array.map (fun c -> string_of_int (c + 1)) coords)));
           entries := (coords, v) :: !entries
         end;
         loop ()
@@ -216,14 +250,10 @@ let read_tns ?(name = "tns") ?dims ~format path =
   loop ();
   if !order = 0 then err "%s: no entries" path;
   let dims =
-    match dims with
-    | Some d -> d
-    | None ->
-        List.init !order (fun m ->
-            1 + List.fold_left (fun acc (c, _) -> max acc (List.nth c m)) 0 !entries)
+    match declared with Some d -> d | None -> !maxima
   in
-  let coo = Coo.create (Array.of_list dims) in
-  List.iter (fun (c, v) -> Coo.add coo (Array.of_list c) v) !entries;
+  let coo = Coo.create dims in
+  List.iter (fun (c, v) -> Coo.add coo c v) !entries;
   Tensor.of_coo ~name ~format coo
 
 (** Write any tensor in FROSTT coordinate form. *)

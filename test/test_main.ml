@@ -20,4 +20,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("ingest", Test_ingest.suite);
     ]

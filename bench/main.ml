@@ -36,6 +36,9 @@ let artifacts =
     ( "serve-soak",
       ( "Compile service: chaos soak over a live socket (informational)",
         Serve_bench.soak ) );
+    ( "serve-http",
+      ( "Observability plane: flight-recorder occupancy and scrape timing",
+        Serve_bench.run_http ) );
   ]
 
 (* "a,b,c" -> ["a"; "b"; "c"] *)
@@ -45,8 +48,8 @@ let split_kernels s =
 let usage_suite () =
   Fmt.epr
     "usage: bench suite --json PATH [--kernels a,b,c] [--sections \
-     kernels,throughput,serve,ingest]@.       bench perf-diff [--sections \
-     ...] BASELINE NEW@.";
+     kernels,throughput,serve,ingest,serve-http]@.       bench perf-diff \
+     [--sections ...] BASELINE NEW@.";
   exit 2
 
 (* suite --json PATH [--kernels a,b,c] [--sections a,b]: machine-readable

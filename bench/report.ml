@@ -80,7 +80,7 @@ let instance_json (r : Suite.run) ~wall =
   Buffer.add_string buf (Printf.sprintf ",\"wall_seconds\":%s}" (num wall));
   Buffer.contents buf
 
-let all_sections = [ "kernels"; "throughput"; "serve"; "ingest" ]
+let all_sections = [ "kernels"; "throughput"; "serve"; "ingest"; "serve-http" ]
 
 let suite_json ~kernels ?(sections = all_sections) ~path () =
   List.iter
@@ -121,6 +121,15 @@ let suite_json ~kernels ?(sections = all_sections) ~path () =
   if want "ingest" then begin
     Fmt.epr "bench: ingest-throughput...@.";
     add ("\"ingest\":[" ^ Ingest_bench.rows_json (Ingest_bench.measure ()) ^ "]")
+  end;
+  (* serve-http resets the metrics registry for a deterministic scrape,
+     so it must run after every section that reads global counters *)
+  if want "serve-http" then begin
+    Fmt.epr "bench: serve-http...@.";
+    add
+      ("\"serve-http\":["
+      ^ Serve_bench.http_rows_json (Serve_bench.measure_http ())
+      ^ "]")
   end;
   let doc =
     "{\"schema\":\"stardust-bench-suite/1\","
@@ -322,6 +331,12 @@ let perf_diff ?(sections = all_sections) base_path new_path =
        tile counts are pure functions of the seeded generator *)
     diff_counter_section ~section:"ingest" ~key_field:"target_nnz"
       ~fields:[ "entries"; "bytes"; "tiles"; "tile0_cycles" ];
+  if want "serve-http" then
+    (* the observability plane replays a fixed one-worker script from a
+       reset registry: recorder occupancy and the byte length of the
+       volatile-free scrape are pure functions of the script *)
+    diff_counter_section ~section:"serve-http" ~key_field:"requests"
+      ~fields:[ "flight_recorded"; "flight_failed"; "scrape_bytes" ];
   if !mismatches = 0 then
     Fmt.epr "perf-diff: %s and %s agree on every deterministic counter@."
       base_path new_path;

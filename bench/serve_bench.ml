@@ -186,3 +186,115 @@ let soak () =
       Fmt.pr "wall: %.2fs (%.1f well-formed req/s under attack)@." wall
         (float_of_int report.Chaos.wellformed_answered /. wall);
       if report.Chaos.failures <> [] then exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* serve-http: the observability plane                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Stardust_obs.Metrics
+module Flight = Stardust_obs.Flight
+module Http = Stardust_serve.Http
+module Client = Stardust_serve.Client
+
+type http_row = {
+  h_requests : int;  (** deterministic: script length *)
+  h_flight_total : int;  (** deterministic: every request recorded *)
+  h_flight_failed : int;  (** deterministic: failures in the script *)
+  h_scrape_bytes : int;
+      (** deterministic: bytes of the volatile-free exposition text after
+          the script, from a reset registry at one worker *)
+  h_scrapes : int;
+  h_scrape_wall : float;  (** wall-clock: never compared *)
+}
+
+(* A fixed script with client-supplied correlation ids and two requests
+   that fail deterministically (unknown kernel, unknown op) — exercising
+   the flight recorder's failed-trace path without any wall-clock
+   dependence. *)
+let http_script =
+  let rid r extra = ("request_id", Json.Str r) :: extra in
+  let req op fields = Json.Obj (("op", Json.Str op) :: fields) in
+  let kernel k n =
+    [ ("kernel", Json.Str k); ("n", Json.Num (float_of_int n)) ]
+  in
+  [
+    req "ping" (rid "h-ping" []);
+    req "compile" (rid "h-compile-1" (kernel "spmv" 16));
+    req "compile" (rid "h-compile-2" (kernel "spmv" 16));
+    req "estimate" (rid "h-estimate" (kernel "plus3" 16));
+    req "stats" (rid "h-stats" (kernel "spmv" 16));
+    req "compile" (rid "h-bad-kernel" (kernel "nosuch" 8));
+    req "frobnicate" (rid "h-bad-op" []);
+    req "ping" (rid "h-ping-2" []);
+  ]
+
+(* Replays [http_script] on a fresh one-worker service with a freshly
+   reset metrics registry (run LAST in the suite so the reset cannot
+   disturb other sections), then scrapes a real HTTP plane bound to an
+   ephemeral loopback port.  The recorder occupancy and the byte length
+   of the deterministic (volatile-free) scrape are pure functions of the
+   script; the repeated live scrapes are timed for the human-readable
+   report only. *)
+let measure_http () =
+  Metrics.reset ();
+  let svc = Service.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () ->
+      List.iter
+        (fun r -> ignore (Service.handle_request svc r : Json.t))
+        http_script;
+      let _, failed, total = Flight.occupancy (Service.flight svc) in
+      let det = Metrics.render_text ~include_volatile:false () in
+      match Http.start ~version:"bench" ~service:svc "127.0.0.1:0" with
+      | Error e -> Fmt.failwith "serve-http bench: %s" e
+      | Ok plane ->
+          Fun.protect
+            ~finally:(fun () -> Http.stop plane)
+            (fun () ->
+              let addr = Http.bound_addr plane in
+              let scrapes = 25 in
+              let t0 = Unix.gettimeofday () in
+              for _ = 1 to scrapes do
+                match Client.scrape_metrics addr with
+                | Ok _ -> ()
+                | Error e -> Fmt.failwith "serve-http bench scrape: %s" e
+              done;
+              {
+                h_requests = List.length http_script;
+                h_flight_total = total;
+                h_flight_failed = failed;
+                h_scrape_bytes = String.length det;
+                h_scrapes = scrapes;
+                h_scrape_wall = Unix.gettimeofday () -. t0;
+              }))
+
+(** JSON fragment for the suite document: a single-row section.
+    [requests]/[flight_recorded]/[flight_failed]/[scrape_bytes] are the
+    deterministic fields CI pins; the scrape timing is wall-clock. *)
+let http_rows_json r =
+  let num = Metrics.number_to_string in
+  Printf.sprintf
+    "{\"requests\":%d,\"flight_recorded\":%d,\"flight_failed\":%d,\"scrape_bytes\":%d,\"scrapes\":%d,\"scrape_wall_seconds\":%s,\"scrapes_per_sec\":%s}"
+    r.h_requests r.h_flight_total r.h_flight_failed r.h_scrape_bytes
+    r.h_scrapes
+    (num r.h_scrape_wall)
+    (num
+       (if r.h_scrape_wall > 0.0 then
+          float_of_int r.h_scrapes /. r.h_scrape_wall
+        else 0.0))
+
+(** Standalone [bench serve-http]: human-readable summary. *)
+let run_http () =
+  let r = measure_http () in
+  Fmt.pr "@.== Serve observability plane ==@.";
+  Fmt.pr "requests:        %d (%d failed)@." r.h_requests r.h_flight_failed;
+  Fmt.pr "flight recorder: %d recorded, %d failed traces retained@."
+    r.h_flight_total r.h_flight_failed;
+  Fmt.pr "scrape:          %d bytes deterministic exposition text@."
+    r.h_scrape_bytes;
+  Fmt.pr "live scrapes:    %d in %.3fs (%.1f scrapes/s)@." r.h_scrapes
+    r.h_scrape_wall
+    (if r.h_scrape_wall > 0.0 then
+       float_of_int r.h_scrapes /. r.h_scrape_wall
+     else 0.0)

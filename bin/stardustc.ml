@@ -730,6 +730,17 @@ let serve_cmd =
              ~doc:"Request-line length bound; longer lines are drained \
                    and answered with E1006.")
   in
+  let http_addr =
+    Arg.(value & opt (some string) None
+         & info [ "http" ] ~docv:"ADDR:PORT"
+             ~doc:"Also serve the HTTP observability plane on $(docv) \
+                   (port 0 binds an ephemeral port): GET /metrics \
+                   (Prometheus text), /healthz, /readyz (503 while \
+                   draining), /buildinfo, /debug/requests (flight \
+                   recorder), /debug/trace?id=REQUEST_ID.  The bound \
+                   address is printed on stderr as a machine-parsable \
+                   $(i,serve: http listening on HOST:PORT) line.")
+  in
   let chaos =
     Arg.(value & flag
          & info [ "chaos" ]
@@ -756,7 +767,7 @@ let serve_cmd =
              ~doc:"Chaos harness: PRNG seed (same seed, same schedule).")
   in
   let run socket workers plan_cap stats_cap max_conns request_timeout
-      cache_dir data_root max_nnz max_bytes max_line_bytes chaos
+      cache_dir data_root max_nnz max_bytes max_line_bytes http_addr chaos
       chaos_clients chaos_requests chaos_seed trace no_stats_cache =
     start_tracing trace;
     apply_stats_cache no_stats_cache;
@@ -775,8 +786,27 @@ let serve_cmd =
       (fun d -> Fmt.epr "%a@." Diag.pp d)
       (Serve.Service.boot_diags svc);
     Serve.Server.install_stop_signals svc;
+    (* The observability plane outlives the NDJSON transport's drain: it
+       must keep answering /readyz (503) and /metrics while in-flight
+       requests finish, so it is stopped last, after the serve loop
+       returns. *)
+    let http_plane =
+      match http_addr with
+      | None -> None
+      | Some addr -> (
+          match Serve.Http.start ~version:"1.0.0" ~service:svc addr with
+          | Ok plane ->
+              Fmt.epr "serve: http listening on %s@."
+                (Serve.Http.bound_addr plane);
+              Some plane
+          | Error msg ->
+              Fmt.epr "stardustc serve: %s@." msg;
+              Stdlib.exit 2)
+    in
     Fun.protect
-      ~finally:(fun () -> Serve.Service.shutdown svc)
+      ~finally:(fun () ->
+        Option.iter Serve.Http.stop http_plane;
+        Serve.Service.shutdown svc)
       (fun () ->
         match (chaos, socket) with
         | true, None ->
@@ -824,7 +854,7 @@ let serve_cmd =
              its plan cache across restarts with $(b,--cache-dir).")
     Term.(const run $ socket $ workers $ plan_cap $ stats_cap $ max_conns
           $ request_timeout $ cache_dir $ data_root_flag $ max_nnz_flag
-          $ max_ingest_bytes_flag $ max_line_bytes $ chaos
+          $ max_ingest_bytes_flag $ max_line_bytes $ http_addr $ chaos
           $ chaos_clients $ chaos_requests $ chaos_seed $ trace_flag
           $ no_stats_cache_flag)
 

@@ -187,7 +187,14 @@ let count_deadline_fallback () =
 let apply_timed ~seconds f i x =
   ignore (reap_abandoned () : int);
   let cell = Atomic.make None in
-  match Domain.spawn (fun () -> Atomic.set cell (Some (apply_plain f i x))) with
+  (* DLS does not cross Domain.spawn: re-install the caller's tracing
+     context so spans inside the timed application stay correlated. *)
+  let ctx = Trace.current_context () in
+  match
+    Domain.spawn (fun () ->
+        Trace.set_context ctx;
+        Atomic.set cell (Some (apply_plain f i x)))
+  with
   | exception _ ->
       count_deadline_fallback ();
       apply_plain f i x
@@ -244,6 +251,14 @@ type t = {
 }
 
 let size t = t.p_size
+
+(** The pool still has (or is) a live submitter: [false] once {!shutdown}
+    has drained it.  The serve readiness probe reports this. *)
+let is_alive t =
+  Mutex.lock t.p_lock;
+  let a = t.p_alive in
+  Mutex.unlock t.p_lock;
+  a
 
 (* Domain-local "currently running a pooled batch item" flag.  A nested
    submission from inside a batch item — e.g. the compile service
@@ -307,9 +322,13 @@ let with_deadline ~seconds (f : unit -> 'a) : ('a, deadline_failure) result =
   end
   else
     let pooled = in_pooled_task () in
+    let ctx = Trace.current_context () in
     let cell = Atomic.make None in
     let task () =
       if pooled then Domain.DLS.get in_pooled_key := true;
+      (* correlate spans inside the deadline sub-domain with the
+         submitting request (DLS does not cross Domain.spawn) *)
+      Trace.set_context ctx;
       let r =
         match f () with
         | v -> Value v
@@ -480,7 +499,13 @@ let run_slots ?timeout ?workers ?pool (f : 'a -> 'b) (items : 'a array) :
      completion (one-shot execution ignores it and relies on joins). *)
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
+  (* The submitter's tracing context rides into every worker body (and is
+     restored afterwards, so persistent-pool domains don't leak one
+     batch's request id into the next): worker spans under a correlated
+     request carry its id. *)
+  let submit_ctx = Trace.current_context () in
   let body ~on_all_done k =
+    Trace.with_context submit_ctx @@ fun () ->
     Trace.with_span ~cat:"pool"
       ~args:[ ("worker", string_of_int k) ]
       (Printf.sprintf "pool worker %d" k)

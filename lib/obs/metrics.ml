@@ -163,11 +163,22 @@ let number_to_string f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 
+(* Prometheus text-format escaping (exposition format 0.0.4) draws a
+   distinction the first cut of this renderer missed: label *values*
+   escape backslash, double-quote, and newline, while HELP text escapes
+   only backslash and newline — a quote in HELP is emitted verbatim. *)
 let prom_escape s =
   String.concat ""
     (List.map
        (function
          | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let help_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
 let label_text ?extra labels =
@@ -181,17 +192,22 @@ let label_text ?extra labels =
       ^ "}"
 
 (** Prometheus exposition format (one [# HELP]/[# TYPE] header per metric
-    family, histograms expanded to [_bucket]/[_sum]/[_count]). *)
-let render_text () =
+    family even when labeled series differ, histograms expanded to
+    [_bucket]/[_sum]/[_count] with the [+Inf] bucket last).  With
+    [~include_volatile:false], wall-clock-derived families are dropped,
+    giving a scrape whose byte length is deterministic — the bench
+    suite's [serve-http] section pins it. *)
+let render_text ?(include_volatile = true) () =
   let buf = Buffer.create 1024 in
   let seen_header = Hashtbl.create 16 in
   List.iter
     (fun m ->
+      if include_volatile || not m.m_volatile then begin
       if not (Hashtbl.mem seen_header m.m_name) then begin
         Hashtbl.add seen_header m.m_name ();
         if m.m_help <> "" then
           Buffer.add_string buf
-            (Printf.sprintf "# HELP %s %s\n" m.m_name (prom_escape m.m_help));
+            (Printf.sprintf "# HELP %s %s\n" m.m_name (help_escape m.m_help));
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_name m.m_kind))
       end;
@@ -223,7 +239,8 @@ let render_text () =
                (number_to_string sum));
           Buffer.add_string buf
             (Printf.sprintf "%s_count%s %s\n" m.m_name (label_text m.m_labels)
-               (number_to_string count)))
+               (number_to_string count))
+      end)
     (sorted_metrics ());
   Buffer.contents buf
 

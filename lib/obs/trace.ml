@@ -74,21 +74,104 @@ let tid () = (Domain.self () :> int)
 let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let depth () = !(Domain.DLS.get depth_key)
 
+(* ------------------------------------------------------------------ *)
+(* Ambient context and per-request collectors                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A bounded per-request span buffer.  Installed via {!set_context} it
+    receives every span recorded on that domain (with its nesting depth
+    at entry), even when global tracing is off, so the flight recorder
+    can keep one request's span tree without turning on whole-process
+    tracing.  Mutex-guarded: an abandoned deadline sub-domain may still
+    be appending after the parent snapshots it. *)
+type collector = {
+  c_cap : int;
+  c_lock : Mutex.t;
+  mutable c_rev : (int * event) list;  (** (depth at entry, event) *)
+  mutable c_len : int;
+  mutable c_dropped : int;
+}
+
+let new_collector ?(cap = 512) () =
+  { c_cap = cap; c_lock = Mutex.create (); c_rev = []; c_len = 0; c_dropped = 0 }
+
+let collector_add c depth ev =
+  Mutex.lock c.c_lock;
+  if c.c_len < c.c_cap then begin
+    c.c_rev <- (depth, ev) :: c.c_rev;
+    c.c_len <- c.c_len + 1
+  end
+  else c.c_dropped <- c.c_dropped + 1;
+  Mutex.unlock c.c_lock
+
+(** Snapshot: events in recording order (completion order — children
+    before parents) with their entry depths, plus the drop count. *)
+let collector_events c =
+  Mutex.lock c.c_lock;
+  let evs = List.rev c.c_rev and dropped = c.c_dropped in
+  Mutex.unlock c.c_lock;
+  (evs, dropped)
+
+(** Ambient tracing context for the current domain: [ctx_args] are
+    appended to every event recorded while the context is installed
+    (request correlation — e.g. [("request_id", id)]), and
+    [ctx_collector], when present, additionally captures those events
+    per-request.  The context is domain-local; {!Explore.Pool}
+    re-installs the caller's context inside worker bodies and deadline
+    sub-domains, since DLS does not cross [Domain.spawn]. *)
+type context = {
+  ctx_args : (string * string) list;
+  ctx_collector : collector option;
+}
+
+let context_key : context option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_context () = !(Domain.DLS.get context_key)
+let set_context c = Domain.DLS.get context_key := c
+
+(** [with_context ctx f] installs [ctx] for the duration of [f] and
+    restores the previous context even if [f] raises. *)
+let with_context ctx f =
+  let cell = Domain.DLS.get context_key in
+  let saved = !cell in
+  cell := ctx;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let context_args () =
+  match current_context () with None -> [] | Some c -> c.ctx_args
+
+let dispatch ~depth ev =
+  record ev;
+  match current_context () with
+  | Some { ctx_collector = Some c; _ } -> collector_add c depth ev
+  | _ -> ()
+
 (** [with_span ~cat name f] times [f ()] as one span.  The event is
     recorded even when [f] raises (with an extra [raised=true] argument)
-    and the exception is re-raised unchanged. *)
+    and the exception is re-raised unchanged.  Spans are captured when
+    global tracing is on {e or} the current domain has a collector
+    installed; ambient context args ride on every captured event. *)
 let with_span ?(cat = "stardust") ?(args = []) name f =
-  if not st.on then f ()
+  let ctx = current_context () in
+  let collecting =
+    match ctx with Some { ctx_collector = Some _; _ } -> true | _ -> false
+  in
+  if not (st.on || collecting) then f ()
   else begin
     let d = Domain.DLS.get depth_key in
     incr d;
+    let entry_depth = !d in
     let ts = now_us () in
     let raised = ref false in
     Fun.protect
       ~finally:(fun () ->
         decr d;
         let args = if !raised then ("raised", "true") :: args else args in
-        record
+        let args =
+          args @ (match ctx with None -> [] | Some c -> c.ctx_args)
+        in
+        dispatch ~depth:entry_depth
           {
             ev_name = name;
             ev_cat = cat;
@@ -107,8 +190,12 @@ let with_span ?(cat = "stardust") ?(args = []) name f =
 
 (** Zero-duration marker event. *)
 let instant ?(cat = "stardust") ?(args = []) name =
-  if st.on then
-    record
+  let ctx = current_context () in
+  let collecting =
+    match ctx with Some { ctx_collector = Some _; _ } -> true | _ -> false
+  in
+  if st.on || collecting then
+    dispatch ~depth:(depth () + 1)
       {
         ev_name = name;
         ev_cat = cat;
@@ -116,7 +203,7 @@ let instant ?(cat = "stardust") ?(args = []) name =
         ev_ts = now_us ();
         ev_dur = 0.0;
         ev_tid = tid ();
-        ev_args = args;
+        ev_args = args @ (match ctx with None -> [] | Some c -> c.ctx_args);
       }
 
 (** Events in recording order (oldest first). *)

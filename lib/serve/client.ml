@@ -58,6 +58,109 @@ let try_rpc c (j : Json.t) :
       | r -> Ok r
       | exception Json.Parse_error (msg, _) -> Error (`Bad_response msg))
 
+(* ------------------------------------------------------------------ *)
+(* Observability-plane (HTTP) helpers                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** One HTTP/1.1 GET against the daemon's observability plane:
+    [http_get "127.0.0.1:9464" "/metrics"] returns
+    [Ok (status, body)] or [Error msg] on a connect/read failure or an
+    unparseable response head.  Deliberately tiny, like the NDJSON
+    client: connect, one request, read to EOF (the plane always answers
+    [Connection: close]). *)
+let http_get addr path : (int * string, string) result =
+  let parse_hostport a =
+    match String.rindex_opt a ':' with
+    | Some i -> (
+        let host = String.sub a 0 i
+        and port = String.sub a (i + 1) (String.length a - i - 1) in
+        match int_of_string_opt port with
+        | Some p -> Ok ((if host = "" then "127.0.0.1" else host), p)
+        | None -> Error (Printf.sprintf "bad port in %S" a))
+    | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" a)
+  in
+  match parse_hostport addr with
+  | Error e -> Error e
+  | Ok (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | exception _ -> Error (Printf.sprintf "bad host %S" host)
+      | ip -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+          match
+            Fun.protect ~finally (fun () ->
+                Unix.connect fd (Unix.ADDR_INET (ip, port));
+                let req =
+                  Printf.sprintf
+                    "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+                    path host
+                in
+                ignore (Unix.write_substring fd req 0 (String.length req));
+                let buf = Buffer.create 1024 in
+                let chunk = Bytes.create 4096 in
+                let rec drain () =
+                  match Unix.read fd chunk 0 (Bytes.length chunk) with
+                  | 0 -> ()
+                  | n ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      drain ()
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+                in
+                drain ();
+                Buffer.contents buf)
+          with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)
+          | raw -> (
+              let find sub =
+                let n = String.length raw and m = String.length sub in
+                let rec go i =
+                  if i + m > n then None
+                  else if String.sub raw i m = sub then Some i
+                  else go (i + 1)
+                in
+                go 0
+              in
+              let sep, skip =
+                match find "\r\n\r\n" with
+                | Some i -> (i, 4)
+                | None -> (
+                    match find "\n\n" with
+                    | Some i -> (i, 2)
+                    | None -> (-1, 0))
+              in
+              if sep < 0 then Error "malformed HTTP response (no header end)"
+              else
+                let head = String.sub raw 0 sep in
+                let body =
+                  String.sub raw (sep + skip)
+                    (String.length raw - sep - skip)
+                in
+                match String.split_on_char ' ' head with
+                | _http :: code :: _ -> (
+                    match int_of_string_opt code with
+                    | Some status -> Ok (status, body)
+                    | None -> Error "malformed HTTP status line")
+                | _ -> Error "malformed HTTP status line")))
+
+(** [scrape_metrics addr] fetches [/metrics] from the observability
+    plane: [Ok body] iff the scrape returned 200. *)
+let scrape_metrics addr : (string, string) result =
+  match http_get addr "/metrics" with
+  | Ok (200, body) -> Ok body
+  | Ok (status, _) -> Error (Printf.sprintf "/metrics answered %d" status)
+  | Error e -> Error e
+
+(** [health addr] probes [/healthz] and [/readyz]:
+    [Ok (healthy, ready)]. *)
+let health addr : (bool * bool, string) result =
+  match http_get addr "/healthz" with
+  | Error e -> Error e
+  | Ok (hstatus, _) -> (
+      match http_get addr "/readyz" with
+      | Error e -> Error e
+      | Ok (rstatus, _) -> Ok (hstatus = 200, rstatus = 200))
+
 (** The [error.code] of a response, if it is an error response. *)
 let error_code (r : Json.t) : string option =
   match r with

@@ -1,0 +1,329 @@
+(** The observability plane: a minimal, dependency-free HTTP/1.1 server
+    giving scrapers and operators a read-only window into a running
+    daemon.
+
+    {v
+    GET /metrics           Prometheus exposition text (Metrics.render_text)
+    GET /healthz           200 while the process is up
+    GET /readyz            200 while accepting work; 503 during drain
+    GET /buildinfo         version, OCaml version, chip-config fingerprint
+    GET /debug/requests    flight-recorder dump (JSON)
+    GET /debug/trace?id=R  span tree of a recorded request (JSON)
+    v}
+
+    Design points, mirroring the NDJSON transport's discipline:
+
+    - {b Bounded reads.}  The request line and headers are read into one
+      bounded buffer ([max_request_bytes], default 8 KiB) under a socket
+      receive timeout; a slow-loris writer costs one thread for at most
+      that timeout, never unbounded memory.
+    - {b Shedding.}  At most [max_connections] concurrent handlers; the
+      excess gets an immediate [503] with [Retry-After] and is closed —
+      the same answer-then-shed shape as the NDJSON path's E1004.
+    - {b One request per connection} ([Connection: close]): the plane is
+      for scrapes and spot checks, not request pipelining, and closing
+      eagerly keeps the thread budget independent of client behaviour.
+    - {b Independent lifecycle.}  The listener has its own stop flag, so
+      it keeps answering [/readyz] (with 503) and [/metrics] {e while}
+      the NDJSON side drains after SIGTERM; the CLI stops it last.
+
+    Binding [PORT 0] picks an ephemeral port; {!bound_addr} reports the
+    actual one so scripts and CI can find it (the CLI prints it as a
+    machine-parsable [serve: http listening on HOST:PORT] line). *)
+
+module Metrics = Stardust_obs.Metrics
+module Flight = Stardust_obs.Flight
+module Sim = Stardust_capstan.Sim
+module Arch = Stardust_capstan.Arch
+module Dram = Stardust_capstan.Dram
+
+let default_max_connections = 8
+let default_max_request_bytes = 8192
+let default_read_timeout = 5.0
+
+let m_http_requests endpoint =
+  Metrics.counter ~volatile:true
+    ~help:"HTTP observability-plane requests served"
+    ~labels:[ ("endpoint", endpoint) ]
+    "serve_http_requests_total"
+
+let m_http_shed () =
+  Metrics.counter ~volatile:true
+    ~help:"HTTP connections shed at the plane's connection bound"
+    "serve_http_shed_total"
+
+type t = {
+  h_sock : Unix.file_descr;
+  h_addr : string;  (** the address actually bound, [HOST:PORT] *)
+  mutable h_thread : Thread.t option;
+  h_stop : bool Atomic.t;
+}
+
+let bound_addr t = t.h_addr
+
+(* ------------------------------------------------------------------ *)
+(* Wire helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let reason_of = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 431 -> "Request Header Fields Too Large"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | 0 -> ()
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let respond ?(extra_headers = []) fd ~status ~content_type body =
+  let buf = Buffer.create (String.length body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_of status));
+  Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    extra_headers;
+  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf body;
+  write_all fd (Buffer.contents buf)
+
+(** Read the request head (request line + headers) into a bounded
+    buffer: stops at the blank line, [Error] past [max_request_bytes]
+    (431) or on a read error/timeout. *)
+let read_head fd ~max_request_bytes =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec ends_with_blank () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    (* tolerate bare-LF clients *)
+    (n >= 4 && String.sub s (n - 4) 4 = "\r\n\r\n")
+    || (n >= 2 && String.sub s (n - 2) 2 = "\n\n")
+  and go () =
+    if ends_with_blank () then Ok (Buffer.contents buf)
+    else if Buffer.length buf > max_request_bytes then Error 431
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error 400
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> Error 400
+  in
+  go ()
+
+(** (method, path, query) of the request line; [Error 400] on anything
+    that is not [METHOD /path[?query] HTTP/1.x]. *)
+let parse_request_line head =
+  let line =
+    match String.index_opt head '\n' with
+    | Some i -> String.trim (String.sub head 0 i)
+    | None -> String.trim head
+  in
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+      let path, query =
+        match String.index_opt target '?' with
+        | Some i ->
+            ( String.sub target 0 i,
+              String.sub target (i + 1) (String.length target - i - 1) )
+        | None -> (target, "")
+      in
+      Ok (meth, path, query)
+  | _ -> Error 400
+
+(* The only query the plane accepts is [id=...]; correlation ids are
+   restricted to query-safe ASCII by the protocol, so the value is the
+   raw remainder — no percent-decoding needed. *)
+let query_id query =
+  if String.length query > 3 && String.sub query 0 3 = "id=" then
+    Some (String.sub query 3 (String.length query - 3))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let buildinfo_body ~version ~workers () =
+  let fingerprint =
+    Sim.config_fingerprint { Sim.arch = Arch.default; dram = Dram.hbm2e }
+  in
+  Printf.sprintf
+    "{\"service\":\"stardustc\",\"version\":\"%s\",\"ocaml\":\"%s\",\"chip_config\":\"%s\",\"workers\":%d,\"pid\":%d}"
+    version Sys.ocaml_version fingerprint workers (Unix.getpid ())
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let handle_endpoint ~service ~version fd meth path query =
+  let endpoint_label =
+    match path with
+    | "/metrics" | "/healthz" | "/readyz" | "/buildinfo" | "/debug/requests"
+    | "/debug/trace" ->
+        path
+    | _ -> "other"
+  in
+  Metrics.inc (m_http_requests endpoint_label);
+  if meth <> "GET" then
+    respond fd ~status:405 ~content_type:"text/plain"
+      ~extra_headers:[ ("Allow", "GET") ]
+      "only GET is served here\n"
+  else
+    match path with
+    | "/metrics" ->
+        respond fd ~status:200 ~content_type:prometheus_content_type
+          (Metrics.render_text ())
+    | "/healthz" -> respond fd ~status:200 ~content_type:"text/plain" "ok\n"
+    | "/readyz" ->
+        if Service.ready service then
+          respond fd ~status:200 ~content_type:"text/plain" "ready\n"
+        else
+          respond fd ~status:503 ~content_type:"text/plain" "draining\n"
+    | "/buildinfo" ->
+        respond fd ~status:200 ~content_type:"application/json"
+          (buildinfo_body ~version ~workers:(Service.workers service) ())
+    | "/debug/requests" ->
+        respond fd ~status:200 ~content_type:"application/json"
+          (Flight.entries_json (Service.flight service))
+    | "/debug/trace" -> (
+        match query_id query with
+        | None ->
+            respond fd ~status:400 ~content_type:"text/plain"
+              "expected /debug/trace?id=REQUEST_ID\n"
+        | Some id -> (
+            match Flight.trace_json (Service.flight service) id with
+            | Some json ->
+                respond fd ~status:200 ~content_type:"application/json" json
+            | None ->
+                respond fd ~status:404 ~content_type:"text/plain"
+                  "request id not recorded\n"))
+    | _ -> respond fd ~status:404 ~content_type:"text/plain" "not found\n"
+
+(* ------------------------------------------------------------------ *)
+(* Listener                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handle_connection ~service ~version ~max_request_bytes conn =
+  (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO default_read_timeout
+   with Unix.Unix_error _ -> ());
+  match read_head conn ~max_request_bytes with
+  | Error status ->
+      respond conn ~status ~content_type:"text/plain"
+        (reason_of status ^ "\n")
+  | Ok head -> (
+      match parse_request_line head with
+      | Error status ->
+          respond conn ~status ~content_type:"text/plain"
+            (reason_of status ^ "\n")
+      | Ok (meth, path, query) ->
+          handle_endpoint ~service ~version conn meth path query)
+
+(** Parse [ADDR] as [HOST:PORT] (or bare [PORT], binding loopback).
+    Numeric hosts only — the plane is for local scrapers and tunnels,
+    and refusing DNS keeps startup deterministic. *)
+let parse_addr addr =
+  let host, port_s =
+    match String.rindex_opt addr ':' with
+    | Some i ->
+        ( String.sub addr 0 i,
+          String.sub addr (i + 1) (String.length addr - i - 1) )
+    | None -> ("127.0.0.1", addr)
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  match int_of_string_opt port_s with
+  | Some port when port >= 0 && port <= 65535 -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (ip, port)
+      | exception _ -> Error (Printf.sprintf "bad HTTP host %S" host))
+  | _ -> Error (Printf.sprintf "bad HTTP port %S" port_s)
+
+(** Start the observability listener on [addr] ([HOST:PORT]; port [0]
+    binds an ephemeral port).  Serves until {!stop}; never stops by
+    itself — the NDJSON side's drain must stay observable. *)
+let start ?(max_connections = default_max_connections)
+    ?(max_request_bytes = default_max_request_bytes) ?(version = "dev")
+    ~service addr : (t, string) result =
+  match parse_addr addr with
+  | Error e -> Error e
+  | Ok (ip, port) -> (
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      match Unix.bind sock (Unix.ADDR_INET (ip, port)) with
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot bind HTTP address %s: %s" addr
+               (Unix.error_message err))
+      | () ->
+          Unix.listen sock 16;
+          let h_addr =
+            match Unix.getsockname sock with
+            | Unix.ADDR_INET (ip, port) ->
+                Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+            | Unix.ADDR_UNIX p -> p
+          in
+          let t = { h_sock = sock; h_addr; h_thread = None; h_stop = Atomic.make false } in
+          let active = Atomic.make 0 in
+          let serve_one conn =
+            Fun.protect
+              ~finally:(fun () ->
+                (try Unix.close conn with Unix.Unix_error _ -> ());
+                ignore (Atomic.fetch_and_add active (-1)))
+              (fun () ->
+                try
+                  handle_connection ~service ~version ~max_request_bytes conn
+                with _ -> ())
+          in
+          let rec accept_loop () =
+            if not (Atomic.get t.h_stop) then begin
+              match Unix.select [ sock ] [] [] 0.1 with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+              | [], _, _ -> accept_loop ()
+              | _ -> (
+                  match Unix.accept sock with
+                  | exception Unix.Unix_error _ -> accept_loop ()
+                  | conn, _ ->
+                      if Atomic.get active >= max_connections then begin
+                        Metrics.inc (m_http_shed ());
+                        (try
+                           Unix.set_nonblock conn;
+                           respond conn ~status:503 ~content_type:"text/plain"
+                             ~extra_headers:[ ("Retry-After", "1") ]
+                             "observability plane at its connection bound\n"
+                         with Unix.Unix_error _ -> ());
+                        try Unix.close conn with Unix.Unix_error _ -> ()
+                      end
+                      else begin
+                        ignore (Atomic.fetch_and_add active 1);
+                        ignore (Thread.create serve_one conn)
+                      end;
+                      accept_loop ())
+            end
+          in
+          t.h_thread <- Some (Thread.create accept_loop ());
+          Ok t)
+
+(** Stop accepting, close the listening socket, and join the accept
+    thread.  In-flight handler threads finish their (single) response on
+    their own.  Idempotent. *)
+let stop t =
+  Atomic.set t.h_stop true;
+  (match t.h_thread with
+  | Some th ->
+      t.h_thread <- None;
+      Thread.join th
+  | None -> ());
+  try Unix.close t.h_sock with Unix.Unix_error _ -> ()

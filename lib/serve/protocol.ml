@@ -81,6 +81,11 @@ type spec = {
 
 type request = {
   id : Json.t;  (** echoed verbatim in the response; [Null] when absent *)
+  request_id : string option;
+      (** client-supplied correlation id; the service mints one when
+          absent.  Echoed in the response, stamped on every span and
+          diagnostic under this request, and keyed in the flight
+          recorder. *)
   op : op;
   spec : spec;
   emit : string list;  (** compile sections: subset of cin/code/resources *)
@@ -128,6 +133,29 @@ let id_of j =
       | Some (Json.(Null | Num _ | Str _) as id) -> id
       | Some _ | None -> Json.Null)
   | _ -> Json.Null
+
+(* Correlation ids must stay greppable in NDJSON output, safe inside a
+   [/debug/trace?id=...] query string, and bounded: printable ASCII, no
+   spaces or quotes, at most 128 bytes. *)
+let valid_request_id s =
+  let n = String.length s in
+  n >= 1 && n <= 128
+  && String.for_all
+       (fun c ->
+         let code = Char.code c in
+         code > 0x20 && code < 0x7f && c <> '"' && c <> '\\')
+       s
+
+(** Lenient extraction of a client-supplied correlation id, usable even
+    when the request's shape is otherwise invalid (so an [E1002]
+    response can still echo the id the client sent). *)
+let request_id_of j =
+  match j with
+  | Json.Obj fields -> (
+      match List.assoc_opt "request_id" fields with
+      | Some (Json.Str s) when valid_request_id s -> Some s
+      | _ -> None)
+  | _ -> None
 
 let str_field obj name ~default =
   match List.assoc_opt name obj with
@@ -211,9 +239,21 @@ let request_of_json (j : Json.t) : (request, Diag.t list) result =
         if not (List.mem s all_sections) then
           invalid "unknown emit section %S (try cin/code/resources)" s)
       emit;
+    let request_id =
+      match List.assoc_opt "request_id" obj with
+      | None | Some Json.Null -> None
+      | Some (Json.Str s) ->
+          if valid_request_id s then Some s
+          else
+            invalid
+              "field \"request_id\" must be 1-128 printable ASCII characters \
+               (no spaces, quotes, or backslashes)"
+      | Some _ -> invalid "field \"request_id\" must be a string"
+    in
     Ok
       {
         id = id_of j;
+        request_id;
         op;
         spec =
           {
@@ -269,8 +309,10 @@ let error_body ds =
 
 (** Wrap a body ([ok_body] or [error_body]) into the response envelope:
     [id] first, then [op], then — for cacheable operations — whether the
-    plan cache answered. *)
-let envelope ~id ~op ?cached body =
+    plan cache answered.  The correlation [request_id] (client-supplied
+    or service-minted) rides last, so the historical field prefix
+    clients and CI grep on is unchanged. *)
+let envelope ~id ~op ?cached ?request_id body =
   let fields =
     match body with
     | Json.Obj fields -> fields
@@ -279,7 +321,13 @@ let envelope ~id ~op ?cached body =
   let cached_field =
     match cached with None -> [] | Some c -> [ ("cached", Json.Bool c) ]
   in
-  Json.Obj ((("id", id) :: ("op", Json.Str op) :: cached_field) @ fields)
+  let rid_field =
+    match request_id with
+    | None -> []
+    | Some r -> [ ("request_id", Json.Str r) ]
+  in
+  Json.Obj
+    ((("id", id) :: ("op", Json.Str op) :: cached_field) @ fields @ rid_field)
 
 (** The one-line answer a connection shed at the daemon's connection
     bound receives before its socket closes: a stable [E1004] so clients

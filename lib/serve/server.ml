@@ -81,7 +81,7 @@ let m_oversized () =
     newline). *)
 let handle_line t line : string =
   match P.parse_line line with
-  | Error ds -> Json.to_string (P.envelope ~id:Json.Null ~op:"invalid" (P.error_body ds))
+  | Error ds -> Json.to_string (Service.handle_line_error t (P.error_body ds))
   | Ok (Json.Arr items) ->
       Json.to_string (Json.Arr (Service.handle_batch t items))
   | Ok j -> Json.to_string (Service.handle_request t j)
@@ -140,7 +140,7 @@ let serve_channels ?(max_line_bytes = default_max_line_bytes) t ic oc =
           Metrics.inc (m_oversized ());
           respond
             (Json.to_string
-               (P.envelope ~id:Json.Null ~op:"invalid"
+               (Service.handle_line_error t
                   (P.line_too_long_body ~limit:max_line_bytes)));
           loop ()
       | Line line ->

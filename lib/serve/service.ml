@@ -26,6 +26,7 @@ module Json = Stardust_json.Json
 module Diag = Stardust_diag.Diag
 module Trace = Stardust_obs.Trace
 module Metrics = Stardust_obs.Metrics
+module Flight = Stardust_obs.Flight
 module F = Stardust_tensor.Format
 module T = Stardust_tensor.Tensor
 module Stats_cache = Stardust_tensor.Stats_cache
@@ -53,12 +54,19 @@ type t = {
           them, so the daemon cannot be used as a file-read oracle *)
   ingest_budget : Stardust_ingest.Ingest.budget;
       (** nnz/byte ceilings applied to every file data spec *)
+  flight : Flight.t;
+      (** bounded ring of recent request summaries plus span trees of
+          recent failures, served by [/debug/requests] and
+          [/debug/trace] *)
+  id_gen : int Atomic.t;
+      (** mints [r-<n>] correlation ids for requests without one *)
   mutable stop : bool;
       (** a shutdown request was answered, or a stop signal arrived *)
 }
 
 let create ?workers ?plan_cache_capacity ?request_timeout ?cache_dir
-    ?data_root ?(ingest_budget = Stardust_ingest.Ingest.no_budget) () =
+    ?data_root ?(ingest_budget = Stardust_ingest.Ingest.no_budget)
+    ?flight_capacity ?flight_failed_capacity () =
   {
     pool = Pool.create ?workers ();
     cache = Plan_cache.create ?capacity:plan_cache_capacity ?dir:cache_dir ();
@@ -68,10 +76,27 @@ let create ?workers ?plan_cache_capacity ?request_timeout ?cache_dir
       | Some _ | None -> None);
     data_root;
     ingest_budget;
+    flight =
+      Flight.create ?capacity:flight_capacity
+        ?failed_capacity:flight_failed_capacity ();
+    id_gen = Atomic.make 0;
     stop = false;
   }
 
 let stopping t = t.stop
+
+let flight t = t.flight
+
+(** A server-minted correlation id: [r-<n>], unique for the daemon's
+    lifetime.  Distinguishable from client ids by convention only; the
+    response marks nothing — clients that care supply their own. *)
+let fresh_request_id t =
+  Printf.sprintf "r-%d" (1 + Atomic.fetch_and_add t.id_gen 1)
+
+(** Readiness, as [/readyz] reports it: accepting work now — not
+    draining, and the worker pool has not been shut down.  Distinct from
+    liveness ([/healthz]): a draining daemon is alive but not ready. *)
+let ready t = (not t.stop) && Pool.is_alive t.pool
 
 (** Ask the service to stop: the transports' loops check {!stopping}
     after each request/accept and drain.  Safe from a signal handler —
@@ -124,6 +149,19 @@ let m_degraded () =
       "deadline-bearing requests refused because the abandoned-domain \
        budget is spent (E1007)"
     "serve_degraded_total"
+
+(* Flight-recorder occupancy tracks arrival order and failure timing —
+   wall-clock truth — so both counters are volatile.  The deterministic
+   view of the same data is [Flight.entries_json ~deterministic:true]. *)
+let m_flight_recorded () =
+  Metrics.counter ~volatile:true
+    ~help:"requests recorded in the flight recorder"
+    "serve_flight_recorded_total"
+
+let m_flight_failed () =
+  Metrics.counter ~volatile:true
+    ~help:"failed requests whose span trees the flight recorder retained"
+    "serve_flight_failed_total"
 
 (* ------------------------------------------------------------------ *)
 (* Spec resolution                                                     *)
@@ -417,86 +455,230 @@ let effective_deadline t (r : P.request) : float option =
       | Some s, None | None, Some s -> Some s
       | Some a, Some b -> Some (Float.min a b))
 
-(** Handle one request value end to end: validate, count, trace, time,
-    dispatch, and envelope.  Never raises. *)
-let handle_request t (j : Json.t) : Json.t =
+(* ------------------------------------------------------------------ *)
+(* Request correlation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Stamp the correlation id into the [context] of every diagnostic in an
+   error body, so E1002/E1005/E1007 (and any stage's diagnostics) name
+   the request that triggered them.  A JSON post-pass rather than
+   threading the id through every handler: diagnostics are produced deep
+   in stages that know nothing about the serve layer. *)
+let stamp_diag rid = function
+  | Json.Obj df ->
+      let entry = ("request_id", Json.Str rid) in
+      let df =
+        if List.mem_assoc "context" df then
+          List.map
+            (function
+              | "context", Json.Obj ctx -> ("context", Json.Obj (ctx @ [ entry ]))
+              | kv -> kv)
+            df
+        else df @ [ ("context", Json.Obj [ entry ]) ]
+      in
+      Json.Obj df
+  | j -> j
+
+let stamp_request_id rid body =
+  match body with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "error", Json.Obj efields ->
+                 ( "error",
+                   Json.Obj
+                     (List.map
+                        (function
+                          | "diagnostics", Json.Arr ds ->
+                              ( "diagnostics",
+                                Json.Arr (List.map (stamp_diag rid) ds) )
+                          | kv -> kv)
+                        efields) )
+             | kv -> kv)
+           fields)
+  | j -> j
+
+(* (ok bit, diagnostic codes in order, deduplicated) of a response
+   body — what the flight recorder summarizes. *)
+let body_outcome body =
+  match body with
+  | Json.Obj fields ->
+      let ok =
+        match List.assoc_opt "ok" fields with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      let codes =
+        match List.assoc_opt "error" fields with
+        | Some (Json.Obj ef) -> (
+            match List.assoc_opt "diagnostics" ef with
+            | Some (Json.Arr ds) ->
+                List.filter_map
+                  (function
+                    | Json.Obj df -> (
+                        match List.assoc_opt "code" df with
+                        | Some (Json.Str c) -> Some c
+                        | _ -> None)
+                    | _ -> None)
+                  ds
+            | _ -> [])
+        | _ -> []
+      in
+      let codes =
+        List.rev
+          (List.fold_left
+             (fun acc c -> if List.mem c acc then acc else c :: acc)
+             [] codes)
+      in
+      (ok, codes)
+  | _ -> (false, [])
+
+let record_flight t ~request_id ~generated ~op ?cached ~body ~latency_s
+    ~queue_wait_s ~spans () =
+  let ok, codes = body_outcome body in
+  Metrics.inc (m_flight_recorded ());
+  if not ok then Metrics.inc (m_flight_failed ());
+  Flight.record t.flight ~request_id ~generated ~op ?cached ~ok ~codes
+    ~latency_s ~queue_wait_s
+    ~spans:(if ok then ([], 0) else spans)
+    ()
+
+(** Envelope a transport-level error (E1001 unparseable line, E1006
+    oversized line) with a minted correlation id, recording it in the
+    flight recorder — the client never supplied a readable id, but the
+    failure is still attributable afterwards. *)
+let handle_line_error t body =
+  let rid = fresh_request_id t in
+  let body = stamp_request_id rid body in
+  record_flight t ~request_id:rid ~generated:true ~op:"invalid" ~body
+    ~latency_s:0.0 ~queue_wait_s:0.0 ~spans:([], 0) ();
+  P.envelope ~id:Json.Null ~op:"invalid" ~request_id:rid body
+
+(** Handle one request value end to end: correlate, validate, count,
+    trace, time, dispatch, record, and envelope.  Never raises.
+    [?submitted] is the batch submission time, for the flight recorder's
+    queue-wait attribution of batch items. *)
+let handle_request ?submitted t (j : Json.t) : Json.t =
+  let t0 = Unix.gettimeofday () in
+  let queue_wait_s =
+    match submitted with Some s -> Float.max 0.0 (t0 -. s) | None -> 0.0
+  in
+  let rid, generated =
+    match P.request_id_of j with
+    | Some s -> (s, false)
+    | None -> (fresh_request_id t, true)
+  in
   match P.request_of_json j with
-  | Error ds -> P.envelope ~id:(P.id_of j) ~op:"invalid" (P.error_body ds)
+  | Error ds ->
+      let body = stamp_request_id rid (P.error_body ds) in
+      record_flight t ~request_id:rid ~generated ~op:"invalid" ~body
+        ~latency_s:(Unix.gettimeofday () -. t0)
+        ~queue_wait_s ~spans:([], 0) ();
+      P.envelope ~id:(P.id_of j) ~op:"invalid" ~request_id:rid body
   | Ok r ->
       let opname = P.op_name r.P.op in
       Metrics.inc (m_requests opname);
       Metrics.set (m_inflight ()) (float_of_int (1 + Atomic.fetch_and_add inflight 1));
-      let t0 = Unix.gettimeofday () in
       let finish () =
         Metrics.observe (m_latency opname) (Unix.gettimeofday () -. t0);
         Metrics.set (m_inflight ())
           (float_of_int (Atomic.fetch_and_add inflight (-1) - 1))
       in
       Fun.protect ~finally:finish (fun () ->
-          Trace.with_span ~cat:"serve"
-            ~args:[ ("op", opname) ]
-            ("serve." ^ opname)
-            (fun () ->
-              (* [compute] never raises: every failure mode below is a
-                 structured body, which is what lets the deadline wrapper
-                 treat any [Error] strictly as a blown budget. *)
-              let compute () =
-                try dispatch t r with
-                | Diag.Fail ds -> (P.error_body ds, None)
-                | Sim.Sim_error { kind; message } ->
-                    let code =
-                      match kind with
-                      | Sim.Runtime -> Diag.code_sim_runtime
-                      | Sim.Capacity -> Diag.code_sim_capacity
-                      | Sim.Watchdog -> Diag.code_sim_watchdog
-                      | Sim.Fault -> Diag.code_sim_fault
+          (* Every request runs under an ambient tracing context: its
+             correlation id rides on every span recorded below (pool
+             workers and deadline sub-domains included — Pool re-installs
+             the context across Domain.spawn), and a bounded collector
+             captures the request's own span tree for the flight
+             recorder.  The context is installed around the [serve.<op>]
+             span so the root span itself is captured too. *)
+          let collector = Trace.new_collector () in
+          let ctx =
+            Some
+              {
+                Trace.ctx_args = [ ("request_id", rid) ];
+                ctx_collector = Some collector;
+              }
+          in
+          let body, cached =
+            Trace.with_context ctx (fun () ->
+                Trace.with_span ~cat:"serve"
+                  ~args:[ ("op", opname) ]
+                  ("serve." ^ opname)
+                  (fun () ->
+                    (* [compute] never raises: every failure mode below is a
+                       structured body, which is what lets the deadline wrapper
+                       treat any [Error] strictly as a blown budget. *)
+                    let compute () =
+                      try dispatch t r with
+                      | Diag.Fail ds -> (P.error_body ds, None)
+                      | Sim.Sim_error { kind; message } ->
+                          let code =
+                            match kind with
+                            | Sim.Runtime -> Diag.code_sim_runtime
+                            | Sim.Capacity -> Diag.code_sim_capacity
+                            | Sim.Watchdog -> Diag.code_sim_watchdog
+                            | Sim.Fault -> Diag.code_sim_fault
+                          in
+                          ( P.error_body
+                              [ Diag.error ~stage:Diag.Simulate ~code "%s" message ],
+                            None )
+                      | e ->
+                          (* capture here, before any further calls overwrite
+                             it: with OCAMLRUNPARAM=b this puts the daemon-side
+                             crash site in the client's diagnostic context *)
+                          let bt = Printexc.get_raw_backtrace () in
+                          let context =
+                            ("exception", Printexc.to_string e)
+                            ::
+                            (if Printexc.backtrace_status () then
+                               match
+                                 String.trim (Printexc.raw_backtrace_to_string bt)
+                               with
+                               | "" -> []
+                               | s -> [ ("backtrace", s) ]
+                             else [])
+                          in
+                          ( P.error_body
+                              [
+                                Diag.error ~stage:Diag.Serve
+                                  ~code:Diag.code_serve_internal ~context
+                                  "request handler failed";
+                              ],
+                            None )
                     in
-                    ( P.error_body
-                        [ Diag.error ~stage:Diag.Simulate ~code "%s" message ],
-                      None )
-                | e ->
-                    (* capture here, before any further calls overwrite
-                       it: with OCAMLRUNPARAM=b this puts the daemon-side
-                       crash site in the client's diagnostic context *)
-                    let bt = Printexc.get_raw_backtrace () in
-                    let context =
-                      ("exception", Printexc.to_string e)
-                      ::
-                      (if Printexc.backtrace_status () then
-                         match
-                           String.trim (Printexc.raw_backtrace_to_string bt)
-                         with
-                         | "" -> []
-                         | s -> [ ("backtrace", s) ]
-                       else [])
-                    in
-                    ( P.error_body
-                        [
-                          Diag.error ~stage:Diag.Serve
-                            ~code:Diag.code_serve_internal ~context
-                            "request handler failed";
-                        ],
-                      None )
-              in
-              let body, cached =
-                match effective_deadline t r with
-                | None -> compute ()
-                | Some seconds -> (
-                    match Pool.with_deadline ~seconds compute with
-                    | Ok v -> v
-                    | Error (Pool.Deadline_expired s) ->
-                        Metrics.inc (m_deadlines ());
-                        (P.deadline_body ~seconds:s, None)
-                    | Error (Pool.Deadline_unenforceable { abandoned }) ->
-                        Metrics.inc (m_degraded ());
-                        (P.deadline_unenforceable_body ~abandoned, None))
-              in
-              P.envelope ~id:r.P.id ~op:opname ?cached body))
+                    match effective_deadline t r with
+                    | None -> compute ()
+                    | Some seconds -> (
+                        match Pool.with_deadline ~seconds compute with
+                        | Ok v -> v
+                        | Error (Pool.Deadline_expired s) ->
+                            Metrics.inc (m_deadlines ());
+                            (P.deadline_body ~seconds:s, None)
+                        | Error (Pool.Deadline_unenforceable { abandoned }) ->
+                            Metrics.inc (m_degraded ());
+                            (P.deadline_unenforceable_body ~abandoned, None))))
+          in
+          let body = stamp_request_id rid body in
+          (* record after the serve.<op> span has closed, so the flight
+             entry's span snapshot includes the root span; the collector
+             is mutex-guarded against an abandoned sub-domain that is
+             still appending *)
+          record_flight t ~request_id:rid ~generated ~op:opname ?cached ~body
+            ~latency_s:(Unix.gettimeofday () -. t0)
+            ~queue_wait_s
+            ~spans:(Trace.collector_events collector)
+            ();
+          P.envelope ~id:r.P.id ~op:opname ?cached ~request_id:rid body)
 
 (** Handle a batch (a JSON-array request line) on the worker pool:
     order-preserving, one response per request.  A nested pool use from
     inside a handler — an autotune in the batch — degrades to an inline
     run (see {!Pool.in_pooled_task}). *)
 let handle_batch t (items : Json.t list) : Json.t list =
+  let submitted = Unix.gettimeofday () in
   Array.to_list
-    (Pool.map ~pool:t.pool (handle_request t) (Array.of_list items))
+    (Pool.map ~pool:t.pool
+       (fun j -> handle_request ~submitted t j)
+       (Array.of_list items))

@@ -263,6 +263,405 @@ let test_pool_timeout_counted () =
     (Metrics.value (Metrics.counter "pool_tasks_total"));
   Metrics.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition lint                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A small linter for the exposition text format (0.0.4): every line is
+   a well-formed comment or sample, [# TYPE] appears exactly once per
+   family and before that family's samples, label values are quoted with
+   no raw quote/backslash/newline inside, histogram buckets are
+   cumulative with [+Inf] last and [_sum]/[_count] trailing.  Exposed so
+   the serve tests can lint a live scrape during a chaos storm. *)
+let lint_prometheus text =
+  let fail fmt = Fmt.kstr (fun s -> Alcotest.fail s) fmt in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let valid_name n =
+    n <> ""
+    && (not (n.[0] >= '0' && n.[0] <= '9'))
+    && String.for_all is_name_char n
+  in
+  (* parse `k="v",k="v"` between { and }; returns pairs with v still
+     escaped *)
+  let parse_labels s =
+    let n = String.length s in
+    let rec pairs i acc =
+      if i >= n then List.rev acc
+      else
+        let rec key j = if j < n && s.[j] <> '=' then key (j + 1) else j in
+        let eq = key i in
+        if eq >= n || eq = i then fail "bad label key in %S" s
+        else if eq + 1 >= n || s.[eq + 1] <> '"' then
+          fail "label value not quoted in %S" s
+        else
+          let rec value j =
+            if j >= n then fail "unterminated label value in %S" s
+            else if s.[j] = '\\' then
+              if j + 1 < n && (s.[j + 1] = '\\' || s.[j + 1] = '"' || s.[j + 1] = 'n')
+              then value (j + 2)
+              else fail "bad escape in label value in %S" s
+            else if s.[j] = '"' then j
+            else value (j + 1)
+          in
+          let close = value (eq + 2) in
+          let k = String.sub s i (eq - i) in
+          let v = String.sub s (eq + 2) (close - eq - 2) in
+          if not (valid_name k) then fail "bad label name %S" k;
+          if close + 1 < n then
+            if s.[close + 1] = ',' then pairs (close + 2) ((k, v) :: acc)
+            else fail "junk after label value in %S" s
+          else List.rev ((k, v) :: acc)
+    in
+    pairs 0 []
+  in
+  let types = Hashtbl.create 16 in
+  let helps = Hashtbl.create 16 in
+  let sampled = Hashtbl.create 16 in
+  (* histogram bookkeeping: per (family|labels-sans-le) the le values in
+     order, and _sum/_count presence *)
+  let buckets : (string, (string * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let samples = ref 0 in
+  let base_family name =
+    let strip suffix =
+      let ns = String.length name and ss = String.length suffix in
+      if ns > ss && String.sub name (ns - ss) ss = suffix then
+        let base = String.sub name 0 (ns - ss) in
+        if Hashtbl.mem types base then Some base else None
+      else None
+    in
+    match (strip "_bucket", strip "_sum", strip "_count") with
+    | Some b, _, _ | _, Some b, _ | _, _, Some b -> b
+    | None, None, None -> name
+  in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        let name =
+          match String.index_opt rest ' ' with
+          | Some i -> String.sub rest 0 i
+          | None -> rest
+        in
+        if not (valid_name name) then fail "bad HELP family %S" name;
+        if Hashtbl.mem helps name then fail "duplicate HELP for %s" name;
+        Hashtbl.add helps name ()
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match
+          String.split_on_char ' ' (String.sub line 7 (String.length line - 7))
+        with
+        | [ name; kind ] ->
+            if not (valid_name name) then fail "bad TYPE family %S" name;
+            if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+              fail "bad TYPE kind %S for %s" kind name;
+            if Hashtbl.mem types name then
+              fail "duplicate TYPE for family %s" name;
+            if Hashtbl.mem sampled name then
+              fail "TYPE for %s after its samples" name;
+            Hashtbl.add types name kind
+        | _ -> fail "malformed TYPE line %S" line
+      end
+      else if line.[0] = '#' then ()
+      else begin
+        (* sample: name[{labels}] value *)
+        incr samples;
+        let name_end =
+          let rec go i =
+            if i < String.length line && is_name_char line.[i] then go (i + 1)
+            else i
+          in
+          go 0
+        in
+        let name = String.sub line 0 name_end in
+        if not (valid_name name) then fail "bad sample name in %S" line;
+        let rest = String.sub line name_end (String.length line - name_end) in
+        let labels, value_s =
+          if rest <> "" && rest.[0] = '{' then
+            match String.rindex_opt rest '}' with
+            | None -> fail "unterminated label set in %S" line
+            | Some close ->
+                ( parse_labels (String.sub rest 1 (close - 1)),
+                  String.trim
+                    (String.sub rest (close + 1) (String.length rest - close - 1))
+                )
+          else ([], String.trim rest)
+        in
+        let value =
+          match value_s with
+          | "+Inf" -> infinity
+          | "-Inf" -> neg_infinity
+          | "NaN" -> nan
+          | s -> (
+              match float_of_string_opt s with
+              | Some f -> f
+              | None -> fail "bad sample value %S in %S" s line)
+        in
+        let family = base_family name in
+        Hashtbl.replace sampled family ();
+        if not (Hashtbl.mem types family) then
+          fail "sample %s before any TYPE for %s" name family;
+        (* histogram structure *)
+        if Hashtbl.find types family = "histogram" then begin
+          let series_key =
+            family ^ "|"
+            ^ String.concat ","
+                (List.filter_map
+                   (fun (k, v) -> if k = "le" then None else Some (k ^ "=" ^ v))
+                   labels)
+          in
+          let cell =
+            match Hashtbl.find_opt buckets series_key with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add buckets series_key c;
+                c
+          in
+          let ends_with suffix =
+            let ns = String.length name and ss = String.length suffix in
+            ns > ss && String.sub name (ns - ss) ss = suffix
+          in
+          if ends_with "_bucket" then begin
+            let le =
+              match List.assoc_opt "le" labels with
+              | Some le -> le
+              | None -> fail "histogram bucket without le in %S" line
+            in
+            (match !cell with
+            | ("le", prev) :: _ when prev > value ->
+                fail "non-cumulative buckets in %s" series_key
+            | _ -> ());
+            (match !cell with
+            | ("le", _) :: _ | [] -> ()
+            | _ -> fail "bucket after _sum/_count in %s" series_key);
+            (match !cell with
+            | ("inf", _) :: _ when le <> "+Inf" ->
+                fail "bucket after +Inf in %s" series_key
+            | _ -> ());
+            cell := ((if le = "+Inf" then "inf" else "le"), value) :: !cell
+          end
+          else if ends_with "_sum" then cell := ("sum", value) :: !cell
+          else if ends_with "_count" then begin
+            (match List.assoc_opt "inf" !cell with
+            | Some inf_count when inf_count <> value ->
+                fail "+Inf bucket (%g) disagrees with _count (%g) in %s"
+                  inf_count value series_key
+            | Some _ -> ()
+            | None -> fail "histogram %s has no +Inf bucket" series_key);
+            if not (List.mem_assoc "sum" !cell) then
+              fail "histogram %s has _count before _sum" series_key;
+            cell := ("count", value) :: !cell
+          end
+          else fail "raw sample %s of histogram family %s" name family
+        end
+      end)
+    (String.split_on_char '\n' text);
+  !samples
+
+let test_prometheus_conformance () =
+  Metrics.reset ();
+  (* nasty label values: newline, quote, backslash *)
+  Metrics.inc
+    (Metrics.counter ~help:"count\\of \"things\""
+       ~labels:[ ("tenant", "a\nb") ]
+       "lint_things_total");
+  Metrics.inc ~by:2.0
+    (Metrics.counter ~help:"count\\of \"things\""
+       ~labels:[ ("tenant", "q\"uote") ]
+       "lint_things_total");
+  Metrics.inc
+    (Metrics.counter ~help:"count\\of \"things\""
+       ~labels:[ ("tenant", "back\\slash") ]
+       "lint_things_total");
+  Metrics.set (Metrics.gauge ~help:"plain gauge" "lint_level") 3.5;
+  let h =
+    Metrics.histogram ~help:"latencies" ~buckets:[ 0.1; 1.0 ] "lint_seconds"
+  in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  Metrics.observe h 99.0 (* overflows every bound: lands only in +Inf *);
+  Metrics.inc (Metrics.counter ~volatile:true ~help:"wall clock" "lint_wall_total");
+  let text = Metrics.render_text () in
+  let n = lint_prometheus text in
+  Alcotest.(check bool) "rendered some samples" true (n >= 8);
+  (* one TYPE line per family even with three labeled series *)
+  let count_sub sub =
+    let rec go i acc =
+      if i + String.length sub > String.length text then acc
+      else if String.sub text i (String.length sub) = sub then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "TYPE once per family" 1
+    (count_sub "# TYPE lint_things_total counter");
+  (* label escaping: newline, quote, backslash *)
+  Alcotest.(check bool) "newline escaped in label value" true
+    (contains ~affix:{|tenant="a\nb"|} text);
+  Alcotest.(check bool) "quote escaped in label value" true
+    (contains ~affix:{|tenant="q\"uote"|} text);
+  Alcotest.(check bool) "backslash escaped in label value" true
+    (contains ~affix:{|tenant="back\\slash"|} text);
+  (* HELP escapes backslash but NOT quotes (exposition format rule) *)
+  Alcotest.(check bool) "HELP keeps quotes verbatim, escapes backslash" true
+    (contains ~affix:{|# HELP lint_things_total count\\of "things"|} text);
+  (* histogram shape: +Inf bucket present, _sum/_count trailing *)
+  Alcotest.(check bool) "+Inf bucket rendered" true
+    (contains ~affix:{|lint_seconds_bucket{le="+Inf"} 3|} text);
+  Alcotest.(check bool) "_count rendered" true
+    (contains ~affix:"lint_seconds_count 3" text);
+  (* volatile filtering gives a deterministic scrape *)
+  let det = Metrics.render_text ~include_volatile:false () in
+  ignore (lint_prometheus det : int);
+  Alcotest.(check bool) "volatile family dropped" false
+    (contains ~affix:"lint_wall_total" det);
+  Alcotest.(check bool) "volatile family in the full scrape" true
+    (contains ~affix:"lint_wall_total" text);
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace contexts and collectors                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_collector () =
+  Trace.reset ();
+  (* global tracing OFF: a collector still captures, the buffer stays
+     empty *)
+  let c = Trace.new_collector () in
+  let ctx =
+    Some { Trace.ctx_args = [ ("request_id", "rid-1") ]; ctx_collector = Some c }
+  in
+  Trace.with_context ctx (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner" (fun () -> ());
+          Trace.instant "mark"));
+  Alcotest.(check (option unit)) "context restored" None
+    (Option.map ignore (Trace.current_context ()));
+  Alcotest.(check int) "global buffer untouched" 0 (Trace.event_count ());
+  let evs, dropped = Trace.collector_events c in
+  Alcotest.(check int) "three events collected" 3 (List.length evs);
+  Alcotest.(check int) "nothing dropped" 0 dropped;
+  List.iter
+    (fun (_, e) ->
+      Alcotest.(check (option string))
+        (Fmt.str "event %s correlated" e.Trace.ev_name)
+        (Some "rid-1")
+        (List.assoc_opt "request_id" e.Trace.ev_args))
+    evs;
+  (* completion order: inner closes first, with its entry depth *)
+  (match evs with
+  | (d_inner, e_inner) :: (d_mark, _) :: (d_outer, e_outer) :: _ ->
+      Alcotest.(check string) "inner first" "inner" e_inner.Trace.ev_name;
+      Alcotest.(check string) "outer last" "outer" e_outer.Trace.ev_name;
+      Alcotest.(check int) "inner depth" 2 d_inner;
+      Alcotest.(check int) "instant depth" 2 d_mark;
+      Alcotest.(check int) "outer depth" 1 d_outer
+  | _ -> Alcotest.fail "unexpected collector shape");
+  (* the cap drops excess events and counts them *)
+  let small = Trace.new_collector ~cap:2 () in
+  Trace.with_context
+    (Some { Trace.ctx_args = []; ctx_collector = Some small })
+    (fun () ->
+      for i = 1 to 5 do
+        Trace.with_span (Fmt.str "s%d" i) (fun () -> ())
+      done);
+  let evs, dropped = Trace.collector_events small in
+  Alcotest.(check int) "cap respected" 2 (List.length evs);
+  Alcotest.(check int) "drops counted" 3 dropped;
+  Trace.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Stardust_obs.Flight
+
+let mk_event ?(tid = 1) ?(args = []) name =
+  {
+    Trace.ev_name = name;
+    ev_cat = "t";
+    ev_ph = "X";
+    ev_ts = 0.0;
+    ev_dur = 1.0;
+    ev_tid = tid;
+    ev_args = args;
+  }
+
+let record_simple f ~id ~op ~ok ?(codes = []) ?(spans = ([], 0)) () =
+  Flight.record f ~request_id:id ~generated:false ~op ~ok ~codes
+    ~latency_s:0.001 ~queue_wait_s:0.0 ~spans ()
+
+let test_flight_recorder () =
+  let f = Flight.create ~capacity:3 ~failed_capacity:2 () in
+  record_simple f ~id:"a" ~op:"ping" ~ok:true ();
+  record_simple f ~id:"b" ~op:"compile" ~ok:true ();
+  record_simple f ~id:"c" ~op:"estimate" ~ok:false ~codes:[ "E1005" ]
+    ~spans:([ (2, mk_event "inner"); (1, mk_event "serve.estimate") ], 0)
+    ();
+  record_simple f ~id:"d" ~op:"ping" ~ok:true ();
+  record_simple f ~id:"e" ~op:"compile" ~ok:false ~codes:[ "E1002" ] ();
+  let ring, failed, total = Flight.occupancy f in
+  Alcotest.(check int) "ring bounded" 3 ring;
+  Alcotest.(check int) "failures kept" 2 failed;
+  Alcotest.(check int) "lifetime total" 5 total;
+  (* ring keeps the newest, oldest first *)
+  (match Flight.entries f with
+  | [ x; y; z ] ->
+      Alcotest.(check string) "oldest survivor" "c" x.Flight.f_request_id;
+      Alcotest.(check string) "middle" "d" y.Flight.f_request_id;
+      Alcotest.(check string) "newest" "e" z.Flight.f_request_id
+  | _ -> Alcotest.fail "ring occupancy mismatch");
+  (* the failed request's span tree is reconstructable by id *)
+  (match Flight.trace_json f "c" with
+  | None -> Alcotest.fail "failed request not found"
+  | Some json ->
+      Alcotest.(check bool) "root span present" true
+        (contains ~affix:"serve.estimate" json);
+      Alcotest.(check bool) "child nested" true
+        (contains ~affix:"\"children\"" json);
+      Alcotest.(check bool) "codes attached" true
+        (contains ~affix:"E1005" json));
+  Alcotest.(check bool) "evicted-from-ring id still traceable (failed list)"
+    true
+    (Flight.trace_json f "c" <> None);
+  Alcotest.(check (option string)) "unknown id not found" None
+    (Option.map (fun _ -> "found") (Flight.trace_json f "nope"));
+  (* a successful request has a summary but no retained spans *)
+  (match Flight.find f "d" with
+  | Some e -> Alcotest.(check int) "no spans for successes" 0 (List.length e.Flight.f_spans)
+  | None -> Alcotest.fail "ring entry d missing");
+  (* deterministic snapshot: a pure function of the request multiset —
+     identical regardless of arrival order, no wall-clock fields *)
+  let feed order =
+    let f = Flight.create ~capacity:8 () in
+    List.iter
+      (fun (id, op, ok) -> record_simple f ~id ~op ~ok ())
+      order;
+    Flight.entries_json ~deterministic:true f
+  in
+  let a = feed [ ("x", "ping", true); ("y", "compile", false); ("z", "stats", true) ] in
+  let b = feed [ ("z", "stats", true); ("x", "ping", true); ("y", "compile", false) ] in
+  Alcotest.(check string) "deterministic dump is order-independent" a b;
+  Alcotest.(check bool) "no latency in deterministic dump" false
+    (contains ~affix:"latency" a);
+  (* generated ids are omitted from the deterministic dump *)
+  let g = Flight.create () in
+  Flight.record g ~request_id:"r-1" ~generated:true ~op:"ping" ~ok:true
+    ~codes:[] ~latency_s:0.1 ~queue_wait_s:0.0 ();
+  Alcotest.(check bool) "generated id omitted" false
+    (contains ~affix:"r-1" (Flight.entries_json ~deterministic:true g));
+  Alcotest.(check bool) "generated id present in the debug dump" true
+    (contains ~affix:"r-1" (Flight.entries_json g))
+
 let suite =
   [
     ("span balance under exceptions", `Quick, test_span_balance_under_exceptions);
@@ -276,4 +675,7 @@ let suite =
     ("profile tree sums to report (spmv)", `Quick, test_profile_sums_spmv);
     ("profile tree sums to report (sddmm)", `Quick, test_profile_sums_sddmm);
     ("pool timeouts are counted", `Quick, test_pool_timeout_counted);
+    ("prometheus exposition conformance", `Quick, test_prometheus_conformance);
+    ("trace collectors and contexts", `Quick, test_trace_collector);
+    ("flight recorder", `Quick, test_flight_recorder);
   ]

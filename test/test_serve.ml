@@ -16,6 +16,9 @@ module Server = Stardust_serve.Server
 module Client = Stardust_serve.Client
 module Chaos = Stardust_serve.Chaos
 module Metrics = Stardust_obs.Metrics
+module Trace = Stardust_obs.Trace
+module Flight = Stardust_obs.Flight
+module Http = Stardust_serve.Http
 
 let check = Alcotest.check
 let checkb = Alcotest.(check bool)
@@ -178,14 +181,27 @@ let test_plan_cache_hit_identical () =
       let warm = Service.handle_request svc r in
       checkb "cold miss" false (cached_bit cold);
       checkb "warm hit" true (cached_bit warm);
+      (* the per-request correlation id is unique by design; mask it
+         (everywhere — envelope and stamped diag contexts) the same way
+         CI's persistence round-trip masks the cached flag *)
+      let rec mask_rid = function
+        | Json.Obj fields ->
+            Json.Obj
+              (List.filter_map
+                 (fun (k, v) ->
+                   if k = "request_id" then None else Some (k, mask_rid v))
+                 fields)
+        | Json.Arr items -> Json.Arr (List.map mask_rid items)
+        | j -> j
+      in
       let strip_cached = function
         | Json.Obj fields ->
             Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
         | j -> j
       in
       checks "hit is bit-identical to the cold compile"
-        (Json.to_string (strip_cached cold))
-        (Json.to_string (strip_cached warm));
+        (Json.to_string (mask_rid (strip_cached cold)))
+        (Json.to_string (mask_rid (strip_cached warm)));
       let c = Plan_cache.counters (Service.plan_cache svc) in
       checki "one compilation" 1 c.Plan_cache.misses;
       checki "one cache answer" 1 c.Plan_cache.hits;
@@ -193,8 +209,9 @@ let test_plan_cache_hit_identical () =
       let broken = kernel_req "compile" "nosuch" 8 in
       let e1 = Service.handle_request svc broken in
       let e2 = Service.handle_request svc broken in
-      checks "failed requests answered identically" (Json.to_string e1)
-        (Json.to_string e2))
+      checks "failed requests answered identically"
+        (Json.to_string (mask_rid e1))
+        (Json.to_string (mask_rid e2)))
 
 let test_plan_cache_lru () =
   let pc = Plan_cache.create ~capacity:2 () in
@@ -653,6 +670,422 @@ let test_chaos_storm () =
             report.Chaos.wellformed_sent report.Chaos.wellformed_answered;
           checki "every attack ran" 10 report.Chaos.attacks_run))
 
+(* ------------------------------------------------------------------ *)
+(* Request correlation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains = Test_obs.contains
+
+let request_id_of resp =
+  match Json.member "request_id" resp with
+  | Some (Json.Str s) -> Some s
+  | _ -> None
+
+(* every [request_id] stamped into a diagnostic's context object *)
+let diag_context_rids resp =
+  match Json.member "error" resp with
+  | Some (Json.Obj ef) -> (
+      match List.assoc_opt "diagnostics" ef with
+      | Some (Json.Arr ds) ->
+          List.map
+            (fun d ->
+              match Json.member "context" d with
+              | Some (Json.Obj ctx) -> (
+                  match List.assoc_opt "request_id" ctx with
+                  | Some (Json.Str r) -> r
+                  | _ -> "<unstamped>")
+              | _ -> "<no context>")
+            ds
+      | _ -> [])
+  | _ -> []
+
+let generated_rid msg resp =
+  match request_id_of resp with
+  | Some r ->
+      checkb msg true (String.length r > 2 && String.sub r 0 2 = "r-")
+  | None -> Alcotest.fail (msg ^ ": request_id missing")
+
+(* A client-supplied request_id is echoed in the envelope; a deadline
+   failure stamps it into every diagnostic context, retains the span
+   tree in the flight recorder under that id, and every retained span
+   carries it as an arg — at one worker and at four. *)
+let test_request_correlation () =
+  List.iter
+    (fun workers ->
+      with_service ~workers (fun svc ->
+          let tag = Fmt.str "w%d" workers in
+          let resp =
+            Service.handle_request svc
+              (req ~id:1 "ping" []
+                 ~extra:[ ("request_id", Json.Str ("cli-" ^ tag)) ])
+          in
+          check
+            Alcotest.(option string)
+            (tag ^ ": client id echoed")
+            (Some ("cli-" ^ tag))
+            (request_id_of resp);
+          generated_rid
+            (tag ^ ": minted id on a bare request")
+            (Service.handle_request svc (req ~id:2 "ping" []));
+          (* malformed correlation ids are protocol errors, still
+             answered with a minted id *)
+          let bad =
+            Service.handle_request svc
+              (req ~id:3 "ping" [] ~extra:[ ("request_id", Json.Num 7.0) ])
+          in
+          checks (tag ^ ": non-string request_id code") "E1002"
+            (error_code bad);
+          generated_rid (tag ^ ": rejected request still correlated") bad;
+          checks
+            (tag ^ ": unprintable request_id code")
+            "E1002"
+            (error_code
+               (Service.handle_request svc
+                  (req ~id:4 "ping" []
+                     ~extra:[ ("request_id", Json.Str "has space") ])));
+          (* blow a deadline under the client's id *)
+          let rid = "doomed-" ^ tag in
+          let resp =
+            Service.handle_request svc
+              (kernel_req ~id:5 "autotune" "mttkrp" 96
+                 ~extra:
+                   [
+                     ("strategy", Json.Str "random");
+                     ("samples", Json.Num 4000.0);
+                     ("deadline_ms", Json.Num 1.0);
+                     ("request_id", Json.Str rid);
+                   ])
+          in
+          checks (tag ^ ": deadline code") "E1005" (error_code resp);
+          check
+            Alcotest.(option string)
+            (tag ^ ": failure echoes the id")
+            (Some rid) (request_id_of resp);
+          let rids = diag_context_rids resp in
+          checkb (tag ^ ": at least one diagnostic") true (rids <> []);
+          List.iter
+            (fun r -> checks (tag ^ ": diag context stamped") rid r)
+            rids;
+          (* acceptance: the id echoed in the NDJSON error response keys
+             the full span tree in the flight recorder *)
+          (match Flight.find (Service.flight svc) rid with
+          | None -> Alcotest.fail (tag ^ ": failure not in the recorder")
+          | Some e ->
+              checkb (tag ^ ": spans retained for the failure") true
+                (e.Flight.f_spans <> []);
+              List.iter
+                (fun (_, ev) ->
+                  check
+                    Alcotest.(option string)
+                    (tag ^ ": every retained span correlated")
+                    (Some rid)
+                    (List.assoc_opt "request_id" ev.Trace.ev_args))
+                e.Flight.f_spans);
+          match Flight.trace_json (Service.flight svc) rid with
+          | None -> Alcotest.fail (tag ^ ": trace_json lost the failure")
+          | Some json ->
+              checkb (tag ^ ": tree holds the serve root span") true
+                (contains ~affix:"serve.autotune" json);
+              checkb (tag ^ ": tree names the code") true
+                (contains ~affix:"E1005" json)))
+    [ 1; 4 ]
+
+(* With global tracing on, the correlation id follows the request into
+   the deadline sub-domain and onto pool worker spans — the id appears
+   on the exported events recorded by other domains. *)
+let test_correlation_in_trace_export () =
+  with_service ~workers:2 (fun svc ->
+      Trace.reset ();
+      Trace.start ();
+      Fun.protect
+        ~finally:(fun () -> Trace.reset ())
+        (fun () ->
+          checkb "estimate under deadline ok" true
+            (is_ok
+               (Service.handle_request svc
+                  (kernel_req ~id:1 "estimate" "spmv" 8
+                     ~extra:
+                       [
+                         ("deadline_ms", Json.Num 60000.0);
+                         ("request_id", Json.Str "deep-1");
+                       ])));
+          checkb "autotune ok" true
+            (is_ok
+               (Service.handle_request svc
+                  (kernel_req ~id:2 "autotune" "spmv" 8
+                     ~extra:
+                       [
+                         ("strategy", Json.Str "greedy");
+                         ("request_id", Json.Str "deep-2");
+                       ])));
+          let evs = Trace.events () in
+          let with_rid rid =
+            List.filter
+              (fun e ->
+                List.assoc_opt "request_id" e.Trace.ev_args = Some rid)
+              evs
+          in
+          let deep1 = with_rid "deep-1" in
+          let root =
+            match
+              List.find_opt (fun e -> e.Trace.ev_name = "serve.estimate") deep1
+            with
+            | Some e -> e
+            | None -> Alcotest.fail "serve.estimate span not exported"
+          in
+          checkb "deadline sub-domain spans carry the id" true
+            (List.exists (fun e -> e.Trace.ev_tid <> root.Trace.ev_tid) deep1);
+          let deep2 = with_rid "deep-2" in
+          checkb "serve.autotune span exported" true
+            (List.exists (fun e -> e.Trace.ev_name = "serve.autotune") deep2);
+          checkb "pool worker spans carry the id" true
+            (List.exists (fun e -> e.Trace.ev_cat = "pool") deep2)))
+
+(* Correlation over the wire: ids echoed through the unix socket, and
+   transport-level errors (unparseable line, oversized line) answered
+   with minted ids that land in the flight recorder too. *)
+let test_correlation_over_socket () =
+  let path = tmp_path "corr.sock" in
+  with_service ~workers:1 (fun svc ->
+      with_listener ~max_line_bytes:4096 svc path (fun () ->
+          let c = Client.connect path in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              check
+                Alcotest.(option string)
+                "socket echoes the id" (Some "sock-1")
+                (request_id_of
+                   (Client.rpc c
+                      (req ~id:1 "ping" []
+                         ~extra:[ ("request_id", Json.Str "sock-1") ])));
+              let resp = Json.parse (Client.rpc_line c "{nope") in
+              checks "garbage line code" "E1001" (error_code resp);
+              generated_rid "E1001 carries a minted id" resp;
+              let resp =
+                Json.parse (Client.rpc_line c (String.make 8192 'x'))
+              in
+              checks "oversized line code" "E1006" (error_code resp);
+              generated_rid "E1006 carries a minted id" resp;
+              let resp =
+                Client.rpc c
+                  (kernel_req ~id:2 "autotune" "mttkrp" 96
+                     ~extra:
+                       [
+                         ("strategy", Json.Str "random");
+                         ("samples", Json.Num 4000.0);
+                         ("deadline_ms", Json.Num 1.0);
+                         ("request_id", Json.Str "sock-doom");
+                       ])
+              in
+              checks "socket deadline code" "E1005" (error_code resp);
+              check
+                Alcotest.(option string)
+                "socket failure echoes the id" (Some "sock-doom")
+                (request_id_of resp);
+              checkb "socket failure traceable by its id" true
+                (Flight.trace_json (Service.flight svc) "sock-doom" <> None);
+              let _, failed, total = Flight.occupancy (Service.flight svc) in
+              checkb "recorder saw every exchange" true (total >= 4);
+              checkb "failures retained with spans" true (failed >= 3))))
+
+(* The deterministic flight dump is a pure function of the request
+   multiset: identical at one worker and at four. *)
+let test_flight_deterministic_across_workers () =
+  let dump workers =
+    with_service ~workers (fun svc ->
+        let batch =
+          [
+            req ~id:1 "ping" [] ~extra:[ ("request_id", Json.Str "s-ping") ];
+            kernel_req ~id:2 "compile" "spmv" 8
+              ~extra:[ ("request_id", Json.Str "s-compile") ];
+            kernel_req ~id:3 "estimate" "sddmm" 8
+              ~extra:[ ("request_id", Json.Str "s-estimate") ];
+            kernel_req ~id:4 "compile" "nosuch" 8
+              ~extra:[ ("request_id", Json.Str "s-bad") ];
+          ]
+        in
+        checki "batch answered" 4 (List.length (Service.handle_batch svc batch));
+        Flight.entries_json ~deterministic:true (Service.flight svc))
+  in
+  let d1 = dump 1 in
+  checks "flight dump workers 1 vs 4" d1 (dump 4);
+  checkb "failure summarized" true (contains ~affix:"s-bad" d1);
+  checkb "no wall-clock in the deterministic dump" false
+    (contains ~affix:"latency" d1)
+
+(* ------------------------------------------------------------------ *)
+(* The HTTP observability plane                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* one raw request with an arbitrary method, for the 405 check *)
+let http_raw addr meth path =
+  match String.rindex_opt addr ':' with
+  | None -> Alcotest.fail ("bad addr " ^ addr)
+  | Some i ->
+      let host = String.sub addr 0 i
+      and port = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          let r =
+            Fmt.str "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+              meth path host
+          in
+          ignore (Unix.write_substring fd r 0 (String.length r));
+          let buf = Buffer.create 256 in
+          let chunk = Bytes.create 1024 in
+          let rec drain () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+          in
+          drain ();
+          Buffer.contents buf)
+
+let test_http_plane () =
+  with_service ~workers:1 (fun svc ->
+      match Http.start ~version:"test" ~service:svc "127.0.0.1:0" with
+      | Error e -> Alcotest.fail ("http plane failed to start: " ^ e)
+      | Ok plane ->
+          Fun.protect
+            ~finally:(fun () -> Http.stop plane)
+            (fun () ->
+              let addr = Http.bound_addr plane in
+              (* seed some traffic, including one failure *)
+              checkb "ping ok" true
+                (is_ok (Service.handle_request svc (req ~id:1 "ping" [])));
+              checks "seeded failure" "E1005"
+                (error_code
+                   (Service.handle_request svc
+                      (kernel_req ~id:2 "autotune" "mttkrp" 96
+                         ~extra:
+                           [
+                             ("strategy", Json.Str "random");
+                             ("samples", Json.Num 4000.0);
+                             ("deadline_ms", Json.Num 1.0);
+                             ("request_id", Json.Str "dead-http");
+                           ])));
+              (* /metrics: valid exposition text with the serve families *)
+              (match Client.scrape_metrics addr with
+              | Error e -> Alcotest.fail ("scrape failed: " ^ e)
+              | Ok body ->
+                  ignore (Test_obs.lint_prometheus body : int);
+                  checkb "request counter scraped" true
+                    (contains ~affix:"serve_requests_total" body);
+                  checkb "flight counter scraped" true
+                    (contains ~affix:"serve_flight_recorded_total" body);
+                  checkb "http counter scraped" true
+                    (contains ~affix:"serve_http_requests_total" body));
+              (* health and readiness *)
+              (match Client.health addr with
+              | Ok (h, r) ->
+                  checkb "healthy" true h;
+                  checkb "ready" true r
+              | Error e -> Alcotest.fail ("health failed: " ^ e));
+              (* buildinfo *)
+              (match Client.http_get addr "/buildinfo" with
+              | Ok (200, body) ->
+                  checkb "buildinfo names the version" true
+                    (contains ~affix:{|"version":"test"|} body);
+                  checkb "buildinfo names the chip config" true
+                    (contains ~affix:"chip_config" body)
+              | Ok (s, _) -> Alcotest.fail (Fmt.str "/buildinfo answered %d" s)
+              | Error e -> Alcotest.fail ("buildinfo failed: " ^ e));
+              (* flight recorder endpoints *)
+              (match Client.http_get addr "/debug/requests" with
+              | Ok (200, body) ->
+                  checkb "recorder lists the failure" true
+                    (contains ~affix:"dead-http" body)
+              | Ok (s, _) ->
+                  Alcotest.fail (Fmt.str "/debug/requests answered %d" s)
+              | Error e -> Alcotest.fail ("debug/requests failed: " ^ e));
+              (match Client.http_get addr "/debug/trace?id=dead-http" with
+              | Ok (200, body) ->
+                  checkb "trace holds the serve span" true
+                    (contains ~affix:"serve.autotune" body)
+              | Ok (s, _) -> Alcotest.fail (Fmt.str "/debug/trace answered %d" s)
+              | Error e -> Alcotest.fail ("debug/trace failed: " ^ e));
+              (match Client.http_get addr "/debug/trace?id=nope" with
+              | Ok (404, _) -> ()
+              | Ok (s, _) -> Alcotest.fail (Fmt.str "unknown id answered %d" s)
+              | Error e -> Alcotest.fail e);
+              (match Client.http_get addr "/debug/trace" with
+              | Ok (400, _) -> ()
+              | Ok (s, _) -> Alcotest.fail (Fmt.str "missing id answered %d" s)
+              | Error e -> Alcotest.fail e);
+              (match Client.http_get addr "/nope" with
+              | Ok (404, _) -> ()
+              | Ok (s, _) -> Alcotest.fail (Fmt.str "unknown path answered %d" s)
+              | Error e -> Alcotest.fail e);
+              checkb "non-GET answered 405" true
+                (contains ~affix:"405" (http_raw addr "POST" "/metrics"));
+              (* drain: readiness flips to 503, health and metrics stay up *)
+              Service.request_stop svc;
+              (match Client.health addr with
+              | Ok (h, r) ->
+                  checkb "still healthy while draining" true h;
+                  checkb "not ready while draining" false r
+              | Error e -> Alcotest.fail ("health during drain: " ^ e));
+              (match Client.http_get addr "/readyz" with
+              | Ok (503, body) ->
+                  checkb "drain reason named" true
+                    (contains ~affix:"draining" body)
+              | Ok (s, _) -> Alcotest.fail (Fmt.str "draining readyz = %d" s)
+              | Error e -> Alcotest.fail e);
+              match Client.scrape_metrics addr with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("scrape during drain: " ^ e)))
+
+(* Acceptance: scraping /metrics DURING an in-process chaos storm keeps
+   returning valid exposition text, and the storm itself stays clean. *)
+let test_http_scrape_during_chaos () =
+  let path = tmp_path "chaos-http.sock" in
+  with_service ~workers:2 (fun svc ->
+      match Http.start ~version:"test" ~service:svc "127.0.0.1:0" with
+      | Error e -> Alcotest.fail ("http plane failed to start: " ^ e)
+      | Ok plane ->
+          Fun.protect
+            ~finally:(fun () -> Http.stop plane)
+            (fun () ->
+              let addr = Http.bound_addr plane in
+              with_listener ~max_connections:8 ~max_line_bytes:4096 svc path
+                (fun () ->
+                  let cfg =
+                    {
+                      (Chaos.default_config ~socket:path) with
+                      Chaos.clients = 2;
+                      requests_per_client = 6;
+                      adversaries = 2;
+                      attacks_per_adversary = 4;
+                      max_line_bytes = 4096;
+                    }
+                  in
+                  let storm = Domain.spawn (fun () -> Chaos.run cfg) in
+                  for i = 1 to 10 do
+                    (match Client.scrape_metrics addr with
+                    | Ok body ->
+                        ignore (Test_obs.lint_prometheus body : int);
+                        checkb
+                          (Fmt.str "scrape %d has the request counter" i)
+                          true
+                          (contains ~affix:"serve_requests_total" body)
+                    | Error e ->
+                        Alcotest.fail (Fmt.str "scrape %d during storm: %s" i e));
+                    Unix.sleepf 0.02
+                  done;
+                  let report = Domain.join storm in
+                  checks "storm under scrape has zero failures" ""
+                    (String.concat "; " report.Chaos.failures);
+                  checki "every well-formed request answered"
+                    report.Chaos.wellformed_sent
+                    report.Chaos.wellformed_answered)))
+
 let suite =
   [
     Alcotest.test_case "protocol: every op round-trips" `Quick
@@ -691,4 +1124,16 @@ let suite =
       `Quick test_persistence_corrupt;
     Alcotest.test_case "chaos: in-process storm, zero failures" `Quick
       test_chaos_storm;
+    Alcotest.test_case "correlation: ids echoed, stamped, and traced"
+      `Quick test_request_correlation;
+    Alcotest.test_case "correlation: ids cross domains in the trace export"
+      `Quick test_correlation_in_trace_export;
+    Alcotest.test_case "correlation: ids over the unix socket" `Quick
+      test_correlation_over_socket;
+    Alcotest.test_case "flight: deterministic dump workers 1 vs 4" `Quick
+      test_flight_deterministic_across_workers;
+    Alcotest.test_case "http: observability plane endpoints" `Quick
+      test_http_plane;
+    Alcotest.test_case "http: scrape stays valid during a chaos storm"
+      `Quick test_http_scrape_during_chaos;
   ]

@@ -27,6 +27,10 @@ let artifacts =
     ( "estimate-throughput",
       ( "Oracle throughput: compile+estimate points/sec, stats cache on/off",
         Throughput.run ) );
+    ( "search-efficiency",
+      ( "Budgeted autotune strategies vs exhaustive: frontier exactness \
+         and evaluation counts",
+        Search_efficiency.run ) );
     ( "serve-throughput",
       ( "Compile service: requests/sec and p50/p99 latency at 1-16 clients",
         Serve_bench.run ) );
@@ -48,8 +52,8 @@ let split_kernels s =
 let usage_suite () =
   Fmt.epr
     "usage: bench suite --json PATH [--kernels a,b,c] [--sections \
-     kernels,throughput,serve,ingest,serve-http]@.       bench perf-diff \
-     [--sections ...] BASELINE NEW@.";
+     kernels,throughput,serve,ingest,search-efficiency,serve-http]@.       \
+     bench perf-diff [--sections ...] BASELINE NEW@.";
   exit 2
 
 (* suite --json PATH [--kernels a,b,c] [--sections a,b]: machine-readable

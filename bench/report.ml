@@ -80,7 +80,9 @@ let instance_json (r : Suite.run) ~wall =
   Buffer.add_string buf (Printf.sprintf ",\"wall_seconds\":%s}" (num wall));
   Buffer.contents buf
 
-let all_sections = [ "kernels"; "throughput"; "serve"; "ingest"; "serve-http" ]
+let all_sections =
+  [ "kernels"; "throughput"; "serve"; "ingest"; "search-efficiency";
+    "serve-http" ]
 
 let suite_json ~kernels ?(sections = all_sections) ~path () =
   List.iter
@@ -121,6 +123,13 @@ let suite_json ~kernels ?(sections = all_sections) ~path () =
   if want "ingest" then begin
     Fmt.epr "bench: ingest-throughput...@.";
     add ("\"ingest\":[" ^ Ingest_bench.rows_json (Ingest_bench.measure ()) ^ "]")
+  end;
+  if want "search-efficiency" then begin
+    Fmt.epr "bench: search-efficiency...@.";
+    add
+      ("\"search-efficiency\":["
+      ^ Search_efficiency.rows_json (Search_efficiency.measure ())
+      ^ "]")
   end;
   (* serve-http resets the metrics registry for a deterministic scrape,
      so it must run after every section that reads global counters *)
@@ -274,33 +283,30 @@ let perf_diff ?(sections = all_sections) base_path new_path =
             end)
           fresh_tp
   in
-  if want "throughput" then begin
-    (* throughput entries are keyed by kernel name (a string field) *)
+  (* String-keyed counter tables — like [diff_counter_section] but with
+     an entry key built from one or more string fields (e.g. kernel, or
+     kernel plus strategy). *)
+  let diff_string_keyed_section ~section ~key_of ~fields =
     let index doc =
-      match Json.member "throughput" doc with
+      match Json.member section doc with
       | None -> None
-      | Some j ->
-          Some
-            (List.map
-               (fun e -> (Json.to_str (Json.member_exn "kernel" e), e))
-               (Json.to_list j))
+      | Some j -> Some (List.map (fun e -> (key_of e, e)) (Json.to_list j))
     in
-    let tp_det_fields = [ "evaluations"; "cache_hits"; "cache_misses" ] in
     match (index base_doc, index fresh_doc) with
     | None, None -> ()
     | Some _, None ->
         incr mismatches;
-        complain "throughput section missing from %s" new_path
+        complain "%s section missing from %s" section new_path
     | None, Some _ ->
         incr mismatches;
-        complain "throughput section missing from baseline %s" base_path
+        complain "%s section missing from baseline %s" section base_path
     | Some base_tp, Some fresh_tp ->
         List.iter
           (fun (k, b) ->
             match List.assoc_opt k fresh_tp with
             | None ->
                 incr mismatches;
-                complain "throughput/%s: missing from %s" k new_path
+                complain "%s/%s: missing from %s" section k new_path
             | Some f ->
                 List.iter
                   (fun field ->
@@ -308,20 +314,39 @@ let perf_diff ?(sections = all_sections) base_path new_path =
                     and vf = Json.to_float (Json.member_exn field f) in
                     if vb <> vf then begin
                       incr mismatches;
-                      complain "throughput/%s: %s changed %s -> %s" k field
+                      complain "%s/%s: %s changed %s -> %s" section k field
                         (num vb) (num vf)
                     end)
-                  tp_det_fields)
+                  fields)
           base_tp;
         List.iter
           (fun (k, _) ->
             if not (List.mem_assoc k base_tp) then begin
               incr mismatches;
-              complain "throughput/%s: new entry not in baseline %s" k
+              complain "%s/%s: new entry not in baseline %s" section k
                 base_path
             end)
           fresh_tp
-  end;
+  in
+  if want "throughput" then
+    (* throughput entries are keyed by kernel name (a string field) *)
+    diff_string_keyed_section ~section:"throughput"
+      ~key_of:(fun e -> Json.to_str (Json.member_exn "kernel" e))
+      ~fields:[ "evaluations"; "cache_hits"; "cache_misses" ];
+  if want "search-efficiency" then
+    (* one entry per kernel/strategy pair; every field but wall-clock is
+       deterministic, so the frontier-exactness bit and the evaluation
+       budgets of the budgeted strategies are pinned by CI *)
+    diff_string_keyed_section ~section:"search-efficiency"
+      ~key_of:(fun e ->
+        Json.to_str (Json.member_exn "kernel" e)
+        ^ "/"
+        ^ Json.to_str (Json.member_exn "strategy" e))
+      ~fields:
+        [
+          "budget"; "candidates"; "full_evals"; "estimates"; "bound_evals";
+          "frontier_size"; "frontier_match"; "within_tenth";
+        ];
   if want "serve" then
     diff_counter_section ~section:"serve" ~key_field:"clients"
       ~fields:

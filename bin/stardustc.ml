@@ -435,11 +435,22 @@ let autotune_cmd =
          & info [ "d"; "data" ] ~docv:"NAME=SPEC" ~doc:data_doc)
   in
   let strategy =
-    Arg.(value
-         & opt (enum [ ("grid", `Grid); ("greedy", `Greedy); ("random", `Random) ]) `Grid
+    Arg.(value & opt string "grid"
          & info [ "strategy" ] ~docv:"STRATEGY"
              ~doc:"Search strategy: exhaustive $(b,grid), $(b,greedy) \
-                   coordinate descent, or seeded $(b,random) sampling.")
+                   coordinate descent, seeded $(b,random) sampling, \
+                   bound-guided successive $(b,halving), population \
+                   $(b,anneal)ing, or the linear-$(b,surrogate) ranker. \
+                   The budgeted strategies ($(b,halving), $(b,anneal), \
+                   $(b,surrogate)) cap full simulator evaluations at \
+                   $(b,--budget).")
+  in
+  let budget =
+    Arg.(value & opt int 0
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Maximum number of full simulator evaluations for the \
+                   budgeted strategies (0 = the strategy's own default; \
+                   exhaustive/greedy/random ignore it).")
   in
   let workers =
     Arg.(value & opt int 0
@@ -452,7 +463,7 @@ let autotune_cmd =
   in
   let seed =
     Arg.(value & opt int 42
-         & info [ "seed" ] ~doc:"PRNG seed for --strategy random.")
+         & info [ "seed" ] ~doc:"PRNG seed for --strategy random/anneal.")
   in
   let splits =
     Arg.(value & opt (list int) []
@@ -470,7 +481,7 @@ let autotune_cmd =
          & info [ "json" ] ~doc:"Emit the result as JSON on stdout.")
   in
   let run kname scale expr formats data data_root max_nnz max_bytes strategy
-      workers samples seed splits regions json trace no_stats_cache =
+      budget workers samples seed splits regions json trace no_stats_cache =
     start_tracing trace;
     apply_stats_cache no_stats_cache;
     let problem =
@@ -511,13 +522,15 @@ let autotune_cmd =
         ~formats:problem.Eval.formats problem.Eval.expr
     in
     let strategy =
-      match strategy with
-      | `Grid -> Explore.Exhaustive
-      | `Greedy -> Explore.Greedy
-      | `Random -> Explore.Random { samples; seed }
+      match W.strategy_of_string ~samples ~seed strategy with
+      | Ok s -> s
+      | Error msg ->
+          Fmt.epr "autotune: %s@." msg;
+          exit 1
     in
+    let budget = if budget > 0 then Some budget else None in
     let workers = if workers <= 0 then None else Some workers in
-    let r = Explore.run ?workers ~strategy ~axes problem in
+    let r = Explore.run ?workers ~strategy ?budget ~axes problem in
     if json then Fmt.pr "%s@." (Explore.to_json r)
     else Fmt.pr "%a" Explore.pp_result r
   in
@@ -527,8 +540,8 @@ let autotune_cmd =
              and print the Pareto frontier over (cycles, chip resources).")
     Term.(const run $ kname_arg $ scale $ expr $ formats $ data
           $ data_root_flag $ max_nnz_flag $ max_ingest_bytes_flag $ strategy
-          $ workers $ samples $ seed $ splits $ regions $ json $ trace_flag
-          $ no_stats_cache_flag)
+          $ budget $ workers $ samples $ seed $ splits $ regions $ json
+          $ trace_flag $ no_stats_cache_flag)
 
 (* ------------------------------------------------------------------ *)
 (* profile: attributed per-loop cycle trees                            *)

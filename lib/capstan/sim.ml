@@ -1106,3 +1106,53 @@ let estimate_profiled ?(config = default_config) (c : Compile.compiled) =
     annotations and the input tensors' statistics. *)
 let estimate ?config (c : Compile.compiled) =
   (estimate_profiled ?config c).preport
+
+(** Admissible lower bound on {!estimate}'s [cycles], from dataset
+    statistics alone — no compilation, no estimator walk.  Budgeted
+    search strategies use it to rank candidates before spending a full
+    evaluation ({!Stardust_explore.Eval.lower_bound} extracts the two
+    statistics from the problem's tensors).
+
+    The bound is the roofline under the model's own cost accounting:
+
+    - {b compute}: every mandatory element (each stored entry of a
+      compressed input streamed in full by [Load_burst]) costs at least
+      [1 / (lanes * outer_par * inner_par)] cycles — the rate when every
+      requested lane is busy, which the estimator's context accounting
+      ([ctx <= outer_par * inner_par], effective pattern parallelism
+      capped at the request) can only worsen.  Independently, the
+      deepest fiber iteration must launch its fibers:
+      [fiber_launch_total ~par:inner_par / outer_par] cycles, again with
+      the uncapped requested parallelism (the simulator's effective
+      launch total is >= this).  Both terms carry the network-overhead
+      derate applied by [finish].
+    - {b memory}: the mandatory elements' bytes must cross DRAM at least
+      once as perfectly-streamed bursts (random gathers only cost more
+      per byte), plus one first-word latency.
+
+    [cycles = max(compute, memory)] in [finish], so the max of the two
+    underestimates is a true lower bound.  Admissibility
+    ([estimate_bound <= estimate]) is enforced by
+    [STARDUST_CHECK_BOUND=1] in the evaluation layer and by an
+    oracle-backed QCheck property.
+
+    [streamed_elems] is the mandatory stored-entry count; [occupancy] is
+    the largest last-level [fiber_launch_total ~par:inner_par] among the
+    mandatory inputs (0 when a multiplicative co-iteration may shrink
+    the walk below any single tensor's fiber total). *)
+let estimate_bound ?(config = default_config) ~streamed_elems ~occupancy
+    ~outer_par ~inner_par () =
+  let arch = config.arch and dram = config.dram in
+  let op = float_of_int (max 1 outer_par)
+  and ip = float_of_int (max 1 inner_par) in
+  let lanes = float_of_int arch.Arch.lanes in
+  let compute =
+    arch.Arch.net_overhead
+    *. Float.max (streamed_elems /. (lanes *. op *. ip)) (occupancy /. op)
+  in
+  let memory =
+    Dram.transfer_cycles dram ~clock_hz:arch.Arch.clock_hz
+      ~streamed_bytes:(streamed_elems *. word_bytes) ~random_accesses:0.0
+    +. dram.Dram.latency_cycles
+  in
+  Float.max compute memory

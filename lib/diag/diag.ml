@@ -84,7 +84,9 @@ type t = {
                            and shed the request instead of queuing it,
                            [E1005] the request exceeded its deadline and
                            was abandoned, [E1006] the request line
-                           exceeded the daemon's line-length bound
+                           exceeded the daemon's line-length bound,
+                           [E1008] an autotune request named an unknown
+                           search strategy
     - W01xx degradation  — [W0101] fell back to a retiled schedule,
                            [W0102] fell back to the CPU baseline,
                            [W0103] pipeline stage retried,
@@ -124,6 +126,7 @@ let code_serve_overloaded = "E1004"
 let code_serve_deadline = "E1005"
 let code_serve_line_too_long = "E1006"
 let code_serve_degraded = "E1007"
+let code_serve_strategy = "E1008"
 let code_fallback_retile = "W0101"
 let code_fallback_cpu = "W0102"
 let code_retry = "W0103"

@@ -66,16 +66,150 @@ let problem_key (p : problem) =
   Fmt.str "%a|%s|%s|%s" Ast.pp_assign p.expr fmts data
     (Sim.config_fingerprint p.config)
 
+(* ------------------------------------------------------------------ *)
+(* Stats-only lower bound                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-problem inputs of {!Sim.estimate_bound}, extracted once per
+    search.  [bc_streamed] counts the stored entries of every
+    right-hand-side tensor whose last storage level is compressed: the
+    estimator streams each such tensor's position/value arrays in full
+    ([transfer_total] charges the whole level count even under a sliced
+    co-iteration), so they are mandatory DRAM traffic and mandatory
+    decode work for any schedule point.  [bc_occ] holds the subset whose
+    {e fiber walks} are also mandatory: a tensor co-iterated
+    multiplicatively against another sparse tensor over a shared index
+    is excluded, because the intersection can visit fewer fibers than
+    the tensor's own launch total. *)
+type bound_ctx = {
+  bc_streamed : float;
+  bc_occ : Tensor.t list;
+}
+
+(* Tensors appearing under a [Mul] whose other side holds a sparse access
+   sharing an index variable: their iteration may be an intersection. *)
+let intersected_names (rhs : Ast.expr) ~sparse =
+  let tbl = Hashtbl.create 8 in
+  let sparse_accs e =
+    List.filter (fun (a : Ast.access) -> sparse a.Ast.tensor)
+      (Ast.accesses_of_expr e)
+  in
+  let rec go e =
+    match e with
+    | Ast.Access _ | Ast.Const _ -> ()
+    | Ast.Neg x -> go x
+    | Ast.Bin (op, a, b) ->
+        go a;
+        go b;
+        if op = Ast.Mul then
+          List.iter
+            (fun (x : Ast.access) ->
+              List.iter
+                (fun (y : Ast.access) ->
+                  if
+                    List.exists
+                      (fun v -> List.mem v y.Ast.indices)
+                      x.Ast.indices
+                  then begin
+                    Hashtbl.replace tbl x.Ast.tensor ();
+                    Hashtbl.replace tbl y.Ast.tensor ()
+                  end)
+                (sparse_accs b))
+            (sparse_accs a)
+  in
+  go rhs;
+  tbl
+
+let bound_ctx (p : problem) : bound_ctx =
+  let rhs_names =
+    List.sort_uniq compare
+      (List.map
+         (fun (a : Ast.access) -> a.Ast.tensor)
+         (Ast.accesses_of_expr p.expr.Ast.rhs))
+  in
+  let compressed_last n =
+    match (List.assoc_opt n p.formats, List.assoc_opt n p.inputs) with
+    | Some f, Some t
+      when Format.order f > 0
+           && Format.level_kind f (Format.order f - 1) = Format.Compressed ->
+        Some t
+    | _ -> None
+  in
+  let mandatory = List.filter_map compressed_last rhs_names in
+  let sparse n = compressed_last n <> None in
+  let intersected = intersected_names p.expr.Ast.rhs ~sparse in
+  let occ =
+    List.filter_map
+      (fun n ->
+        if Hashtbl.mem intersected n then None else compressed_last n)
+      rhs_names
+  in
+  let streamed =
+    List.fold_left
+      (fun acc t ->
+        let s = Stats_cache.stats t in
+        let last = Array.length s.Stardust_tensor.Stats.dims - 1 in
+        acc +. float_of_int s.Stardust_tensor.Stats.level_positions.(last))
+      0.0 mandatory
+  in
+  { bc_streamed = streamed; bc_occ = occ }
+
 (** A problem with its per-search work hoisted: the problem key is
-    fingerprinted once and the inputs' dataset statistics are resolved
-    into the process-wide {!Stats_cache}, so each of the hundreds of
+    fingerprinted once, the inputs' dataset statistics are resolved
+    into the process-wide {!Stats_cache}, and the lower bound's
+    mandatory-traffic context is extracted — so each of the hundreds of
     points a search visits starts from warm statistics instead of
     re-deriving them from the raw tensors. *)
-type prepared = { problem : problem; key : string }
+type prepared = { problem : problem; key : string; bound : bound_ctx }
 
 let prepare (p : problem) : prepared =
   List.iter (fun (_, t) -> ignore (Stats_cache.stats t)) p.inputs;
-  { problem = p; key = problem_key p }
+  { problem = p; key = problem_key p; bound = bound_ctx p }
+
+(** Largest mandatory last-level fiber-launch total at the point's inner
+    parallelism — the occupancy statistic of {!Sim.estimate_bound}. *)
+let occupancy (pre : prepared) ~inner_par =
+  List.fold_left
+    (fun acc t ->
+      let last = Array.length (Tensor.dims t) - 1 in
+      Float.max acc (Stats_cache.fiber_launch_total ~par:inner_par t last))
+    0.0 pre.bound.bc_occ
+
+(** Admissible lower bound on [Sim.estimate]'s cycles for one point,
+    from cached dataset statistics only — roughly three orders of
+    magnitude cheaper than a full evaluation.  Counted separately from
+    full evaluations so budgeted searches can report both. *)
+let lower_bound (pre : prepared) (pt : Point.t) =
+  let module Metrics = Stardust_obs.Metrics in
+  Metrics.inc
+    (Metrics.counter ~help:"stats-only lower bounds computed"
+       "explore_bound_evals_total");
+  Sim.estimate_bound ~config:pre.problem.config
+    ~streamed_elems:pre.bound.bc_streamed
+    ~occupancy:(occupancy pre ~inner_par:pt.Point.inner_par)
+    ~outer_par:pt.Point.outer_par ~inner_par:pt.Point.inner_par ()
+
+(** Surrogate features of one point: log-scaled parallelism products,
+    the log fiber-launch trip count at the point's vector width, and
+    the format/memory flags.  Purely structural — no simulation. *)
+let features (pre : prepared) (pt : Point.t) =
+  let log2 x = Float.log x /. Float.log 2.0 in
+  let op = float_of_int (max 1 pt.Point.outer_par)
+  and ip = float_of_int (max 1 pt.Point.inner_par) in
+  [|
+    1.0;
+    log2 op;
+    log2 ip;
+    log2 (op *. ip);
+    log2 (1.0 +. occupancy pre ~inner_par:pt.Point.inner_par);
+    (match pt.Point.gather with Point.On_chip -> 1.0 | _ -> 0.0);
+    (match pt.Point.gather with Point.Off_chip -> 1.0 | _ -> 0.0);
+    (match pt.Point.split with None -> 0.0 | Some _ -> 1.0);
+    (match pt.Point.split with
+    | None -> 0.0
+    | Some (_, c) -> log2 (float_of_int (max 1 c)));
+    (match pt.Point.order with None -> 0.0 | Some _ -> 1.0);
+  |]
 
 type outcome =
   | Feasible of { report : Sim.report; usage : Resources.usage }
@@ -166,5 +300,16 @@ let evaluate ~(cache : eval Pool.Cache.t) (pre : prepared) (pt : Point.t) =
         (Metrics.counter
            ~help:"evaluations rejected by pruning or capacity guards"
            "explore_pruned_total")
-  | Feasible _ -> ());
+  | Feasible { report; _ } ->
+      (* Debug guard: with STARDUST_CHECK_BOUND=1 every full evaluation
+         cross-checks the stats-only lower bound's admissibility.  An
+         inadmissible bound would let budgeted searches discard optimal
+         points, so a violation is a hard failure, not a warning. *)
+      if Sys.getenv_opt "STARDUST_CHECK_BOUND" = Some "1" then begin
+        let b = lower_bound pre pt in
+        if b > report.Sim.cycles +. 1e-6 then
+          Fmt.failwith
+            "lower_bound inadmissible: %g > %g cycles at %s (problem %s)" b
+            report.Sim.cycles (Point.to_string pt) p.name
+      end);
   e

@@ -6,7 +6,7 @@
     {!Stardust_capstan.Sim.estimate} on a {!Pool} of OCaml domains →
     {!Pareto} keeps the (cycles, chip-resources) frontier.
 
-    Three strategies share that pipeline:
+    Six strategies share that pipeline:
 
     - {b exhaustive} grid: every candidate, evaluated in parallel;
     - {b greedy} coordinate descent: start at the heuristic seed, sweep
@@ -14,12 +14,29 @@
       parallel batch), move to the axis's best point, repeat to fixpoint;
     - {b random} search: a seeded {!Stardust_workloads.Prng} draw of N
       candidates (plus the heuristic seed) — reproducible bit-for-bit,
-      never [Random.self_init].
+      never [Random.self_init];
+    - {b halving} (racing): the stats-only admissible bound
+      {!Eval.lower_bound} ranks every candidate within its resource
+      group ({!Point.resource_signature}); rungs promote each group's
+      best-ranked survivor to a full evaluation until the group's
+      champion provably beats everything still queued;
+    - {b anneal}: population annealing over the axes — seeded mutation
+      and crossover moves from the heuristic point, batch-evaluated per
+      round with Metropolis acceptance on a geometric cooling ladder;
+    - {b surrogate}: a hand-rolled ridge least-squares fit on the
+      features of visited points predicts log-cycles for the unvisited
+      pool and steers which candidate each resource group promotes next,
+      refit after every round.
+
+    The last three honor a {b budget} — a hard cap on distinct points
+    promoted to full evaluation — and spend stats-only lower bounds
+    (three orders of magnitude cheaper) to decide where the budget goes.
 
     Every strategy is deterministic and independent of the worker count:
     candidates are enumerated in a fixed order, batches preserve input
-    order ({!Pool.map}), and memoisation only short-circuits recomputation
-    of a pure function. *)
+    order ({!Pool.map}), budget accounting happens before batches fan
+    out, and memoisation only short-circuits recomputation of a pure
+    function. *)
 
 module Prng = Stardust_workloads.Prng
 module Sim = Stardust_capstan.Sim
@@ -29,11 +46,17 @@ type strategy =
   | Exhaustive
   | Greedy
   | Random of { samples : int; seed : int }
+  | Halving
+  | Anneal of { seed : int }
+  | Surrogate
 
 let strategy_name = function
   | Exhaustive -> "exhaustive"
   | Greedy -> "greedy"
   | Random _ -> "random"
+  | Halving -> "halving"
+  | Anneal _ -> "anneal"
+  | Surrogate -> "surrogate"
 
 type result = {
   problem : Eval.problem;
@@ -42,10 +65,27 @@ type result = {
   candidates : int;  (** size of the enumerated space *)
   evaluated : Eval.eval list;  (** deterministic order, duplicates removed *)
   pruned : int;  (** evaluated points rejected before simulation *)
+  bound_evals : int;  (** stats-only lower bounds computed *)
+  budget : int option;  (** effective cap on full evaluations, if any *)
   seed_eval : Eval.eval;  (** the heuristic point's evaluation *)
   frontier : Eval.eval list;  (** feasible non-dominated, by cycles asc *)
   best : Eval.eval option;  (** frontier head: minimum cycles *)
 }
+
+(** Did this evaluation reach {!Sim.estimate}?  True for feasible points
+    and for capacity guards raised {e inside} the estimator; false for
+    compile/schedule/prune rejections, which never cost an estimator
+    walk.  [estimate_count] is the budget-efficiency instrument: the
+    acceptance criterion compares a budgeted strategy's count against
+    exhaustive's. *)
+let reached_estimate (e : Eval.eval) =
+  match e.Eval.outcome with
+  | Eval.Feasible _ -> true
+  | Eval.Infeasible r ->
+      String.length r >= 9 && String.sub r 0 9 = "simulate("
+
+let estimate_count r =
+  List.length (List.filter reached_estimate r.evaluated)
 
 let objectives (e : Eval.eval) =
   match (Eval.cycles e, Eval.resource_frac e) with
@@ -124,6 +164,433 @@ let greedy ~eval_batch ~(axes : Space.axes) (start : Point.t) =
   List.rev !trail
 
 (* ------------------------------------------------------------------ *)
+(* Budgeted strategies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidates bucketed by resource signature, in first-occurrence
+   (enumeration) order.  Each group's members are ranked by (lower bound
+   asc, inner_par desc, enumeration index asc): the bound's slack grows
+   as parallelism shrinks, so among bound ties — typically points pinned
+   to the same memory-roofline floor — the widest vector is promoted
+   first.  Members carry their enumeration index so budgeted results can
+   be re-sorted into enumeration order, which keeps Pareto tie-breaking
+   identical to exhaustive search. *)
+let resource_groups ~bound all =
+  let tbl = Hashtbl.create 32 and order = ref [] in
+  List.iteri
+    (fun i (pt : Point.t) ->
+      let k = Point.resource_signature pt in
+      let c = (i, pt, bound pt) in
+      match Hashtbl.find_opt tbl k with
+      | None ->
+          order := k :: !order;
+          Hashtbl.replace tbl k [ c ]
+      | Some l -> Hashtbl.replace tbl k (c :: l))
+    all;
+  List.rev_map
+    (fun k ->
+      List.sort
+        (fun (i1, (p1 : Point.t), b1) (i2, (p2 : Point.t), b2) ->
+          compare
+            (b1, -p1.Point.inner_par, i1)
+            (b2, -p2.Point.inner_par, i2))
+        (List.rev (Hashtbl.find tbl k)))
+    !order
+  |> List.rev
+
+(* Return the collected (index, eval) pairs as an enumeration-ordered
+   eval list. *)
+let by_enum_order collected =
+  List.map snd (List.sort (fun (i, _) (j, _) -> compare i j) collected)
+
+(* Successive-halving/racing.  One full evaluation per resource group
+   ideally suffices: within a group every point occupies the same chip
+   fraction, so only the group's minimum-cycles member can sit on the
+   frontier.  Each rung promotes the best-ranked unevaluated candidate
+   of every live group as one parallel batch; a group retires once its
+   champion's measured cycles are below every queued candidate's lower
+   bound (the candidate provably cannot win — admissibility makes the
+   discard safe), and the budget caps how many rungs of slack the race
+   gets for walking past infeasible heads or loose bounds. *)
+let halving ~eval_batch ~remaining ~bound all =
+  let groups =
+    List.map (fun q -> (ref q, ref None)) (resource_groups ~bound all)
+  in
+  let collected = ref [] in
+  let fp_index batch evals =
+    (* match a rung's returned evals (budget may have dropped some) back
+       to their enumeration indices *)
+    let by_fp = Hashtbl.create 16 in
+    List.iter
+      (fun (i, (pt : Point.t), _) ->
+        Hashtbl.replace by_fp (Point.fingerprint pt) i)
+      batch;
+    List.filter_map
+      (fun (e : Eval.eval) ->
+        Option.map
+          (fun i -> (i, e))
+          (Hashtbl.find_opt by_fp (Point.fingerprint e.Eval.point)))
+      evals
+  in
+  let champion_beats champ (i, _, b) =
+    match champ with
+    | None -> false
+    | Some (ci, ce) -> (
+        match Eval.cycles ce with
+        | None -> false
+        | Some c -> b > c || (b = c && ci < i))
+  in
+  let rec rung () =
+    if remaining () <= 0 then ()
+    else begin
+      (* pop one runnable candidate per live group *)
+      let batch =
+        List.filter_map
+          (fun (queue, champ) ->
+            (* drop provably-beaten candidates first *)
+            let rec next () =
+              match !queue with
+              | [] -> None
+              | c :: rest ->
+                  if champion_beats !champ c then begin
+                    queue := rest;
+                    next ()
+                  end
+                  else begin
+                    queue := rest;
+                    Some (c, champ)
+                  end
+            in
+            next ())
+          groups
+      in
+      if batch = [] then ()
+      else begin
+        let cands = List.map fst batch in
+        let evals = eval_batch (List.map (fun (_, pt, _) -> pt) cands) in
+        let indexed = fp_index cands evals in
+        collected := List.rev_append indexed !collected;
+        (* update champions: minimum cycles, earliest index on ties *)
+        List.iter
+          (fun ((i, pt, _), champ) ->
+            match
+              List.find_opt
+                (fun (_, (e : Eval.eval)) ->
+                  Point.fingerprint e.Eval.point = Point.fingerprint pt)
+                indexed
+            with
+            | None -> ()
+            | Some (_, e) -> (
+                match (Eval.cycles e, !champ) with
+                | None, _ -> ()
+                | Some _, None -> champ := Some (i, e)
+                | Some c, Some (ci, ce) ->
+                    let cc = Option.get (Eval.cycles ce) in
+                    if c < cc || (c = cc && i < ci) then champ := Some (i, e)))
+          batch;
+        rung ()
+      end
+    end
+  in
+  rung ();
+  by_enum_order !collected
+
+(* Ridge least-squares fit (normal equations, Gaussian elimination with
+   partial pivoting).  Hand-rolled: no external dependency.  Returns
+   [None] when there are fewer rows than features or the system is
+   (numerically) singular despite the ridge term. *)
+let fit_least_squares rows =
+  match rows with
+  | [] -> None
+  | (f0, _) :: _ ->
+      let d = Array.length f0 in
+      if List.length rows < d + 1 then None
+      else begin
+        let a = Array.make_matrix d d 0.0 and b = Array.make d 0.0 in
+        List.iter
+          (fun (f, y) ->
+            for i = 0 to d - 1 do
+              b.(i) <- b.(i) +. (f.(i) *. y);
+              for j = 0 to d - 1 do
+                a.(i).(j) <- a.(i).(j) +. (f.(i) *. f.(j))
+              done
+            done)
+          rows;
+        for i = 0 to d - 1 do
+          a.(i).(i) <- a.(i).(i) +. 1e-6
+        done;
+        let singular = ref false in
+        for col = 0 to d - 1 do
+          (* partial pivot *)
+          let piv = ref col in
+          for r = col + 1 to d - 1 do
+            if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+          done;
+          if !piv <> col then begin
+            let t = a.(col) in
+            a.(col) <- a.(!piv);
+            a.(!piv) <- t;
+            let t = b.(col) in
+            b.(col) <- b.(!piv);
+            b.(!piv) <- t
+          end;
+          if Float.abs a.(col).(col) < 1e-12 then singular := true
+          else
+            for r = col + 1 to d - 1 do
+              let m = a.(r).(col) /. a.(col).(col) in
+              for c = col to d - 1 do
+                a.(r).(c) <- a.(r).(c) -. (m *. a.(col).(c))
+              done;
+              b.(r) <- b.(r) -. (m *. b.(col))
+            done
+        done;
+        if !singular then None
+        else begin
+          let theta = Array.make d 0.0 in
+          for i = d - 1 downto 0 do
+            let s = ref b.(i) in
+            for j = i + 1 to d - 1 do
+              s := !s -. (a.(i).(j) *. theta.(j))
+            done;
+            theta.(i) <- !s /. a.(i).(i)
+          done;
+          Some theta
+        end
+      end
+
+let dot theta f =
+  let s = ref 0.0 in
+  Array.iteri (fun i x -> s := !s +. (x *. f.(i))) theta;
+  !s
+
+(* Linear-surrogate search.  The model predicts the *residual* of the
+   admissible lower bound — [log2 cycles - log2 bound] — rather than raw
+   log-cycles: the bound already carries the structural shape of the cost
+   (parallelism scaling, occupancy, the DRAM floor), so the regression
+   only has to learn the simulator's correction on top of it, which keeps
+   the fit well conditioned on the handful of rows a tight budget allows.
+   A deterministic strided bootstrap (the seed plus every [stride]-th
+   candidate) gives the first fit its rows; each round then refits on the
+   visited feasible points and every resource group promotes its
+   unvisited candidate with the lowest predicted cost
+   [log2 bound + residual].  Until enough rows exist — or if the system
+   is singular — the bound alone ranks (residual 0), so the strategy
+   degrades to bound-guided racing rather than random choice.  Group
+   members arrive sorted (bound asc, inner-par desc, index asc) and score
+   ties keep the earlier member, matching the racing strategy's
+   preference. *)
+let surrogate ~eval_batch ~remaining ~bound ~feats all =
+  let n = List.length all in
+  let groups = resource_groups ~bound all in
+  let log2_bound b = Float.log (Float.max b 1.0) /. Float.log 2.0 in
+  let visited = Hashtbl.create 64 in
+  let rows = ref [] and collected = ref [] in
+  let submit cands =
+    (* cands : (idx, point, bound) list; returns how many were new *)
+    let fresh =
+      List.filter
+        (fun (_, pt, _) -> not (Hashtbl.mem visited (Point.fingerprint pt)))
+        cands
+    in
+    if fresh = [] then 0
+    else begin
+      let evals = eval_batch (List.map (fun (_, pt, _) -> pt) fresh) in
+      let by_fp = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Eval.eval) ->
+          Hashtbl.replace by_fp (Point.fingerprint e.Eval.point) e)
+        evals;
+      List.fold_left
+        (fun count (i, pt, b) ->
+          match Hashtbl.find_opt by_fp (Point.fingerprint pt) with
+          | None -> count (* dropped by the budget *)
+          | Some e ->
+              Hashtbl.replace visited (Point.fingerprint pt) ();
+              collected := (i, e) :: !collected;
+              (match Eval.cycles e with
+              | Some c ->
+                  rows :=
+                    ( feats pt,
+                      (Float.log c /. Float.log 2.0) -. log2_bound b )
+                    :: !rows
+              | None -> ());
+              count + 1)
+        0 fresh
+    end
+  in
+  (* bootstrap: seed (index 0) + a strided sample across the enumeration;
+     candidates carry their real bound so the residual rows are exact *)
+  let bound_of = Hashtbl.create n in
+  List.iter
+    (List.iter (fun (_, pt, b) ->
+         Hashtbl.replace bound_of (Point.fingerprint pt) b))
+    groups;
+  let indexed =
+    Array.of_list
+      (List.mapi
+         (fun i pt -> (i, pt, Hashtbl.find bound_of (Point.fingerprint pt)))
+         all)
+  in
+  let boot_k = min 8 (max 4 (n / 32)) in
+  let stride = max 1 (n / max 1 boot_k) in
+  let boot =
+    List.init boot_k (fun j ->
+        indexed.(min (n - 1) (j * stride)))
+  in
+  ignore (submit boot);
+  let rec rounds () =
+    if remaining () <= 0 || Hashtbl.length visited >= n then ()
+    else begin
+      let theta = fit_least_squares !rows in
+      let score (_, pt, b) =
+        log2_bound b
+        +. (match theta with Some th -> dot th (feats pt) | None -> 0.0)
+      in
+      let picks =
+        List.filter_map
+          (fun members ->
+            let unvisited =
+              List.filter
+                (fun (_, pt, _) ->
+                  not (Hashtbl.mem visited (Point.fingerprint pt)))
+                members
+            in
+            match unvisited with
+            | [] -> None
+            | first :: rest ->
+                Some
+                  (List.fold_left
+                     (fun best c ->
+                       if score c < score best then c else best)
+                     first rest))
+          groups
+      in
+      if picks = [] || submit picks = 0 then ()
+      else rounds ()
+    end
+  in
+  rounds ();
+  by_enum_order !collected
+
+(* Population annealing.  Four walkers start at the heuristic seed and
+   its first mutations; each round every walker proposes one move — a
+   single-axis mutation, or with probability 1/4 a crossover with the
+   population's best point — the proposals are evaluated as one parallel
+   batch, and Metropolis acceptance (on relative cycle regression, with
+   geometric cooling) decides each walker's next position in a fixed
+   sequential order.  All randomness comes from one [Prng] stream drawn
+   on the driver thread, so the trajectory is bit-identical at any
+   worker count. *)
+let anneal ~eval_batch ~remaining ~(axes : Space.axes) ~seed start =
+  let rng = Prng.create seed in
+  let pick l =
+    match l with [] -> None | _ -> Some (List.nth l (Prng.int rng (List.length l)))
+  in
+  let mutate (pt : Point.t) =
+    match Prng.int rng 5 with
+    | 0 -> (
+        match pick axes.Space.orders with
+        | Some o -> { pt with Point.order = o }
+        | None -> pt)
+    | 1 -> (
+        match pick axes.Space.outer_pars with
+        | Some p -> { pt with Point.outer_par = p }
+        | None -> pt)
+    | 2 -> (
+        match pick axes.Space.inner_pars with
+        | Some p -> { pt with Point.inner_par = p }
+        | None -> pt)
+    | 3 -> (
+        match pick axes.Space.splits with
+        | Some s -> { pt with Point.split = s }
+        | None -> pt)
+    | _ -> (
+        match pick axes.Space.gathers with
+        | Some g -> { pt with Point.gather = g }
+        | None -> pt)
+  in
+  let crossover (a : Point.t) (b : Point.t) =
+    {
+      Point.order = (if Prng.bool rng 0.5 then a.Point.order else b.Point.order);
+      outer_par = (if Prng.bool rng 0.5 then a.Point.outer_par else b.Point.outer_par);
+      inner_par = (if Prng.bool rng 0.5 then a.Point.inner_par else b.Point.inner_par);
+      split = (if Prng.bool rng 0.5 then a.Point.split else b.Point.split);
+      gather = (if Prng.bool rng 0.5 then a.Point.gather else b.Point.gather);
+    }
+  in
+  let trail = ref [] in
+  let eval_all pts =
+    let evals = eval_batch pts in
+    trail := List.rev_append evals !trail;
+    let by_fp = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Eval.eval) ->
+        Hashtbl.replace by_fp (Point.fingerprint e.Eval.point) e)
+      evals;
+    fun pt -> Hashtbl.find_opt by_fp (Point.fingerprint pt)
+  in
+  (* initial population: the heuristic seed and three mutations of it *)
+  let init = start :: List.init 3 (fun _ -> mutate start) in
+  let lookup = eval_all init in
+  let cycles_of pt =
+    match lookup pt with Some e -> Eval.cycles e | None -> None
+  in
+  let population =
+    ref (List.map (fun pt -> (pt, cycles_of pt)) init)
+  in
+  let best = ref None in
+  let consider (pt, c) =
+    match (c, !best) with
+    | Some c, None -> best := Some (pt, c)
+    | Some c, Some (_, bc) when c < bc -> best := Some (pt, c)
+    | _ -> ()
+  in
+  List.iter consider !population;
+  let temperature = ref 0.25 in
+  let stale = ref 0 in
+  let rec round () =
+    if remaining () <= 0 || !stale >= 8 then ()
+    else begin
+      let proposals =
+        List.map
+          (fun (pt, _) ->
+            match !best with
+            | Some (bpt, _) when Prng.bool rng 0.25 -> crossover pt bpt
+            | _ -> mutate pt)
+          !population
+      in
+      (* progress = budget actually consumed: proposals that only revisit
+         memoised points can recur forever once the walkers' reachable
+         neighborhood is exhausted, so staleness must watch spending *)
+      let before = remaining () in
+      let lookup = eval_all proposals in
+      stale := (if remaining () < before then 0 else !stale + 1);
+      population :=
+        List.map2
+          (fun (pt, c) prop ->
+            let pc =
+              match lookup prop with Some e -> Eval.cycles e | None -> None
+            in
+            consider (prop, pc);
+            match (pc, c) with
+            | Some pc', None -> (prop, Some pc')
+            | Some pc', Some c' ->
+                let accept =
+                  pc' <= c'
+                  || Prng.float rng
+                     < Float.exp (-.(pc' -. c') /. (!temperature *. c'))
+                in
+                if accept then (prop, Some pc') else (pt, c)
+            | None, _ -> (pt, c))
+          !population proposals;
+      temperature := !temperature *. 0.85;
+      round ()
+    end
+  in
+  round ();
+  List.rev !trail
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -133,8 +600,17 @@ let greedy ~eval_batch ~(axes : Space.axes) (start : Point.t) =
     (pass one in to share memoised evaluations across related runs).
     With [?pool] the evaluation batches run on a persistent
     {!Pool.create}d handle — the compile service reuses one pool across
-    every request instead of re-spawning domains per search. *)
-let run ?workers ?pool ?(strategy = Exhaustive) ?axes ?cache
+    every request instead of re-spawning domains per search.
+
+    [budget] caps the number of {e distinct points} promoted to a full
+    evaluation (the heuristic seed is always submitted first and counts).
+    Points beyond the cap are dropped deterministically in submission
+    order, so a budgeted run is bit-identical at any worker count.  The
+    budgeted strategies pick their own default when none is given —
+    halving two rungs per resource group, surrogate three rounds plus
+    its bootstrap, anneal 64 — while exhaustive/greedy/random stay
+    uncapped unless a budget is passed explicitly. *)
+let run ?workers ?pool ?(strategy = Exhaustive) ?budget ?axes ?cache
     (p : Eval.problem) =
   let workers =
     match (pool, workers) with
@@ -153,12 +629,54 @@ let run ?workers ?pool ?(strategy = Exhaustive) ?axes ?cache
   (* One prepare per search: problem key fingerprinted once, input
      statistics warmed into the shared cache before workers fan out. *)
   let pre = Eval.prepare p in
+  let all = Space.points ~formats:p.Eval.formats p.Eval.expr axes in
+  let seed_pt = List.hd all in
+  let group_count =
+    List.length
+      (List.sort_uniq compare (List.map Point.resource_signature all))
+  in
+  let budget =
+    match (budget, strategy) with
+    | Some b, _ -> Some (max 1 b)
+    | None, Halving -> Some ((2 * group_count) + 4)
+    | None, Surrogate -> Some ((3 * group_count) + 8)
+    | None, Anneal _ -> Some 64
+    | None, (Exhaustive | Greedy | Random _) -> None
+  in
+  (* The budget gate: new fingerprints are admitted until the cap, then
+     dropped; already-submitted points always pass (they are memoised
+     and free).  Accounting happens on the driver thread before the
+     batch fans out, so it cannot depend on worker scheduling. *)
+  let submitted = Hashtbl.create 256 in
+  let spent = ref 0 in
+  let remaining () =
+    match budget with None -> max_int | Some b -> max 0 (b - !spent)
+  in
   let eval_batch pts =
+    let pts =
+      List.filter
+        (fun pt ->
+          let fp = Point.fingerprint pt in
+          if Hashtbl.mem submitted fp then true
+          else if remaining () > 0 then begin
+            Hashtbl.add submitted fp ();
+            incr spent;
+            true
+          end
+          else false)
+        pts
+    in
     Array.to_list
       (Pool.map ~workers ?pool (Eval.evaluate ~cache pre) (Array.of_list pts))
   in
-  let all = Space.points ~formats:p.Eval.formats p.Eval.expr axes in
-  let seed_pt = List.hd all in
+  (* The heuristic seed is always the first submission: every strategy
+     starts from a known-good point, and it always fits the budget. *)
+  let seed_eval = List.hd (eval_batch [ seed_pt ]) in
+  let bound_count = ref 0 in
+  let bound pt =
+    incr bound_count;
+    Eval.lower_bound pre pt
+  in
   let evaluated =
     match strategy with
     | Exhaustive -> eval_batch all
@@ -171,10 +689,14 @@ let run ?workers ?pool ?(strategy = Exhaustive) ?axes ?cache
               arr.(Prng.int rng (Array.length arr)))
         in
         dedup (eval_batch (seed_pt :: picks))
-  in
-  let seed_eval =
-    (* memoised: the seed is always the first evaluated point *)
-    List.hd (eval_batch [ seed_pt ])
+    | Halving -> dedup (seed_eval :: halving ~eval_batch ~remaining ~bound all)
+    | Surrogate ->
+        dedup
+          (seed_eval
+          :: surrogate ~eval_batch ~remaining ~bound
+               ~feats:(Eval.features pre) all)
+    | Anneal { seed } ->
+        dedup (anneal ~eval_batch ~remaining ~axes ~seed seed_pt)
   in
   let pruned =
     List.length
@@ -191,6 +713,8 @@ let run ?workers ?pool ?(strategy = Exhaustive) ?axes ?cache
     candidates = List.length all;
     evaluated;
     pruned;
+    bound_evals = !bound_count;
+    budget;
     seed_eval;
     frontier;
     best = (match frontier with [] -> None | e :: _ -> Some e);
@@ -219,6 +743,13 @@ let pp_result ppf (r : result) =
   Fmt.pf ppf "%s: %s search, %d candidates, %d evaluated (%d pruned), %d workers@."
     r.problem.Eval.name (strategy_name r.strategy) r.candidates
     (List.length r.evaluated) r.pruned r.workers;
+  (match r.budget with
+  | None -> ()
+  | Some b ->
+      Fmt.pf ppf
+        "budget: %d full evaluations (%d estimator walks spent, %d \
+         stats-only bounds)@."
+        b (estimate_count r) r.bound_evals);
   Fmt.pf ppf "heuristic seed: %a@." pp_eval r.seed_eval;
   Fmt.pf ppf "Pareto frontier (cycles vs chip fraction):@.";
   List.iter (fun e -> Fmt.pf ppf "  %a@." pp_eval e) r.frontier;
@@ -279,15 +810,24 @@ let json_of_eval (e : Eval.eval) =
       Fmt.str "{\"point\": %s, \"pruned\": \"%s\"}" (json_of_point e.Eval.point)
         (json_escape reason)
 
-(** Machine-readable report for trajectory tracking and tooling. *)
+(** Machine-readable report for trajectory tracking and tooling.
+    [full_evals] counts distinct points promoted to full evaluation,
+    [estimates] the subset that actually reached an estimator walk,
+    [bound_evals] the stats-only lower bounds spent steering, and
+    [budget] the effective cap ([null] = uncapped) — together they make
+    search efficiency measurable from the CLI and the daemon alike. *)
 let to_json (r : result) =
   Fmt.str
     "{\"kernel\": \"%s\", \"strategy\": \"%s\", \"workers\": %d, \
-     \"candidates\": %d, \"evaluated\": %d, \"pruned\": %d, \
-     \"heuristic\": %s, \"best\": %s, \"frontier\": [%s]}"
+     \"candidates\": %d, \"evaluated\": %d, \"full_evals\": %d, \
+     \"estimates\": %d, \"bound_evals\": %d, \"budget\": %s, \
+     \"pruned\": %d, \"heuristic\": %s, \"best\": %s, \"frontier\": [%s]}"
     (json_escape r.problem.Eval.name)
     (strategy_name r.strategy) r.workers r.candidates
-    (List.length r.evaluated) r.pruned
+    (List.length r.evaluated) (List.length r.evaluated) (estimate_count r)
+    r.bound_evals
+    (match r.budget with None -> "null" | Some b -> string_of_int b)
+    r.pruned
     (json_of_eval r.seed_eval)
     (match r.best with None -> "null" | Some b -> json_of_eval b)
     (String.concat ", " (List.map json_of_eval r.frontier))

@@ -48,6 +48,20 @@ let pp_compact ppf t =
 
 let to_string t = Fmt.str "%a" pp_compact t
 
+(** Stable lowercase name of a gather region, shared by the JSON
+    renderers and the strategies' resource-group keys. *)
+let gather_name = function
+  | Auto -> "auto"
+  | On_chip -> "on_chip"
+  | Off_chip -> "off_chip"
+
+(** The chip-occupancy knobs of a point: replication times where the
+    gathered arrays live.  Budgeted strategies group candidates by this
+    signature — points sharing it occupy the same chip fraction, so one
+    full evaluation per group suffices to place the group's resource
+    column on the Pareto frontier. *)
+let resource_signature t = Fmt.str "op=%d,%s" t.outer_par (gather_name t.gather)
+
 (** Canonical fingerprint of the point itself; {!Fingerprint} combines it
     with the problem's identity for the memoization cache. *)
 let fingerprint t = to_string t

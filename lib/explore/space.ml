@@ -89,6 +89,18 @@ let default_axes ?(arch = Arch.default) ?(outer_pars = [ 1; 2; 4; 8; 12; 16 ])
   in
   { orders; outer_pars; inner_pars; splits; gathers }
 
+(** A deliberately wide parallelization grid: every inner vector width
+    [1 .. lanes], a dense outer-replication ladder, and both automatic
+    and off-chip gather placement.  The search-efficiency bench and the
+    budgeted-strategy tests use it so exhaustive evaluation costs well
+    over ten times a budgeted strategy's run — the regime ROADMAP item 2
+    opens once formats join the space. *)
+let efficiency_axes ?(arch = Arch.default) ~formats (a : Ast.assign) =
+  default_axes ~arch
+    ~outer_pars:[ 1; 2; 3; 4; 6; 8; 10; 12; 14; 16 ]
+    ~inner_pars:(List.init arch.Arch.lanes (fun i -> i + 1))
+    ~gathers:[ Point.Auto; Point.Off_chip ] ~formats a
+
 (** Enumerate the whole candidate list, seed point first, duplicates
     removed.  The order is deterministic: seed, then the cartesian product
     in axis-major order (orders, outer, inner, split, gather). *)

@@ -89,9 +89,15 @@ type request = {
   op : op;
   spec : spec;
   emit : string list;  (** compile sections: subset of cin/code/resources *)
-  strategy : string;  (** autotune: grid | greedy | random *)
+  strategy : string;
+      (** autotune search strategy name; resolved (and rejected with
+          [E1008]) by the service via {!Workload.strategy_of_string}, so
+          the protocol layer stays in sync with the explorer's list *)
   samples : int;  (** autotune --strategy random *)
-  seed : int;  (** autotune --strategy random *)
+  seed : int;  (** autotune --strategy random|anneal *)
+  budget : int;
+      (** autotune: cap on full simulator evaluations; 0 = the
+          strategy's own default *)
   pmus : int;  (** chip override; 0 = default *)
   pcus : int;  (** chip override; 0 = default *)
   dram : string;  (** hbm2e | ddr4 | ideal *)
@@ -264,11 +270,12 @@ let request_of_json (j : Json.t) : (request, Diag.t list) result =
             data = str_list_field obj "data" ~default:[];
           };
         emit;
-        strategy =
-          enum_field obj "strategy" ~default:"grid"
-            ~allowed:[ "grid"; "greedy"; "random" ];
+        strategy = str_field obj "strategy" ~default:"grid";
         samples = int_field obj "samples" ~default:64;
         seed = int_field obj "seed" ~default:42;
+        budget =
+          (let b = int_field obj "budget" ~default:0 in
+           if b < 0 then invalid "field \"budget\" must be >= 0" else b);
         pmus = int_field obj "pmus" ~default:0;
         pcus = int_field obj "pcus" ~default:0;
         dram =

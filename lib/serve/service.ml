@@ -335,18 +335,13 @@ let handle_estimate (rs : resolved) config =
              ("resources", usage_json (Resources.count config.Sim.arch compiled));
            ])
 
-let handle_autotune t (r : P.request) (rs : resolved) config =
+let handle_autotune t ~strategy (r : P.request) (rs : resolved) config =
   let problem =
     Eval.problem_of_string ~name:rs.rname ~config ~formats:rs.rformats
       ~inputs:rs.rinputs rs.rexpr
   in
-  let strategy =
-    match r.P.strategy with
-    | "greedy" -> Explore.Greedy
-    | "random" -> Explore.Random { samples = r.P.samples; seed = r.P.seed }
-    | _ -> Explore.Exhaustive
-  in
-  let result = Explore.run ~pool:t.pool ~strategy problem in
+  let budget = if r.P.budget > 0 then Some r.P.budget else None in
+  let result = Explore.run ~pool:t.pool ~strategy ?budget problem in
   P.ok_body (Json.parse (Explore.to_json result))
 
 let handle_stats (rs : resolved) =
@@ -427,13 +422,28 @@ let dispatch t (r : P.request) : Json.t * bool option =
   | P.Estimate ->
       resolved_or (fun rs ->
           via_cache ~opts:"" rs (fun config -> handle_estimate rs config))
-  | P.Autotune ->
-      resolved_or (fun rs ->
-          via_cache
-            ~opts:
-              (Fmt.str "%s/%d/%d" r.P.strategy r.P.samples r.P.seed)
-            rs
-            (fun config -> handle_autotune t r rs config))
+  | P.Autotune -> (
+      (* reject unknown strategies before the cache: E1008 bodies must
+         never occupy plan-cache entries *)
+      match
+        Workload.strategy_of_string ~samples:r.P.samples ~seed:r.P.seed
+          r.P.strategy
+      with
+      | Error msg ->
+          ( P.error_body
+              [
+                Diag.error ~stage:Diag.Serve ~code:Diag.code_serve_strategy
+                  "%s" msg;
+              ],
+            None )
+      | Ok strategy ->
+          resolved_or (fun rs ->
+              via_cache
+                ~opts:
+                  (Fmt.str "%s/%d/%d/%d" r.P.strategy r.P.samples r.P.seed
+                     r.P.budget)
+                rs
+                (fun config -> handle_autotune t ~strategy r rs config)))
   | P.Stats -> resolved_or (fun rs -> via_cache ~opts:"" rs (fun _ -> handle_stats rs))
 
 (** The deadline a request runs under: the tighter of the daemon's

@@ -34,6 +34,28 @@ let format_of_string = function
       Fmt.failwith "unknown format %S (try csr csc dv sv rm cm csf ucc scalar)"
         s
 
+(** The one table mapping autotune strategy names to explorer
+    strategies, shared by the CLI's [--strategy] flag and the serve
+    protocol's ["strategy"] field so the two surfaces can never drift.
+    [grid] is the historical name for exhaustive enumeration. *)
+let strategy_names =
+  [ "grid"; "exhaustive"; "greedy"; "random"; "halving"; "anneal"; "surrogate" ]
+
+let strategy_of_string ~samples ~seed name :
+    (Stardust_explore.Explore.strategy, string) result =
+  let module E = Stardust_explore.Explore in
+  match name with
+  | "grid" | "exhaustive" -> Ok E.Exhaustive
+  | "greedy" -> Ok E.Greedy
+  | "random" -> Ok (E.Random { samples; seed })
+  | "halving" -> Ok E.Halving
+  | "anneal" -> Ok (E.Anneal { seed })
+  | "surrogate" -> Ok E.Surrogate
+  | s ->
+      Error
+        (Fmt.str "unknown autotune strategy %S (try %s)" s
+           (String.concat "/" strategy_names))
+
 (** Parse one ["NAME=FMT"] binding. *)
 let parse_format_binding s =
   match String.split_on_char '=' s with

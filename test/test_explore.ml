@@ -376,6 +376,136 @@ let test_strategies_agree () =
       | None -> ())
   | _ -> Alcotest.fail "expected feasible best for SpMV"
 
+(* ------------------------------------------------------------------ *)
+(* Budgeted strategies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let eval_fps (r : Explore.result) =
+  List.map
+    (fun (e : Eval.eval) -> Point.fingerprint e.Eval.point)
+    r.Explore.evaluated
+
+(* The budgeted strategies are driven entirely from the driver thread
+   (ranking, rung scheduling, PRNG draws), so their whole evaluation
+   trail — not just the frontier — must be bit-identical at any worker
+   count. *)
+let test_budgeted_determinism () =
+  let p = sddmm_problem 11 in
+  List.iter
+    (fun (name, strategy) ->
+      let r1 = Explore.run ~workers:1 ~strategy p in
+      let r4 = Explore.run ~workers:4 ~strategy p in
+      Alcotest.(check (list string))
+        (name ^ ": identical evaluation trail workers 1 vs 4")
+        (eval_fps r1) (eval_fps r4);
+      Alcotest.(check (list string))
+        (name ^ ": identical frontier workers 1 vs 4")
+        (List.map Point.fingerprint (frontier_points r1))
+        (List.map Point.fingerprint (frontier_points r4));
+      Alcotest.(check int)
+        (name ^ ": same full-evaluation count")
+        (List.length r1.Explore.evaluated)
+        (List.length r4.Explore.evaluated);
+      Alcotest.(check int)
+        (name ^ ": same bound-evaluation count")
+        r1.Explore.bound_evals r4.Explore.bound_evals)
+    [
+      ("halving", Explore.Halving);
+      ("anneal", Explore.Anneal { seed = 7 });
+      ("surrogate", Explore.Surrogate);
+    ]
+
+(* An explicit budget caps the number of distinct points submitted for
+   full evaluation, whatever the strategy. *)
+let test_budget_cap () =
+  let p = spmv_problem 3 in
+  List.iter
+    (fun strategy ->
+      let r = Explore.run ~workers:2 ~strategy ~budget:5 p in
+      Alcotest.(check bool)
+        "full evaluations within budget" true
+        (List.length r.Explore.evaluated <= 5);
+      Alcotest.(check (option int)) "budget reported" (Some 5) r.Explore.budget)
+    [ Explore.Halving; Explore.Anneal { seed = 1 }; Explore.Surrogate ]
+
+(* Acceptance: on the paper kernels at bench scale, halving and the
+   linear surrogate reproduce exhaustive enumeration's exact Pareto
+   frontier with at most a tenth of its full simulator evaluations. *)
+let kernel_problem name n =
+  let spec = Option.get (K.find name) in
+  let st = List.hd spec.K.stages in
+  Eval.problem_of_string ~name ~formats:st.K.formats
+    ~inputs:(Stardust_serve.Workload.stage_random_inputs st n)
+    st.K.expr
+
+let test_budget_efficiency () =
+  List.iter
+    (fun kname ->
+      let p = kernel_problem kname 256 in
+      let axes =
+        Space.efficiency_axes ~formats:p.Eval.formats p.Eval.expr
+      in
+      let ex = Explore.run ~workers:2 ~axes p in
+      let ex_est = Explore.estimate_count ex in
+      List.iter
+        (fun (sname, strategy, budget) ->
+          let r = Explore.run ~workers:2 ~strategy ~budget ~axes p in
+          Alcotest.(check (list string))
+            (Fmt.str "%s/%s: frontier identical to exhaustive" kname sname)
+            (List.map Point.fingerprint (frontier_points ex))
+            (List.map Point.fingerprint (frontier_points r));
+          let est = Explore.estimate_count r in
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s: %d estimates <= 10%% of exhaustive's %d" kname
+               sname est ex_est)
+            true
+            (est * 10 <= ex_est))
+        [ ("halving", Explore.Halving, 24); ("surrogate", Explore.Surrogate, 28) ])
+    [ "spmv"; "sddmm"; "plus3" ]
+
+(* The racing/surrogate strategies discard candidates whose lower bound
+   exceeds a measured champion, so the bound must never exceed the
+   simulator's estimate.  Checked over oracle-generated cases — the same
+   adversarial corpus the differential tests use — at a grid of
+   parallelization points. *)
+let prop_bound_admissible =
+  QCheck.Test.make ~name:"lower bound never exceeds the estimate" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let case = Stardust_oracle.Gen.gen ~seed in
+      match Stardust_oracle.Case.prepare case with
+      | Error _ -> true
+      | Ok prep ->
+          let formats =
+            List.map
+              (fun (ts : Stardust_oracle.Case.tensor_spec) ->
+                (ts.Stardust_oracle.Case.tname, ts.Stardust_oracle.Case.fmt))
+              case.Stardust_oracle.Case.tensors
+            @ [
+                ( case.Stardust_oracle.Case.result,
+                  case.Stardust_oracle.Case.result_format );
+              ]
+          in
+          let p =
+            Eval.problem_of_string ~name:"oracle" ~formats
+              ~inputs:prep.Stardust_oracle.Case.inputs
+              case.Stardust_oracle.Case.expr
+          in
+          let pre = Eval.prepare p in
+          List.iter
+            (fun (op, ip) ->
+              let pt = Point.make ~outer_par:op ~inner_par:ip () in
+              match Eval.cycles (Eval.compute p pt) with
+              | None -> ()
+              | Some cycles ->
+                  let b = Eval.lower_bound pre pt in
+                  if b > cycles +. 1e-6 then
+                    QCheck.Test.fail_reportf
+                      "seed %d %s: bound %.2f > estimate %.2f at op=%d ip=%d"
+                      seed case.Stardust_oracle.Case.expr b cycles op ip)
+            [ (1, 1); (1, 16); (4, 4); (16, 1); (16, 16) ];
+          true)
+
 let test_seed_first () =
   (* The candidate list starts with the heuristic decision. *)
   let axes = Space.default_axes ~formats:spmv_formats spmv_assign in
@@ -410,5 +540,12 @@ let suite =
     Alcotest.test_case "search: strategies consistent" `Quick
       test_strategies_agree;
     Alcotest.test_case "space: seed enumerated first" `Quick test_seed_first;
+    Alcotest.test_case "budgeted: worker-count determinism" `Quick
+      test_budgeted_determinism;
+    Alcotest.test_case "budgeted: explicit budget caps evaluations" `Quick
+      test_budget_cap;
+    Alcotest.test_case "budgeted: frontier at <=10% of exhaustive" `Quick
+      test_budget_efficiency;
     QCheck_alcotest.to_alcotest prop_never_worse;
+    QCheck_alcotest.to_alcotest prop_bound_admissible;
   ]

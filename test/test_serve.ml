@@ -1086,6 +1086,49 @@ let test_http_scrape_during_chaos () =
                     report.Chaos.wellformed_sent
                     report.Chaos.wellformed_answered)))
 
+(* Budgeted autotune over the wire: the strategy/budget fields reach the
+   explorer, the result reports its budget accounting, and an unknown
+   strategy is refused with the stable E1008 code (not silently mapped
+   to exhaustive, and never cached). *)
+let test_autotune_budgeted () =
+  with_service ~workers:1 (fun svc ->
+      let resp =
+        Service.handle_request svc
+          (kernel_req ~id:1 "autotune" "spmv" 8
+             ~extra:
+               [ ("strategy", Json.Str "halving"); ("budget", Json.Num 6.0) ])
+      in
+      checkb "halving autotune ok" true (is_ok resp);
+      let result = field "result" resp in
+      checks "strategy echoed" "halving"
+        (Json.to_str (field "strategy" result));
+      checki "budget echoed" 6
+        (int_of_float (Json.to_float (field "budget" result)));
+      checkb "full evaluations capped by the budget" true
+        (Json.to_float (field "full_evals" result) <= 6.0);
+      checkb "bound evaluations reported" true
+        (Json.member "bound_evals" result <> None);
+      let surrogate =
+        Service.handle_request svc
+          (kernel_req ~id:2 "autotune" "spmv" 8
+             ~extra:[ ("strategy", Json.Str "surrogate") ])
+      in
+      checkb "surrogate autotune ok" true (is_ok surrogate);
+      let unknown =
+        Service.handle_request svc
+          (kernel_req ~id:3 "autotune" "spmv" 8
+             ~extra:[ ("strategy", Json.Str "simplex") ])
+      in
+      checkb "unknown strategy refused" false (is_ok unknown);
+      checks "unknown strategy answered E1008" "E1008" (error_code unknown);
+      let negative =
+        Service.handle_request svc
+          (kernel_req ~id:4 "autotune" "spmv" 8
+             ~extra:[ ("budget", Json.Num (-1.0)) ])
+      in
+      checkb "negative budget refused" false (is_ok negative);
+      checks "negative budget answered E1002" "E1002" (error_code negative))
+
 let suite =
   [
     Alcotest.test_case "protocol: every op round-trips" `Quick
@@ -1106,6 +1149,8 @@ let suite =
       test_worker_determinism;
     Alcotest.test_case "service: batched autotune does not deadlock" `Quick
       test_batch_autotune_no_deadlock;
+    Alcotest.test_case "service: budgeted autotune strategies and E1008"
+      `Quick test_autotune_budgeted;
     Alcotest.test_case "server: unix-socket client session" `Quick
       test_unix_socket_session;
     Alcotest.test_case "hardening: deadlines answered E1005" `Quick
